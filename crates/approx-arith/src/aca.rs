@@ -1,0 +1,164 @@
+//! Accuracy-configurable / windowed-carry speculative adder (ACA style).
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Windowed-carry speculative adder in the spirit of the
+/// accuracy-configurable adder of Kahng & Kang (DAC'12): the carry into
+/// bit `i` is computed from only the `lookahead` preceding bit positions
+/// (with carry-in 0 at the window start), so the critical path — and the
+/// accuracy — is set by the window length.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, WindowedCarryAdder};
+///
+/// let adder = WindowedCarryAdder::new(16, 16);
+/// assert_eq!(adder.add(0xFFFF, 1), 0); // full window == exact (modular)
+///
+/// let short = WindowedCarryAdder::new(16, 2);
+/// // A carry chain longer than the window is broken.
+/// assert_ne!(short.add(0x00FF, 0x0001), 0x0100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCarryAdder {
+    width: u32,
+    lookahead: u32,
+}
+
+impl WindowedCarryAdder {
+    /// Create an adder whose carry window spans `lookahead` bits.
+    ///
+    /// A `lookahead` of `width` makes the adder exact.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64` or `lookahead` is 0 or exceeds
+    /// `width`.
+    #[must_use]
+    pub fn new(width: u32, lookahead: u32) -> Self {
+        let _ = width_mask(width);
+        assert!(
+            (1..=width).contains(&lookahead),
+            "lookahead must be in 1..=width"
+        );
+        Self { width, lookahead }
+    }
+
+    /// Carry window length in bits.
+    #[must_use]
+    pub fn lookahead(&self) -> u32 {
+        self.lookahead
+    }
+
+    /// Carry into bit `i` computed over the window `[i-L, i)`.
+    fn carry_into(&self, a: u64, b: u64, i: u32) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let start = i.saturating_sub(self.lookahead);
+        let len = i - start;
+        let m = width_mask(len);
+        let aw = (a >> start) & m;
+        let bw = (b >> start) & m;
+        u64::from(aw + bw > m)
+    }
+}
+
+impl Adder for WindowedCarryAdder {
+    fn name(&self) -> String {
+        format!("aca{}/l{}", self.width, self.lookahead)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        let (a, b) = (a & mask, b & mask);
+        let mut result = 0u64;
+        for i in 0..self.width {
+            let s = ((a >> i) ^ (b >> i) ^ self.carry_into(a, b, i)) & 1;
+            result |= s << i;
+        }
+        result
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let l = self.lookahead as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        let zero = nl.constant(false);
+        for i in 0..w {
+            let carry = if i == 0 {
+                zero
+            } else {
+                let start = i.saturating_sub(l);
+                let mut c = zero;
+                for j in start..i {
+                    c = nl.maj3(a[j], b[j], c);
+                }
+                c
+            };
+            let axb = nl.xor2(a[i], b[i]);
+            let sum = nl.xor2(axb, carry);
+            nl.mark_output(sum, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+    use crate::RippleCarryAdder;
+
+    #[test]
+    fn full_lookahead_is_exact() {
+        let aca = WindowedCarryAdder::new(16, 16);
+        let rca = RippleCarryAdder::new(16);
+        for (a, b) in [(0u64, 0), (0xFFFF, 0xFFFF), (0xABC, 0x123), (1, 0xFFFF)] {
+            assert_eq!(aca.add(a, b), rca.add(a, b));
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_lookahead() {
+        // Count errors over a grid for two window lengths.
+        let exact = RippleCarryAdder::new(12);
+        let count_errors = |l: u32| {
+            let aca = WindowedCarryAdder::new(12, l);
+            let mut errs = 0u32;
+            for a in (0..4096u64).step_by(17) {
+                for b in (0..4096u64).step_by(23) {
+                    if aca.add(a, b) != exact.add(a, b) {
+                        errs += 1;
+                    }
+                }
+            }
+            errs
+        };
+        assert!(count_errors(2) > count_errors(6));
+        assert_eq!(count_errors(12), 0);
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&WindowedCarryAdder::new(16, 4), 300);
+        assert_netlist_matches(&WindowedCarryAdder::new(16, 16), 100);
+        assert_netlist_matches(&WindowedCarryAdder::new(48, 8), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be in 1..=width")]
+    fn zero_lookahead_panics() {
+        let _ = WindowedCarryAdder::new(8, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The adder abstraction and the accuracy-level vocabulary shared by the
+//! whole framework.
+
+use gatesim::builders::AdderPorts;
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy level of the quality-configurable adder.
+///
+/// Mirrors the paper's `Level = {level1, …, level4}` plus the fully
+/// accurate mode: a larger level index means higher accuracy, and
+/// `Accurate` is exact hardware.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::AccuracyLevel;
+///
+/// assert!(AccuracyLevel::Level1 < AccuracyLevel::Level4);
+/// assert!(AccuracyLevel::Accurate.is_accurate());
+/// assert_eq!(AccuracyLevel::Level3.next_higher(), Some(AccuracyLevel::Level4));
+/// assert_eq!(AccuracyLevel::Accurate.next_higher(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccuracyLevel {
+    /// Lowest accuracy, lowest energy.
+    Level1,
+    /// Second accuracy level.
+    Level2,
+    /// Third accuracy level.
+    Level3,
+    /// Highest approximate accuracy level.
+    Level4,
+    /// Fully accurate (exact) mode.
+    Accurate,
+}
+
+impl AccuracyLevel {
+    /// All modes from least to most accurate.
+    pub const ALL: [AccuracyLevel; 5] = [
+        AccuracyLevel::Level1,
+        AccuracyLevel::Level2,
+        AccuracyLevel::Level3,
+        AccuracyLevel::Level4,
+        AccuracyLevel::Accurate,
+    ];
+
+    /// The four approximate levels (excludes `Accurate`).
+    pub const APPROXIMATE: [AccuracyLevel; 4] = [
+        AccuracyLevel::Level1,
+        AccuracyLevel::Level2,
+        AccuracyLevel::Level3,
+        AccuracyLevel::Level4,
+    ];
+
+    /// Zero-based index into [`AccuracyLevel::ALL`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            AccuracyLevel::Level1 => 0,
+            AccuracyLevel::Level2 => 1,
+            AccuracyLevel::Level3 => 2,
+            AccuracyLevel::Level4 => 3,
+            AccuracyLevel::Accurate => 4,
+        }
+    }
+
+    /// Inverse of [`AccuracyLevel::index`].
+    ///
+    /// Returns `None` for indices ≥ 5.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<Self> {
+        match index {
+            0 => Some(AccuracyLevel::Level1),
+            1 => Some(AccuracyLevel::Level2),
+            2 => Some(AccuracyLevel::Level3),
+            3 => Some(AccuracyLevel::Level4),
+            4 => Some(AccuracyLevel::Accurate),
+            _ => None,
+        }
+    }
+
+    /// `true` for the exact mode.
+    #[must_use]
+    pub const fn is_accurate(self) -> bool {
+        matches!(self, AccuracyLevel::Accurate)
+    }
+
+    /// The adjacent mode with higher accuracy, or `None` from `Accurate`.
+    ///
+    /// This is the only transition the paper's *incremental* strategy
+    /// allows.
+    #[must_use]
+    pub const fn next_higher(self) -> Option<Self> {
+        Self::from_index(self.index() + 1)
+    }
+
+    /// The adjacent mode with lower accuracy, or `None` from `Level1`.
+    #[must_use]
+    pub const fn next_lower(self) -> Option<Self> {
+        match self.index() {
+            0 => None,
+            i => Self::from_index(i - 1),
+        }
+    }
+}
+
+impl std::fmt::Display for AccuracyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AccuracyLevel::Level1 => "level1",
+            AccuracyLevel::Level2 => "level2",
+            AccuracyLevel::Level3 => "level3",
+            AccuracyLevel::Level4 => "level4",
+            AccuracyLevel::Accurate => "acc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A (possibly approximate) fixed-width binary adder.
+///
+/// Implementations provide both a fast bit-parallel functional model
+/// ([`Adder::add`]) and a gate netlist ([`Adder::netlist`]); the two are
+/// required to agree bit-exactly and the crate's tests enforce it. The
+/// netlist is what the energy characterization simulates.
+///
+/// Addition is modular: the result is reduced mod `2^width` and any carry
+/// out of the top bit is discarded, exactly like the hardware.
+pub trait Adder: std::fmt::Debug + Send + Sync {
+    /// Human-readable architecture name, e.g. `"loa48/k16"`.
+    fn name(&self) -> String;
+
+    /// Operand width in bits (1..=64).
+    fn width(&self) -> u32;
+
+    /// Compute `(a + b) mod 2^width` under this architecture's
+    /// approximation. Operand bits above `width` are ignored.
+    fn add(&self, a: u64, b: u64) -> u64;
+
+    /// Build the gate-level netlist implementing exactly [`Adder::add`].
+    fn netlist(&self) -> (Netlist, AdderPorts);
+
+    /// Mask selecting the `width` low bits.
+    fn mask(&self) -> u64 {
+        width_mask(self.width())
+    }
+}
+
+/// Mask with the `width` low bits set.
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 64.
+#[must_use]
+pub fn width_mask(width: u32) -> u64 {
+    assert!((1..=64).contains(&width), "width must be in 1..=64");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        let mut prev = None;
+        for level in AccuracyLevel::ALL {
+            if let Some(p) = prev {
+                assert!(p < level);
+            }
+            prev = Some(level);
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for level in AccuracyLevel::ALL {
+            assert_eq!(AccuracyLevel::from_index(level.index()), Some(level));
+        }
+        assert_eq!(AccuracyLevel::from_index(5), None);
+    }
+
+    #[test]
+    fn next_higher_walks_to_accurate() {
+        let mut level = AccuracyLevel::Level1;
+        let mut hops = 0;
+        while let Some(next) = level.next_higher() {
+            level = next;
+            hops += 1;
+        }
+        assert_eq!(level, AccuracyLevel::Accurate);
+        assert_eq!(hops, 4);
+    }
+
+    #[test]
+    fn next_lower_inverts_next_higher() {
+        for level in AccuracyLevel::ALL {
+            if let Some(up) = level.next_higher() {
+                assert_eq!(up.next_lower(), Some(level));
+            }
+        }
+        assert_eq!(AccuracyLevel::Level1.next_lower(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(AccuracyLevel::Level1.to_string(), "level1");
+        assert_eq!(AccuracyLevel::Accurate.to_string(), "acc");
+    }
+
+    #[test]
+    fn width_mask_edges() {
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(48), (1u64 << 48) - 1);
+        assert_eq!(width_mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn width_mask_zero_panics() {
+        let _ = width_mask(0);
+    }
+}

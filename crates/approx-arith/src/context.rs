@@ -1,0 +1,553 @@
+//! Energy-accounting arithmetic contexts.
+//!
+//! An [`ArithContext`] is the boundary between an application's
+//! error-*resilient* datapath and the hardware model: every add/sub/mul
+//! the application routes through the context is (a) computed under the
+//! currently selected accuracy level and (b) charged to the context's
+//! energy meters. Error-*sensitive* computation (control flow,
+//! convergence checks, transcendentals) stays in plain `f64` outside the
+//! context, mirroring the offline resilience partitioning of Chippa et
+//! al. that the paper adopts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adder::AccuracyLevel;
+use crate::energy::EnergyProfile;
+use crate::fixed::QFormat;
+use crate::recon::QcsAdder;
+
+/// Operation counters of a context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Additions (including subtractions, which negate exactly and add).
+    pub adds: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Divisions.
+    pub divs: u64,
+}
+
+impl OpCounts {
+    /// Total operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.divs
+    }
+}
+
+/// The arithmetic fabric an application's error-resilient part runs on.
+///
+/// Implementations must make `add` commutative and `sub(a, b)`
+/// equivalent to `add(a, -b)` (hardware negation is exact — an inverter
+/// row plus carry-in).
+///
+/// The trait is object-safe; applications typically take
+/// `&mut dyn ArithContext`.
+pub trait ArithContext {
+    /// Add two values on the approximate adder fabric.
+    fn add(&mut self, a: f64, b: f64) -> f64;
+
+    /// Multiply two values (exact multiplier, fixed-point datapath).
+    fn mul(&mut self, a: f64, b: f64) -> f64;
+
+    /// Divide two values (exact sequential divider).
+    fn div(&mut self, a: f64, b: f64) -> f64;
+
+    /// Subtract via exact negation and an approximate add.
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.add(a, -b)
+    }
+
+    /// Currently selected accuracy level.
+    fn level(&self) -> AccuracyLevel;
+
+    /// Select the accuracy level used by subsequent operations.
+    fn set_level(&mut self, level: AccuracyLevel);
+
+    /// Operation counters since the last reset.
+    fn counts(&self) -> OpCounts;
+
+    /// Energy consumed by the *approximate part* (the adder fabric) since
+    /// the last reset. This is the quantity the paper's tables normalize.
+    fn approx_energy(&self) -> f64;
+
+    /// Total energy including the exact multiplier/divider.
+    fn total_energy(&self) -> f64;
+
+    /// Reset counters and energy meters (the level is preserved).
+    fn reset_counters(&mut self);
+
+    /// Left-to-right sum of a slice through [`ArithContext::add`].
+    fn sum(&mut self, xs: &[f64]) -> f64 {
+        xs.iter().fold(0.0, |acc, &x| self.add(acc, x))
+    }
+
+    /// Dot product through [`ArithContext::mul`] and
+    /// [`ArithContext::add`].
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    fn dot(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "dot operands must have equal length");
+        let mut acc = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let p = self.mul(x, y);
+            acc = self.add(acc, p);
+        }
+        acc
+    }
+}
+
+/// Context for the quality-configurable datapath: fixed-point arithmetic
+/// with the [`QcsAdder`] at a selectable accuracy level, plus energy and
+/// operation accounting.
+///
+/// *Every* mode — including `Accurate` — runs on the same fixed-point
+/// datapath: operands are quantized to the context's [`QFormat`] and the
+/// add is performed by the QCS adder at the selected level. The accurate
+/// mode differs only in that the full carry chain is enabled, exactly
+/// like the hardware. A consequence worth internalizing: iterative
+/// methods on this datapath converge by *freezing* — once an update
+/// falls below the fixed-point resolution the state reproduces itself
+/// bit-exactly — which is why the paper can use convergence tolerances
+/// (e.g. 10⁻¹³) far below the datapath resolution.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{AccuracyLevel, ArithContext, QcsContext};
+///
+/// let mut ctx = QcsContext::with_paper_defaults();
+/// let exact = ctx.add(0.125, 0.25);
+/// assert_eq!(exact, 0.375); // representable in Q15.16: exact
+///
+/// ctx.set_level(AccuracyLevel::Level1);
+/// let approx = ctx.add(0.125, 0.25);
+/// // Level 1 mangles the low 20 bits — the result is off but bounded.
+/// assert!((approx - 0.375).abs() < 32.0);
+/// assert!(ctx.approx_energy() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QcsContext {
+    qcs: QcsAdder,
+    format: QFormat,
+    profile: EnergyProfile,
+    level: AccuracyLevel,
+    counts: OpCounts,
+    approx_energy: f64,
+    other_energy: f64,
+    trace: Option<Trace>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Trace {
+    capacity: usize,
+    pairs: Vec<(u64, u64)>,
+}
+
+impl QcsContext {
+    /// Create a context over an explicit adder, format, and energy
+    /// profile. The initial level is `Accurate`.
+    ///
+    /// # Panics
+    /// Panics if the adder and format widths differ.
+    #[must_use]
+    pub fn new(qcs: QcsAdder, format: QFormat, profile: EnergyProfile) -> Self {
+        assert_eq!(
+            qcs.width(),
+            format.width(),
+            "adder width and fixed-point width must match"
+        );
+        Self {
+            qcs,
+            format,
+            profile,
+            level: AccuracyLevel::Accurate,
+            counts: OpCounts::default(),
+            approx_energy: 0.0,
+            other_energy: 0.0,
+            trace: None,
+        }
+    }
+
+    /// The configuration used throughout the reproduction:
+    /// [`QcsAdder::paper_default`], [`QFormat::Q15_16`], and a freshly
+    /// characterized [`EnergyProfile`].
+    #[must_use]
+    pub fn with_paper_defaults() -> Self {
+        Self::new(
+            QcsAdder::paper_default(),
+            QFormat::Q15_16,
+            EnergyProfile::paper_default(),
+        )
+    }
+
+    /// Like [`QcsContext::with_paper_defaults`] but reusing an
+    /// already-characterized profile (characterization simulates gate
+    /// netlists; share it across contexts).
+    #[must_use]
+    pub fn with_profile(profile: EnergyProfile) -> Self {
+        Self::new(QcsAdder::paper_default(), QFormat::Q15_16, profile)
+    }
+
+    /// The fixed-point format of the datapath.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The underlying QCS adder.
+    #[must_use]
+    pub fn adder(&self) -> &QcsAdder {
+        &self.qcs
+    }
+
+    /// The energy profile in use.
+    #[must_use]
+    pub fn profile(&self) -> &EnergyProfile {
+        &self.profile
+    }
+
+    /// Start recording the operand bit patterns of approximate adds into
+    /// a bounded trace (for trace-driven characterization). Recording
+    /// stops silently once `capacity` pairs are stored.
+    pub fn record_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace {
+            capacity,
+            pairs: Vec::with_capacity(capacity.min(4096)),
+        });
+    }
+
+    /// The recorded operand trace, if recording was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[(u64, u64)]> {
+        self.trace.as_ref().map(|t| t.pairs.as_slice())
+    }
+}
+
+impl ArithContext for QcsContext {
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.adds += 1;
+        self.approx_energy += self.profile.add_energy(self.level);
+        let ra = self.format.to_raw(a);
+        let rb = self.format.to_raw(b);
+        let (ba, bb) = (self.format.to_bits(ra), self.format.to_bits(rb));
+        if let Some(trace) = &mut self.trace {
+            if trace.pairs.len() < trace.capacity {
+                trace.pairs.push((ba, bb));
+            }
+        }
+        let bits = self.qcs.add(ba, bb, self.level);
+        self.format.from_raw(self.format.from_bits(bits))
+    }
+
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.muls += 1;
+        self.other_energy += self.profile.mul_energy();
+        let ra = self.format.to_raw(a);
+        let rb = self.format.to_raw(b);
+        self.format.from_raw(self.format.mul_raw(ra, rb))
+    }
+
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.divs += 1;
+        self.other_energy += self.profile.div_energy();
+        // The sequential shift-subtract divider is built from the same
+        // QCS adder, so its quotient inherits the level's approximation:
+        // with the truncation policy the low `approx_bits` quotient bits
+        // are never produced and the result lands on the level's coarse
+        // grid.
+        let qa = self.format.quantize(a);
+        let qb = self.format.quantize(b);
+        let raw = self.format.to_raw(qa / qb);
+        let k = self.qcs.approx_bits(self.level);
+        let snapped = if k > 0 && self.qcs.policy() == crate::recon::LowPartPolicy::Zero {
+            let bits = self.format.to_bits(raw);
+            self.format.from_bits(bits & !crate::adder::width_mask(k))
+        } else {
+            raw
+        };
+        self.format.from_raw(snapped)
+    }
+
+    fn level(&self) -> AccuracyLevel {
+        self.level
+    }
+
+    fn set_level(&mut self, level: AccuracyLevel) {
+        self.level = level;
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn approx_energy(&self) -> f64 {
+        self.approx_energy
+    }
+
+    fn total_energy(&self) -> f64 {
+        self.approx_energy + self.other_energy
+    }
+
+    fn reset_counters(&mut self) {
+        self.counts = OpCounts::default();
+        self.approx_energy = 0.0;
+        self.other_energy = 0.0;
+        if let Some(trace) = &mut self.trace {
+            trace.pairs.clear();
+        }
+    }
+}
+
+/// An idealized infinite-precision (`f64`) context with accurate-mode
+/// energy accounting.
+///
+/// This is a *software* baseline for tests and reference solutions
+/// (e.g. normal equations) — it is **not** the paper's `Truth` hardware,
+/// which is the fixed-point [`QcsContext`] in `Accurate` mode. It
+/// refuses level changes, so baseline runs cannot accidentally be
+/// degraded.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ArithContext, ExactContext};
+///
+/// let mut ctx = ExactContext::new();
+/// assert_eq!(ctx.dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// assert_eq!(ctx.counts().muls, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactContext {
+    profile: EnergyProfile,
+    counts: OpCounts,
+    approx_energy: f64,
+    other_energy: f64,
+}
+
+impl ExactContext {
+    /// Create an exact context with a freshly characterized paper-default
+    /// energy profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_profile(EnergyProfile::paper_default())
+    }
+
+    /// Create an exact context reusing an existing profile.
+    #[must_use]
+    pub fn with_profile(profile: EnergyProfile) -> Self {
+        Self {
+            profile,
+            counts: OpCounts::default(),
+            approx_energy: 0.0,
+            other_energy: 0.0,
+        }
+    }
+}
+
+impl Default for ExactContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArithContext for ExactContext {
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.adds += 1;
+        self.approx_energy += self.profile.add_energy(AccuracyLevel::Accurate);
+        a + b
+    }
+
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.muls += 1;
+        self.other_energy += self.profile.mul_energy();
+        a * b
+    }
+
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.counts.divs += 1;
+        self.other_energy += self.profile.div_energy();
+        a / b
+    }
+
+    fn level(&self) -> AccuracyLevel {
+        AccuracyLevel::Accurate
+    }
+
+    /// # Panics
+    /// Panics if `level` is not `Accurate` — exact baselines must not be
+    /// silently degraded.
+    fn set_level(&mut self, level: AccuracyLevel) {
+        assert!(
+            level.is_accurate(),
+            "ExactContext cannot run at approximate level {level}"
+        );
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn approx_energy(&self) -> f64 {
+        self.approx_energy
+    }
+
+    fn total_energy(&self) -> f64 {
+        self.approx_energy + self.other_energy
+    }
+
+    fn reset_counters(&mut self) {
+        self.counts = OpCounts::default();
+        self.approx_energy = 0.0;
+        self.other_energy = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    fn test_ctx() -> QcsContext {
+        QcsContext::new(QcsAdder::paper_default(), QFormat::Q15_16, test_profile())
+    }
+
+    #[test]
+    fn accurate_mode_is_exact_on_representable_values() {
+        let mut ctx = test_ctx();
+        assert_eq!(ctx.add(0.125, 0.25), 0.375);
+        assert_eq!(ctx.mul(1.5, -2.5), -3.75);
+        assert_eq!(ctx.div(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn accurate_mode_quantizes_to_the_datapath() {
+        // The accurate mode is still fixed-point hardware: results are
+        // quantized to Q31.16, so 0.1 + 0.2 is *close to* but not equal
+        // to the f64 sum.
+        let mut ctx = test_ctx();
+        let got = ctx.add(0.1, 0.2);
+        assert!((got - 0.3).abs() <= QFormat::Q15_16.resolution());
+        assert_eq!(got, QFormat::Q15_16.quantize(got)); // representable
+    }
+
+    #[test]
+    fn sub_is_add_of_negation() {
+        let mut ctx = test_ctx();
+        ctx.set_level(AccuracyLevel::Level3);
+        let s = ctx.sub(1.5, 0.75);
+        ctx.set_level(AccuracyLevel::Level3);
+        let a = ctx.add(1.5, -0.75);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn energy_accrues_per_level() {
+        let mut ctx = test_ctx();
+        ctx.add(1.0, 1.0); // accurate: 5.0
+        ctx.set_level(AccuracyLevel::Level1);
+        ctx.add(1.0, 1.0); // level1: 1.0
+        assert_eq!(ctx.approx_energy(), 6.0);
+        assert_eq!(ctx.counts().adds, 2);
+        ctx.mul(2.0, 2.0);
+        assert_eq!(ctx.total_energy(), 56.0);
+        assert_eq!(ctx.approx_energy(), 6.0); // muls don't touch the approx meter
+    }
+
+    #[test]
+    fn reset_preserves_level() {
+        let mut ctx = test_ctx();
+        ctx.set_level(AccuracyLevel::Level2);
+        ctx.add(1.0, 2.0);
+        ctx.reset_counters();
+        assert_eq!(ctx.counts(), OpCounts::default());
+        assert_eq!(ctx.approx_energy(), 0.0);
+        assert_eq!(ctx.level(), AccuracyLevel::Level2);
+    }
+
+    #[test]
+    fn approximate_error_is_bounded_by_level() {
+        let mut ctx = test_ctx();
+        let mut worst = [0f64; 4];
+        let mut rng = crate::rng::Pcg32::seeded(17, 0);
+        for _ in 0..500 {
+            let a = rng.uniform(-100.0, 100.0);
+            let b = rng.uniform(-100.0, 100.0);
+            for level in AccuracyLevel::APPROXIMATE {
+                ctx.set_level(level);
+                let got = ctx.add(a, b);
+                worst[level.index()] = worst[level.index()].max((got - (a + b)).abs());
+            }
+        }
+        // Error bound per level: ~2^(k - frac) value units.
+        for (i, k) in [20u32, 15, 10, 5].iter().enumerate() {
+            let bound = (f64::from(*k) - 16.0 + 1.0).exp2() + 1e-9;
+            assert!(
+                worst[i] <= bound,
+                "level{} worst error {} exceeds {}",
+                i + 1,
+                worst[i],
+                bound
+            );
+        }
+        // And level errors shrink as accuracy rises.
+        assert!(worst[0] > worst[3]);
+    }
+
+    #[test]
+    fn trace_records_bit_patterns() {
+        let mut ctx = test_ctx();
+        ctx.record_trace(2);
+        ctx.set_level(AccuracyLevel::Level2);
+        ctx.add(1.0, 2.0);
+        ctx.add(3.0, 4.0);
+        ctx.add(5.0, 6.0); // beyond capacity: dropped
+        let trace = ctx.trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            trace[0].0,
+            QFormat::Q15_16.to_bits(QFormat::Q15_16.to_raw(1.0))
+        );
+    }
+
+    #[test]
+    fn exact_context_matches_f64_and_counts() {
+        let mut ctx = ExactContext::with_profile(test_profile());
+        let d = ctx.dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(d, 32.0);
+        assert_eq!(ctx.counts().adds, 3);
+        assert_eq!(ctx.counts().muls, 3);
+        assert_eq!(ctx.approx_energy(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run at approximate level")]
+    fn exact_context_rejects_degradation() {
+        ExactContext::with_profile(test_profile()).set_level(AccuracyLevel::Level1);
+    }
+
+    #[test]
+    fn sum_folds_left_to_right() {
+        let mut ctx = ExactContext::with_profile(test_profile());
+        assert_eq!(ctx.sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(ctx.counts().adds, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_length_mismatch_panics() {
+        let mut ctx = ExactContext::with_profile(test_profile());
+        let _ = ctx.dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn contexts_are_object_safe() {
+        let mut ctx = test_ctx();
+        let dynamic: &mut dyn ArithContext = &mut ctx;
+        assert_eq!(dynamic.add(1.0, 2.0), 3.0);
+    }
+}

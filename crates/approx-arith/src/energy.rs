@@ -1,0 +1,252 @@
+//! Per-operation energy characterization of arithmetic units.
+//!
+//! Energy is measured, not asserted: each adder mode's netlist is
+//! simulated on an operand stream and the switching-activity energy of
+//! the run is divided by the number of operations. The resulting
+//! per-operation constants are then used by the
+//! [`contexts`](crate::context) so that application runs do not pay
+//! gate-level simulation costs per arithmetic operation.
+
+use gatesim::{EnergyModel, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{AccuracyLevel, Adder};
+use crate::multiplier::ArrayMultiplier;
+use crate::recon::QcsAdder;
+use crate::rng::Pcg32;
+
+/// Mean energy per addition of `adder`, measured by gate-level simulation
+/// over `samples` uniformly random operand pairs.
+///
+/// # Panics
+/// Panics if `samples` is 0.
+#[must_use]
+pub fn characterize_adder_energy(
+    adder: &dyn Adder,
+    samples: u64,
+    seed: u64,
+    model: &EnergyModel,
+) -> f64 {
+    assert!(samples > 0, "samples must be positive");
+    let (netlist, ports) = adder.netlist();
+    let mut sim = Simulator::new(&netlist);
+    let mut rng = Pcg32::seeded(seed, 0);
+    let mask = adder.mask();
+    for _ in 0..samples {
+        let a = rng.next_u64() & mask;
+        let b = rng.next_u64() & mask;
+        sim.evaluate(&ports.pack_operands(a, b, false))
+            .expect("ports match their own netlist");
+    }
+    sim.energy(model) / samples as f64
+}
+
+/// Mean energy per addition on a recorded operand trace, reflecting the
+/// application's real operand distribution.
+///
+/// # Panics
+/// Panics if the trace is empty.
+#[must_use]
+pub fn characterize_adder_energy_on_trace(
+    adder: &dyn Adder,
+    trace: &[(u64, u64)],
+    model: &EnergyModel,
+) -> f64 {
+    assert!(!trace.is_empty(), "operand trace must be non-empty");
+    let (netlist, ports) = adder.netlist();
+    let mut sim = Simulator::new(&netlist);
+    let mask = adder.mask();
+    for &(a, b) in trace {
+        sim.evaluate(&ports.pack_operands(a & mask, b & mask, false))
+            .expect("ports match their own netlist");
+    }
+    sim.energy(model) / trace.len() as f64
+}
+
+/// Per-operation energy constants of the datapath, indexed by accuracy
+/// level for additions.
+///
+/// Multiplication energy is measured on an 8×8 array-multiplier netlist
+/// and scaled quadratically to the datapath width (array multipliers are
+/// O(w²) in cells); division is modelled as a sequential shift-subtract
+/// unit costing one add per result bit. Neither multiplies nor divides
+/// are approximated — the paper scales adders only.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{AccuracyLevel, EnergyProfile};
+///
+/// let profile = EnergyProfile::paper_default();
+/// // Lower accuracy must cost less energy per add.
+/// assert!(profile.add_energy(AccuracyLevel::Level1)
+///     < profile.add_energy(AccuracyLevel::Accurate));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyProfile {
+    add: [f64; 5],
+    mul: f64,
+    div: f64,
+}
+
+impl EnergyProfile {
+    /// Measure a profile for the given QCS adder by gate-level simulation
+    /// of every mode's netlist.
+    ///
+    /// # Panics
+    /// Panics if `samples` is 0.
+    #[must_use]
+    pub fn characterize(qcs: &QcsAdder, samples: u64, seed: u64, model: &EnergyModel) -> Self {
+        let mut add = [0f64; 5];
+        for level in AccuracyLevel::ALL {
+            add[level.index()] = characterize_adder_energy(&qcs.at(level), samples, seed, model);
+        }
+        // 8×8 exact array multiplier, scaled quadratically to the datapath
+        // width.
+        let m8 = ArrayMultiplier::new(8, 0);
+        let nl = m8.netlist();
+        let mut sim = Simulator::new(&nl);
+        let mut rng = Pcg32::seeded(seed ^ 0xA5A5, 0);
+        for _ in 0..samples {
+            let a = rng.below(256);
+            let b = rng.below(256);
+            sim.evaluate(&m8.pack_operands(a, b))
+                .expect("multiplier ports match their netlist");
+        }
+        let mul8 = sim.energy(model) / samples as f64;
+        let scale = (f64::from(qcs.width()) / 8.0).powi(2);
+        let mul = mul8 * scale;
+        // Sequential divider: one exact add per quotient bit.
+        let div = add[AccuracyLevel::Accurate.index()] * f64::from(qcs.width());
+        Self { add, mul, div }
+    }
+
+    /// The profile of [`QcsAdder::paper_default`] measured with 512
+    /// samples — the constants every example and benchmark uses.
+    ///
+    /// Computing this performs a one-off gate-level characterization
+    /// (a few milliseconds); cache the result rather than calling it in a
+    /// loop.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::characterize(
+            &QcsAdder::paper_default(),
+            512,
+            0x5EED,
+            &EnergyModel::default(),
+        )
+    }
+
+    /// Construct a profile from explicit constants (e.g. deserialized
+    /// from a characterization report).
+    ///
+    /// # Panics
+    /// Panics if any energy is not strictly positive or the add energies
+    /// are not non-decreasing with accuracy.
+    #[must_use]
+    pub fn from_constants(add: [f64; 5], mul: f64, div: f64) -> Self {
+        assert!(
+            add.iter().all(|&e| e > 0.0) && mul > 0.0 && div > 0.0,
+            "energies must be positive"
+        );
+        for pair in add.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "add energy must be non-decreasing with accuracy level"
+            );
+        }
+        Self { add, mul, div }
+    }
+
+    /// Energy of one addition at the given accuracy level.
+    #[must_use]
+    pub fn add_energy(&self, level: AccuracyLevel) -> f64 {
+        self.add[level.index()]
+    }
+
+    /// Energy of one (exact) multiplication.
+    #[must_use]
+    pub fn mul_energy(&self) -> f64 {
+        self.mul
+    }
+
+    /// Energy of one (exact) division.
+    #[must_use]
+    pub fn div_energy(&self) -> f64 {
+        self.div
+    }
+
+    /// Per-add energy of each level relative to the accurate mode — the
+    /// `J` vector of the paper's Equation (5).
+    #[must_use]
+    pub fn relative_add_energies(&self) -> [f64; 5] {
+        let acc = self.add[AccuracyLevel::Accurate.index()];
+        let mut rel = self.add;
+        for e in &mut rel {
+            *e /= acc;
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RippleCarryAdder;
+
+    #[test]
+    fn energy_is_positive_and_repeatable() {
+        let model = EnergyModel::default();
+        let e1 = characterize_adder_energy(&RippleCarryAdder::new(16), 100, 7, &model);
+        let e2 = characterize_adder_energy(&RippleCarryAdder::new(16), 100, 7, &model);
+        assert!(e1 > 0.0);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn wider_adders_cost_more() {
+        let model = EnergyModel::default();
+        let e16 = characterize_adder_energy(&RippleCarryAdder::new(16), 200, 7, &model);
+        let e48 = characterize_adder_energy(&RippleCarryAdder::new(48), 200, 7, &model);
+        assert!(e48 > 2.0 * e16);
+    }
+
+    #[test]
+    fn profile_orders_levels() {
+        let profile = EnergyProfile::characterize(
+            &QcsAdder::paper_default(),
+            200,
+            3,
+            &EnergyModel::default(),
+        );
+        let rel = profile.relative_add_energies();
+        for pair in rel.windows(2) {
+            assert!(pair[0] < pair[1], "relative energies {rel:?}");
+        }
+        assert!((rel[4] - 1.0).abs() < 1e-12);
+        // The coarsest mode should save a sizable fraction of energy.
+        assert!(rel[0] < 0.75, "level1 relative energy {}", rel[0]);
+        // Multiplies dominate adds.
+        assert!(profile.mul_energy() > profile.add_energy(AccuracyLevel::Accurate));
+    }
+
+    #[test]
+    fn trace_energy_reflects_activity() {
+        let model = EnergyModel::default();
+        let adder = RippleCarryAdder::new(32);
+        // A constant trace toggles nothing after the first vector.
+        let quiet: Vec<(u64, u64)> = vec![(5, 9); 64];
+        let busy: Vec<(u64, u64)> = (0..64u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9), !i))
+            .collect();
+        let eq = characterize_adder_energy_on_trace(&adder, &quiet, &model);
+        let eb = characterize_adder_energy_on_trace(&adder, &busy, &model);
+        assert!(eb > eq);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_constants_validates_ordering() {
+        let _ = EnergyProfile::from_constants([5.0, 4.0, 3.0, 2.0, 1.0], 10.0, 10.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Low-level error metrics for approximate adders (WCE, ER, ME, MED,
+//! NMED, MRED).
+//!
+//! The paper points out that these circuit-level metrics cannot directly
+//! predict application-level quality (Section 3.1) — which is exactly why
+//! ApproxIt adds the iteration-level *quality error*. They are still the
+//! standard vocabulary for characterizing the units themselves, and the
+//! offline stage uses them as sanity checks on the hardware models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adder::Adder;
+use crate::rng::Pcg32;
+
+/// Aggregate error statistics of an approximate adder against the exact
+/// modular sum.
+///
+/// All errors are computed on the unsigned interpretation of the
+/// `width`-bit outputs, the convention used in the approximate-arithmetic
+/// literature (Liang, Han & Lombardi, IEEE TC 2013).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Number of operand pairs evaluated.
+    pub samples: u64,
+    /// Fraction of operand pairs with a wrong output (ER).
+    pub error_rate: f64,
+    /// Mean signed error (ME) — reveals systematic bias.
+    pub mean_error: f64,
+    /// Mean absolute error distance (MED).
+    pub mean_error_distance: f64,
+    /// MED normalized by the output range `2^width − 1` (NMED).
+    pub normalized_med: f64,
+    /// Mean relative error distance (MRED), with zero exact results
+    /// contributing `|error|/1`.
+    pub mean_relative_error: f64,
+    /// Worst-case absolute error observed (WCE).
+    pub worst_case_error: u64,
+}
+
+impl ErrorStats {
+    /// `true` if not a single sampled pair erred.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.error_rate == 0.0
+    }
+}
+
+fn accumulate(adder: &dyn Adder, pairs: impl Iterator<Item = (u64, u64)>) -> ErrorStats {
+    let mask = adder.mask();
+    let mut samples = 0u64;
+    let mut errors = 0u64;
+    let mut sum_signed = 0f64;
+    let mut sum_abs = 0f64;
+    let mut sum_rel = 0f64;
+    let mut wce = 0u64;
+    for (a, b) in pairs {
+        let (a, b) = (a & mask, b & mask);
+        let exact = a.wrapping_add(b) & mask;
+        let approx = adder.add(a, b);
+        let diff = approx as i128 - exact as i128;
+        let abs = diff.unsigned_abs() as u64;
+        samples += 1;
+        if abs != 0 {
+            errors += 1;
+        }
+        sum_signed += diff as f64;
+        sum_abs += abs as f64;
+        sum_rel += abs as f64 / (exact.max(1)) as f64;
+        wce = wce.max(abs);
+    }
+    assert!(samples > 0, "at least one operand pair is required");
+    let n = samples as f64;
+    ErrorStats {
+        samples,
+        error_rate: errors as f64 / n,
+        mean_error: sum_signed / n,
+        mean_error_distance: sum_abs / n,
+        normalized_med: (sum_abs / n) / mask as f64,
+        mean_relative_error: sum_rel / n,
+        worst_case_error: wce,
+    }
+}
+
+/// Exhaustively characterize an adder over all `4^width` operand pairs.
+///
+/// # Panics
+/// Panics if the adder is wider than 12 bits (16.7M pairs is the
+/// practical ceiling for exhaustive sweeps).
+#[must_use]
+pub fn characterize_exhaustive(adder: &dyn Adder) -> ErrorStats {
+    let w = adder.width();
+    assert!(
+        w <= 12,
+        "exhaustive characterization is limited to width <= 12"
+    );
+    let n = 1u64 << w;
+    accumulate(adder, (0..n).flat_map(move |a| (0..n).map(move |b| (a, b))))
+}
+
+/// Monte-Carlo characterization over `samples` uniformly random operand
+/// pairs.
+///
+/// # Panics
+/// Panics if `samples` is 0.
+#[must_use]
+pub fn characterize_monte_carlo(adder: &dyn Adder, samples: u64, rng: &mut Pcg32) -> ErrorStats {
+    assert!(samples > 0, "samples must be positive");
+    accumulate(
+        adder,
+        (0..samples).map(|_| (rng.next_u64(), rng.next_u64())),
+    )
+}
+
+/// Characterize an adder on a recorded operand trace (e.g. captured from
+/// an application run), which reflects the *actual* operand distribution
+/// rather than uniform noise.
+///
+/// # Panics
+/// Panics if the trace is empty.
+#[must_use]
+pub fn characterize_trace(adder: &dyn Adder, trace: &[(u64, u64)]) -> ErrorStats {
+    assert!(!trace.is_empty(), "operand trace must be non-empty");
+    accumulate(adder, trace.iter().copied())
+}
+
+/// Per-output-bit error rates: entry `i` is the fraction of random
+/// operand pairs for which the adder's output bit `i` differs from the
+/// exact sum's bit `i`.
+///
+/// This is the spatial view the aggregate metrics hide — it shows
+/// exactly which bit positions an architecture sacrifices (the low `k`
+/// bits for truncation/LOA families, the positions right after each
+/// speculation window for ETAII/ACA/GeAr).
+///
+/// # Panics
+/// Panics if `samples` is 0.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::rng::Pcg32;
+/// use approx_arith::{bit_error_rates, LowerZeroAdder};
+///
+/// let mut rng = Pcg32::seeded(1, 0);
+/// let rates = bit_error_rates(&LowerZeroAdder::new(16, 4), 2000, &mut rng);
+/// // The zeroed low bits err whenever the exact sum bit is 1 (~50%)...
+/// assert!(rates[0] > 0.4);
+/// // ...while the top bits are (almost) clean.
+/// assert!(rates[15] < 0.05);
+/// ```
+#[must_use]
+pub fn bit_error_rates(adder: &dyn Adder, samples: u64, rng: &mut Pcg32) -> Vec<f64> {
+    assert!(samples > 0, "samples must be positive");
+    let mask = adder.mask();
+    let w = adder.width() as usize;
+    let mut flips = vec![0u64; w];
+    for _ in 0..samples {
+        let a = rng.next_u64() & mask;
+        let b = rng.next_u64() & mask;
+        let exact = a.wrapping_add(b) & mask;
+        let diff = adder.add(a, b) ^ exact;
+        for (i, flip) in flips.iter_mut().enumerate() {
+            *flip += (diff >> i) & 1;
+        }
+    }
+    flips.iter().map(|&f| f as f64 / samples as f64).collect()
+}
+
+/// Histogram of signed error magnitudes in power-of-two buckets: the
+/// returned map's key `k` counts errors `e` with `2^(k−1) < |e| ≤ 2^k`
+/// (key 0 counts `|e| = 1`); exact results are not counted.
+///
+/// # Panics
+/// Panics if `samples` is 0.
+#[must_use]
+pub fn error_histogram(
+    adder: &dyn Adder,
+    samples: u64,
+    rng: &mut Pcg32,
+) -> std::collections::BTreeMap<u32, u64> {
+    assert!(samples > 0, "samples must be positive");
+    let mask = adder.mask();
+    let mut histogram = std::collections::BTreeMap::new();
+    for _ in 0..samples {
+        let a = rng.next_u64() & mask;
+        let b = rng.next_u64() & mask;
+        let exact = a.wrapping_add(b) & mask;
+        let approx = adder.add(a, b);
+        let magnitude = (approx as i128 - exact as i128).unsigned_abs();
+        if magnitude > 0 {
+            let bucket = 128 - magnitude.leading_zeros() - 1;
+            *histogram.entry(bucket).or_insert(0) += 1;
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::AccuracyLevel;
+    use crate::{EtaIiAdder, LowerOrAdder, QcsAdder, RippleCarryAdder, WindowedCarryAdder};
+
+    #[test]
+    fn bit_error_rates_localize_the_damage() {
+        let mut rng = Pcg32::seeded(3, 0);
+        let rates = bit_error_rates(&LowerOrAdder::new(16, 6, false), 4000, &mut rng);
+        // Low (OR'd) bits err often; top bits only through the one lost
+        // carry.
+        let low_mean: f64 = rates[..6].iter().sum::<f64>() / 6.0;
+        let high_mean: f64 = rates[10..].iter().sum::<f64>() / 6.0;
+        assert!(
+            low_mean > 5.0 * high_mean,
+            "low {low_mean} high {high_mean}"
+        );
+    }
+
+    #[test]
+    fn bit_error_rates_are_zero_for_exact_adders() {
+        let mut rng = Pcg32::seeded(5, 0);
+        let rates = bit_error_rates(&RippleCarryAdder::new(12), 1000, &mut rng);
+        assert!(rates.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn error_histogram_buckets_by_magnitude() {
+        let mut rng = Pcg32::seeded(7, 0);
+        let hist = error_histogram(&crate::LowerZeroAdder::new(16, 4), 4000, &mut rng);
+        let total: u64 = hist.values().sum();
+        assert!(total > 0);
+        // Truncating 4 bits keeps most errors below 2^5 (up to one lost
+        // carry); wrap-around cases can land anywhere but must be rare.
+        let small: u64 = hist.range(..6).map(|(_, c)| c).sum();
+        assert!(
+            small as f64 / total as f64 > 0.9,
+            "histogram too heavy-tailed: {hist:?}"
+        );
+        let mut rng = Pcg32::seeded(7, 0);
+        let exact_hist = error_histogram(&RippleCarryAdder::new(16), 1000, &mut rng);
+        assert!(exact_hist.is_empty());
+    }
+
+    #[test]
+    fn exact_adder_has_zero_error() {
+        let stats = characterize_exhaustive(&RippleCarryAdder::new(6));
+        assert!(stats.is_exact());
+        assert_eq!(stats.worst_case_error, 0);
+        assert_eq!(stats.mean_error, 0.0);
+        assert_eq!(stats.samples, 4096);
+    }
+
+    #[test]
+    fn loa_errs_but_not_everywhere() {
+        let stats = characterize_exhaustive(&LowerOrAdder::new(8, 3, false));
+        assert!(stats.error_rate > 0.0);
+        assert!(stats.error_rate < 1.0);
+        // Note: the *unsigned* worst-case error can span the whole output
+        // range when a lost carry wraps the modular sum — that is the
+        // standard convention and exactly why circuit-level metrics don't
+        // predict application quality (paper §3.1).
+        assert!(stats.mean_error_distance > 0.0);
+    }
+
+    #[test]
+    fn metrics_order_adder_accuracy() {
+        let mut rng = Pcg32::seeded(31, 0);
+        let coarse = characterize_monte_carlo(&LowerOrAdder::new(32, 16, false), 5000, &mut rng);
+        let mut rng = Pcg32::seeded(31, 0);
+        let fine = characterize_monte_carlo(&LowerOrAdder::new(32, 4, false), 5000, &mut rng);
+        assert!(coarse.mean_error_distance > fine.mean_error_distance);
+        assert!(coarse.normalized_med > fine.normalized_med);
+    }
+
+    #[test]
+    fn qcs_levels_are_ordered_by_every_metric() {
+        let qcs = QcsAdder::paper_default();
+        let mut stats = Vec::new();
+        for level in AccuracyLevel::ALL {
+            let mut rng = Pcg32::seeded(77, 0); // same operands per level
+            stats.push(characterize_monte_carlo(&qcs.at(level), 3000, &mut rng));
+        }
+        for pair in stats.windows(2) {
+            assert!(pair[0].mean_error_distance >= pair[1].mean_error_distance);
+            assert!(pair[0].error_rate >= pair[1].error_rate);
+        }
+        assert!(stats.last().unwrap().is_exact());
+    }
+
+    #[test]
+    fn eta_and_aca_err_less_than_full_or() {
+        let mut rng = Pcg32::seeded(5, 1);
+        let eta = characterize_monte_carlo(&EtaIiAdder::new(16, 4), 4000, &mut rng);
+        let mut rng = Pcg32::seeded(5, 1);
+        let aca = characterize_monte_carlo(&WindowedCarryAdder::new(16, 4), 4000, &mut rng);
+        let mut rng = Pcg32::seeded(5, 1);
+        let or_all = characterize_monte_carlo(&LowerOrAdder::new(16, 16, false), 4000, &mut rng);
+        assert!(eta.mean_error_distance < or_all.mean_error_distance);
+        assert!(aca.mean_error_distance < or_all.mean_error_distance);
+    }
+
+    #[test]
+    fn trace_characterization_sees_data_distribution() {
+        // A trace of tiny operands never exercises the broken high carries
+        // of a speculative adder with a wide window.
+        let adder = WindowedCarryAdder::new(32, 8);
+        let trace: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1)).collect();
+        let stats = characterize_trace(&adder, &trace);
+        assert!(stats.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to width")]
+    fn exhaustive_on_wide_adder_panics() {
+        let _ = characterize_exhaustive(&RippleCarryAdder::new(32));
+    }
+}

@@ -1,0 +1,178 @@
+//! ETAII-style segmented speculative adder.
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Error-tolerant adder II: the word is split into blocks of `block_size`
+/// bits; the carry into each block is *speculated* from the previous block
+/// alone (computed as if that block's own carry-in were 0), so the carry
+/// chain never spans more than two blocks.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, EtaIiAdder};
+///
+/// let adder = EtaIiAdder::new(16, 4);
+/// // Within a block everything is exact.
+/// assert_eq!(adder.add(3, 4), 7);
+/// // A carry that needs to ripple through more than one block is lost:
+/// // 0x00FF + 0x0001 should be 0x0100 but block 0 (0xF+0x1) generates a
+/// // carry into block 1, block 1 (0xF + 0x0 + 1) = 0x10 generates a carry
+/// // into block 2 that is NOT seen because block 2 only inspects block 1
+/// // without its carry-in.
+/// assert_eq!(adder.add(0x00FF, 0x0001), 0x0000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EtaIiAdder {
+    width: u32,
+    block_size: u32,
+}
+
+impl EtaIiAdder {
+    /// Create an ETAII adder with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64`, `block_size` is 0, or
+    /// `block_size` does not divide `width`.
+    #[must_use]
+    pub fn new(width: u32, block_size: u32) -> Self {
+        let _ = width_mask(width);
+        assert!(block_size > 0, "block size must be positive");
+        assert_eq!(
+            width % block_size,
+            0,
+            "block size ({block_size}) must divide width ({width})"
+        );
+        Self { width, block_size }
+    }
+
+    /// Block size in bits.
+    #[must_use]
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.width / self.block_size
+    }
+}
+
+impl Adder for EtaIiAdder {
+    fn name(&self) -> String {
+        format!("etaii{}/b{}", self.width, self.block_size)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        let (a, b) = (a & mask, b & mask);
+        let bs = self.block_size;
+        let block_mask = width_mask(bs);
+        let mut result = 0u64;
+        for i in 0..self.num_blocks() {
+            let shift = i * bs;
+            let ab = (a >> shift) & block_mask;
+            let bb = (b >> shift) & block_mask;
+            let cin = if i == 0 {
+                0
+            } else {
+                let pshift = (i - 1) * bs;
+                let pa = (a >> pshift) & block_mask;
+                let pb = (b >> pshift) & block_mask;
+                u64::from(pa + pb > block_mask)
+            };
+            result |= ((ab + bb + cin) & block_mask) << shift;
+        }
+        result
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let bs = self.block_size as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        let zero = nl.constant(false);
+        let mut sums = vec![zero; w];
+        for block in 0..w / bs {
+            let start = block * bs;
+            // Speculated carry-in from the previous block's carry chain
+            // (with carry-in 0): a chain of majority cells.
+            let mut cin = zero;
+            if block > 0 {
+                let pstart = start - bs;
+                let mut c = zero;
+                for i in pstart..pstart + bs {
+                    c = nl.maj3(a[i], b[i], c);
+                }
+                cin = c;
+            }
+            let mut carry = cin;
+            for i in start..start + bs {
+                let (s, c) = builders::full_adder(&mut nl, a[i], b[i], carry);
+                sums[i] = s;
+                carry = c;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            nl.mark_output(*s, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+    use crate::RippleCarryAdder;
+
+    #[test]
+    fn full_width_block_is_exact() {
+        let eta = EtaIiAdder::new(16, 16);
+        let rca = RippleCarryAdder::new(16);
+        for (a, b) in [(0u64, 0u64), (0xFFFF, 1), (0x1234, 0x4321), (999, 1)] {
+            assert_eq!(eta.add(a, b), rca.add(a, b));
+        }
+    }
+
+    #[test]
+    fn single_block_carry_is_recovered() {
+        // Carry from block 0 into block 1 is speculated correctly.
+        let eta = EtaIiAdder::new(8, 4);
+        assert_eq!(eta.add(0x0F, 0x01), 0x10);
+    }
+
+    #[test]
+    fn long_carry_chain_is_truncated() {
+        let eta = EtaIiAdder::new(16, 4);
+        // 0x0FFF + 1 = 0x1000 exactly. Block 0 (F+1) carries into block 1,
+        // block 1 (F+0+1) overflows, but block 2 speculates its carry from
+        // block 1 *without* block 1's own carry-in (F+0 does not overflow),
+        // so the ripple stops and block 2 keeps its stale 0xF.
+        assert_eq!(eta.add(0x0FFF, 0x0001), 0x0F00);
+        // The doc example: every downstream block sees no carry.
+        assert_eq!(eta.add(0x00FF, 0x0001), 0x0000);
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&EtaIiAdder::new(16, 4), 300);
+        assert_netlist_matches(&EtaIiAdder::new(48, 8), 100);
+        assert_netlist_matches(&EtaIiAdder::new(48, 12), 100);
+        assert_netlist_matches(&EtaIiAdder::new(12, 3), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide width")]
+    fn non_dividing_block_panics() {
+        let _ = EtaIiAdder::new(16, 5);
+    }
+}

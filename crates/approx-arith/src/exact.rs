@@ -1,0 +1,79 @@
+//! Exact ripple-carry adder.
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Exact `width`-bit ripple-carry adder — the `Truth` hardware.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, RippleCarryAdder};
+///
+/// let adder = RippleCarryAdder::new(16);
+/// assert_eq!(adder.add(0xFFFF, 1), 0); // modular
+/// assert_eq!(adder.add(1234, 4321), 5555);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RippleCarryAdder {
+    width: u32,
+}
+
+impl RippleCarryAdder {
+    /// Create an exact adder of the given width.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        let _ = width_mask(width); // validates
+        Self { width }
+    }
+}
+
+impl Adder for RippleCarryAdder {
+    fn name(&self) -> String {
+        format!("rca{}", self.width)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        (a & self.mask()).wrapping_add(b & self.mask()) & self.mask()
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        builders::ripple_carry_adder(self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+
+    #[test]
+    fn modular_semantics() {
+        let adder = RippleCarryAdder::new(8);
+        assert_eq!(adder.add(255, 255), 254);
+        assert_eq!(adder.add(0, 0), 0);
+        // High operand bits ignored.
+        assert_eq!(adder.add(0x1_00 | 5, 3), 8);
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&RippleCarryAdder::new(16), 200);
+        assert_netlist_matches(&RippleCarryAdder::new(48), 100);
+    }
+
+    #[test]
+    fn name_encodes_width() {
+        assert_eq!(RippleCarryAdder::new(48).name(), "rca48");
+    }
+}

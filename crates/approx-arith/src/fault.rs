@@ -1,0 +1,219 @@
+//! Transient-fault injection (single-event-upset model).
+//!
+//! Approximate-computing systems are often co-evaluated under *soft
+//! errors*: radiation-induced bit flips that corrupt a result
+//! transiently rather than systematically. [`FaultInjector`] wraps any
+//! [`ArithContext`] and flips one uniformly chosen result bit of an
+//! addition with a configurable probability, which lets the test suite
+//! exercise the framework's recovery machinery (the function scheme's
+//! rollback) under failures the offline characterization never saw.
+
+use crate::adder::{width_mask, AccuracyLevel};
+use crate::context::{ArithContext, OpCounts};
+use crate::fixed::QFormat;
+use crate::rng::Pcg32;
+
+/// An [`ArithContext`] decorator that injects single-bit upsets into
+/// addition results.
+///
+/// Faults strike the fixed-point representation of the sum: one bit in
+/// the low `fault_bits` positions of the [`QFormat`] pattern is flipped.
+/// Multiplications and divisions are passed through untouched (adders
+/// dominate the exposed area in this datapath).
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ArithContext, EnergyProfile, FaultInjector, QcsContext};
+///
+/// let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+/// let inner = QcsContext::with_profile(profile);
+/// // Flip a bit in every single add (rate 1.0) among the low 8 bits.
+/// let mut faulty = FaultInjector::new(inner, 1.0, 8, 42);
+/// let got = faulty.add(1.0, 2.0);
+/// assert_ne!(got, 3.0);                  // something was upset...
+/// assert!((got - 3.0).abs() <= 0.004);   // ...but only a low bit
+/// assert_eq!(faulty.faults_injected(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector<C> {
+    inner: C,
+    rate: f64,
+    fault_bits: u32,
+    format: QFormat,
+    rng: Pcg32,
+    faults: u64,
+}
+
+impl<C: ArithContext> FaultInjector<C> {
+    /// Wrap `inner`, flipping one of the low `fault_bits` bits of each
+    /// add result with probability `rate`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not in `[0, 1]` or `fault_bits` is 0 or
+    /// exceeds the datapath width (48 is the cap used here).
+    #[must_use]
+    pub fn new(inner: C, rate: f64, fault_bits: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(
+            (1..=48).contains(&fault_bits),
+            "fault_bits must be in 1..=48"
+        );
+        Self {
+            inner,
+            rate,
+            fault_bits,
+            format: QFormat::Q15_16,
+            rng: Pcg32::seeded(seed, 7),
+            faults: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
+    }
+
+    /// The wrapped context.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwrap the decorator.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ArithContext> ArithContext for FaultInjector<C> {
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        let clean = self.inner.add(a, b);
+        if self.rng.next_f64() >= self.rate {
+            return clean;
+        }
+        self.faults += 1;
+        let bit = self.rng.below(u64::from(self.fault_bits)) as u32;
+        let raw = self.format.to_raw(clean);
+        let bits = self.format.to_bits(raw) ^ (1u64 << bit);
+        self.format.from_raw(
+            self.format
+                .from_bits(bits & width_mask(self.format.width())),
+        )
+    }
+
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.mul(a, b)
+    }
+
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.div(a, b)
+    }
+
+    fn level(&self) -> AccuracyLevel {
+        self.inner.level()
+    }
+
+    fn set_level(&mut self, level: AccuracyLevel) {
+        self.inner.set_level(level);
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.inner.counts()
+    }
+
+    fn approx_energy(&self) -> f64 {
+        self.inner.approx_energy()
+    }
+
+    fn total_energy(&self) -> f64 {
+        self.inner.total_energy()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::QcsContext;
+    use crate::EnergyProfile;
+
+    fn inner() -> QcsContext {
+        QcsContext::with_profile(EnergyProfile::from_constants(
+            [1.0, 2.0, 3.0, 4.0, 5.0],
+            50.0,
+            100.0,
+        ))
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let mut faulty = FaultInjector::new(inner(), 0.0, 8, 1);
+        let mut clean = inner();
+        for i in 0..100 {
+            let x = f64::from(i) * 0.37;
+            assert_eq!(faulty.add(x, 1.5), clean.add(x, 1.5));
+        }
+        assert_eq!(faulty.faults_injected(), 0);
+    }
+
+    #[test]
+    fn full_rate_upsets_every_add() {
+        let mut faulty = FaultInjector::new(inner(), 1.0, 4, 3);
+        for _ in 0..50 {
+            faulty.add(1.0, 1.0);
+        }
+        assert_eq!(faulty.faults_injected(), 50);
+    }
+
+    #[test]
+    fn fault_magnitude_is_bounded_by_fault_bits() {
+        let mut faulty = FaultInjector::new(inner(), 1.0, 8, 9);
+        // Low 8 bits of Q15.16: the flip is at most 2^-9 in value.
+        let bound = f64::from(1u32 << 8) / 65536.0 + 1e-12;
+        for i in 0..200 {
+            let x = f64::from(i) * 0.11;
+            let got = faulty.add(x, 2.0);
+            let clean = QFormat::Q15_16.quantize(QFormat::Q15_16.quantize(x) + 2.0);
+            assert!(
+                (got - clean).abs() <= bound,
+                "flip too large: {got} vs {clean}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_and_level_delegate() {
+        let mut faulty = FaultInjector::new(inner(), 0.5, 8, 11);
+        faulty.set_level(AccuracyLevel::Level3);
+        assert_eq!(faulty.level(), AccuracyLevel::Level3);
+        faulty.add(1.0, 1.0);
+        faulty.mul(2.0, 2.0);
+        assert_eq!(faulty.counts().adds, 1);
+        assert_eq!(faulty.counts().muls, 1);
+        assert!(faulty.approx_energy() > 0.0);
+        faulty.reset_counters();
+        assert_eq!(faulty.counts().adds, 0);
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut faulty = FaultInjector::new(inner(), 0.3, 8, seed);
+            (0..50).map(|i| faulty.add(f64::from(i), 0.5)).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn invalid_rate_panics() {
+        let _ = FaultInjector::new(inner(), 1.5, 8, 1);
+    }
+}

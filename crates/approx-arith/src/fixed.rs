@@ -1,0 +1,262 @@
+//! Two's-complement fixed-point formats (Q notation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::adder::width_mask;
+
+/// A signed fixed-point format: `width` total bits (including sign) of
+/// which `frac_bits` are fractional — i.e. Q(width−frac−1).(frac).
+///
+/// Raw values are kept sign-extended in an `i64`; [`QFormat::to_bits`] /
+/// [`QFormat::from_bits`] convert to and from the `width`-bit two's
+/// complement patterns the adder hardware consumes.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::QFormat;
+///
+/// let q = QFormat::Q31_16;
+/// let raw = q.to_raw(2.5);
+/// assert_eq!(raw, 2 * 65536 + 32768);
+/// assert_eq!(q.from_raw(raw), 2.5);
+/// // Round-trip quantization error is bounded by half a ULP.
+/// let x = 0.123_456_789;
+/// assert!((q.quantize(x) - x).abs() <= q.resolution() / 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    width: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// The framework default: 48-bit datapath with a 16-bit fraction
+    /// (range ±2³¹, resolution 2⁻¹⁶ ≈ 1.5·10⁻⁵).
+    pub const Q31_16: QFormat = QFormat {
+        width: 48,
+        frac_bits: 16,
+    };
+
+    /// A narrow 32-bit format (Q15.16) for width-sweep ablations.
+    pub const Q15_16: QFormat = QFormat {
+        width: 32,
+        frac_bits: 16,
+    };
+
+    /// A wide 64-bit format (Q31.32).
+    pub const Q31_32: QFormat = QFormat {
+        width: 64,
+        frac_bits: 32,
+    };
+
+    /// Create a custom format.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `2..=64` or `frac_bits >= width`.
+    #[must_use]
+    pub fn new(width: u32, frac_bits: u32) -> Self {
+        assert!((2..=64).contains(&width), "width must be in 2..=64");
+        assert!(
+            frac_bits < width,
+            "frac_bits ({frac_bits}) must be less than width ({width})"
+        );
+        Self { width, frac_bits }
+    }
+
+    /// Total bit width, including the sign bit.
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub const fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The value of one least-significant bit.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        f64::from(-(self.frac_bits as i32)).exp2()
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.from_raw(self.max_raw())
+    }
+
+    /// Smallest (most negative) representable value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.from_raw(self.min_raw())
+    }
+
+    fn max_raw(&self) -> i64 {
+        ((1u64 << (self.width - 1)) - 1) as i64
+    }
+
+    fn min_raw(&self) -> i64 {
+        -((1u64 << (self.width - 1)) as i64)
+    }
+
+    /// Convert to raw fixed point with rounding-to-nearest and saturation.
+    ///
+    /// Non-finite inputs saturate: `+∞` to the maximum, `−∞` to the
+    /// minimum, and `NaN` to zero (the datapath has no trap mechanism —
+    /// this mirrors how a saturating hardware converter behaves).
+    #[must_use]
+    pub fn to_raw(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let scaled = x * (self.frac_bits as f64).exp2();
+        if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            // Round half away from zero, like a hardware rounder.
+            scaled.round() as i64
+        }
+    }
+
+    /// Convert a raw fixed-point value back to `f64`.
+    #[must_use]
+    pub fn from_raw(&self, raw: i64) -> f64 {
+        raw as f64 * self.resolution()
+    }
+
+    /// Round-trip a value through the format (quantize).
+    #[must_use]
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.from_raw(self.to_raw(x))
+    }
+
+    /// The `width`-bit two's-complement pattern of a raw value, as the
+    /// adder hardware sees it.
+    #[must_use]
+    pub fn to_bits(&self, raw: i64) -> u64 {
+        (raw as u64) & width_mask(self.width)
+    }
+
+    /// Sign-extend a `width`-bit pattern back to a raw `i64`.
+    #[must_use]
+    pub fn from_bits(&self, bits: u64) -> i64 {
+        let bits = bits & width_mask(self.width);
+        let sign = 1u64 << (self.width - 1);
+        if bits & sign != 0 {
+            (bits | !width_mask(self.width)) as i64
+        } else {
+            bits as i64
+        }
+    }
+
+    /// Exact fixed-point multiply with rounding and saturation:
+    /// `(a·b) >> frac_bits`.
+    ///
+    /// Multipliers are *not* approximated in this reproduction (the paper
+    /// approximates adders only — "Adder Impact" in its Table 2), so this
+    /// is the reference datapath multiply.
+    #[must_use]
+    pub fn mul_raw(&self, a: i64, b: i64) -> i64 {
+        let wide = i128::from(a) * i128::from(b);
+        // Round half away from zero at the bits we shift out. The shift
+        // floors, so the negative branch negates first to keep the
+        // rounding symmetric.
+        let half = 1i128 << (self.frac_bits.max(1) - 1);
+        let shifted = if wide >= 0 {
+            (wide + half) >> self.frac_bits
+        } else {
+            -((-wide + half) >> self.frac_bits)
+        };
+        shifted.clamp(i128::from(self.min_raw()), i128::from(self.max_raw())) as i64
+    }
+}
+
+impl std::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}.{}", self.width - self.frac_bits - 1, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_formats_have_expected_geometry() {
+        assert_eq!(QFormat::Q31_16.width(), 48);
+        assert_eq!(QFormat::Q31_16.frac_bits(), 16);
+        assert_eq!(QFormat::Q31_16.to_string(), "Q31.16");
+        assert!((QFormat::Q31_16.resolution() - 1.0 / 65536.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_representable_values() {
+        let q = QFormat::Q31_16;
+        for x in [-1000.5, -0.25, 0.0, 0.5, 3.140625, 32767.75] {
+            assert_eq!(q.quantize(x), x);
+        }
+    }
+
+    #[test]
+    fn conversion_saturates() {
+        let q = QFormat::Q15_16;
+        assert_eq!(q.to_raw(1e30), q.to_raw(q.max_value()));
+        assert_eq!(q.to_raw(f64::INFINITY), q.to_raw(q.max_value()));
+        assert_eq!(q.from_raw(q.to_raw(f64::NEG_INFINITY)), q.min_value());
+        assert_eq!(q.to_raw(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bits_round_trip_for_negative_values() {
+        let q = QFormat::Q31_16;
+        for x in [-1.0, -12345.678, -0.0001, 5.0, 30000.25] {
+            let raw = q.to_raw(x);
+            assert_eq!(q.from_bits(q.to_bits(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn twos_complement_addition_matches_value_addition() {
+        let q = QFormat::Q31_16;
+        let adder = crate::RippleCarryAdder::new(q.width());
+        use crate::Adder;
+        for (x, y) in [(1.5, 2.25), (-3.5, 1.25), (-100.0, -200.0), (0.0, -0.5)] {
+            let bits = adder.add(q.to_bits(q.to_raw(x)), q.to_bits(q.to_raw(y)));
+            assert_eq!(q.from_raw(q.from_bits(bits)), x + y);
+        }
+    }
+
+    #[test]
+    fn mul_raw_rounds_and_saturates() {
+        let q = QFormat::Q15_16;
+        let a = q.to_raw(1.5);
+        let b = q.to_raw(2.0);
+        assert_eq!(q.from_raw(q.mul_raw(a, b)), 3.0);
+        // Saturation on overflow.
+        let big = q.to_raw(30000.0);
+        assert_eq!(q.mul_raw(big, big), q.to_raw(q.max_value()));
+        let neg = q.to_raw(-30000.0);
+        assert_eq!(q.mul_raw(big, neg), q.to_raw(q.min_value()));
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_ulp() {
+        let q = QFormat::Q31_16;
+        let mut rng = crate::rng::Pcg32::seeded(7, 3);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1e4, 1e4);
+            assert!((q.quantize(x) - x).abs() <= q.resolution() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn frac_equal_width_panics() {
+        let _ = QFormat::new(16, 16);
+    }
+}

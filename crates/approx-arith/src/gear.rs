@@ -1,0 +1,232 @@
+//! GeAr — the generalized approximate adder model.
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Generalized approximate adder GeAr(N, R, P) after Shafique et al.
+/// (DAC'15): the word is produced by overlapping sub-adders, each
+/// emitting `resultant_bits` (R) result bits computed from a window that
+/// also sees the `prediction_bits` (P) preceding bits (with carry-in 0
+/// at the window start).
+///
+/// The model subsumes the classic speculative architectures:
+///
+/// * `GeAr(N, R, R)` behaves like ETAII with block size R;
+/// * `GeAr(N, 1, P)` is the windowed-carry ACA with lookahead P + 1.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, GeArAdder, EtaIiAdder};
+///
+/// // GeAr(16, 4, 4) == ETAII(16, block 4) on every input.
+/// let gear = GeArAdder::new(16, 4, 4);
+/// let eta = EtaIiAdder::new(16, 4);
+/// for (a, b) in [(0x00FFu64, 0x0001u64), (0x1234, 0x4321), (0xFFFF, 0xFFFF)] {
+///     assert_eq!(gear.add(a, b), eta.add(a, b));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeArAdder {
+    width: u32,
+    resultant_bits: u32,
+    prediction_bits: u32,
+}
+
+impl GeArAdder {
+    /// Create a GeAr adder.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64`, `resultant_bits` is 0 or
+    /// does not divide `width`, or `prediction_bits + resultant_bits`
+    /// exceeds `width`.
+    #[must_use]
+    pub fn new(width: u32, resultant_bits: u32, prediction_bits: u32) -> Self {
+        let _ = width_mask(width);
+        assert!(resultant_bits > 0, "resultant bits must be positive");
+        assert_eq!(
+            width % resultant_bits,
+            0,
+            "resultant bits ({resultant_bits}) must divide width ({width})"
+        );
+        assert!(
+            resultant_bits + prediction_bits <= width,
+            "sub-adder length exceeds width"
+        );
+        Self {
+            width,
+            resultant_bits,
+            prediction_bits,
+        }
+    }
+
+    /// Result bits per sub-adder (R).
+    #[must_use]
+    pub fn resultant_bits(&self) -> u32 {
+        self.resultant_bits
+    }
+
+    /// Carry-prediction bits per sub-adder (P).
+    #[must_use]
+    pub fn prediction_bits(&self) -> u32 {
+        self.prediction_bits
+    }
+
+    /// Number of sub-adders.
+    #[must_use]
+    pub fn sub_adders(&self) -> u32 {
+        self.width / self.resultant_bits
+    }
+}
+
+impl Adder for GeArAdder {
+    fn name(&self) -> String {
+        format!(
+            "gear{}/r{}p{}",
+            self.width, self.resultant_bits, self.prediction_bits
+        )
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        let (a, b) = (a & mask, b & mask);
+        let r = self.resultant_bits;
+        let p = self.prediction_bits;
+        let mut result = 0u64;
+        for i in 0..self.sub_adders() {
+            let res_start = i * r;
+            let win_start = res_start.saturating_sub(p);
+            let win_len = res_start - win_start + r;
+            let m = width_mask(win_len);
+            let aw = (a >> win_start) & m;
+            let bw = (b >> win_start) & m;
+            let sum = aw + bw;
+            let bits = (sum >> (res_start - win_start)) & width_mask(r);
+            result |= bits << res_start;
+        }
+        result
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let r = self.resultant_bits as usize;
+        let p = self.prediction_bits as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        let zero = nl.constant(false);
+        let mut sums = vec![zero; w];
+        for i in 0..w / r {
+            let res_start = i * r;
+            let win_start = res_start.saturating_sub(p);
+            // One ripple chain over the window; only the top R sums are
+            // kept (the prediction bits exist purely to form the carry).
+            let mut carry = zero;
+            for bit in win_start..res_start + r {
+                let (s, c) = builders::full_adder(&mut nl, a[bit], b[bit], carry);
+                if bit >= res_start {
+                    sums[bit] = s;
+                }
+                carry = c;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            nl.mark_output(*s, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+    use crate::test_util::assert_netlist_matches;
+    use crate::{EtaIiAdder, RippleCarryAdder, WindowedCarryAdder};
+
+    #[test]
+    fn full_prediction_is_exact() {
+        // R = width means a single sub-adder spanning everything.
+        let gear = GeArAdder::new(16, 16, 0);
+        let rca = RippleCarryAdder::new(16);
+        for (a, b) in [(0u64, 0u64), (0xFFFF, 1), (0xABCD, 0x1234)] {
+            assert_eq!(gear.add(a, b), rca.add(a, b));
+        }
+    }
+
+    #[test]
+    fn gear_r_equals_p_matches_etaii() {
+        let gear = GeArAdder::new(32, 8, 8);
+        let eta = EtaIiAdder::new(32, 8);
+        let mut rng = Pcg32::seeded(61, 0);
+        for _ in 0..500 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            assert_eq!(gear.add(a, b), eta.add(a, b), "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn gear_r1_matches_windowed_carry() {
+        // GeAr(16, 1, P): each bit sees P predecessors -> ACA with
+        // lookahead P (window [i-P, i) for the carry plus the bit itself).
+        let gear = GeArAdder::new(16, 1, 4);
+        let aca = WindowedCarryAdder::new(16, 4);
+        let mut rng = Pcg32::seeded(62, 0);
+        for _ in 0..500 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            assert_eq!(gear.add(a, b), aca.add(a, b), "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_prediction_bits() {
+        let exact = RippleCarryAdder::new(16);
+        let errors = |p: u32| {
+            let gear = GeArAdder::new(16, 2, p);
+            let mut errs = 0u32;
+            for a in (0..0xFFFFu64).step_by(37) {
+                for b in (0..0xFFFFu64).step_by(53) {
+                    if gear.add(a, b) != exact.add(a, b) {
+                        errs += 1;
+                    }
+                }
+            }
+            errs
+        };
+        assert!(errors(2) > errors(6));
+        assert!(errors(6) > errors(10));
+        assert_eq!(errors(14), 0);
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&GeArAdder::new(16, 4, 4), 300);
+        assert_netlist_matches(&GeArAdder::new(32, 8, 4), 150);
+        assert_netlist_matches(&GeArAdder::new(32, 1, 7), 100);
+        assert_netlist_matches(&GeArAdder::new(12, 3, 6), 200);
+    }
+
+    #[test]
+    fn shorter_windows_are_faster() {
+        use gatesim::timing::DelayModel;
+        let model = DelayModel::default();
+        let (exact, _) = GeArAdder::new(32, 32, 0).netlist();
+        let (fast, _) = GeArAdder::new(32, 4, 4).netlist();
+        assert!(model.critical_path(&fast) < model.critical_path(&exact) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide width")]
+    fn non_dividing_r_panics() {
+        let _ = GeArAdder::new(16, 5, 2);
+    }
+}

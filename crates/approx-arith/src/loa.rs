@@ -1,0 +1,191 @@
+//! Lower-part OR adder (LOA).
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Lower-part OR adder: the low `approx_bits` result bits are computed as
+/// the bitwise OR of the operands (no carries), the upper part is an exact
+/// ripple-carry adder.
+///
+/// With `speculate` enabled, the carry into the exact part is speculated
+/// as `a[k-1] & b[k-1]` (the classic LOA of Mahdiani et al.); otherwise
+/// the exact part receives no carry-in.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, LowerOrAdder};
+///
+/// let adder = LowerOrAdder::new(16, 4, false);
+/// // Low nibble is OR'd: 0b1001 | 0b0011 = 0b1011, no carry into bit 4.
+/// assert_eq!(adder.add(0b1001, 0b0011), 0b1011);
+/// // The exact upper part still adds correctly.
+/// assert_eq!(adder.add(0x10, 0x20), 0x30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowerOrAdder {
+    width: u32,
+    approx_bits: u32,
+    speculate: bool,
+}
+
+impl LowerOrAdder {
+    /// Create a LOA with `approx_bits` OR-approximated low bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64` or `approx_bits > width`.
+    #[must_use]
+    pub fn new(width: u32, approx_bits: u32, speculate: bool) -> Self {
+        let _ = width_mask(width);
+        assert!(
+            approx_bits <= width,
+            "approx_bits ({approx_bits}) must not exceed width ({width})"
+        );
+        Self {
+            width,
+            approx_bits,
+            speculate,
+        }
+    }
+
+    /// Number of OR-approximated low bits.
+    #[must_use]
+    pub fn approx_bits(&self) -> u32 {
+        self.approx_bits
+    }
+
+    /// Whether carry speculation into the exact part is enabled.
+    #[must_use]
+    pub fn speculates(&self) -> bool {
+        self.speculate
+    }
+}
+
+impl Adder for LowerOrAdder {
+    fn name(&self) -> String {
+        let spec = if self.speculate { "s" } else { "" };
+        format!("loa{}/k{}{}", self.width, self.approx_bits, spec)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        let (a, b) = (a & mask, b & mask);
+        let k = self.approx_bits;
+        if k == 0 {
+            return a.wrapping_add(b) & mask;
+        }
+        if k == self.width {
+            return (a | b) & mask;
+        }
+        let low_mask = width_mask(k);
+        let low = (a | b) & low_mask;
+        let cin = if self.speculate {
+            (a >> (k - 1)) & (b >> (k - 1)) & 1
+        } else {
+            0
+        };
+        let high = (a >> k).wrapping_add(b >> k).wrapping_add(cin);
+        ((high << k) | low) & mask
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let k = self.approx_bits as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        let mut sums = Vec::with_capacity(w);
+        // Approximate low part: one OR gate per bit.
+        for i in 0..k {
+            sums.push(nl.or2(a[i], b[i]));
+        }
+        // Carry into the exact part.
+        let mut carry = if self.speculate && k > 0 {
+            nl.and2(a[k - 1], b[k - 1])
+        } else {
+            nl.constant(false)
+        };
+        for i in k..w {
+            let (s, c) = builders::full_adder(&mut nl, a[i], b[i], carry);
+            sums.push(s);
+            carry = c;
+        }
+        for (i, s) in sums.iter().enumerate() {
+            nl.mark_output(*s, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+    use crate::RippleCarryAdder;
+
+    #[test]
+    fn zero_approx_bits_is_exact() {
+        let loa = LowerOrAdder::new(32, 0, false);
+        let rca = RippleCarryAdder::new(32);
+        for (a, b) in [(0u64, 0u64), (7, 9), (0xFFFF_FFFF, 1), (123_456, 654_321)] {
+            assert_eq!(loa.add(a, b), rca.add(a, b));
+        }
+    }
+
+    #[test]
+    fn full_width_approx_is_bitwise_or() {
+        let loa = LowerOrAdder::new(8, 8, false);
+        assert_eq!(loa.add(0b1010_1010, 0b0101_0101), 0b1111_1111);
+        assert_eq!(loa.add(3, 3), 3);
+    }
+
+    #[test]
+    fn error_is_bounded_by_low_part() {
+        let loa = LowerOrAdder::new(16, 6, false);
+        let exact = RippleCarryAdder::new(16);
+        let bound = 1i64 << 7; // error < 2^(k+1)
+        for a in (0..=0xFFFFu64).step_by(37) {
+            for b in (0..=0xFFFFu64).step_by(53) {
+                let approx = loa.add(a, b) as i64;
+                let truth = exact.add(a, b) as i64;
+                // Compare on the shared modulus ring.
+                let diff = (approx - truth).rem_euclid(1 << 16);
+                let diff = diff.min((1 << 16) - diff);
+                assert!(diff < bound, "a={a} b={b} diff={diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_recovers_some_carries() {
+        // a = b = 0b1000 in the low nibble: both MSBs of the low part are
+        // set, so the carry into the exact part is recovered.
+        let plain = LowerOrAdder::new(8, 4, false);
+        let spec = LowerOrAdder::new(8, 4, true);
+        let (a, b) = (0b1000u64, 0b1000u64);
+        assert_eq!(plain.add(a, b), 0b0000_1000);
+        assert_eq!(spec.add(a, b), 0b0001_1000); // carry propagated
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&LowerOrAdder::new(16, 6, false), 300);
+        assert_netlist_matches(&LowerOrAdder::new(16, 6, true), 300);
+        assert_netlist_matches(&LowerOrAdder::new(48, 20, false), 100);
+        assert_netlist_matches(&LowerOrAdder::new(48, 0, true), 50);
+        assert_netlist_matches(&LowerOrAdder::new(12, 12, false), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed width")]
+    fn approx_bits_beyond_width_panics() {
+        let _ = LowerOrAdder::new(8, 9, false);
+    }
+}

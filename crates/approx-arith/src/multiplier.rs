@@ -1,0 +1,246 @@
+//! Array multipliers (exact and truncated), as netlists and functional
+//! models.
+//!
+//! The paper approximates adders only, so multipliers are exact in the
+//! main datapath; the truncated multiplier here supports the extension
+//! ablations, and the exact array multiplier netlist calibrates the
+//! energy cost of a multiply relative to an add.
+
+use gatesim::builders;
+use gatesim::{Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::adder::width_mask;
+
+/// An unsigned array multiplier: `width × width → 2·width` bits, with the
+/// partial-product columns below `truncated_columns` dropped (0 = exact).
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::ArrayMultiplier;
+///
+/// let exact = ArrayMultiplier::new(8, 0);
+/// assert_eq!(exact.mul(13, 11), 143);
+///
+/// let trunc = ArrayMultiplier::new(8, 6);
+/// // Truncation only ever under-estimates.
+/// assert!(trunc.mul(255, 255) <= 255 * 255);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayMultiplier {
+    width: u32,
+    truncated_columns: u32,
+}
+
+impl ArrayMultiplier {
+    /// Create a multiplier; `truncated_columns` low product columns are
+    /// dropped (their partial products are never generated).
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=32` or `truncated_columns`
+    /// exceeds `2·width`.
+    #[must_use]
+    pub fn new(width: u32, truncated_columns: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        assert!(
+            truncated_columns <= 2 * width,
+            "cannot truncate more columns than the product has"
+        );
+        Self {
+            width,
+            truncated_columns,
+        }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of truncated low product columns.
+    #[must_use]
+    pub fn truncated_columns(&self) -> u32 {
+        self.truncated_columns
+    }
+
+    /// Multiply (operand bits above `width` are ignored). The result has
+    /// up to `2·width` significant bits.
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        let mask = width_mask(self.width);
+        let (a, b) = (a & mask, b & mask);
+        if self.truncated_columns == 0 {
+            return a * b;
+        }
+        // Sum only the partial products whose column index is kept.
+        let mut acc = 0u64;
+        for i in 0..self.width {
+            if (b >> i) & 1 == 0 {
+                continue;
+            }
+            for j in 0..self.width {
+                let col = i + j;
+                if col >= self.truncated_columns && (a >> j) & 1 == 1 {
+                    acc += 1u64 << col;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Build the carry-save array netlist implementing exactly
+    /// [`ArrayMultiplier::mul`].
+    ///
+    /// Inputs are declared `a[0..w]` then `b[0..w]`; outputs are
+    /// `p[0..2w]`, LSB first.
+    #[must_use]
+    pub fn netlist(&self) -> Netlist {
+        let w = self.width as usize;
+        let t = self.truncated_columns as usize;
+        let mut nl = Netlist::new();
+        let a: Vec<NodeId> = (0..w).map(|i| nl.input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..w).map(|i| nl.input(format!("b{i}"))).collect();
+        // Column-wise lists of partial-product bits.
+        let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * w];
+        #[allow(clippy::needless_range_loop)] // i and j index both operands symmetrically
+        for i in 0..w {
+            for j in 0..w {
+                let col = i + j;
+                if col >= t {
+                    let pp = nl.and2(a[j], b[i]);
+                    columns[col].push(pp);
+                }
+            }
+        }
+        // Reduce each column with half/full adders, pushing carries into
+        // the next column (ripple-style Wallace-ish reduction).
+        let zero = nl.constant(false);
+        let mut product = Vec::with_capacity(2 * w);
+        for col in 0..2 * w {
+            let mut bits = std::mem::take(&mut columns[col]);
+            while bits.len() > 1 {
+                if bits.len() >= 3 {
+                    let (x, y, z) = (bits.remove(0), bits.remove(0), bits.remove(0));
+                    let (s, c) = builders::full_adder(&mut nl, x, y, z);
+                    bits.push(s);
+                    if col + 1 < 2 * w {
+                        columns[col + 1].push(c);
+                    }
+                } else {
+                    let (x, y) = (bits.remove(0), bits.remove(0));
+                    let (s, c) = builders::half_adder(&mut nl, x, y);
+                    bits.push(s);
+                    if col + 1 < 2 * w {
+                        columns[col + 1].push(c);
+                    }
+                }
+            }
+            product.push(bits.pop().unwrap_or(zero));
+        }
+        for (i, p) in product.iter().enumerate() {
+            nl.mark_output(*p, format!("p{i}"));
+        }
+        nl
+    }
+
+    /// Pack operands for the netlist's input convention.
+    #[must_use]
+    pub fn pack_operands(&self, a: u64, b: u64) -> Vec<bool> {
+        let w = self.width;
+        let mut v = Vec::with_capacity(2 * w as usize);
+        v.extend((0..w).map(|i| (a >> i) & 1 == 1));
+        v.extend((0..w).map(|i| (b >> i) & 1 == 1));
+        v
+    }
+
+    /// Unpack the netlist's output vector into the product value.
+    ///
+    /// # Panics
+    /// Panics if `outputs` does not have `2·width` entries.
+    #[must_use]
+    pub fn unpack_product(&self, outputs: &[bool]) -> u64 {
+        assert_eq!(outputs.len(), 2 * self.width as usize);
+        outputs
+            .iter()
+            .enumerate()
+            .filter(|(_, &bit)| bit)
+            .fold(0u64, |acc, (i, _)| acc | (1u64 << i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::Simulator;
+
+    #[test]
+    fn exact_multiplier_exhaustive_6bit() {
+        let m = ArrayMultiplier::new(6, 0);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert_eq!(m.mul(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_underestimates_and_is_monotone() {
+        let exact = ArrayMultiplier::new(8, 0);
+        let t4 = ArrayMultiplier::new(8, 4);
+        let t8 = ArrayMultiplier::new(8, 8);
+        for a in (0..256u64).step_by(7) {
+            for b in (0..256u64).step_by(11) {
+                let e = exact.mul(a, b);
+                let p4 = t4.mul(a, b);
+                let p8 = t8.mul(a, b);
+                assert!(p4 <= e);
+                assert!(p8 <= p4);
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_matches_functional_model_exact() {
+        let m = ArrayMultiplier::new(8, 0);
+        let nl = m.netlist();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let mut rng = crate::rng::Pcg32::seeded(21, 0);
+        for _ in 0..200 {
+            let a = rng.below(256);
+            let b = rng.below(256);
+            let out = sim.evaluate(&m.pack_operands(a, b)).unwrap();
+            assert_eq!(m.unpack_product(&out), a * b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn netlist_matches_functional_model_truncated() {
+        let m = ArrayMultiplier::new(8, 5);
+        let nl = m.netlist();
+        let mut sim = Simulator::new(&nl);
+        let mut rng = crate::rng::Pcg32::seeded(22, 0);
+        for _ in 0..200 {
+            let a = rng.below(256);
+            let b = rng.below(256);
+            let out = sim.evaluate(&m.pack_operands(a, b)).unwrap();
+            assert_eq!(m.unpack_product(&out), m.mul(a, b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn truncated_array_is_smaller() {
+        let exact = ArrayMultiplier::new(8, 0).netlist();
+        let trunc = ArrayMultiplier::new(8, 8).netlist();
+        assert!(trunc.len() < exact.len());
+        assert!(trunc.transistor_count() < exact.transistor_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn over_truncation_panics() {
+        let _ = ArrayMultiplier::new(8, 17);
+    }
+}

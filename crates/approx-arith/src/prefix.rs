@@ -1,0 +1,144 @@
+//! Kogge–Stone parallel-prefix adder.
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Exact Kogge–Stone adder: a parallel-prefix carry network with
+/// O(log w) logic depth — the standard *fast* exact baseline against
+/// which speculative approximate adders are judged (they beat it on
+/// area/energy, not on correctness).
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, KoggeStoneAdder, RippleCarryAdder};
+/// use gatesim::timing::DelayModel;
+///
+/// let ks = KoggeStoneAdder::new(32);
+/// assert_eq!(ks.add(0xFFFF_FFFF, 1), 0); // exact, modular
+///
+/// // Logarithmic vs linear critical path:
+/// let model = DelayModel::default();
+/// let (ks_nl, _) = ks.netlist();
+/// let (rca_nl, _) = RippleCarryAdder::new(32).netlist();
+/// assert!(model.critical_path(&ks_nl) < model.critical_path(&rca_nl) / 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KoggeStoneAdder {
+    width: u32,
+}
+
+impl KoggeStoneAdder {
+    /// Create an exact prefix adder of the given width.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        let _ = width_mask(width);
+        Self { width }
+    }
+}
+
+impl Adder for KoggeStoneAdder {
+    fn name(&self) -> String {
+        format!("ks{}", self.width)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        (a & mask).wrapping_add(b & mask) & mask
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        // Bit-level generate/propagate.
+        let mut g: Vec<_> = (0..w).map(|i| nl.and2(a[i], b[i])).collect();
+        let mut p: Vec<_> = (0..w).map(|i| nl.xor2(a[i], b[i])).collect();
+        let sum_p = p.clone(); // the half-sum bits feed the final XOR row
+                               // Kogge–Stone prefix tree: at distance d, combine (g, p)[i] with
+                               // (g, p)[i − d]:  g' = g + p·g_prev,  p' = p·p_prev.
+        let mut d = 1;
+        while d < w {
+            let mut g_next = g.clone();
+            let mut p_next = p.clone();
+            for i in d..w {
+                let pg = nl.and2(p[i], g[i - d]);
+                g_next[i] = nl.or2(g[i], pg);
+                p_next[i] = nl.and2(p[i], p[i - d]);
+            }
+            g = g_next;
+            p = p_next;
+            d *= 2;
+        }
+        // g[i] is now the carry OUT of bit i; sum_i = p_i ^ carry_in_i.
+        let zero = nl.constant(false);
+        for i in 0..w {
+            let carry_in = if i == 0 { zero } else { g[i - 1] };
+            let s = nl.xor2(sum_p[i], carry_in);
+            nl.mark_output(s, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+    use gatesim::timing::DelayModel;
+
+    #[test]
+    fn netlist_agrees_with_integer_addition() {
+        assert_netlist_matches(&KoggeStoneAdder::new(8), 300);
+        assert_netlist_matches(&KoggeStoneAdder::new(32), 200);
+        assert_netlist_matches(&KoggeStoneAdder::new(48), 100);
+        assert_netlist_matches(&KoggeStoneAdder::new(13), 200); // non-power-of-two
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let depth_of = |w: u32| {
+            let (nl, _) = KoggeStoneAdder::new(w).netlist();
+            DelayModel::logic_depth(&nl)
+        };
+        // Depth grows by O(1) per doubling, not by O(w).
+        let d8 = depth_of(8);
+        let d16 = depth_of(16);
+        let d32 = depth_of(32);
+        let d64 = depth_of(64);
+        assert!(d16 <= d8 + 3);
+        assert!(d32 <= d16 + 3);
+        assert!(d64 <= d32 + 3);
+        assert!(d64 < 16, "depth {d64} not logarithmic");
+    }
+
+    #[test]
+    fn area_is_larger_than_ripple_carry() {
+        use crate::RippleCarryAdder;
+        let (ks, _) = KoggeStoneAdder::new(32).netlist();
+        let (rca, _) = RippleCarryAdder::new(32).netlist();
+        // The prefix tree trades O(w log w) cells for O(log w) depth.
+        assert!(ks.transistor_count() > rca.transistor_count());
+    }
+
+    #[test]
+    fn exhaustive_small_width() {
+        let ks = KoggeStoneAdder::new(5);
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert_eq!(ks.add(a, b), (a + b) & 31);
+            }
+        }
+    }
+}

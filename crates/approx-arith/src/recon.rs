@@ -1,0 +1,277 @@
+//! The quality-configurable (reconfiguration-oriented) adder used by
+//! ApproxIt.
+
+use gatesim::builders::AdderPorts;
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, AccuracyLevel, Adder};
+use crate::exact::RippleCarryAdder;
+use crate::loa::LowerOrAdder;
+use crate::trunc::LowerZeroAdder;
+
+/// How the QCS adder's approximated low bits are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LowPartPolicy {
+    /// Low bits are tied to zero (truncation-error-tolerant style, Zhu
+    /// et al. TVLSI'10 — the paper's ref \[14\]). Results land on a
+    /// coarse grid, which makes iterative methods freeze earlier than on
+    /// exact hardware.
+    #[default]
+    Zero,
+    /// Low bits are the carry-free OR of the operands (LOA style,
+    /// Mahdiani et al.).
+    Or,
+}
+
+/// A quality-configurable adder with four approximate accuracy levels plus
+/// a fully accurate mode, in the spirit of the reconfiguration-oriented
+/// approximate adder of Ye et al. (ICCAD'13) that the paper evaluates.
+///
+/// Each approximate level handles the low `approx_bits[level]` result
+/// bits with carry-free cells per the [`LowPartPolicy`] and the
+/// remaining high bits exactly; the accurate mode is a plain ripple-carry
+/// adder. Reconfiguration between levels corresponds to power-gating
+/// segments of the carry chain, which is why lower levels cost less
+/// energy per operation.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{AccuracyLevel, QcsAdder};
+///
+/// let qcs = QcsAdder::paper_default();
+/// let exact = qcs.add(1 << 20, 3 << 20, AccuracyLevel::Accurate);
+/// let approx = qcs.add(1 << 20, 3 << 20, AccuracyLevel::Level4);
+/// // High-order bits are always exact.
+/// assert_eq!(exact, approx);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QcsAdder {
+    width: u32,
+    approx_bits: [u32; 4],
+    policy: LowPartPolicy,
+}
+
+impl QcsAdder {
+    /// The configuration used throughout the reproduction: a 32-bit
+    /// datapath (Q15.16 fixed point) with 20/15/10/5 OR-approximated
+    /// low bits for levels 1–4.
+    ///
+    /// With a 16-bit fraction this yields worst-case per-add errors of
+    /// roughly 2⁵, 1, 2⁻⁵ and 2⁻¹⁰ in value units — the staircase the
+    /// paper's single-mode tables exhibit (catastrophic at level 1,
+    /// mildly degraded at level 4) — while the measured per-level energy
+    /// ratios land near the paper's 0.46…0.93 range (level 1 gates out
+    /// 20 of 32 full-adder cells).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(32, [20, 15, 10, 5])
+    }
+
+    /// Create a QCS adder with explicit per-level approximate-bit counts
+    /// and the default (truncation) low-part policy.
+    ///
+    /// `approx_bits` is indexed by level (level 1 first) and must be
+    /// strictly decreasing: a higher accuracy level approximates fewer
+    /// bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64`, any entry reaches `width`,
+    /// or the entries are not strictly decreasing.
+    #[must_use]
+    pub fn new(width: u32, approx_bits: [u32; 4]) -> Self {
+        Self::with_policy(width, approx_bits, LowPartPolicy::default())
+    }
+
+    /// Create a QCS adder with an explicit low-part policy.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`QcsAdder::new`].
+    #[must_use]
+    pub fn with_policy(width: u32, approx_bits: [u32; 4], policy: LowPartPolicy) -> Self {
+        let _ = width_mask(width);
+        for pair in approx_bits.windows(2) {
+            assert!(
+                pair[0] > pair[1],
+                "approx_bits must be strictly decreasing (higher level = more accurate)"
+            );
+        }
+        assert!(
+            approx_bits[0] < width,
+            "approx_bits must be less than width"
+        );
+        Self {
+            width,
+            approx_bits,
+            policy,
+        }
+    }
+
+    /// The low-part policy of this adder family.
+    #[must_use]
+    pub fn policy(&self) -> LowPartPolicy {
+        self.policy
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of OR-approximated low bits in the given mode (0 for
+    /// `Accurate`).
+    #[must_use]
+    pub fn approx_bits(&self, level: AccuracyLevel) -> u32 {
+        match level {
+            AccuracyLevel::Accurate => 0,
+            l => self.approx_bits[l.index()],
+        }
+    }
+
+    /// Add under the given accuracy level, mod `2^width`.
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64, level: AccuracyLevel) -> u64 {
+        self.at(level).add(a, b)
+    }
+
+    /// A single-mode view of this adder implementing [`Adder`], suitable
+    /// for netlist construction and error/energy characterization.
+    #[must_use]
+    pub fn at(&self, level: AccuracyLevel) -> QcsModeAdder {
+        let k = self.approx_bits(level);
+        let inner = if level.is_accurate() {
+            ModeImpl::Exact(RippleCarryAdder::new(self.width))
+        } else {
+            match self.policy {
+                LowPartPolicy::Zero => ModeImpl::Zero(LowerZeroAdder::new(self.width, k)),
+                LowPartPolicy::Or => ModeImpl::Or(LowerOrAdder::new(self.width, k, false)),
+            }
+        };
+        QcsModeAdder { level, inner }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ModeImpl {
+    Exact(RippleCarryAdder),
+    Zero(LowerZeroAdder),
+    Or(LowerOrAdder),
+}
+
+impl ModeImpl {
+    fn as_adder(&self) -> &dyn Adder {
+        match self {
+            ModeImpl::Exact(a) => a,
+            ModeImpl::Zero(a) => a,
+            ModeImpl::Or(a) => a,
+        }
+    }
+}
+
+/// One accuracy mode of a [`QcsAdder`], viewed as a standalone [`Adder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QcsModeAdder {
+    level: AccuracyLevel,
+    inner: ModeImpl,
+}
+
+impl QcsModeAdder {
+    /// The accuracy level this view is fixed to.
+    #[must_use]
+    pub fn level(&self) -> AccuracyLevel {
+        self.level
+    }
+}
+
+impl Adder for QcsModeAdder {
+    fn name(&self) -> String {
+        format!("qcs{}/{}", self.width(), self.level)
+    }
+
+    fn width(&self) -> u32 {
+        self.inner.as_adder().width()
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        self.inner.as_adder().add(a, b)
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        // In accurate mode the QCS hardware is the full carry chain; the
+        // RCA netlist models its activity.
+        self.inner.as_adder().netlist()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+
+    #[test]
+    fn accurate_mode_is_exact() {
+        let qcs = QcsAdder::paper_default();
+        let mask = width_mask(32);
+        for (a, b) in [
+            (0u64, 0u64),
+            (mask, 1),
+            (0x1234_5678_9ABC, 0xBA98_7654_3210),
+        ] {
+            assert_eq!(
+                qcs.add(a, b, AccuracyLevel::Accurate),
+                a.wrapping_add(b) & mask
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_level() {
+        let qcs = QcsAdder::paper_default();
+        let mut rng = crate::rng::Pcg32::seeded(99, 0);
+        let mask = width_mask(32);
+        let mut mean_abs = [0f64; 4];
+        let samples = 2000;
+        for _ in 0..samples {
+            let a = rng.next_u64() & mask;
+            let b = rng.next_u64() & mask;
+            let exact = a.wrapping_add(b) & mask;
+            for level in AccuracyLevel::APPROXIMATE {
+                let approx = qcs.add(a, b, level);
+                let diff = (approx as i128 - exact as i128).unsigned_abs();
+                mean_abs[level.index()] += diff as f64 / samples as f64;
+            }
+        }
+        for w in mean_abs.windows(2) {
+            assert!(w[0] > w[1], "error must shrink with accuracy: {mean_abs:?}");
+        }
+    }
+
+    #[test]
+    fn mode_views_match_family() {
+        let qcs = QcsAdder::paper_default();
+        let mut rng = crate::rng::Pcg32::seeded(5, 0);
+        for _ in 0..100 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            for level in AccuracyLevel::ALL {
+                assert_eq!(qcs.add(a, b, level), qcs.at(level).add(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn netlists_agree_for_every_mode() {
+        let qcs = QcsAdder::new(16, [10, 8, 6, 4]);
+        for level in AccuracyLevel::ALL {
+            assert_netlist_matches(&qcs.at(level), 150);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn non_monotone_levels_panic() {
+        let _ = QcsAdder::new(32, [8, 8, 6, 4]);
+    }
+}

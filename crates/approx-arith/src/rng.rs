@@ -1,0 +1,249 @@
+//! Small deterministic PRNGs.
+//!
+//! The experiment harness must be bit-reproducible across platforms and
+//! library versions, so dataset generation and Monte-Carlo
+//! characterization use this self-contained generator instead of an
+//! external crate (see DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+///
+/// Used both directly and to seed [`Pcg32`].
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG32 (XSH-RR 64/32): the main generator for datasets and Monte-Carlo
+/// sampling. Deterministic, seedable, with an independent stream per
+/// `(seed, stream)` pair.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::rng::Pcg32;
+///
+/// let mut rng = Pcg32::seeded(7, 0);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+impl Pcg32 {
+    /// Create a generator from a seed and stream id.
+    #[must_use]
+    pub fn seeded(seed: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let init_state = sm.next_u64();
+        let inc = (stream << 1) | 1;
+        let mut rng = Self {
+            state: 0,
+            inc,
+            gauss_spare: None,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(init_state);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+    }
+
+    /// Next 32 pseudo-random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection keeps the distribution exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(r) * u128::from(bound);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Standard normal variate via Box-Muller (polar form avoided for
+    /// determinism: the trigonometric form consumes a fixed two uniforms).
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.next_gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut rng = SplitMix64::new(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        let mut rng2 = SplitMix64::new(0);
+        assert_eq!(rng2.next_u64(), a);
+    }
+
+    #[test]
+    fn pcg_streams_differ() {
+        let mut s0 = Pcg32::seeded(1, 0);
+        let mut s1 = Pcg32::seeded(1, 1);
+        let a: Vec<u32> = (0..8).map(|_| s0.next_u32()).collect();
+        let b: Vec<u32> = (0..8).map(|_| s1.next_u32()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seeded(3, 0);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seeded(5, 0);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = Pcg32::seeded(11, 0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seeded(13, 0);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        Pcg32::seeded(1, 0).below(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Truncation (lower-part-zero) adder.
+
+use gatesim::builders::{self, AdderPorts};
+use gatesim::Netlist;
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{width_mask, Adder};
+
+/// Truncation adder in the spirit of the truncation-error-tolerant
+/// adders of Zhu et al. (TVLSI 2010): the low `approx_bits` result bits
+/// are tied to zero and the upper part adds the truncated operands
+/// exactly (no carry from the dropped part).
+///
+/// Compared to the OR-based [`LowerOrAdder`](crate::LowerOrAdder) this
+/// family quantizes its *results* onto a coarser grid (multiples of
+/// `2^approx_bits`), which is what makes iterative methods running on it
+/// freeze earlier than exact hardware — the effect behind the paper's
+/// approximate runs converging in fewer iterations than `Truth`.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{Adder, LowerZeroAdder};
+///
+/// let adder = LowerZeroAdder::new(16, 4);
+/// // Low nibbles are dropped before the add: 0x13 + 0x25 -> 0x10 + 0x20.
+/// assert_eq!(adder.add(0x13, 0x25), 0x30);
+/// assert_eq!(adder.add(0x0F, 0x0F), 0x00); // everything below 2^4 vanishes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowerZeroAdder {
+    width: u32,
+    approx_bits: u32,
+}
+
+impl LowerZeroAdder {
+    /// Create a truncation adder dropping the low `approx_bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64` or `approx_bits >= width`.
+    #[must_use]
+    pub fn new(width: u32, approx_bits: u32) -> Self {
+        let _ = width_mask(width);
+        assert!(
+            approx_bits < width,
+            "approx_bits ({approx_bits}) must be less than width ({width})"
+        );
+        Self { width, approx_bits }
+    }
+
+    /// Number of zeroed low bits.
+    #[must_use]
+    pub fn approx_bits(&self) -> u32 {
+        self.approx_bits
+    }
+}
+
+impl Adder for LowerZeroAdder {
+    fn name(&self) -> String {
+        format!("trunc{}/k{}", self.width, self.approx_bits)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let mask = self.mask();
+        let (a, b) = (a & mask, b & mask);
+        let k = self.approx_bits;
+        if k == 0 {
+            return a.wrapping_add(b) & mask;
+        }
+        let high = (a >> k).wrapping_add(b >> k);
+        (high << k) & mask
+    }
+
+    fn netlist(&self) -> (Netlist, AdderPorts) {
+        let w = self.width as usize;
+        let k = self.approx_bits as usize;
+        let mut nl = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut nl, w);
+        let zero = nl.constant(false);
+        let mut sums = vec![zero; w];
+        let mut carry = zero;
+        for i in k..w {
+            let (s, c) = builders::full_adder(&mut nl, a[i], b[i], carry);
+            sums[i] = s;
+            carry = c;
+        }
+        for (i, s) in sums.iter().enumerate() {
+            nl.mark_output(*s, format!("sum{i}"));
+        }
+        let ports = AdderPorts::new(a, b, None, false);
+        (nl, ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_netlist_matches;
+    use crate::RippleCarryAdder;
+
+    #[test]
+    fn zero_approx_bits_is_exact() {
+        let t = LowerZeroAdder::new(32, 0);
+        let rca = RippleCarryAdder::new(32);
+        for (a, b) in [(0u64, 0u64), (0xFFFF_FFFF, 1), (12345, 67890)] {
+            assert_eq!(t.add(a, b), rca.add(a, b));
+        }
+    }
+
+    #[test]
+    fn results_land_on_the_coarse_grid() {
+        let t = LowerZeroAdder::new(16, 6);
+        for a in (0..0xFFFFu64).step_by(97) {
+            for b in (0..0xFFFFu64).step_by(89) {
+                assert_eq!(t.add(a, b) % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_a_bounded_underestimate() {
+        // Truncation drops the low parts of both operands, so on the
+        // non-wrapping range the result underestimates by less than
+        // 2^(k+1).
+        let t = LowerZeroAdder::new(16, 5);
+        for a in (0..0x7FFFu64).step_by(53) {
+            for b in (0..0x7FFFu64).step_by(61) {
+                let exact = a + b;
+                let approx = t.add(a, b);
+                assert!(approx <= exact);
+                assert!(exact - approx < 1 << 6, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_operands_vanish_entirely() {
+        // The failure mode that makes level 1 catastrophic: operands
+        // below the truncation quantum never accumulate.
+        let t = LowerZeroAdder::new(32, 20);
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            acc = t.add(acc, 1 << 10); // value far below 2^20
+        }
+        assert_eq!(acc, 0);
+    }
+
+    #[test]
+    fn netlist_agrees_with_functional_model() {
+        assert_netlist_matches(&LowerZeroAdder::new(16, 4), 300);
+        assert_netlist_matches(&LowerZeroAdder::new(32, 20), 150);
+        assert_netlist_matches(&LowerZeroAdder::new(32, 5), 150);
+        assert_netlist_matches(&LowerZeroAdder::new(12, 11), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be less than width")]
+    fn full_truncation_panics() {
+        let _ = LowerZeroAdder::new(8, 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over the approximate arithmetic substrate.
+
+use approx_arith::{
+    AccuracyLevel, Adder, ArithContext, EnergyProfile, EtaIiAdder, LowerOrAdder, QFormat, QcsAdder,
+    QcsContext, RippleCarryAdder, WindowedCarryAdder,
+};
+use proptest::prelude::*;
+
+fn test_profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn loa_high_bits_are_exact_when_no_low_carry(a: u64, b: u64) {
+        // If the low parts are zero, LOA must be exact.
+        let adder = LowerOrAdder::new(48, 16, false);
+        let mask = adder.mask() & !0xFFFF;
+        let (a, b) = (a & mask, b & mask);
+        let exact = RippleCarryAdder::new(48).add(a, b);
+        prop_assert_eq!(adder.add(a, b), exact);
+    }
+
+    #[test]
+    fn qcs_accurate_equals_rca(a: u64, b: u64) {
+        let qcs = QcsAdder::paper_default();
+        let rca = RippleCarryAdder::new(32);
+        prop_assert_eq!(qcs.add(a, b, AccuracyLevel::Accurate), rca.add(a, b));
+    }
+
+    #[test]
+    fn qcs_error_never_reaches_high_bits(a: u64, b: u64) {
+        // The approximate low part can corrupt at most approx_bits + 1
+        // positions (one lost carry); everything above is exact.
+        let qcs = QcsAdder::paper_default();
+        let rca = RippleCarryAdder::new(32);
+        for level in AccuracyLevel::APPROXIMATE {
+            let k = qcs.approx_bits(level);
+            let approx = qcs.add(a, b, level);
+            let exact = rca.add(a, b);
+            let diff = (approx as i128 - exact as i128).unsigned_abs();
+            // diff is either small (OR overshoot) or one lost carry at 2^k,
+            // possibly wrapping the 32-bit ring.
+            let ring = 1u128 << 32;
+            let dist = diff.min(ring - diff);
+            prop_assert!(dist <= 1u128 << (k + 1),
+                "level {level}: dist {dist} > 2^{}", k + 1);
+        }
+    }
+
+    #[test]
+    fn eta_block0_always_exact(a in 0u64..256, b in 0u64..256) {
+        let eta = EtaIiAdder::new(16, 8);
+        let got = eta.add(a, b) & 0xFF;
+        prop_assert_eq!(got, (a + b) & 0xFF);
+    }
+
+    #[test]
+    fn aca_is_monotonically_better(a: u64, b: u64) {
+        // A longer window never makes a *specific* carry worse in the
+        // aggregate; test the weaker per-sample property that the full
+        // window is exact.
+        let full = WindowedCarryAdder::new(32, 32);
+        let exact = RippleCarryAdder::new(32);
+        prop_assert_eq!(full.add(a, b), exact.add(a, b));
+    }
+
+    #[test]
+    fn fixed_point_round_trip(x in -1e6f64..1e6) {
+        let q = QFormat::Q31_16;
+        let y = q.quantize(x);
+        prop_assert!((y - x).abs() <= q.resolution() / 2.0 + 1e-12);
+        // Quantization is idempotent.
+        prop_assert_eq!(q.quantize(y), y);
+    }
+
+    #[test]
+    fn fixed_bits_round_trip(raw in -(1i64 << 47)..(1i64 << 47)) {
+        let q = QFormat::Q31_16;
+        prop_assert_eq!(q.from_bits(q.to_bits(raw)), raw);
+    }
+
+    #[test]
+    fn context_add_is_commutative(x in -1e4f64..1e4, y in -1e4f64..1e4) {
+        let mut ctx = QcsContext::with_profile(test_profile());
+        for level in AccuracyLevel::ALL {
+            ctx.set_level(level);
+            let ab = ctx.add(x, y);
+            let ba = ctx.add(y, x);
+            prop_assert_eq!(ab, ba, "level {}", level);
+        }
+    }
+
+    #[test]
+    fn context_approximate_error_shrinks_with_level(
+        x in -1e3f64..1e3, y in -1e3f64..1e3
+    ) {
+        let mut ctx = QcsContext::with_profile(test_profile());
+        let exact = x + y;
+        let mut errors = Vec::new();
+        for level in AccuracyLevel::APPROXIMATE {
+            ctx.set_level(level);
+            errors.push((ctx.add(x, y) - exact).abs());
+        }
+        // Not strictly monotone per sample, but bounded by the level's
+        // worst case: 2^(k+1-frac).
+        for (i, k) in [20u32, 15, 10, 5].iter().enumerate() {
+            let bound = f64::from(*k as i32 + 1 - 16).exp2() + 1e-9;
+            prop_assert!(errors[i] <= bound, "level{} err {}", i + 1, errors[i]);
+        }
+    }
+
+    #[test]
+    fn energy_meter_is_additive(ops in 1usize..50) {
+        let mut ctx = QcsContext::with_profile(test_profile());
+        ctx.set_level(AccuracyLevel::Level2);
+        for i in 0..ops {
+            ctx.add(i as f64, 1.0);
+        }
+        let per_add = 2.0; // level2 in the test profile
+        prop_assert!((ctx.approx_energy() - per_add * ops as f64).abs() < 1e-9);
+        prop_assert_eq!(ctx.counts().adds, ops as u64);
+    }
+}

@@ -1,0 +1,62 @@
+//! Overhead of the reconfiguration strategies — quantifying the paper's
+//! claim that the extra computation of online reconfiguration is
+//! negligible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use approx_arith::AccuracyLevel;
+use approxit::lp::solve_effort_allocation;
+use approxit::{
+    AdaptiveAngleStrategy, IncrementalStrategy, IterationObservation, PidStrategy, ReconfigStrategy,
+};
+
+const EPS: [f64; 5] = [0.5, 0.2, 0.05, 0.01, 0.0];
+const J: [f64; 5] = [0.46, 0.59, 0.73, 0.86, 1.0];
+
+fn observation<'a>(
+    params_prev: &'a [f64],
+    params_curr: &'a [f64],
+    grad: &'a [f64],
+) -> IterationObservation<'a> {
+    IterationObservation {
+        iteration: 10,
+        level: AccuracyLevel::Level2,
+        objective_prev: 1.0,
+        objective_curr: 0.95,
+        params_prev,
+        params_curr,
+        gradient_prev: Some(grad),
+        gradient_curr: Some(grad),
+        initial_gradient_norm: 10.0,
+    }
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let params_prev: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.1).collect();
+    let params_curr: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.1 + 0.01).collect();
+    let grad: Vec<f64> = (0..64).map(|i| -f64::from(i) * 0.01).collect();
+
+    c.bench_function("decide/incremental", |b| {
+        let mut s = IncrementalStrategy::new(EPS);
+        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    });
+
+    c.bench_function("decide/adaptive_f1", |b| {
+        let mut s = AdaptiveAngleStrategy::new(EPS, J, 0.2, 1);
+        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    });
+
+    c.bench_function("decide/pid", |b| {
+        let mut s = PidStrategy::default();
+        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp/solve_effort_allocation", |b| {
+        b.iter(|| black_box(solve_effort_allocation(&J, &EPS, black_box(0.07))))
+    });
+}
+
+criterion_group!(benches, bench_decide, bench_lp);
+criterion_main!(benches);

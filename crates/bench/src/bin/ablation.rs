@@ -1,0 +1,273 @@
+//! Extension experiments beyond the paper's exhibits (ablations called
+//! out in DESIGN.md §5):
+//!
+//! * scheme ablation — incremental with each scheme disabled;
+//! * quality-scheme variant — step-distance vs objective-decrease;
+//! * f-step sweep — adaptive with update periods 1, 2, 5, 10;
+//! * PID baseline — the controller of Chippa et al. head-to-head;
+//! * fixed-point width sweep — Q15.16 vs Q31.32 datapaths;
+//! * k-means with the MCD sensor — the paper's §2.3 motivating example.
+
+use approx_arith::{EnergyProfile, QFormat, QcsAdder, QcsContext};
+use approxit::{
+    characterize, run, AdaptiveAngleStrategy, IncrementalConfig, IncrementalStrategy, PidStrategy,
+    QualitySchemeVariant, ReconfigStrategy, SingleMode,
+};
+use approxit_bench::render::{fmt_value, render_table};
+use approxit_bench::{gmm_specs, shared_profile};
+use iter_solvers::metrics::hamming_distance;
+
+fn main() {
+    let spec = &gmm_specs()[0]; // 3cluster
+    let gmm = spec.model();
+    let k = spec.dataset.k;
+    let table = characterize(&gmm, shared_profile(), 5);
+    let mut ctx = QcsContext::with_profile(shared_profile().clone());
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth_labels = gmm.assignments(&truth.state);
+
+    let mut score = |name: String, strategy: &mut dyn ReconfigStrategy| -> Vec<String> {
+        let outcome = run(&gmm, strategy, &mut ctx);
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, k);
+        vec![
+            name,
+            outcome.report.iterations.to_string(),
+            if outcome.report.converged {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+            qem.to_string(),
+            fmt_value(outcome.report.normalized_energy(&truth.report)),
+            outcome.report.rollbacks.to_string(),
+        ]
+    };
+
+    println!("Ablation 1: incremental schemes on {}\n", spec.name());
+    let mut rows = Vec::new();
+    let configs = [
+        ("all schemes (paper)", IncrementalConfig::default()),
+        (
+            "no gradient scheme",
+            IncrementalConfig {
+                gradient_scheme: false,
+                ..IncrementalConfig::default()
+            },
+        ),
+        (
+            "no quality scheme",
+            IncrementalConfig {
+                quality_scheme: false,
+                ..IncrementalConfig::default()
+            },
+        ),
+        (
+            "no function scheme",
+            IncrementalConfig {
+                function_scheme: false,
+                ..IncrementalConfig::default()
+            },
+        ),
+        (
+            "objective-decrease variant",
+            IncrementalConfig {
+                quality_variant: QualitySchemeVariant::ObjectiveDecrease,
+                ..IncrementalConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        let mut strategy = IncrementalStrategy::with_config(table.update_errors, config);
+        rows.push(score(name.to_owned(), &mut strategy));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Iterations",
+                "Converged",
+                "QEM",
+                "Energy",
+                "Rollbacks"
+            ],
+            &rows,
+        )
+    );
+
+    println!("Ablation 2: adaptive f-step sweep on {}\n", spec.name());
+    let mut rows = Vec::new();
+    for f in [1usize, 2, 5, 10] {
+        let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, f);
+        rows.push(score(format!("f = {f}"), &mut strategy));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Iterations",
+                "Converged",
+                "QEM",
+                "Energy",
+                "Rollbacks"
+            ],
+            &rows,
+        )
+    );
+
+    println!(
+        "Ablation 3: PID baseline (Chippa et al.) on {}\n",
+        spec.name()
+    );
+    let rows = vec![
+        score("pid-baseline".to_owned(), &mut PidStrategy::default()),
+        score(
+            "approxit incremental".to_owned(),
+            &mut IncrementalStrategy::from_characterization(&table),
+        ),
+        score(
+            "approxit adaptive".to_owned(),
+            &mut AdaptiveAngleStrategy::from_characterization(&table, 1),
+        ),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Iterations",
+                "Converged",
+                "QEM",
+                "Energy",
+                "Rollbacks"
+            ],
+            &rows,
+        )
+    );
+
+    println!("Ablation 4: datapath width sweep on {}\n", spec.name());
+    let mut rows = Vec::new();
+    let widths = [
+        (
+            "Q15.16 / 32-bit (default)",
+            QcsAdder::paper_default(),
+            QFormat::Q15_16,
+        ),
+        (
+            "Q31.32 / 64-bit",
+            QcsAdder::new(64, [36, 31, 26, 21]),
+            QFormat::Q31_32,
+        ),
+    ];
+    for (name, adder, format) in widths {
+        let profile = EnergyProfile::characterize(&adder, 256, 0x5EED, &gatesim_default());
+        let mut wide_ctx = QcsContext::new(adder, format, profile);
+        let truth_w = run(&gmm, &mut SingleMode::accurate(), &mut wide_ctx);
+        let table_w = approxit::characterize_on(&gmm, &wide_ctx, 5);
+        let mut strategy = IncrementalStrategy::from_characterization(&table_w);
+        let outcome = run(&gmm, &mut strategy, &mut wide_ctx);
+        let qem = hamming_distance(
+            &gmm.assignments(&outcome.state),
+            &gmm.assignments(&truth_w.state),
+            k,
+        );
+        rows.push(vec![
+            name.to_owned(),
+            outcome.report.iterations.to_string(),
+            if outcome.report.converged {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+            qem.to_string(),
+            fmt_value(outcome.report.normalized_energy(&truth_w.report)),
+            outcome.report.rollbacks.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Iterations",
+                "Converged",
+                "QEM",
+                "Energy",
+                "Rollbacks"
+            ],
+            &rows,
+        )
+    );
+
+    kmeans_mcd_ablation();
+}
+
+/// The paper's §2.3 motivating example: approximate k-means with the
+/// mean-centroid-distance sensor driving a PID controller, against
+/// ApproxIt's incremental strategy on the same workload. K-means
+/// provides no analytic gradient, so ApproxIt's direction-criterion veto
+/// is unavailable — the function scheme alone carries the recovery.
+fn kmeans_mcd_ablation() {
+    use iter_solvers::KMeans;
+
+    let spec = &gmm_specs()[0];
+    let km = KMeans::from_dataset(&spec.dataset, 1e-6, 500, 7);
+    let mut ctx = QcsContext::with_profile(shared_profile().clone());
+    let truth = run(&km, &mut SingleMode::accurate(), &mut ctx);
+    let truth_labels = km.assignments(&truth.state);
+    let table = approxit::characterize(&km, shared_profile(), 5);
+
+    println!(
+        "Ablation 5: k-means + MCD sensor on {} (truth MCD {:.4})\n",
+        spec.dataset.name,
+        km.mean_centroid_distance(&truth.state),
+    );
+    let mut rows = Vec::new();
+    let mut score = |name: &str, strategy: &mut dyn ReconfigStrategy| {
+        let outcome = run(&km, strategy, &mut ctx);
+        let qem = hamming_distance(
+            &km.assignments(&outcome.state),
+            &truth_labels,
+            spec.dataset.k,
+        );
+        rows.push(vec![
+            name.to_owned(),
+            outcome.report.iterations.to_string(),
+            if outcome.report.converged {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+            qem.to_string(),
+            format!("{:.4}", km.mean_centroid_distance(&outcome.state)),
+            fmt_value(outcome.report.normalized_energy(&truth.report)),
+        ]);
+    };
+    score("pid + mcd sensor", &mut PidStrategy::default());
+    score(
+        "approxit incremental",
+        &mut IncrementalStrategy::from_characterization(&table),
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Iterations",
+                "Converged",
+                "QEM",
+                "MCD",
+                "Energy"
+            ],
+            &rows,
+        )
+    );
+}
+
+fn gatesim_default() -> gatesim::EnergyModel {
+    gatesim::EnergyModel::default()
+}

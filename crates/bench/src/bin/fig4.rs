@@ -1,0 +1,64 @@
+//! Regenerates the paper's Figure 4: GMM energy comparison.
+//!
+//! For each GMM dataset, prints the total approximate-part energy and
+//! the per-iteration energy (both normalized to Truth) of the Truth,
+//! incremental, and adaptive runs — the two bar groups of the paper's
+//! figure — plus the percentage savings the paper quotes in the text.
+
+use approx_arith::QcsContext;
+use approxit::{
+    characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy, SingleMode,
+};
+use approxit_bench::render::{fmt_value, render_table};
+use approxit_bench::{gmm_specs, shared_profile};
+
+fn main() {
+    println!("Figure 4: GMM comparison on energy consumption\n");
+    let mut rows = Vec::new();
+    for spec in gmm_specs() {
+        let gmm = spec.model();
+        let table = characterize(&gmm, shared_profile(), 5);
+        let mut ctx = QcsContext::with_profile(shared_profile().clone());
+        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+
+        let mut strategies: Vec<(&str, Box<dyn ReconfigStrategy>)> = vec![
+            ("truth", Box::new(SingleMode::accurate())),
+            (
+                "incremental",
+                Box::new(IncrementalStrategy::from_characterization(&table)),
+            ),
+            (
+                "adaptive",
+                Box::new(AdaptiveAngleStrategy::from_characterization(&table, 1)),
+            ),
+        ];
+        for (name, strategy) in &mut strategies {
+            let outcome = run(&gmm, strategy.as_mut(), &mut ctx);
+            let total = outcome.report.normalized_energy(&truth.report);
+            let per_iter = outcome.report.energy_per_iteration_mean()
+                / truth.report.energy_per_iteration_mean();
+            rows.push(vec![
+                spec.name().to_owned(),
+                (*name).to_owned(),
+                outcome.report.iterations.to_string(),
+                fmt_value(total),
+                fmt_value(per_iter),
+                format!("{:+.1}%", (total - 1.0) * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Dataset",
+                "Strategy",
+                "Iterations",
+                "TotalEnergy",
+                "EnergyPerIter",
+                "vsTruth",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,84 @@
+//! Regenerates the paper's Table 3: results on Gaussian Mixture Models.
+//!
+//! Part (a) runs every single-mode configuration on each dataset; part
+//! (b) runs the incremental and adaptive (f = 1) online reconfiguration
+//! strategies. Pass `--part a` or `--part b` to run one part only.
+
+use approxit_bench::render::{fmt_value, render_table};
+use approxit_bench::{gmm_reconfig_rows, gmm_single_mode_rows, gmm_specs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let part = args
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| args.get(i + 1))
+        .map_or("ab", String::as_str);
+
+    if part.contains('a') {
+        println!("Table 3(a): GMM single-mode results\n");
+        for spec in gmm_specs() {
+            println!("dataset: {}", spec.name());
+            let rows: Vec<Vec<String>> = gmm_single_mode_rows(&spec)
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        r.configuration,
+                        if r.converged {
+                            r.iterations.to_string()
+                        } else {
+                            "MAX_ITER".to_owned()
+                        },
+                        format!("{:.0}", r.qem),
+                        fmt_value(r.energy),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(&["Configuration", "Iteration", "QEM", "Energy"], &rows)
+            );
+        }
+    }
+
+    if part.contains('b') {
+        println!("Table 3(b): GMM online reconfiguration results (f = 1)\n");
+        let mut rows = Vec::new();
+        for spec in gmm_specs() {
+            for r in gmm_reconfig_rows(&spec, 1) {
+                rows.push(vec![
+                    r.dataset,
+                    r.strategy,
+                    r.steps[0].to_string(),
+                    r.steps[1].to_string(),
+                    r.steps[2].to_string(),
+                    r.steps[3].to_string(),
+                    r.steps[4].to_string(),
+                    r.total.to_string(),
+                    format!("{:.0}", r.error),
+                    fmt_value(r.energy),
+                    r.rollbacks.to_string(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Dataset",
+                    "Strategy",
+                    "level1",
+                    "level2",
+                    "level3",
+                    "level4",
+                    "acc",
+                    "Total",
+                    "Error",
+                    "Energy",
+                    "Rollbacks",
+                ],
+                &rows,
+            )
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates the paper's Table 4: results on AutoRegression.
+//!
+//! Part (a) runs every single-mode configuration on each series; part
+//! (b) runs the incremental and adaptive (f = 1) online reconfiguration
+//! strategies. Pass `--part a` or `--part b` to run one part only.
+
+use approxit_bench::render::{fmt_value, render_table};
+use approxit_bench::{ar_reconfig_rows, ar_single_mode_rows, ar_specs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let part = args
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| args.get(i + 1))
+        .map_or("ab", String::as_str);
+
+    if part.contains('a') {
+        println!("Table 4(a): AutoRegression single-mode results\n");
+        for spec in ar_specs() {
+            println!("dataset: {}", spec.name());
+            let rows: Vec<Vec<String>> = ar_single_mode_rows(&spec)
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        r.configuration,
+                        if r.converged {
+                            r.iterations.to_string()
+                        } else {
+                            "MAX_ITER".to_owned()
+                        },
+                        fmt_value(r.qem),
+                        fmt_value(r.energy),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(&["Configuration", "Iteration", "QEM", "Energy"], &rows)
+            );
+        }
+    }
+
+    if part.contains('b') {
+        println!("Table 4(b): AutoRegression online reconfiguration results (f = 1)\n");
+        let mut rows = Vec::new();
+        for spec in ar_specs() {
+            for r in ar_reconfig_rows(&spec, 1) {
+                rows.push(vec![
+                    r.dataset,
+                    r.strategy,
+                    r.steps[0].to_string(),
+                    r.steps[1].to_string(),
+                    r.steps[2].to_string(),
+                    r.steps[3].to_string(),
+                    r.steps[4].to_string(),
+                    r.total.to_string(),
+                    fmt_value(r.error),
+                    fmt_value(r.energy),
+                    r.rollbacks.to_string(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Dataset",
+                    "Strategy",
+                    "level1",
+                    "level2",
+                    "level3",
+                    "level4",
+                    "acc",
+                    "Total",
+                    "Error",
+                    "Energy",
+                    "Rollbacks",
+                ],
+                &rows,
+            )
+        );
+    }
+}

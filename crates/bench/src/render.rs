@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the benchmark binaries.
+
+/// Render rows as an aligned plain-text table with a header rule.
+///
+/// # Panics
+/// Panics if any row has a different number of columns than the header.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float compactly: scientific for tiny magnitudes, fixed
+/// otherwise.
+#[must_use]
+pub fn fmt_value(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() < 1e-3 || x.abs() >= 1e6 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Render an ASCII scatter plot of 2-D points, one glyph per cluster —
+/// the textual stand-in for the paper's Figure 3 panels.
+///
+/// # Panics
+/// Panics if points are not 2-D or a label is out of glyph range (>= 8).
+#[must_use]
+pub fn ascii_scatter(points: &[Vec<f64>], labels: &[usize], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['o', '+', 'x', '#', '*', '@', '%', '&'];
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    assert!(points.iter().all(|p| p.len() == 2), "points must be 2-D");
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (p, &label) in points.iter().zip(labels) {
+        let col = (((p[0] - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let row = (((max_y - p[1]) / span_y) * (height - 1) as f64).round() as usize;
+        grid[row][col] = GLYPHS[label];
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let rows = vec![
+            vec!["a".into(), "1.25".into()],
+            vec!["bbbb".into(), "2".into()],
+        ];
+        let text = render_table(&["name", "value"], &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn fmt_value_picks_representation() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(0.5), "0.5000");
+        assert!(fmt_value(1e-6).contains('e'));
+        assert!(fmt_value(2e7).contains('e'));
+    }
+
+    #[test]
+    fn scatter_places_clusters_apart() {
+        let points = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let labels = vec![0, 1];
+        let plot = ascii_scatter(&points, &labels, 11, 11);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 11);
+        // label 1 (+) at top-right, label 0 (o) at bottom-left.
+        assert_eq!(lines[0].chars().nth(10), Some('+'));
+        assert_eq!(lines[10].chars().next(), Some('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

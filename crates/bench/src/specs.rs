@@ -1,0 +1,163 @@
+//! Experiment specifications — the single source of truth for every
+//! parameter in Tables 2–4.
+
+use std::sync::OnceLock;
+
+use approx_arith::EnergyProfile;
+use iter_solvers::datasets::{self, ClusterDataset, SeriesDataset};
+use iter_solvers::{AutoRegression, GaussianMixture};
+
+/// The energy profile shared by every experiment (characterized once by
+/// gate-level simulation of the paper-default QCS adder).
+pub fn shared_profile() -> &'static EnergyProfile {
+    static PROFILE: OnceLock<EnergyProfile> = OnceLock::new();
+    PROFILE.get_or_init(EnergyProfile::paper_default)
+}
+
+/// One GMM experiment configuration (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct GmmSpec {
+    /// The dataset.
+    pub dataset: ClusterDataset,
+    /// Convergence tolerance on the per-coordinate mean movement.
+    pub convergence: f64,
+    /// Iteration budget (`MAX_ITER`).
+    pub max_iterations: usize,
+    /// Initialization seed (identical across configurations, as the
+    /// paper requires).
+    pub init_seed: u64,
+}
+
+impl GmmSpec {
+    /// Instantiate the model for this spec.
+    #[must_use]
+    pub fn model(&self) -> GaussianMixture {
+        GaussianMixture::from_dataset(
+            &self.dataset,
+            self.convergence,
+            self.max_iterations,
+            self.init_seed,
+        )
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.dataset.name
+    }
+}
+
+/// The three GMM rows of Table 2: `3cluster`, `3d3cluster`, `4cluster`
+/// with their MAX_ITER = 500 and convergence tolerances (1e-10, 1e-6,
+/// 1e-6).
+#[must_use]
+pub fn gmm_specs() -> Vec<GmmSpec> {
+    vec![
+        GmmSpec {
+            dataset: datasets::three_cluster(),
+            convergence: 1e-10,
+            max_iterations: 500,
+            init_seed: 7,
+        },
+        GmmSpec {
+            dataset: datasets::three_d_three_cluster(),
+            convergence: 1e-6,
+            max_iterations: 500,
+            init_seed: 7,
+        },
+        GmmSpec {
+            dataset: datasets::four_cluster(),
+            convergence: 1e-6,
+            max_iterations: 500,
+            init_seed: 7,
+        },
+    ]
+}
+
+/// One AutoRegression experiment configuration (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct ArSpec {
+    /// The series.
+    pub series: SeriesDataset,
+    /// Gradient-descent step size α.
+    pub step_size: f64,
+    /// Convergence tolerance on the per-coefficient movement.
+    pub convergence: f64,
+    /// Iteration budget (`MAX_ITER`).
+    pub max_iterations: usize,
+}
+
+impl ArSpec {
+    /// Instantiate the regression for this spec.
+    #[must_use]
+    pub fn model(&self) -> AutoRegression {
+        AutoRegression::from_series(
+            &self.series,
+            self.step_size,
+            self.convergence,
+            self.max_iterations,
+        )
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.series.name
+    }
+}
+
+/// The three AR rows of Table 2: HangSeng-, NASDAQ- and S&P-500-like
+/// series, order 10, tolerance 1e-13, MAX_ITER = 1000.
+#[must_use]
+pub fn ar_specs() -> Vec<ArSpec> {
+    vec![
+        ArSpec {
+            series: datasets::hang_seng_like(),
+            step_size: 0.2,
+            convergence: 1e-13,
+            max_iterations: 1000,
+        },
+        ArSpec {
+            series: datasets::nasdaq_like(),
+            step_size: 0.2,
+            convergence: 1e-13,
+            max_iterations: 1000,
+        },
+        ArSpec {
+            series: datasets::sp500_like(),
+            step_size: 0.2,
+            convergence: 1e-13,
+            max_iterations: 1000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table2_shapes() {
+        let gmm = gmm_specs();
+        assert_eq!(gmm.len(), 3);
+        assert_eq!(gmm[0].dataset.len(), 1000);
+        assert_eq!(gmm[1].dataset.len(), 1900);
+        assert_eq!(gmm[2].dataset.len(), 2350);
+        assert!(gmm.iter().all(|s| s.max_iterations == 500));
+
+        let ar = ar_specs();
+        assert_eq!(ar.len(), 3);
+        assert_eq!(ar[0].series.num_samples(), 6694);
+        assert_eq!(ar[1].series.num_samples(), 10799);
+        assert_eq!(ar[2].series.num_samples(), 16080);
+        assert!(ar.iter().all(|s| s.max_iterations == 1000));
+        assert!(ar.iter().all(|s| s.convergence == 1e-13));
+    }
+
+    #[test]
+    fn shared_profile_is_cached() {
+        let a = shared_profile();
+        let b = shared_profile();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,180 @@
+//! Experiment executors producing the rows of Tables 3 and 4.
+
+use approx_arith::{AccuracyLevel, QcsContext};
+use approxit::{
+    characterize, run, AdaptiveAngleStrategy, CharacterizationTable, IncrementalStrategy,
+    ReconfigStrategy, RunReport, SingleMode,
+};
+use iter_solvers::metrics::{hamming_distance, l2_error};
+use iter_solvers::IterativeMethod;
+
+use crate::specs::{shared_profile, ArSpec, GmmSpec};
+
+/// One row of a single-mode table (Tables 3(a) / 4(a)).
+#[derive(Debug, Clone)]
+pub struct SingleModeRow {
+    /// Configuration label (`level1`…`level4`, `Truth`).
+    pub configuration: String,
+    /// Iterations until convergence, or `MAX_ITER`.
+    pub iterations: usize,
+    /// Whether the run converged within the budget.
+    pub converged: bool,
+    /// Quality evaluation metric against the Truth run (Hamming distance
+    /// for GMM, coefficient ℓ2 error for AR).
+    pub qem: f64,
+    /// Approximate-part energy normalized to the Truth run.
+    pub energy: f64,
+}
+
+/// One row of an online-reconfiguration table (Tables 3(b) / 4(b)).
+#[derive(Debug, Clone)]
+pub struct ReconfigRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Steps spent at each level (level1..level4, acc).
+    pub steps: [usize; 5],
+    /// Total iterations.
+    pub total: usize,
+    /// QEM against the Truth run.
+    pub error: f64,
+    /// Approximate-part energy normalized to the Truth run.
+    pub energy: f64,
+    /// Rollbacks performed.
+    pub rollbacks: usize,
+}
+
+fn level_label(level: AccuracyLevel) -> String {
+    if level.is_accurate() {
+        "Truth".to_owned()
+    } else {
+        level.to_string()
+    }
+}
+
+/// Run every single-mode configuration of a method and score it with
+/// `qem` against the Truth run's final state.
+fn single_mode_rows<M, Q>(method: &M, qem: Q) -> Vec<SingleModeRow>
+where
+    M: IterativeMethod,
+    Q: Fn(&M::State, &M::State) -> f64,
+{
+    let mut ctx = QcsContext::with_profile(shared_profile().clone());
+    let truth = run(method, &mut SingleMode::accurate(), &mut ctx);
+    AccuracyLevel::ALL
+        .iter()
+        .map(|&level| {
+            let outcome = run(method, &mut SingleMode::new(level), &mut ctx);
+            SingleModeRow {
+                configuration: level_label(level),
+                iterations: outcome.report.iterations,
+                converged: outcome.report.converged,
+                qem: qem(&outcome.state, &truth.state),
+                energy: outcome.report.normalized_energy(&truth.report),
+            }
+        })
+        .collect()
+}
+
+/// Run the two reconfiguration strategies of a method.
+fn reconfig_rows<M, Q>(
+    method: &M,
+    dataset: &str,
+    table: &CharacterizationTable,
+    update_period: usize,
+    qem: Q,
+) -> Vec<ReconfigRow>
+where
+    M: IterativeMethod,
+    Q: Fn(&M::State, &M::State) -> f64,
+{
+    let mut ctx = QcsContext::with_profile(shared_profile().clone());
+    let truth = run(method, &mut SingleMode::accurate(), &mut ctx);
+    let mut strategies: Vec<Box<dyn ReconfigStrategy>> = vec![
+        Box::new(IncrementalStrategy::from_characterization(table)),
+        Box::new(AdaptiveAngleStrategy::from_characterization(
+            table,
+            update_period,
+        )),
+    ];
+    strategies
+        .iter_mut()
+        .map(|strategy| {
+            let outcome = run(method, strategy.as_mut(), &mut ctx);
+            row_from_report(
+                dataset,
+                &outcome.report,
+                qem(&outcome.state, &truth.state),
+                &truth.report,
+            )
+        })
+        .collect()
+}
+
+fn row_from_report(
+    dataset: &str,
+    report: &RunReport,
+    error: f64,
+    truth: &RunReport,
+) -> ReconfigRow {
+    ReconfigRow {
+        dataset: dataset.to_owned(),
+        strategy: report.strategy.clone(),
+        steps: report.steps_per_level,
+        total: report.iterations,
+        error,
+        energy: report.normalized_energy(truth),
+        rollbacks: report.rollbacks,
+    }
+}
+
+/// Table 3(a): GMM single-mode rows for one dataset. QEM is the Hamming
+/// distance of the hard assignments against the Truth run's assignments.
+#[must_use]
+pub fn gmm_single_mode_rows(spec: &GmmSpec) -> Vec<SingleModeRow> {
+    let gmm = spec.model();
+    let k = spec.dataset.k;
+    single_mode_rows(&gmm, |state, truth_state| {
+        hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), k) as f64
+    })
+}
+
+/// Table 3(b): GMM reconfiguration rows for one dataset.
+#[must_use]
+pub fn gmm_reconfig_rows(spec: &GmmSpec, update_period: usize) -> Vec<ReconfigRow> {
+    let gmm = spec.model();
+    let k = spec.dataset.k;
+    let table = characterize(&gmm, shared_profile(), 5);
+    reconfig_rows(
+        &gmm,
+        spec.name(),
+        &table,
+        update_period,
+        |state, truth_state| {
+            hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), k) as f64
+        },
+    )
+}
+
+/// Table 4(a): AR single-mode rows for one series. QEM is the ℓ2 error
+/// of the fitted coefficients against the Truth run's coefficients.
+#[must_use]
+pub fn ar_single_mode_rows(spec: &ArSpec) -> Vec<SingleModeRow> {
+    let ar = spec.model();
+    single_mode_rows(&ar, |state, truth_state| l2_error(state, truth_state))
+}
+
+/// Table 4(b): AR reconfiguration rows for one series.
+#[must_use]
+pub fn ar_reconfig_rows(spec: &ArSpec, update_period: usize) -> Vec<ReconfigRow> {
+    let ar = spec.model();
+    let table = characterize(&ar, shared_profile(), 5);
+    reconfig_rows(
+        &ar,
+        spec.name(),
+        &table,
+        update_period,
+        |state, truth_state| l2_error(state, truth_state),
+    )
+}

@@ -1,0 +1,434 @@
+//! The adaptive angle-based reconfiguration strategy (paper §4.2).
+//!
+//! The strategy watches the *steepness* of the objective landscape at
+//! the current iterate — the angle α between the parameter manifold's
+//! tangent plane and the base plane. A steep manifold (large α) tolerates
+//! approximation error, so a low-accuracy mode is selected; as α
+//! approaches zero near convergence, higher-accuracy modes take over.
+//!
+//! The α-ranges assigned to each mode come from a lookup table
+//! initialized offline by solving the effort-allocation LP (Equation 5)
+//! and re-solved online every `f` iterations with the freshly observed
+//! error budget `E = |f(xᵏ) − f(xᵏ⁻¹)|` (normalized; see
+//! [`AdaptiveAngleStrategy::new`]).
+
+use approx_arith::AccuracyLevel;
+use approx_linalg::vector;
+
+use crate::characterize::CharacterizationTable;
+use crate::lp::solve_effort_allocation;
+use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
+
+/// The adaptive angle-based strategy.
+///
+/// # Example
+///
+/// ```
+/// use approxit::{AdaptiveAngleStrategy, ReconfigStrategy};
+///
+/// let strategy = AdaptiveAngleStrategy::new(
+///     [0.5, 0.2, 0.05, 0.01, 0.0], // offline quality errors ε
+///     [0.55, 0.68, 0.8, 0.9, 1.0], // relative energies J
+///     0.5,                         // initial (relative) error budget
+///     1,                           // f = 1: update the LUT every step
+/// );
+/// // A generous budget makes the cheapest mode the opening move.
+/// assert!(!strategy.initial_level().is_accurate());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveAngleStrategy {
+    quality_errors: [f64; 5],
+    relative_energies: [f64; 5],
+    update_period: usize,
+    /// Cap on the online budget: a recovery iteration's huge apparent
+    /// improvement is damage repair, not real headroom, so the budget
+    /// never exceeds the characterized first-iteration improvement.
+    budget_cap: f64,
+    /// Upper α-edge (degrees) of each mode, indexed from the accurate
+    /// mode outward: `edges[0]` bounds `Accurate`, `edges[4]` is 90°.
+    edges: [f64; 5],
+    /// Reference slope for angle normalization (set on first decide).
+    reference_slope: Option<f64>,
+    /// Lowest mode index still eligible. A mode that *increased* the
+    /// objective is retired for the rest of the run (the realized
+    /// per-iteration progress of a convergent method only shrinks, so a
+    /// mode whose noise already exceeds it can never become useful
+    /// again). This runtime learning keeps the adaptive loop from
+    /// oscillating between a damaging cheap mode and accurate repair.
+    floor: usize,
+}
+
+impl AdaptiveAngleStrategy {
+    /// Create the strategy.
+    ///
+    /// `initial_budget` is the tolerable *relative* per-iteration error
+    /// used to initialize the lookup table. The paper initializes with
+    /// `E = f(x¹) − f(x⁰)` from the offline characterization; because our
+    /// quality errors ε are relative (Definition 1), the budget is
+    /// likewise normalized by the objective magnitude —
+    /// [`AdaptiveAngleStrategy::from_characterization`] does this for
+    /// you.
+    ///
+    /// # Panics
+    /// Panics if the errors/energies are negative or non-finite, the
+    /// accurate mode's error is non-zero, or `update_period` is 0.
+    #[must_use]
+    pub fn new(
+        quality_errors: [f64; 5],
+        relative_energies: [f64; 5],
+        initial_budget: f64,
+        update_period: usize,
+    ) -> Self {
+        assert!(
+            quality_errors.iter().all(|e| e.is_finite() && *e >= 0.0),
+            "quality errors must be non-negative"
+        );
+        assert!(
+            relative_energies.iter().all(|j| j.is_finite() && *j > 0.0),
+            "energies must be positive"
+        );
+        assert!(
+            quality_errors[AccuracyLevel::Accurate.index()] == 0.0,
+            "the accurate mode must have zero quality error"
+        );
+        assert!(update_period > 0, "update period f must be positive");
+        let mut strategy = Self {
+            quality_errors,
+            relative_energies,
+            update_period,
+            budget_cap: initial_budget.max(0.0),
+            edges: [0.0; 5],
+            reference_slope: None,
+            floor: 0,
+        };
+        strategy.rebuild_lut(initial_budget);
+        strategy
+    }
+
+    /// Create the strategy from an offline characterization with the
+    /// paper's default `f = 1` update period.
+    ///
+    /// The characterized quality errors are halved before entering the
+    /// lookup-table LP, for the same reason the incremental strategy's
+    /// quality scheme uses a 0.5 margin: the online budget is measured
+    /// on an already-quantized trajectory, so comparing it against the
+    /// full characterized error (bias *plus* quantization) double-counts
+    /// the quantization component.
+    #[must_use]
+    pub fn from_characterization(table: &CharacterizationTable, update_period: usize) -> Self {
+        let mut errors = table.quality_errors;
+        for e in &mut errors {
+            *e *= 0.5;
+        }
+        Self::new(
+            errors,
+            table.relative_energies,
+            table.initial_objective_drop,
+            update_period,
+        )
+    }
+
+    /// The current lookup table as `(level, α_low, α_high)` rows, from
+    /// the accurate mode outward. Exposed for inspection and the
+    /// ablation benches.
+    #[must_use]
+    pub fn lookup_table(&self) -> [(AccuracyLevel, f64, f64); 5] {
+        let mut rows = [(AccuracyLevel::Accurate, 0.0, 0.0); 5];
+        let mut low = 0.0;
+        for (slot, row) in rows.iter_mut().enumerate() {
+            // slot 0 = Accurate (index 4), slot 4 = Level1 (index 0).
+            let level = AccuracyLevel::from_index(4 - slot).expect("slot in 0..5");
+            *row = (level, low, self.edges[slot]);
+            low = self.edges[slot];
+        }
+        rows
+    }
+
+    /// Re-solve Equation (5) with the given budget and re-partition
+    /// `[0°, 90°]` into per-mode ranges: the accurate mode owns the
+    /// flattest angles, level 1 the steepest, each with an α-share equal
+    /// to its LP weight. Retired modes (below the floor) get no share.
+    fn rebuild_lut(&mut self, budget: f64) {
+        let eligible_energies = &self.relative_energies[self.floor..];
+        let eligible_errors = &self.quality_errors[self.floor..];
+        let partial = solve_effort_allocation(eligible_energies, eligible_errors, budget);
+        let mut weights = [0.0; 5];
+        weights[self.floor..].copy_from_slice(&partial);
+        let mut cumulative = 0.0;
+        for slot in 0..5 {
+            let level_index = 4 - slot;
+            cumulative += weights[level_index];
+            self.edges[slot] = 90.0 * cumulative.min(1.0);
+        }
+        // Guard against rounding: the steepest eligible mode must cover
+        // up to 90°.
+        self.edges[4] = 90.0;
+    }
+
+    /// The mode owning angle `alpha` (degrees).
+    fn mode_for_angle(&self, alpha: f64) -> AccuracyLevel {
+        for slot in 0..5 {
+            if alpha <= self.edges[slot] && self.edges[slot] > 0.0 {
+                return AccuracyLevel::from_index(4 - slot).expect("slot in 0..5");
+            }
+        }
+        AccuracyLevel::from_index(self.floor).expect("floor in 0..5")
+    }
+
+    /// Manifold steepness angle α ∈ \[0°, 90°\] at the current iterate:
+    /// `α = (180/π)·atan(3·s/s₀)` where `s` is the slope signal
+    /// (gradient norm when available, per-iteration objective progress
+    /// otherwise) and `s₀` its value at the start of the run.
+    fn angle(&mut self, obs: &IterationObservation<'_>) -> f64 {
+        let slope = match obs.gradient_curr {
+            Some(g) => vector::norm2_exact(g),
+            None => (obs.objective_curr - obs.objective_prev).abs(),
+        };
+        let reference = *self.reference_slope.get_or_insert_with(|| {
+            if obs.initial_gradient_norm > 0.0 {
+                obs.initial_gradient_norm
+            } else {
+                slope.max(1e-12)
+            }
+        });
+        (3.0 * slope / reference.max(1e-300)).atan().to_degrees()
+    }
+}
+
+impl ReconfigStrategy for AdaptiveAngleStrategy {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    /// The opening mode is the steepest-angle entry of the initial
+    /// lookup table (iterative methods start far from the optimum, where
+    /// α ≈ 90°).
+    fn initial_level(&self) -> AccuracyLevel {
+        self.mode_for_angle(90.0)
+    }
+
+    fn decide(&mut self, obs: &IterationObservation<'_>) -> Decision {
+        // Online f-step fixed update of the lookup table (§4.2.2): the
+        // fresh budget is the relative objective progress of the last
+        // iteration.
+        // A mode that damaged the objective is retired for good, and the
+        // damaged iterate is rolled back (the framework's recovery
+        // mechanism, shared with the incremental function scheme) so a
+        // single bad step cannot displace the trajectory into a
+        // different basin of attraction. The accurate mode is exempt:
+        // rolling back a deterministic exact step would replay it
+        // forever, and exact dynamics (e.g. damped oscillation of
+        // gradient descent) are allowed their transient ups.
+        if obs.objective_curr > obs.objective_prev && !obs.level.is_accurate() {
+            if obs.level.index() >= self.floor {
+                self.floor = (obs.level.index() + 1).min(4);
+            }
+            self.rebuild_lut(0.0);
+            return Decision::RollbackAndSwitch(
+                AccuracyLevel::from_index(self.floor).expect("floor in 0..5"),
+            );
+        }
+        if obs.iteration.is_multiple_of(self.update_period) {
+            // The tolerable error is the *realized* improvement: when
+            // progress stalls the budget shrinks and the lookup table
+            // tightens toward the accurate mode.
+            let progress = (obs.objective_prev - obs.objective_curr).max(0.0);
+            let budget = (progress / obs.objective_curr.abs().max(1e-300)).min(self.budget_cap);
+            self.rebuild_lut(budget);
+        }
+        let alpha = self.angle(obs);
+        let target = self.mode_for_angle(alpha);
+        if target == obs.level {
+            Decision::Keep
+        } else {
+            Decision::SwitchTo(target)
+        }
+    }
+
+    /// Same protection as the incremental strategy: a frozen iterate at
+    /// an approximate level is only trusted when the exact gradient has
+    /// collapsed (relative norm below 0.05); otherwise the level is
+    /// retired and the run continues one level up.
+    fn convergence_veto(&mut self, obs: &IterationObservation<'_>) -> Option<Decision> {
+        if obs.level.is_accurate() {
+            return None;
+        }
+        let grad = obs.gradient_curr?;
+        let ratio = vector::norm2_exact(grad) / obs.initial_gradient_norm.max(1e-300);
+        if ratio > 0.05 {
+            if obs.level.index() >= self.floor {
+                self.floor = (obs.level.index() + 1).min(4);
+                self.rebuild_lut(0.0);
+            }
+            Some(Decision::SwitchTo(
+                AccuracyLevel::from_index(self.floor).expect("floor in 0..5"),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: [f64; 5] = [0.5, 0.2, 0.05, 0.01, 0.0];
+    const J: [f64; 5] = [0.55, 0.68, 0.8, 0.9, 1.0];
+
+    fn obs<'a>(
+        iteration: usize,
+        level: AccuracyLevel,
+        f_prev: f64,
+        f_curr: f64,
+        grad_curr: Option<&'a [f64]>,
+        g0: f64,
+        params: &'a [f64],
+    ) -> IterationObservation<'a> {
+        IterationObservation {
+            iteration,
+            level,
+            objective_prev: f_prev,
+            objective_curr: f_curr,
+            params_prev: params,
+            params_curr: params,
+            gradient_prev: grad_curr,
+            gradient_curr: grad_curr,
+            initial_gradient_norm: g0,
+        }
+    }
+
+    #[test]
+    fn generous_budget_starts_cheap() {
+        let s = AdaptiveAngleStrategy::new(EPS, J, 1.0, 1);
+        assert_eq!(s.initial_level(), AccuracyLevel::Level1);
+    }
+
+    #[test]
+    fn zero_budget_starts_accurate() {
+        let s = AdaptiveAngleStrategy::new(EPS, J, 0.0, 1);
+        assert_eq!(s.initial_level(), AccuracyLevel::Accurate);
+    }
+
+    #[test]
+    fn lookup_table_partitions_0_to_90() {
+        let s = AdaptiveAngleStrategy::new(EPS, J, 0.1, 1);
+        let lut = s.lookup_table();
+        assert_eq!(lut[0].0, AccuracyLevel::Accurate);
+        assert_eq!(lut[4].0, AccuracyLevel::Level1);
+        assert_eq!(lut[0].1, 0.0);
+        assert!((lut[4].2 - 90.0).abs() < 1e-12);
+        for w in lut.windows(2) {
+            assert!((w[0].2 - w[1].1).abs() < 1e-12, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn shrinking_gradient_raises_accuracy() {
+        let mut s = AdaptiveAngleStrategy::new(EPS, J, 0.4, 1000); // no online update
+        let params = [1.0, 1.0];
+        let g_big = [10.0, 0.0];
+        let g_tiny = [1e-6, 0.0];
+        let d_big = s.decide(&obs(
+            1,
+            AccuracyLevel::Level1,
+            10.0,
+            9.0,
+            Some(&g_big),
+            10.0,
+            &params,
+        ));
+        // Steep: stays cheap (or switches among cheap modes).
+        match d_big {
+            Decision::Keep => {}
+            Decision::SwitchTo(l) => assert!(l < AccuracyLevel::Level4),
+            Decision::RollbackAndSwitch(_) => panic!("adaptive never rolls back"),
+        }
+        // With a budget of 0.4 the initial LUT contains only levels 1–2,
+        // so a vanishing gradient selects the most accurate mode the
+        // table offers.
+        let d_tiny = s.decide(&obs(
+            2,
+            AccuracyLevel::Level1,
+            9.0,
+            8.9,
+            Some(&g_tiny),
+            10.0,
+            &params,
+        ));
+        assert_eq!(d_tiny, Decision::SwitchTo(AccuracyLevel::Level2));
+    }
+
+    #[test]
+    fn online_update_reacts_to_stalled_progress() {
+        let mut s = AdaptiveAngleStrategy::new(EPS, J, 1.0, 1);
+        let params = [1.0];
+        // Progress stalls: |Δf|/|f| tiny → budget tiny → LUT collapses
+        // toward accurate; combined with a small gradient this selects
+        // the accurate mode.
+        let g = [1e-9];
+        let d = s.decide(&obs(
+            1,
+            AccuracyLevel::Level1,
+            1.0,
+            0.999_999_999,
+            Some(&g),
+            1.0,
+            &params,
+        ));
+        assert_eq!(d, Decision::SwitchTo(AccuracyLevel::Accurate));
+    }
+
+    #[test]
+    fn update_period_gates_lut_refresh() {
+        let mut s = AdaptiveAngleStrategy::new(EPS, J, 1.0, 1000);
+        let edges_before = s.edges;
+        let params = [1.0];
+        let g = [5.0];
+        // iteration 1 with period 1000: no refresh.
+        let _ = s.decide(&obs(
+            1,
+            AccuracyLevel::Level1,
+            1.0,
+            0.99,
+            Some(&g),
+            5.0,
+            &params,
+        ));
+        assert_eq!(s.edges, edges_before);
+    }
+
+    #[test]
+    fn works_without_gradients() {
+        let mut s = AdaptiveAngleStrategy::new(EPS, J, 0.5, 1);
+        let params = [1.0];
+        // Slope falls back to |Δf|; first call sets the reference.
+        let d1 = s.decide(&obs(
+            1,
+            AccuracyLevel::Level1,
+            10.0,
+            8.0,
+            None,
+            0.0,
+            &params,
+        ));
+        assert!(matches!(d1, Decision::Keep | Decision::SwitchTo(_)));
+        // Stalled progress then reads as a flat manifold.
+        let d2 = s.decide(&obs(
+            2,
+            AccuracyLevel::Level1,
+            8.0,
+            7.999_999_9,
+            None,
+            0.0,
+            &params,
+        ));
+        assert_eq!(d2, Decision::SwitchTo(AccuracyLevel::Accurate));
+    }
+
+    #[test]
+    #[should_panic(expected = "accurate mode must have zero")]
+    fn nonzero_accurate_error_panics() {
+        let _ = AdaptiveAngleStrategy::new([0.5, 0.2, 0.05, 0.01, 0.1], J, 0.5, 1);
+    }
+}

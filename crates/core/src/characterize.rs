@@ -1,0 +1,232 @@
+//! Offline characterization stage (paper §3.1).
+//!
+//! "The quality errors of different approximation modes are
+//! pre-characterized at offline stage by simulating several iterations on
+//! representative workloads": for each mode, a few iterations are
+//! replayed from the exact trajectory's states and the iteration-level
+//! quality error (Definition 1) is averaged. The same pass records the
+//! per-iteration objective drop of the exact run, which seeds the
+//! adaptive strategy's error budget `E = f(x¹) − f(x⁰)`.
+
+use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext};
+use iter_solvers::IterativeMethod;
+use serde::{Deserialize, Serialize};
+
+use crate::quality::quality_error;
+
+/// The offline characterization of one application on one hardware
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationTable {
+    /// Mean iteration-level quality error `ε` per mode (Definition 1,
+    /// objective space); the accurate mode's entry is 0 by construction.
+    pub quality_errors: [f64; 5],
+    /// Mean iteration-level *update error* per mode in parameter space:
+    /// `‖x'_approx − x'_exact‖₂ / ‖x'_exact‖₂` for one step from the
+    /// same state — the `εᵏ` of the paper's §2.1 update-error criterion,
+    /// which the incremental strategy's quality scheme compares against
+    /// the inter-iterate distance.
+    pub update_errors: [f64; 5],
+    /// Per-add energy of each mode relative to the accurate mode — the
+    /// `J` vector of Equation (5).
+    pub relative_energies: [f64; 5],
+    /// `|f(x¹) − f(x⁰)| / |f(x¹)|` of the exact run — the initial error
+    /// budget for the adaptive lookup table, normalized like the quality
+    /// errors (Definition 1) so the two are comparable in Equation (5).
+    pub initial_objective_drop: f64,
+    /// Number of characterization iterations used.
+    pub iterations: usize,
+}
+
+impl CharacterizationTable {
+    /// Quality error of a mode.
+    #[must_use]
+    pub fn quality_error(&self, level: AccuracyLevel) -> f64 {
+        self.quality_errors[level.index()]
+    }
+
+    /// Relative per-add energy of a mode.
+    #[must_use]
+    pub fn relative_energy(&self, level: AccuracyLevel) -> f64 {
+        self.relative_energies[level.index()]
+    }
+
+    /// Parameter-space update error of a mode.
+    #[must_use]
+    pub fn update_error(&self, level: AccuracyLevel) -> f64 {
+        self.update_errors[level.index()]
+    }
+}
+
+impl std::fmt::Display for CharacterizationTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "offline characterization ({} iterations, initial budget {:.3e}):",
+            self.iterations, self.initial_objective_drop
+        )?;
+        writeln!(
+            f,
+            "  {:>8} {:>12} {:>12} {:>8}",
+            "mode", "quality ε", "update ε", "energy"
+        )?;
+        for level in AccuracyLevel::ALL {
+            writeln!(
+                f,
+                "  {:>8} {:>12.3e} {:>12.3e} {:>8.3}",
+                level.to_string(),
+                self.quality_error(level),
+                self.update_error(level),
+                self.relative_energy(level),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the offline characterization on the paper-default datapath:
+/// simulate `iterations` exact steps and, from every visited state, one
+/// step per approximate mode; average the per-iteration quality errors.
+///
+/// # Panics
+/// Panics if `iterations` is 0.
+pub fn characterize<M: IterativeMethod>(
+    method: &M,
+    profile: &EnergyProfile,
+    iterations: usize,
+) -> CharacterizationTable {
+    characterize_on(
+        method,
+        &QcsContext::with_profile(profile.clone()),
+        iterations,
+    )
+}
+
+/// Like [`characterize`], but on an explicit datapath (adder, format and
+/// profile taken from `template`) — used by the width-sweep ablation.
+///
+/// # Panics
+/// Panics if `iterations` is 0.
+pub fn characterize_on<M: IterativeMethod>(
+    method: &M,
+    template: &QcsContext,
+    iterations: usize,
+) -> CharacterizationTable {
+    assert!(iterations > 0, "at least one characterization iteration");
+    let profile = template.profile();
+    let mut exact_ctx = template.clone();
+    exact_ctx.reset_counters();
+    exact_ctx.set_level(AccuracyLevel::Accurate);
+    // Exact trajectory.
+    let mut states = vec![method.initial_state()];
+    for _ in 0..iterations {
+        let next = method.step(states.last().expect("non-empty"), &mut exact_ctx);
+        states.push(next);
+    }
+    let objectives: Vec<f64> = states.iter().map(|s| method.objective(s)).collect();
+    let initial_objective_drop =
+        (objectives[0] - objectives[1]).abs() / objectives[1].abs().max(1e-300);
+
+    let exact_params: Vec<Vec<f64>> = states.iter().map(|s| method.params(s)).collect();
+
+    let mut quality_errors = [0.0f64; 5];
+    let mut update_errors = [0.0f64; 5];
+    for level in AccuracyLevel::APPROXIMATE {
+        let mut ctx = template.clone();
+        ctx.reset_counters();
+        ctx.set_level(level);
+        let mut total = 0.0;
+        let mut total_update = 0.0;
+        for (t, state) in states[..iterations].iter().enumerate() {
+            let approx_next = method.step(state, &mut ctx);
+            let f_exact = objectives[t + 1];
+            let f_approx = method.objective(&approx_next);
+            total += quality_error(f_exact, f_approx);
+            let p_approx = method.params(&approx_next);
+            let p_exact = &exact_params[t + 1];
+            let norm = approx_linalg::vector::norm2_exact(p_exact).max(1e-300);
+            total_update += approx_linalg::vector::dist2_exact(&p_approx, p_exact) / norm;
+        }
+        quality_errors[level.index()] = total / iterations as f64;
+        update_errors[level.index()] = total_update / iterations as f64;
+    }
+
+    CharacterizationTable {
+        quality_errors,
+        update_errors,
+        relative_energies: profile.relative_add_energies(),
+        initial_objective_drop,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::EnergyProfile;
+    use iter_solvers::datasets::gaussian_blobs;
+    use iter_solvers::GaussianMixture;
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    fn method() -> GaussianMixture {
+        let data = gaussian_blobs(
+            "char",
+            &[40, 40],
+            &[vec![0.0, 0.0], vec![6.0, 5.0]],
+            &[1.0, 1.0],
+            19,
+        );
+        GaussianMixture::from_dataset(&data, 1e-8, 50, 3)
+    }
+
+    #[test]
+    fn accurate_mode_has_zero_quality_error() {
+        let table = characterize(&method(), &profile(), 5);
+        assert_eq!(table.quality_error(AccuracyLevel::Accurate), 0.0);
+    }
+
+    #[test]
+    fn quality_errors_shrink_with_accuracy() {
+        let table = characterize(&method(), &profile(), 5);
+        let e = table.quality_errors;
+        assert!(
+            e[0] >= e[3],
+            "level1 error {} should dominate level4 error {}",
+            e[0],
+            e[3]
+        );
+        assert!(e[0] > 0.0, "level1 must show some quality error");
+    }
+
+    #[test]
+    fn energies_come_from_profile() {
+        let table = characterize(&method(), &profile(), 3);
+        assert_eq!(table.relative_energies, profile().relative_add_energies());
+        assert!((table.relative_energy(AccuracyLevel::Accurate) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_drop_is_positive_for_a_descending_method() {
+        let table = characterize(&method(), &profile(), 3);
+        assert!(table.initial_objective_drop > 0.0);
+    }
+
+    #[test]
+    fn display_lists_every_mode() {
+        let table = characterize(&method(), &profile(), 3);
+        let text = table.to_string();
+        assert!(text.contains("level1"));
+        assert!(text.contains("acc"));
+        assert!(text.contains("quality"));
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let a = characterize(&method(), &profile(), 4);
+        let b = characterize(&method(), &profile(), 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,394 @@
+//! The incremental reconfiguration strategy (paper §4.1).
+//!
+//! Accuracy starts at the lowest level and only ever moves to the
+//! adjacent higher level, driven by three schemes:
+//!
+//! * **gradient scheme** — error *prevention* via the direction
+//!   criterion: reconfigure whenever `∇f(xᵏ⁻¹)ᵀ(xᵏ − xᵏ⁻¹) > 0` (the
+//!   step and the descent direction make an obtuse angle);
+//! * **quality scheme** — error prevention via the update criterion:
+//!   reconfigure whenever the estimated per-iteration error `‖xᵏ‖·εᵢ`
+//!   exceeds the inter-iterate distance `‖xᵏ − xᵏ⁻¹‖`;
+//! * **function scheme** — error *recovery*: if `f(xᵏ) > f(xᵏ⁻¹)` the
+//!   iteration is rolled back and the accuracy raised.
+
+use approx_arith::AccuracyLevel;
+use approx_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+use crate::characterize::CharacterizationTable;
+use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
+
+/// Which reading of the (tersely printed) quality-scheme condition to
+/// use. The strategy's behaviour with both is studied in the ablation
+/// bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QualitySchemeVariant {
+    /// Reconfigure when `‖xᵏ‖·εᵢ > ‖xᵏ − xᵏ⁻¹‖` — the paper's prose:
+    /// "the estimated error is bigger than the distance (ℓ2 norm) of two
+    /// iterations".
+    #[default]
+    StepDistance,
+    /// Reconfigure when `|f(xᵏ) − f(xᵏ⁻¹)| < ‖xᵏ‖·εᵢ` — the boxed
+    /// formula's reading: the objective's progress is smaller than the
+    /// estimated error, i.e. progress is lost in approximation noise.
+    ObjectiveDecrease,
+}
+
+/// Configuration of the incremental strategy's schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Enable the gradient (direction-error) scheme.
+    pub gradient_scheme: bool,
+    /// Enable the quality (update-error) scheme.
+    pub quality_scheme: bool,
+    /// Enable the function (recovery/rollback) scheme.
+    pub function_scheme: bool,
+    /// Which quality-scheme condition to apply.
+    pub quality_variant: QualitySchemeVariant,
+    /// Multiplier on the characterized update error in the quality
+    /// scheme's comparison. The characterized ε includes the datapath's
+    /// quantization noise, but the observed inter-iterate distances are
+    /// themselves quantized onto the same grid, so comparing at full
+    /// scale double-counts that component; 0.5 compares against the
+    /// systematic-bias half only.
+    pub quality_margin: f64,
+}
+
+impl Default for IncrementalConfig {
+    /// All three schemes enabled with the step-distance quality variant —
+    /// the paper's configuration.
+    fn default() -> Self {
+        Self {
+            gradient_scheme: true,
+            quality_scheme: true,
+            function_scheme: true,
+            quality_variant: QualitySchemeVariant::StepDistance,
+            quality_margin: 0.5,
+        }
+    }
+}
+
+/// The incremental strategy.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::AccuracyLevel;
+/// use approxit::{IncrementalStrategy, ReconfigStrategy};
+///
+/// let strategy = IncrementalStrategy::new([0.5, 0.2, 0.05, 0.01, 0.0]);
+/// assert_eq!(strategy.initial_level(), AccuracyLevel::Level1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalStrategy {
+    quality_errors: [f64; 5],
+    config: IncrementalConfig,
+    gradient_tolerance: f64,
+}
+
+impl IncrementalStrategy {
+    /// Create the strategy from the offline-characterized per-mode
+    /// quality errors `εᵢ` (Definition 1), with the default scheme
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics if any error is negative or non-finite.
+    #[must_use]
+    pub fn new(quality_errors: [f64; 5]) -> Self {
+        Self::with_config(quality_errors, IncrementalConfig::default())
+    }
+
+    /// Create the strategy with an explicit scheme configuration (for
+    /// ablations).
+    ///
+    /// # Panics
+    /// Panics if any error is negative or non-finite.
+    #[must_use]
+    pub fn with_config(quality_errors: [f64; 5], config: IncrementalConfig) -> Self {
+        assert!(
+            quality_errors.iter().all(|e| e.is_finite() && *e >= 0.0),
+            "quality errors must be non-negative"
+        );
+        Self {
+            quality_errors,
+            config,
+            gradient_tolerance: 0.05,
+        }
+    }
+
+    /// Set the relative gradient-norm tolerance below which a frozen
+    /// iterate at an approximate level is accepted as converged (the
+    /// direction-criterion check of the convergence veto). Default 0.05.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is not positive.
+    #[must_use]
+    pub fn with_gradient_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance > 0.0, "gradient tolerance must be positive");
+        self.gradient_tolerance = tolerance;
+        self
+    }
+
+    /// Create the strategy directly from an offline characterization,
+    /// using the parameter-space update errors (the `εᵏ` of the paper's
+    /// update-error criterion, which the quality scheme compares against
+    /// the inter-iterate distance).
+    #[must_use]
+    pub fn from_characterization(table: &CharacterizationTable) -> Self {
+        Self::new(table.update_errors)
+    }
+
+    fn escalation(&self, level: AccuracyLevel) -> Decision {
+        level
+            .next_higher()
+            .map_or(Decision::Keep, Decision::SwitchTo)
+    }
+}
+
+impl ReconfigStrategy for IncrementalStrategy {
+    fn name(&self) -> &str {
+        "incremental"
+    }
+
+    /// "We always start with configuring approximate components at the
+    /// lowest accuracy level."
+    fn initial_level(&self) -> AccuracyLevel {
+        AccuracyLevel::Level1
+    }
+
+    fn decide(&mut self, obs: &IterationObservation<'_>) -> Decision {
+        // Once fully accurate there is nothing left to escalate to, and
+        // the convergence of the underlying method takes over.
+        if obs.level.is_accurate() {
+            return Decision::Keep;
+        }
+
+        // Function scheme (recovery): the objective went up — roll the
+        // iteration back and raise accuracy.
+        if self.config.function_scheme && obs.objective_curr > obs.objective_prev {
+            let next = obs
+                .level
+                .next_higher()
+                .expect("approximate levels always have a higher neighbour");
+            return Decision::RollbackAndSwitch(next);
+        }
+
+        // Gradient scheme (direction criterion, Proposition 1).
+        if self.config.gradient_scheme {
+            if let Some(grad) = obs.gradient_prev {
+                let movement: Vec<f64> = obs
+                    .params_curr
+                    .iter()
+                    .zip(obs.params_prev)
+                    .map(|(&c, &p)| c - p)
+                    .collect();
+                if vector::dot_exact(grad, &movement) > 0.0 {
+                    return self.escalation(obs.level);
+                }
+            }
+        }
+
+        // Quality scheme (update criterion).
+        if self.config.quality_scheme {
+            let eps = self.quality_errors[obs.level.index()] * self.config.quality_margin;
+            let triggered = match self.config.quality_variant {
+                QualitySchemeVariant::StepDistance => {
+                    let estimated = vector::norm2_exact(obs.params_curr) * eps;
+                    let step = vector::dist2_exact(obs.params_curr, obs.params_prev);
+                    estimated > step
+                }
+                QualitySchemeVariant::ObjectiveDecrease => {
+                    let estimated = vector::norm2_exact(obs.params_curr) * eps;
+                    (obs.objective_curr - obs.objective_prev).abs() < estimated
+                }
+            };
+            if triggered {
+                return self.escalation(obs.level);
+            }
+        }
+
+        Decision::Keep
+    }
+
+    /// A frozen iterate at an approximate level is only trusted when the
+    /// exact gradient has genuinely collapsed (Proposition 1: a point
+    /// with a large gradient is not a stationary point, so stopping
+    /// there would be the "falsely stopped" failure the function scheme
+    /// exists to catch). Methods without gradients are accepted as-is.
+    fn convergence_veto(&mut self, obs: &IterationObservation<'_>) -> Option<Decision> {
+        if obs.level.is_accurate() {
+            return None;
+        }
+        let grad = obs.gradient_curr?;
+        let ratio = vector::norm2_exact(grad) / obs.initial_gradient_norm.max(1e-300);
+        if ratio > self.gradient_tolerance {
+            Some(Decision::SwitchTo(
+                obs.level
+                    .next_higher()
+                    .expect("approximate levels have a higher neighbour"),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: [f64; 5] = [0.5, 0.2, 0.05, 0.01, 0.0];
+
+    fn obs<'a>(
+        level: AccuracyLevel,
+        f_prev: f64,
+        f_curr: f64,
+        params_prev: &'a [f64],
+        params_curr: &'a [f64],
+        grad_prev: Option<&'a [f64]>,
+    ) -> IterationObservation<'a> {
+        IterationObservation {
+            iteration: 1,
+            level,
+            objective_prev: f_prev,
+            objective_curr: f_curr,
+            params_prev,
+            params_curr,
+            gradient_prev: grad_prev,
+            gradient_curr: None,
+            initial_gradient_norm: 1.0,
+        }
+    }
+
+    #[test]
+    fn starts_at_level1() {
+        assert_eq!(
+            IncrementalStrategy::new(EPS).initial_level(),
+            AccuracyLevel::Level1
+        );
+    }
+
+    #[test]
+    fn function_scheme_rolls_back_on_objective_increase() {
+        let mut s = IncrementalStrategy::new(EPS);
+        let d = s.decide(&obs(
+            AccuracyLevel::Level2,
+            1.0,
+            1.5, // objective went UP
+            &[0.0, 0.0],
+            &[10.0, 0.0],
+            None,
+        ));
+        assert_eq!(d, Decision::RollbackAndSwitch(AccuracyLevel::Level3));
+    }
+
+    #[test]
+    fn gradient_scheme_fires_on_obtuse_direction() {
+        let mut s = IncrementalStrategy::new(EPS);
+        // Moving along +x while the gradient also points along +x:
+        // ∇f·Δx > 0 → ascent direction → escalate.
+        let d = s.decide(&obs(
+            AccuracyLevel::Level1,
+            1.0,
+            0.9,
+            &[0.0, 0.0],
+            &[100.0, 0.0], // large step so the quality scheme stays quiet
+            Some(&[1.0, 0.0]),
+        ));
+        assert_eq!(d, Decision::SwitchTo(AccuracyLevel::Level2));
+    }
+
+    #[test]
+    fn quality_scheme_fires_when_step_is_below_noise() {
+        let mut s = IncrementalStrategy::new(EPS);
+        // ‖x‖·ε₁ = 10·0.5 = 5 > ‖Δx‖ = 0.1 → escalate.
+        let d = s.decide(&obs(
+            AccuracyLevel::Level1,
+            1.0,
+            0.9,
+            &[10.0, 0.0],
+            &[10.1, 0.0],
+            Some(&[-1.0, 0.0]), // descent-aligned, gradient scheme quiet
+        ));
+        assert_eq!(d, Decision::SwitchTo(AccuracyLevel::Level2));
+    }
+
+    #[test]
+    fn healthy_iteration_keeps_mode() {
+        let mut s = IncrementalStrategy::new(EPS);
+        // Large descent-aligned step: no scheme fires.
+        let d = s.decide(&obs(
+            AccuracyLevel::Level1,
+            1.0,
+            0.5,
+            &[1.0, 1.0],
+            &[-1.0, -1.0],
+            Some(&[1.0, 1.0]), // grad·Δ = -4 < 0
+        ));
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn accurate_mode_is_terminal() {
+        let mut s = IncrementalStrategy::new(EPS);
+        let d = s.decide(&obs(
+            AccuracyLevel::Accurate,
+            1.0,
+            2.0, // even a bad iteration
+            &[0.0],
+            &[0.0],
+            None,
+        ));
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn disabled_schemes_do_not_fire() {
+        let config = IncrementalConfig {
+            gradient_scheme: false,
+            quality_scheme: false,
+            function_scheme: false,
+            quality_variant: QualitySchemeVariant::StepDistance,
+            quality_margin: 1.0,
+        };
+        let mut s = IncrementalStrategy::with_config(EPS, config);
+        let d = s.decide(&obs(
+            AccuracyLevel::Level1,
+            1.0,
+            5.0, // would trigger function scheme
+            &[10.0, 0.0],
+            &[10.0, 0.0], // would trigger quality scheme
+            Some(&[1.0, 0.0]),
+        ));
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn objective_decrease_variant_fires_on_stalled_progress() {
+        let config = IncrementalConfig {
+            gradient_scheme: false,
+            quality_scheme: true,
+            function_scheme: false,
+            quality_variant: QualitySchemeVariant::ObjectiveDecrease,
+            quality_margin: 1.0,
+        };
+        let mut s = IncrementalStrategy::with_config(EPS, config);
+        // |Δf| = 0.001 < ‖x‖·ε = 5 → escalate.
+        let d = s.decide(&obs(
+            AccuracyLevel::Level1,
+            1.0,
+            0.999,
+            &[10.0, 0.0],
+            &[0.0, 10.0],
+            None,
+        ));
+        assert_eq!(d, Decision::SwitchTo(AccuracyLevel::Level2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_errors_panic() {
+        let _ = IncrementalStrategy::new([0.1, -0.1, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! **ApproxIt** — a quality-guaranteed approximate-computing framework
+//! for iterative methods, reproducing Zhang, Yuan, Ye & Xu (DAC 2014).
+//!
+//! Iterative methods refine a solution over many steps whose accuracy
+//! requirements vary at runtime: early iterations tolerate large errors,
+//! late iterations near convergence do not. ApproxIt exploits this by
+//! running each iteration on a quality-configurable approximate adder
+//! ([`approx_arith::QcsAdder`]) and *reconfiguring* the accuracy level
+//! online, guided by monitoring quantities that the iterative method
+//! produces anyway.
+//!
+//! The crate provides:
+//!
+//! * the iteration-level [`quality_error`] metric (Definition 1) and the
+//!   offline [`characterize`] stage that measures it per mode;
+//! * the [`IncrementalStrategy`] (§4.1) with its gradient / quality /
+//!   function schemes, including rollback recovery;
+//! * the [`AdaptiveAngleStrategy`] (§4.2) with its LP-initialized,
+//!   online-updated lookup table (see [`lp`]);
+//! * a PID-controller baseline ([`PidStrategy`]) after Chippa et al.,
+//!   the design the paper argues against;
+//! * the [`run`] controller that drives any
+//!   [`iter_solvers::IterativeMethod`] under any [`ReconfigStrategy`]
+//!   with full energy/quality telemetry ([`RunReport`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use approx_arith::{EnergyProfile, QcsContext};
+//! use approxit::{characterize, run, IncrementalStrategy, SingleMode};
+//! use iter_solvers::datasets::gaussian_blobs;
+//! use iter_solvers::GaussianMixture;
+//!
+//! // A small clustering workload.
+//! let data = gaussian_blobs("demo", &[40, 40],
+//!     &[vec![0.0, 0.0], vec![7.0, 7.0]], &[0.8, 0.8], 1);
+//! let gmm = GaussianMixture::from_dataset(&data, 1e-8, 200, 3);
+//!
+//! // Offline stage: characterize per-mode quality errors.
+//! let profile = EnergyProfile::from_constants(
+//!     [1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+//! let table = characterize(&gmm, &profile, 4);
+//!
+//! // Online stage: run under the incremental strategy and compare with
+//! // the fully accurate baseline.
+//! let mut ctx = QcsContext::with_profile(profile);
+//! let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+//! let mut strategy = IncrementalStrategy::from_characterization(&table);
+//! let scaled = run(&gmm, &mut strategy, &mut ctx);
+//! assert!(scaled.report.normalized_energy(&truth.report) < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod characterize;
+mod incremental;
+mod pid;
+mod quality;
+mod report;
+mod runner;
+mod strategy;
+
+pub mod lp;
+
+pub use adaptive::AdaptiveAngleStrategy;
+pub use characterize::{characterize, characterize_on, CharacterizationTable};
+pub use incremental::{IncrementalConfig, IncrementalStrategy, QualitySchemeVariant};
+pub use pid::{PidConfig, PidStrategy};
+pub use quality::quality_error;
+pub use report::RunReport;
+pub use runner::{run, RunOutcome};
+pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
+
+// Re-export the vocabulary types downstream code always needs together
+// with this crate.
+pub use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};

@@ -1,0 +1,184 @@
+//! The small linear program behind the adaptive strategy's lookup table
+//! (paper Equation 5).
+//!
+//! ```text
+//! min  Ωᵀ J          (expected energy per iteration)
+//! s.t. Σ ωᵢ = 1, ωᵢ ≥ 0
+//!      Ωᵀ ε ≤ E      (expected per-iteration error within budget)
+//! ```
+//!
+//! With one equality and one inequality over `n = 5` variables, every
+//! vertex of the feasible polytope has at most two non-zero weights, so
+//! the exact optimum is found by enumerating single modes and mode pairs —
+//! no external solver needed (the paper resorts to Lagrange multipliers;
+//! vertex enumeration gives the same optimum exactly).
+
+/// Solve the effort-allocation LP; returns the weight vector `Ω`.
+///
+/// `energies` is the per-mode cost vector `J`, `errors` the per-mode
+/// quality-error vector `ε` (the accurate mode must have error 0), and
+/// `budget` the tolerable per-iteration error `E`.
+///
+/// The accurate mode (last entry, `ε = 0`) guarantees feasibility for
+/// every non-negative budget.
+///
+/// # Panics
+/// Panics if the vectors are empty or of different lengths, if any entry
+/// is negative or non-finite, or if no mode has zero error while the
+/// budget is 0 (infeasible).
+///
+/// # Example
+///
+/// ```
+/// use approxit::lp::solve_effort_allocation;
+///
+/// let j = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let eps = [0.8, 0.4, 0.2, 0.1, 0.0];
+/// // A generous budget lets the cheapest mode run alone...
+/// let w = solve_effort_allocation(&j, &eps, 1.0);
+/// assert!((w[0] - 1.0).abs() < 1e-12);
+/// // ...a zero budget forces the accurate mode...
+/// let w = solve_effort_allocation(&j, &eps, 0.0);
+/// assert!((w[4] - 1.0).abs() < 1e-12);
+/// // ...and an intermediate budget mixes two adjacent-cost modes.
+/// let w = solve_effort_allocation(&j, &eps, 0.3);
+/// let cost: f64 = w.iter().zip(&j).map(|(a, b)| a * b).sum();
+/// assert!(cost > 1.0 && cost < 5.0);
+/// ```
+#[must_use]
+pub fn solve_effort_allocation(energies: &[f64], errors: &[f64], budget: f64) -> Vec<f64> {
+    let n = energies.len();
+    assert!(n > 0, "at least one mode is required");
+    assert_eq!(n, errors.len(), "one error per mode required");
+    for (&j, &e) in energies.iter().zip(errors) {
+        assert!(j.is_finite() && j >= 0.0, "energies must be non-negative");
+        assert!(e.is_finite() && e >= 0.0, "errors must be non-negative");
+    }
+    let budget = budget.max(0.0);
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut consider = |cost: f64, w: Vec<f64>| {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c - 1e-15) {
+            best = Some((cost, w));
+        }
+    };
+
+    // Single-mode vertices.
+    for i in 0..n {
+        if errors[i] <= budget + 1e-15 {
+            let mut w = vec![0.0; n];
+            w[i] = 1.0;
+            consider(energies[i], w);
+        }
+    }
+    // Two-mode vertices where the error budget is tight:
+    // ωᵢ εᵢ + (1−ωᵢ) εⱼ = E with ωᵢ ∈ (0, 1).
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || (errors[i] - errors[j]).abs() < 1e-15 {
+                continue;
+            }
+            let wi = (budget - errors[j]) / (errors[i] - errors[j]);
+            if !(1e-12..=1.0 - 1e-12).contains(&wi) {
+                continue;
+            }
+            let mut w = vec![0.0; n];
+            w[i] = wi;
+            w[j] = 1.0 - wi;
+            let cost = wi * energies[i] + (1.0 - wi) * energies[j];
+            consider(cost, w);
+        }
+    }
+
+    best.map(|(_, w)| w)
+        .expect("infeasible: no mode satisfies the error budget (is the accurate mode's error 0?)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const J: [f64; 5] = [0.55, 0.68, 0.80, 0.90, 1.0];
+    const EPS: [f64; 5] = [0.5, 0.2, 0.05, 0.01, 0.0];
+
+    fn cost(w: &[f64]) -> f64 {
+        w.iter().zip(&J).map(|(a, b)| a * b).sum()
+    }
+
+    fn err(w: &[f64]) -> f64 {
+        w.iter().zip(&EPS).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        for budget in [0.0, 0.005, 0.03, 0.1, 0.3, 0.7] {
+            let w = solve_effort_allocation(&J, &EPS, budget);
+            let total: f64 = w.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "budget {budget}: sum {total}");
+            assert!(w.iter().all(|&x| x >= 0.0));
+            assert!(
+                err(&w) <= budget + 1e-9,
+                "budget {budget} violated: {}",
+                err(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_budget() {
+        let budgets = [0.0, 0.001, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0];
+        let costs: Vec<f64> = budgets
+            .iter()
+            .map(|&b| cost(&solve_effort_allocation(&J, &EPS, b)))
+            .collect();
+        for pair in costs.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "costs {costs:?}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_forces_accurate() {
+        let w = solve_effort_allocation(&J, &EPS, 0.0);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_budget_frees_cheapest_mode() {
+        let w = solve_effort_allocation(&J, &EPS, 10.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_budget_mixes_exactly_two_modes() {
+        let w = solve_effort_allocation(&J, &EPS, 0.1);
+        let nonzero = w.iter().filter(|&&x| x > 1e-9).count();
+        assert!(nonzero <= 2, "weights {w:?}");
+        // The budget should be fully used (tight) at the optimum.
+        assert!((err(&w) - 0.1).abs() < 1e-9, "slack budget: {}", err(&w));
+    }
+
+    #[test]
+    fn optimum_beats_any_single_feasible_mode() {
+        let budget = 0.08;
+        let w = solve_effort_allocation(&J, &EPS, budget);
+        let best_single = J
+            .iter()
+            .zip(&EPS)
+            .filter(|(_, &e)| e <= budget)
+            .map(|(&j, _)| j)
+            .fold(f64::INFINITY, f64::min);
+        assert!(cost(&w) <= best_single + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_without_exact_mode_panics() {
+        let _ = solve_effort_allocation(&[1.0, 2.0], &[0.5, 0.3], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one error per mode")]
+    fn mismatched_lengths_panic() {
+        let _ = solve_effort_allocation(&[1.0], &[0.1, 0.2], 0.5);
+    }
+}

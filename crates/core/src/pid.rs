@@ -1,0 +1,200 @@
+//! PID-controller baseline after Chippa et al. (TECS 2013).
+//!
+//! The paper's motivation section (§2.3) contrasts ApproxIt with the
+//! dynamic-effort-scaling design of [3]: an algorithm-level *sensor*
+//! (e.g. the relative per-iteration progress, or k-means' mean centroid
+//! distance) feeds a proportional–integral–derivative controller that
+//! nudges the effort knob. The design has no notion of the application's
+//! convergence structure and therefore no final-quality guarantee —
+//! which the ablation bench demonstrates empirically.
+
+use approx_arith::AccuracyLevel;
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
+
+/// PID gains and setpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Target relative objective improvement per iteration.
+    pub setpoint: f64,
+}
+
+impl Default for PidConfig {
+    fn default() -> Self {
+        Self {
+            kp: 2.0,
+            ki: 0.5,
+            kd: 0.5,
+            setpoint: 0.01,
+        }
+    }
+}
+
+/// The PID baseline strategy.
+///
+/// The sensor is the relative per-iteration improvement
+/// `s = (f(xᵏ⁻¹) − f(xᵏ)) / |f(xᵏ⁻¹)|`; the control error is
+/// `setpoint − s` (positive when progress is too slow). The control
+/// output is quantized to a level *change*: the controller raises
+/// accuracy when it is positive, lowers it when clearly negative.
+#[derive(Debug, Clone)]
+pub struct PidStrategy {
+    config: PidConfig,
+    integral: f64,
+    previous_error: Option<f64>,
+}
+
+impl PidStrategy {
+    /// Create a baseline controller with the given gains.
+    #[must_use]
+    pub fn new(config: PidConfig) -> Self {
+        Self {
+            config,
+            integral: 0.0,
+            previous_error: None,
+        }
+    }
+}
+
+impl Default for PidStrategy {
+    fn default() -> Self {
+        Self::new(PidConfig::default())
+    }
+}
+
+impl ReconfigStrategy for PidStrategy {
+    fn name(&self) -> &str {
+        "pid-baseline"
+    }
+
+    fn initial_level(&self) -> AccuracyLevel {
+        AccuracyLevel::Level1
+    }
+
+    fn decide(&mut self, obs: &IterationObservation<'_>) -> Decision {
+        let sensor =
+            (obs.objective_prev - obs.objective_curr) / obs.objective_prev.abs().max(1e-300);
+        let error = self.config.setpoint - sensor;
+        self.integral += error;
+        // Basic anti-windup clamp.
+        self.integral = self.integral.clamp(-10.0, 10.0);
+        let derivative = self.previous_error.map_or(0.0, |prev| error - prev);
+        self.previous_error = Some(error);
+        let control =
+            self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
+
+        let current = obs.level.index() as i64;
+        let target = if control > 0.5 {
+            current + 1
+        } else if control < -0.5 {
+            current - 1
+        } else {
+            current
+        };
+        let target = target.clamp(0, 4) as usize;
+        let target_level = AccuracyLevel::from_index(target).expect("clamped to 0..=4");
+        if target_level == obs.level {
+            Decision::Keep
+        } else {
+            Decision::SwitchTo(target_level)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(
+        level: AccuracyLevel,
+        f_prev: f64,
+        f_curr: f64,
+        p: &'a [f64],
+    ) -> IterationObservation<'a> {
+        IterationObservation {
+            iteration: 1,
+            level,
+            objective_prev: f_prev,
+            objective_curr: f_curr,
+            params_prev: p,
+            params_curr: p,
+            gradient_prev: None,
+            gradient_curr: None,
+            initial_gradient_norm: 0.0,
+        }
+    }
+
+    #[test]
+    fn slow_progress_raises_accuracy() {
+        // Sustained zero progress: integral pressure must escalate
+        // within a few iterations.
+        let mut pid = PidStrategy::default();
+        let p = [1.0];
+        let mut level = AccuracyLevel::Level2;
+        for _ in 0..400 {
+            if let Decision::SwitchTo(next) = pid.decide(&obs(level, 1.0, 1.0, &p)) {
+                level = next;
+                break;
+            }
+        }
+        assert_eq!(level, AccuracyLevel::Level3);
+    }
+
+    #[test]
+    fn fast_progress_lowers_accuracy() {
+        let mut pid = PidStrategy::default();
+        let p = [1.0];
+        // Huge progress: sensor 0.5 >> setpoint → negative control.
+        let d = pid.decide(&obs(AccuracyLevel::Level3, 1.0, 0.5, &p));
+        assert_eq!(d, Decision::SwitchTo(AccuracyLevel::Level2));
+    }
+
+    #[test]
+    fn control_saturates_at_extreme_levels() {
+        let mut pid = PidStrategy::default();
+        let p = [1.0];
+        let d = pid.decide(&obs(AccuracyLevel::Accurate, 1.0, 1.0, &p));
+        assert_eq!(d, Decision::Keep); // cannot go above accurate
+        let mut pid = PidStrategy::default();
+        let d = pid.decide(&obs(AccuracyLevel::Level1, 1.0, 0.2, &p));
+        assert_eq!(d, Decision::Keep); // cannot go below level1
+    }
+
+    #[test]
+    fn integral_accumulates_pressure() {
+        // Progress slightly below setpoint: each step adds integral
+        // pressure until the controller escalates.
+        let config = PidConfig {
+            kp: 0.1,
+            ki: 0.3,
+            kd: 0.0,
+            setpoint: 0.01,
+        };
+        let mut pid = PidStrategy::new(config);
+        let p = [1.0];
+        let mut switched = false;
+        for _ in 0..400 {
+            if pid.decide(&obs(AccuracyLevel::Level1, 1.0, 0.999, &p)) != Decision::Keep {
+                switched = true;
+                break;
+            }
+        }
+        assert!(switched, "integral action never escalated");
+    }
+
+    #[test]
+    fn pid_never_rolls_back() {
+        let mut pid = PidStrategy::default();
+        let p = [1.0];
+        // Even on an objective increase (which ApproxIt would roll back).
+        let d = pid.decide(&obs(AccuracyLevel::Level2, 1.0, 2.0, &p));
+        assert!(!matches!(d, Decision::RollbackAndSwitch(_)));
+    }
+}

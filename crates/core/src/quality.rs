@@ -1,0 +1,57 @@
+//! The iteration-level *quality error* metric (paper Definition 1).
+
+/// Relative difference between the accurate and approximate results of
+/// one iteration:
+///
+/// ```text
+/// ε = |f(x) − f'(x)| / |f(x)|
+/// ```
+///
+/// When the accurate value is (numerically) zero the absolute difference
+/// is returned instead, so the metric stays finite.
+///
+/// # Example
+///
+/// ```
+/// use approxit::quality_error;
+///
+/// assert!((quality_error(2.0, 2.1) - 0.05).abs() < 1e-12);
+/// assert_eq!(quality_error(0.0, 0.3), 0.3); // absolute fallback
+/// assert_eq!(quality_error(-4.0, -4.0), 0.0);
+/// ```
+#[must_use]
+pub fn quality_error(accurate: f64, approximate: f64) -> f64 {
+    let diff = (accurate - approximate).abs();
+    if accurate.abs() < 1e-300 {
+        diff
+    } else {
+        diff / accurate.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_result_has_zero_error() {
+        assert_eq!(quality_error(3.5, 3.5), 0.0);
+        assert_eq!(quality_error(-1e10, -1e10), 0.0);
+    }
+
+    #[test]
+    fn error_is_relative() {
+        assert!((quality_error(10.0, 11.0) - 0.1).abs() < 1e-12);
+        assert!((quality_error(-10.0, -11.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_is_symmetric_in_sign_of_deviation() {
+        assert_eq!(quality_error(10.0, 11.0), quality_error(10.0, 9.0));
+    }
+
+    #[test]
+    fn zero_accurate_value_falls_back_to_absolute() {
+        assert_eq!(quality_error(0.0, 0.25), 0.25);
+    }
+}

@@ -1,0 +1,250 @@
+//! Run reports: the telemetry every experiment table is built from.
+
+use approx_arith::{AccuracyLevel, OpCounts};
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one run of an iterative method under a
+/// reconfiguration strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Method name (e.g. `"gmm-em"`).
+    pub method: String,
+    /// Strategy name (e.g. `"incremental"`).
+    pub strategy: String,
+    /// Total iterations executed, including rolled-back ones.
+    pub iterations: usize,
+    /// Whether the run stopped on the method's convergence criterion
+    /// (as opposed to exhausting `MAX_ITER`).
+    pub converged: bool,
+    /// Iterations spent at each accuracy level (the paper's "Steps on
+    /// Single Components" columns), indexed by [`AccuracyLevel::index`].
+    pub steps_per_level: [usize; 5],
+    /// Number of rollbacks performed by the function scheme.
+    pub rollbacks: usize,
+    /// Energy of the approximate part (the paper's "Energy" column,
+    /// before normalization against Truth).
+    pub approx_energy: f64,
+    /// Total energy including the exact multiplier/divider datapath.
+    pub total_energy: f64,
+    /// Approximate-part energy of each iteration, in order.
+    pub energy_per_iteration: Vec<f64>,
+    /// The accuracy level each iteration ran at, in order.
+    pub level_schedule: Vec<AccuracyLevel>,
+    /// Exact objective of the final state.
+    pub final_objective: f64,
+    /// Operation counters of the run.
+    pub op_counts: OpCounts,
+}
+
+impl RunReport {
+    /// Sum of the per-level step counts (equals
+    /// [`RunReport::iterations`]).
+    #[must_use]
+    pub fn total_steps(&self) -> usize {
+        self.steps_per_level.iter().sum()
+    }
+
+    /// Steps spent at one level.
+    #[must_use]
+    pub fn steps_at(&self, level: AccuracyLevel) -> usize {
+        self.steps_per_level[level.index()]
+    }
+
+    /// Mean approximate-part energy per iteration.
+    #[must_use]
+    pub fn energy_per_iteration_mean(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.approx_energy / self.iterations as f64
+        }
+    }
+
+    /// This run's approximate-part energy normalized by a baseline's
+    /// (the paper's tables normalize against the `Truth` run).
+    ///
+    /// # Panics
+    /// Panics if the baseline consumed no energy.
+    #[must_use]
+    pub fn normalized_energy(&self, baseline: &RunReport) -> f64 {
+        assert!(
+            baseline.approx_energy > 0.0,
+            "baseline run consumed no energy"
+        );
+        self.approx_energy / baseline.approx_energy
+    }
+
+    /// Header line for [`RunReport::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "method,strategy,iterations,converged,steps_level1,steps_level2,\
+         steps_level3,steps_level4,steps_acc,rollbacks,approx_energy,\
+         total_energy,final_objective,adds,muls,divs"
+    }
+
+    /// One CSV row with the run's summary statistics, for spreadsheet or
+    /// pandas-style post-processing of experiment sweeps.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use approxit::RunReport;
+    ///
+    /// let header = RunReport::csv_header();
+    /// assert_eq!(header.split(',').count(), 16);
+    /// ```
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.method,
+            self.strategy,
+            self.iterations,
+            self.converged,
+            self.steps_per_level[0],
+            self.steps_per_level[1],
+            self.steps_per_level[2],
+            self.steps_per_level[3],
+            self.steps_per_level[4],
+            self.rollbacks,
+            self.approx_energy,
+            self.total_energy,
+            self.final_objective,
+            self.op_counts.adds,
+            self.op_counts.muls,
+            self.op_counts.divs,
+        )
+    }
+
+    /// The level schedule as a compact run-length string, e.g.
+    /// `"1x level1, 40x level3, 2x level4"`.
+    #[must_use]
+    pub fn schedule_summary(&self) -> String {
+        let mut runs: Vec<(AccuracyLevel, usize)> = Vec::new();
+        for &level in &self.level_schedule {
+            match runs.last_mut() {
+                Some((l, count)) if *l == level => *count += 1,
+                _ => runs.push((level, 1)),
+            }
+        }
+        runs.iter()
+            .map(|(l, c)| format!("{c}x {l}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} / {}: {} iterations ({}), {} rollbacks",
+            self.method,
+            self.strategy,
+            self.iterations,
+            if self.converged {
+                "converged"
+            } else {
+                "MAX_ITER"
+            },
+            self.rollbacks,
+        )?;
+        write!(f, "  steps:")?;
+        for level in AccuracyLevel::ALL {
+            write!(f, " {}={}", level, self.steps_at(level))?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  energy: approx {:.4}, total {:.4}; final f = {:.6e}",
+            self.approx_energy, self.total_energy, self.final_objective
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            method: "m".into(),
+            strategy: "s".into(),
+            iterations: 10,
+            converged: true,
+            steps_per_level: [3, 2, 2, 2, 1],
+            rollbacks: 1,
+            approx_energy: 50.0,
+            total_energy: 80.0,
+            energy_per_iteration: vec![5.0; 10],
+            level_schedule: vec![AccuracyLevel::Level1; 10],
+            final_objective: 0.5,
+            op_counts: OpCounts::default(),
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let r = sample();
+        assert_eq!(r.total_steps(), 10);
+        assert_eq!(r.steps_at(AccuracyLevel::Accurate), 1);
+        assert!((r.energy_per_iteration_mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let r = sample();
+        let mut truth = sample();
+        truth.approx_energy = 100.0;
+        assert!((r.normalized_energy(&truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let text = sample().to_string();
+        assert!(text.contains("converged"));
+        assert!(text.contains("level1=3"));
+        assert!(text.contains("acc=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline run consumed no energy")]
+    fn zero_baseline_panics() {
+        let r = sample();
+        let mut zero = sample();
+        zero.approx_energy = 0.0;
+        let _ = r.normalized_energy(&zero);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = sample();
+        let row = r.to_csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            RunReport::csv_header().split(',').count()
+        );
+        assert!(row.starts_with("m,s,10,true,3,2,2,2,1,1,"));
+    }
+
+    #[test]
+    fn schedule_summary_run_length_encodes() {
+        let mut r = sample();
+        r.level_schedule = vec![
+            AccuracyLevel::Level1,
+            AccuracyLevel::Level1,
+            AccuracyLevel::Level3,
+            AccuracyLevel::Accurate,
+            AccuracyLevel::Accurate,
+            AccuracyLevel::Accurate,
+        ];
+        assert_eq!(r.schedule_summary(), "2x level1, 1x level3, 3x acc");
+    }
+
+    #[test]
+    fn empty_schedule_summary_is_empty() {
+        let mut r = sample();
+        r.level_schedule.clear();
+        assert_eq!(r.schedule_summary(), "");
+    }
+}

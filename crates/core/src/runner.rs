@@ -1,0 +1,307 @@
+//! The online reconfiguration controller: drives any
+//! [`IterativeMethod`] under a [`ReconfigStrategy`] with full telemetry.
+
+use approx_arith::ArithContext;
+use approx_linalg::vector;
+use iter_solvers::IterativeMethod;
+
+use crate::report::RunReport;
+use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
+
+/// Result of a run: the final state plus its report.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<S> {
+    /// The final iterate.
+    pub state: S,
+    /// Telemetry of the run.
+    pub report: RunReport,
+}
+
+/// Drive `method` to convergence (or `MAX_ITER`) under `strategy` on the
+/// datapath `ctx`.
+///
+/// Control flow per iteration (paper Figure 1's online stage):
+///
+/// 1. run one step at the current level, metering its energy;
+/// 2. compute the exact monitoring quantities (objective, parameters,
+///    gradient — all available "for free" alongside the method);
+/// 3. check the method's own convergence criterion. A converged iterate
+///    is accepted if the final step did not increase the objective *and*
+///    the strategy’s [`ReconfigStrategy::convergence_veto`] allows it — the veto is how a
+///    reconfiguration strategy rejects being "falsely stopped" at an
+///    approximate level (single-mode baselines never veto and stop like
+///    raw hardware would). A vetoed or ascending freeze falls through to
+///    reconfiguration;
+/// 4. otherwise ask the strategy for a decision:
+///    * `Keep` — commit the iterate;
+///    * `SwitchTo` — commit the iterate and reconfigure;
+///    * `RollbackAndSwitch` — discard the iterate, restore `xᵏ⁻¹`, and
+///      reconfigure (the function scheme's recovery; the discarded
+///      iteration's energy remains charged, as it would be in
+///      hardware).
+///
+/// The context's counters are reset at the start so the report reflects
+/// this run only; the context's level is managed by the runner.
+///
+/// The context is any [`ArithContext`] — the
+/// [`approx_arith::QcsContext`] hardware model in normal use, or a
+/// decorated one (e.g.
+/// [`approx_arith::FaultInjector`]) for failure-injection studies.
+pub fn run<M: IterativeMethod, C: ArithContext>(
+    method: &M,
+    strategy: &mut dyn ReconfigStrategy,
+    ctx: &mut C,
+) -> RunOutcome<M::State> {
+    ctx.reset_counters();
+    ctx.set_level(strategy.initial_level());
+
+    let mut state = method.initial_state();
+    let mut objective_prev = method.objective(&state);
+    let mut params_prev = method.params(&state);
+    let mut gradient_prev = method.gradient(&state);
+    let initial_gradient_norm = gradient_prev.as_deref().map_or(0.0, vector::norm2_exact);
+
+    let mut steps_per_level = [0usize; 5];
+    let mut rollbacks = 0usize;
+    let mut energy_per_iteration = Vec::new();
+    let mut level_schedule = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0usize;
+
+    while iterations < method.max_iterations() {
+        let level = ctx.level();
+        let energy_before = ctx.approx_energy();
+        let next = method.step(&state, ctx);
+        iterations += 1;
+        steps_per_level[level.index()] += 1;
+        energy_per_iteration.push(ctx.approx_energy() - energy_before);
+        level_schedule.push(level);
+
+        let objective_curr = method.objective(&next);
+        let params_curr = method.params(&next);
+        let gradient_curr = method.gradient(&next);
+
+        let observation = IterationObservation {
+            iteration: iterations,
+            level,
+            objective_prev,
+            objective_curr,
+            params_prev: &params_prev,
+            params_curr: &params_curr,
+            gradient_prev: gradient_prev.as_deref(),
+            gradient_curr: gradient_curr.as_deref(),
+            initial_gradient_norm,
+        };
+
+        let decision = if method.converged(&state, &next) && objective_curr <= objective_prev {
+            match strategy.convergence_veto(&observation) {
+                None => {
+                    state = next;
+                    converged = true;
+                    break;
+                }
+                Some(veto) => veto,
+            }
+        } else {
+            strategy.decide(&observation)
+        };
+
+        match decision {
+            Decision::Keep => {
+                state = next;
+                objective_prev = objective_curr;
+                params_prev = params_curr;
+                gradient_prev = gradient_curr;
+            }
+            Decision::SwitchTo(new_level) => {
+                ctx.set_level(new_level);
+                state = next;
+                objective_prev = objective_curr;
+                params_prev = params_curr;
+                gradient_prev = gradient_curr;
+            }
+            Decision::RollbackAndSwitch(new_level) => {
+                ctx.set_level(new_level);
+                rollbacks += 1;
+                // `state`, `objective_prev`, `params_prev`,
+                // `gradient_prev` all stay at xᵏ⁻¹.
+            }
+        }
+    }
+
+    let report = RunReport {
+        method: method.name().to_owned(),
+        strategy: strategy.name().to_owned(),
+        iterations,
+        converged,
+        steps_per_level,
+        rollbacks,
+        approx_energy: ctx.approx_energy(),
+        total_energy: ctx.total_energy(),
+        energy_per_iteration,
+        level_schedule,
+        final_objective: method.objective(&state),
+        op_counts: ctx.counts(),
+    };
+    RunOutcome { state, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveAngleStrategy;
+    use crate::characterize::characterize;
+    use crate::incremental::IncrementalStrategy;
+    use crate::strategy::SingleMode;
+    use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};
+    use iter_solvers::datasets::gaussian_blobs;
+    use iter_solvers::metrics::hamming_distance;
+    use iter_solvers::GaussianMixture;
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    /// Moderately separated clusters: EM needs ~45 iterations, giving
+    /// effort scaling room to act while the ground truth stays
+    /// recoverable.
+    fn data() -> iter_solvers::datasets::ClusterDataset {
+        gaussian_blobs(
+            "runner",
+            &[70, 70, 70],
+            &[vec![0.0, 0.0], vec![4.8, 0.8], vec![1.8, 4.4]],
+            &[1.1, 1.1, 1.1],
+            23,
+        )
+    }
+
+    #[test]
+    fn truth_run_converges_at_accurate() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let outcome = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        assert!(outcome.report.converged);
+        assert_eq!(
+            outcome.report.steps_at(AccuracyLevel::Accurate),
+            outcome.report.iterations
+        );
+        assert_eq!(outcome.report.rollbacks, 0);
+        // The clusters overlap, so ground-truth labels are not exactly
+        // recoverable — but a converged fit must be far better than
+        // chance.
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &d.labels, 3);
+        assert!(qem < d.points.len() / 4, "truth qem {qem}");
+    }
+
+    #[test]
+    fn single_mode_level1_is_cheap_and_wrong() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let l1 = run(&gmm, &mut SingleMode::new(AccuracyLevel::Level1), &mut ctx);
+        // Cheap per iteration...
+        assert!(l1.report.energy_per_iteration_mean() < truth.report.energy_per_iteration_mean());
+        // ...but a degraded clustering.
+        let qem = hamming_distance(&gmm.assignments(&l1.state), &d.labels, 3);
+        assert!(qem > 0, "level1 accidentally produced a perfect result");
+    }
+
+    #[test]
+    fn incremental_reaches_truth_quality() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let table = characterize(&gmm, &profile(), 5);
+        let mut ctx = QcsContext::with_profile(profile());
+        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth_labels = gmm.assignments(&truth.state);
+        let mut strategy = IncrementalStrategy::from_characterization(&table);
+        let outcome = run(&gmm, &mut strategy, &mut ctx);
+        assert!(outcome.report.converged, "incremental did not converge");
+        // The paper's quality guarantee: reconfiguration matches the
+        // Truth run's output (zero Hamming distance against it).
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        assert_eq!(qem, 0, "incremental must match Truth quality");
+        // Energy stays in Truth's ballpark on this fast-converging
+        // dataset (the savings headline is measured on the full
+        // benchmark datasets); it must never blow up like single-mode
+        // over-approximation does.
+        assert!(
+            outcome.report.normalized_energy(&truth.report) < 1.2,
+            "energy blow-up: {}",
+            outcome.report.normalized_energy(&truth.report)
+        );
+        // The level schedule must be monotone (incremental never lowers
+        // accuracy).
+        for w in outcome.report.level_schedule.windows(2) {
+            assert!(w[0] <= w[1], "incremental lowered accuracy");
+        }
+    }
+
+    #[test]
+    fn adaptive_reaches_truth_quality() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let table = characterize(&gmm, &profile(), 5);
+        let mut ctx = QcsContext::with_profile(profile());
+        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth_labels = gmm.assignments(&truth.state);
+        let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
+        let outcome = run(&gmm, &mut strategy, &mut ctx);
+        assert!(outcome.report.converged, "adaptive did not converge");
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        assert_eq!(qem, 0, "adaptive must match Truth quality");
+        assert!(outcome.report.normalized_energy(&truth.report) < 1.3);
+    }
+
+    #[test]
+    fn strategies_save_energy_on_slow_workloads() {
+        // Heavily overlapping clusters: EM converges slowly, so the
+        // cheap mid-run phases dominate and both strategies beat Truth.
+        let d = gaussian_blobs(
+            "slow",
+            &[70, 70, 70],
+            &[vec![0.0, 0.0], vec![3.6, 0.6], vec![1.4, 3.2]],
+            &[1.2, 1.2, 1.2],
+            23,
+        );
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let table = characterize(&gmm, &profile(), 5);
+        let mut ctx = QcsContext::with_profile(profile());
+        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth_labels = gmm.assignments(&truth.state);
+        for (name, strategy) in [
+            (
+                "incremental",
+                &mut IncrementalStrategy::from_characterization(&table)
+                    as &mut dyn crate::strategy::ReconfigStrategy,
+            ),
+            (
+                "adaptive",
+                &mut AdaptiveAngleStrategy::from_characterization(&table, 1),
+            ),
+        ] {
+            let outcome = run(&gmm, strategy, &mut ctx);
+            assert!(outcome.report.converged, "{name} did not converge");
+            let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+            assert_eq!(qem, 0, "{name} must match Truth quality");
+            let energy = outcome.report.normalized_energy(&truth.report);
+            assert!(energy < 1.0, "{name} saved no energy: {energy}");
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let outcome = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let r = &outcome.report;
+        assert_eq!(r.total_steps(), r.iterations);
+        assert_eq!(r.energy_per_iteration.len(), r.iterations);
+        assert_eq!(r.level_schedule.len(), r.iterations);
+        let energy_sum: f64 = r.energy_per_iteration.iter().sum();
+        assert!((energy_sum - r.approx_energy).abs() < 1e-6 * r.approx_energy);
+    }
+}

@@ -1,0 +1,160 @@
+//! The reconfiguration-strategy abstraction and the single-mode
+//! baseline.
+
+use approx_arith::AccuracyLevel;
+
+/// Everything a strategy may inspect after one iteration — all quantities
+/// that are "already available along with conducting IMs" (paper §4.1),
+/// so observing them adds negligible overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationObservation<'a> {
+    /// 1-based iteration index.
+    pub iteration: usize,
+    /// The level the iteration just ran at.
+    pub level: AccuracyLevel,
+    /// Exact objective before the iteration, `f(xᵏ⁻¹)`.
+    pub objective_prev: f64,
+    /// Exact objective after the iteration, `f(xᵏ)`.
+    pub objective_curr: f64,
+    /// Parameter vector before the iteration, `xᵏ⁻¹`.
+    pub params_prev: &'a [f64],
+    /// Parameter vector after the iteration, `xᵏ`.
+    pub params_curr: &'a [f64],
+    /// Exact gradient at the previous iterate, `∇f(xᵏ⁻¹)`, if the method
+    /// provides one.
+    pub gradient_prev: Option<&'a [f64]>,
+    /// Exact gradient at the current iterate, `∇f(xᵏ)`, if available.
+    pub gradient_curr: Option<&'a [f64]>,
+    /// ‖∇f(x⁰)‖₂ of this run (0 if the method has no gradient) — the
+    /// normalization reference for the adaptive strategy's angle.
+    pub initial_gradient_norm: f64,
+}
+
+/// What the controller should do before the next iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current mode.
+    Keep,
+    /// Reconfigure to the given mode for the next iteration.
+    SwitchTo(AccuracyLevel),
+    /// Discard the iteration just performed (restore `xᵏ⁻¹`) and
+    /// reconfigure — the recovery action of the function scheme.
+    RollbackAndSwitch(AccuracyLevel),
+}
+
+/// An online reconfiguration strategy (paper §4).
+///
+/// Strategies are stateful (`decide` takes `&mut self`): the adaptive
+/// strategy updates its lookup table at runtime, and the PID baseline
+/// integrates its error signal. Construct a fresh strategy per run.
+pub trait ReconfigStrategy {
+    /// Strategy name for reports.
+    fn name(&self) -> &str;
+
+    /// The mode the first iteration runs at.
+    fn initial_level(&self) -> AccuracyLevel;
+
+    /// Inspect the completed iteration and decide how to proceed.
+    fn decide(&mut self, observation: &IterationObservation<'_>) -> Decision;
+
+    /// Called when the method's own convergence criterion fired on the
+    /// just-completed iteration. Returning `Some(decision)` *vetoes*
+    /// acceptance (the paper's protection against being "falsely stopped
+    /// … caused by approximation"): the decision is applied and the run
+    /// continues. Returning `None` accepts the converged iterate.
+    ///
+    /// The default accepts every convergence — the single-mode
+    /// configurations stop exactly like raw hardware would, wrong
+    /// results included.
+    fn convergence_veto(&mut self, observation: &IterationObservation<'_>) -> Option<Decision> {
+        let _ = observation;
+        None
+    }
+}
+
+/// The trivial strategy: one fixed mode for the whole run — the paper's
+/// single-mode configurations (Tables 3(a) and 4(a)) and the `Truth`
+/// baseline (`SingleMode::accurate()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleMode {
+    level: AccuracyLevel,
+    name: &'static str,
+}
+
+impl SingleMode {
+    /// Run everything at the given level.
+    #[must_use]
+    pub fn new(level: AccuracyLevel) -> Self {
+        let name = match level {
+            AccuracyLevel::Level1 => "single/level1",
+            AccuracyLevel::Level2 => "single/level2",
+            AccuracyLevel::Level3 => "single/level3",
+            AccuracyLevel::Level4 => "single/level4",
+            AccuracyLevel::Accurate => "truth",
+        };
+        Self { level, name }
+    }
+
+    /// The fully accurate baseline (`Truth`).
+    #[must_use]
+    pub fn accurate() -> Self {
+        Self::new(AccuracyLevel::Accurate)
+    }
+}
+
+impl ReconfigStrategy for SingleMode {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn initial_level(&self) -> AccuracyLevel {
+        self.level
+    }
+
+    fn decide(&mut self, _observation: &IterationObservation<'_>) -> Decision {
+        Decision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_observation<'a>(params: &'a [f64]) -> IterationObservation<'a> {
+        IterationObservation {
+            iteration: 1,
+            level: AccuracyLevel::Level1,
+            objective_prev: 1.0,
+            objective_curr: 0.5,
+            params_prev: params,
+            params_curr: params,
+            gradient_prev: None,
+            gradient_curr: None,
+            initial_gradient_norm: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_mode_never_switches() {
+        let mut s = SingleMode::new(AccuracyLevel::Level2);
+        let params = [1.0, 2.0];
+        assert_eq!(s.initial_level(), AccuracyLevel::Level2);
+        for _ in 0..10 {
+            assert_eq!(s.decide(&dummy_observation(&params)), Decision::Keep);
+        }
+    }
+
+    #[test]
+    fn truth_baseline_is_accurate() {
+        let s = SingleMode::accurate();
+        assert_eq!(s.initial_level(), AccuracyLevel::Accurate);
+        assert_eq!(s.name(), "truth");
+    }
+
+    #[test]
+    fn strategies_are_object_safe() {
+        let mut s = SingleMode::new(AccuracyLevel::Level1);
+        let dynamic: &mut dyn ReconfigStrategy = &mut s;
+        assert_eq!(dynamic.name(), "single/level1");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the LP, the lookup table, and the
+//! strategies' decision functions.
+
+use approx_arith::AccuracyLevel;
+use approxit::lp::solve_effort_allocation;
+use approxit::{
+    AdaptiveAngleStrategy, Decision, IncrementalStrategy, IterationObservation, ReconfigStrategy,
+};
+use proptest::prelude::*;
+
+/// Strictly decreasing error vectors with a zero accurate entry, and
+/// increasing positive energy vectors.
+fn mode_vectors() -> impl Strategy<Value = ([f64; 5], [f64; 5])> {
+    (
+        proptest::collection::vec(1e-6f64..1.0, 4),
+        proptest::collection::vec(0.01f64..1.0, 5),
+    )
+        .prop_map(|(raw_eps, raw_j)| {
+            // Sort errors descending, append the exact mode's zero.
+            let mut eps_sorted = raw_eps;
+            eps_sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let eps = [
+                eps_sorted[0],
+                eps_sorted[1],
+                eps_sorted[2],
+                eps_sorted[3],
+                0.0,
+            ];
+            // Energies: cumulative sums are strictly increasing.
+            let mut j = [0.0; 5];
+            let mut acc = 0.0;
+            for (slot, r) in j.iter_mut().zip(&raw_j) {
+                acc += r;
+                *slot = acc;
+            }
+            (eps, j)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lp_always_returns_a_feasible_distribution(
+        (eps, j) in mode_vectors(),
+        budget in 0.0f64..2.0,
+    ) {
+        let w = solve_effort_allocation(&j, &eps, budget);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        let err: f64 = w.iter().zip(&eps).map(|(a, b)| a * b).sum();
+        prop_assert!(err <= budget + 1e-9, "error {err} > budget {budget}");
+    }
+
+    #[test]
+    fn lp_cost_never_exceeds_the_accurate_mode(
+        (eps, j) in mode_vectors(),
+        budget in 0.0f64..2.0,
+    ) {
+        let w = solve_effort_allocation(&j, &eps, budget);
+        let cost: f64 = w.iter().zip(&j).map(|(a, b)| a * b).sum();
+        prop_assert!(cost <= j[4] + 1e-9, "cost {cost} > accurate {}", j[4]);
+    }
+
+    #[test]
+    fn adaptive_lut_is_a_partition(
+        (eps, j) in mode_vectors(),
+        budget in 0.0f64..2.0,
+    ) {
+        let strategy = AdaptiveAngleStrategy::new(eps, j, budget, 1);
+        let lut = strategy.lookup_table();
+        prop_assert_eq!(lut[0].1, 0.0);
+        prop_assert!((lut[4].2 - 90.0).abs() < 1e-9);
+        for w in lut.windows(2) {
+            prop_assert!((w[0].2 - w[1].1).abs() < 1e-9, "gap in LUT");
+            prop_assert!(w[0].2 >= w[0].1 - 1e-12, "negative range");
+        }
+    }
+
+    #[test]
+    fn incremental_decisions_never_lower_accuracy(
+        f_prev in -10.0f64..10.0,
+        f_curr in -10.0f64..10.0,
+        px in -5.0f64..5.0,
+        py in -5.0f64..5.0,
+        gx in -5.0f64..5.0,
+        level_index in 0usize..5,
+    ) {
+        let level = AccuracyLevel::from_index(level_index).expect("valid index");
+        let mut s = IncrementalStrategy::new([0.5, 0.2, 0.05, 0.01, 0.0]);
+        let params_prev = [0.5f64, -0.5];
+        let params_curr = [px, py];
+        let grad = [gx, 0.3];
+        let obs = IterationObservation {
+            iteration: 3,
+            level,
+            objective_prev: f_prev,
+            objective_curr: f_curr,
+            params_prev: &params_prev,
+            params_curr: &params_curr,
+            gradient_prev: Some(&grad),
+            gradient_curr: Some(&grad),
+            initial_gradient_norm: 1.0,
+        };
+        match s.decide(&obs) {
+            Decision::Keep => {}
+            Decision::SwitchTo(next) | Decision::RollbackAndSwitch(next) => {
+                prop_assert!(next > level, "incremental lowered accuracy");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_never_selects_a_retired_mode(
+        f_deltas in proptest::collection::vec(-0.5f64..0.5, 1..30),
+    ) {
+        // Feed an arbitrary objective trajectory; whenever a level gets
+        // retired (objective increase), it must never be selected again.
+        let mut s = AdaptiveAngleStrategy::new(
+            [0.5, 0.2, 0.05, 0.01, 0.0],
+            [0.4, 0.6, 0.75, 0.9, 1.0],
+            0.3,
+            1,
+        );
+        let mut level = s.initial_level();
+        let mut f = 10.0f64;
+        let mut retired_below: usize = 0;
+        let params = [1.0f64, 1.0];
+        let grad = [0.5f64, 0.5];
+        for (i, df) in f_deltas.iter().enumerate() {
+            let f_next = (f + df).max(0.1);
+            let obs = IterationObservation {
+                iteration: i + 1,
+                level,
+                objective_prev: f,
+                objective_curr: f_next,
+                params_prev: &params,
+                params_curr: &params,
+                gradient_prev: Some(&grad),
+                gradient_curr: Some(&grad),
+                initial_gradient_norm: 1.0,
+            };
+            if f_next > f && !level.is_accurate() {
+                retired_below = retired_below.max(level.index() + 1);
+            }
+            match s.decide(&obs) {
+                Decision::Keep => {
+                    f = f_next;
+                }
+                Decision::SwitchTo(next) => {
+                    prop_assert!(
+                        next.index() >= retired_below,
+                        "selected retired mode {next} (floor {retired_below})"
+                    );
+                    level = next;
+                    f = f_next;
+                }
+                Decision::RollbackAndSwitch(next) => {
+                    prop_assert!(next.index() >= retired_below);
+                    level = next;
+                    // state rolled back: f unchanged
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Structural generators for common arithmetic building blocks.
+//!
+//! Higher-level crates (notably `approx-arith`) compose these helpers into
+//! complete exact and approximate adder netlists. All word-level builders
+//! share one port convention, captured by [`AdderPorts`]:
+//!
+//! * primary inputs are declared in the order `a[0..n]` (LSB first), then
+//!   `b[0..n]`, then optionally `cin`;
+//! * primary outputs are `sum[0..n]` (LSB first), then optionally `cout`.
+
+use crate::netlist::{Netlist, NodeId};
+
+/// Port handles of a word-level adder netlist plus pack/unpack helpers.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{builders, Simulator};
+///
+/// # fn main() -> Result<(), gatesim::SimulateError> {
+/// let (nl, ports) = builders::ripple_carry_adder(16);
+/// let mut sim = Simulator::new(&nl);
+/// let out = sim.evaluate(&ports.pack_operands(1234, 4321, false))?;
+/// let (sum, carry) = ports.unpack_result(&out);
+/// assert_eq!(sum, 5555);
+/// assert!(!carry);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdderPorts {
+    a: Vec<NodeId>,
+    b: Vec<NodeId>,
+    cin: Option<NodeId>,
+    has_cout: bool,
+}
+
+impl AdderPorts {
+    /// Assemble a port description for a netlist that follows the module
+    /// conventions (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` have different widths or are empty.
+    #[must_use]
+    pub fn new(a: Vec<NodeId>, b: Vec<NodeId>, cin: Option<NodeId>, has_cout: bool) -> Self {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        assert!(!a.is_empty(), "adders must be at least 1 bit wide");
+        Self {
+            a,
+            b,
+            cin,
+            has_cout,
+        }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Node ids of operand `a`, LSB first.
+    #[must_use]
+    pub fn a_bits(&self) -> &[NodeId] {
+        &self.a
+    }
+
+    /// Node ids of operand `b`, LSB first.
+    #[must_use]
+    pub fn b_bits(&self) -> &[NodeId] {
+        &self.b
+    }
+
+    /// Node id of the carry-in input, if the adder has one.
+    #[must_use]
+    pub fn cin(&self) -> Option<NodeId> {
+        self.cin
+    }
+
+    /// Pack two operands (and the carry-in, if present) into the input
+    /// vector expected by [`Simulator::evaluate`](crate::Simulator::evaluate).
+    ///
+    /// Operand bits above `width` are ignored.
+    #[must_use]
+    pub fn pack_operands(&self, a: u64, b: u64, cin: bool) -> Vec<bool> {
+        let w = self.width();
+        let mut v = Vec::with_capacity(2 * w + usize::from(self.cin.is_some()));
+        v.extend((0..w).map(|i| (a >> i) & 1 == 1));
+        v.extend((0..w).map(|i| (b >> i) & 1 == 1));
+        if self.cin.is_some() {
+            v.push(cin);
+        }
+        v
+    }
+
+    /// Unpack the simulator's output vector into `(sum, carry_out)`.
+    ///
+    /// For adders built without a carry-out, the returned carry is `false`.
+    ///
+    /// # Panics
+    /// Panics if `outputs` does not have `width` (+1 with carry-out)
+    /// entries.
+    #[must_use]
+    pub fn unpack_result(&self, outputs: &[bool]) -> (u64, bool) {
+        let w = self.width();
+        let expected = w + usize::from(self.has_cout);
+        assert_eq!(outputs.len(), expected, "unexpected output vector length");
+        let mut sum = 0u64;
+        for (i, &bit) in outputs[..w].iter().enumerate() {
+            if bit {
+                sum |= 1 << i;
+            }
+        }
+        let cout = self.has_cout && outputs[w];
+        (sum, cout)
+    }
+}
+
+/// Instantiate a full adder (`sum = a ⊕ b ⊕ cin`, `cout = maj(a, b, cin)`)
+/// and return `(sum, cout)`.
+///
+/// The carry uses a single majority cell, matching a standard mirror-adder
+/// implementation; the sum uses two cascaded XORs.
+pub fn full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = nl.xor2(a, b);
+    let sum = nl.xor2(axb, cin);
+    let cout = nl.maj3(a, b, cin);
+    (sum, cout)
+}
+
+/// Instantiate a half adder (`sum = a ⊕ b`, `cout = a ∧ b`).
+pub fn half_adder(nl: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let sum = nl.xor2(a, b);
+    let cout = nl.and2(a, b);
+    (sum, cout)
+}
+
+/// Declare the standard operand inputs (`a[0..width]`, `b[0..width]`,
+/// `cin`) on a fresh netlist and return their ids.
+pub fn declare_operands(nl: &mut Netlist, width: usize) -> (Vec<NodeId>, Vec<NodeId>, NodeId) {
+    let (a, b) = declare_ab(nl, width);
+    let cin = nl.input("cin");
+    (a, b, cin)
+}
+
+/// Declare operand inputs `a[0..width]`, `b[0..width]` (no carry-in) on a
+/// fresh netlist and return their ids.
+pub fn declare_ab(nl: &mut Netlist, width: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+    let a: Vec<NodeId> = (0..width).map(|i| nl.input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.input(format!("b{i}"))).collect();
+    (a, b)
+}
+
+/// Build a `width`-bit ripple-carry adder with carry-in and carry-out.
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 64.
+#[must_use]
+pub fn ripple_carry_adder(width: usize) -> (Netlist, AdderPorts) {
+    assert!((1..=64).contains(&width), "width must be in 1..=64");
+    let mut nl = Netlist::new();
+    let (a, b, cin) = declare_operands(&mut nl, width);
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut nl, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for (i, s) in sums.iter().enumerate() {
+        nl.mark_output(*s, format!("sum{i}"));
+    }
+    nl.mark_output(carry, "cout");
+    let ports = AdderPorts::new(a, b, Some(cin), true);
+    (nl, ports)
+}
+
+/// Build a word-level 2:1 multiplexer: `y = if sel { b } else { a }`.
+///
+/// Inputs are declared `a[0..w]`, `b[0..w]`, `sel`; outputs `y[0..w]`.
+///
+/// # Panics
+/// Panics if `width` is 0.
+#[must_use]
+pub fn word_mux(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new();
+    let a: Vec<NodeId> = (0..width).map(|i| nl.input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.input(format!("b{i}"))).collect();
+    let sel = nl.input("sel");
+    for i in 0..width {
+        let y = nl.mux2(sel, a[i], b[i]);
+        nl.mark_output(y, format!("y{i}"));
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let (s, co) = full_adder(&mut nl, a, b, c);
+        nl.mark_output(s, "s");
+        nl.mark_output(co, "co");
+        let mut sim = Simulator::new(&nl);
+        for bits in 0..8u8 {
+            let a = bits & 1 == 1;
+            let b = bits & 2 == 2;
+            let c = bits & 4 == 4;
+            let out = sim.evaluate(&[a, b, c]).unwrap();
+            let total = u8::from(a) + u8::from(b) + u8::from(c);
+            assert_eq!(out[0], total & 1 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let (s, co) = half_adder(&mut nl, a, b);
+        nl.mark_output(s, "s");
+        nl.mark_output(co, "co");
+        let mut sim = Simulator::new(&nl);
+        for bits in 0..4u8 {
+            let a = bits & 1 == 1;
+            let b = bits & 2 == 2;
+            let out = sim.evaluate(&[a, b]).unwrap();
+            assert_eq!(out[0], a ^ b);
+            assert_eq!(out[1], a & b);
+        }
+    }
+
+    #[test]
+    fn ripple_carry_exhaustive_4bit() {
+        let (nl, ports) = ripple_carry_adder(4);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    let out = sim.evaluate(&ports.pack_operands(a, b, cin)).unwrap();
+                    let (sum, cout) = ports.unpack_result(&out);
+                    let exact = a + b + u64::from(cin);
+                    assert_eq!(sum, exact & 0xF);
+                    assert_eq!(cout, exact > 0xF);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_carry_full_width_64() {
+        let (nl, ports) = ripple_carry_adder(64);
+        let mut sim = Simulator::new(&nl);
+        let cases = [
+            (0u64, 0u64),
+            (u64::MAX, 1),
+            (0x8000_0000_0000_0000, 0x8000_0000_0000_0000),
+            (0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef),
+        ];
+        for (a, b) in cases {
+            let out = sim.evaluate(&ports.pack_operands(a, b, false)).unwrap();
+            let (sum, cout) = ports.unpack_result(&out);
+            let (exact, overflow) = a.overflowing_add(b);
+            assert_eq!(sum, exact);
+            assert_eq!(cout, overflow);
+        }
+    }
+
+    #[test]
+    fn word_mux_selects() {
+        let nl = word_mux(4);
+        let mut sim = Simulator::new(&nl);
+        // a = 0b0101, b = 0b0011, sel = 0 -> a
+        let mut inputs = vec![true, false, true, false, true, true, false, false];
+        inputs.push(false);
+        let out = sim.evaluate(&inputs).unwrap();
+        assert_eq!(out, vec![true, false, true, false]);
+        // sel = 1 -> b
+        let mut inputs2 = inputs.clone();
+        *inputs2.last_mut().unwrap() = true;
+        let out = sim.evaluate(&inputs2).unwrap();
+        assert_eq!(out, vec![true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_carry_adder(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export for netlists.
+
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+
+/// Render a netlist as a Graphviz `digraph` for visual inspection.
+///
+/// Primary inputs are drawn as triangles, outputs as double circles, and
+/// ordinary gates as boxes labelled with their mnemonic.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{dot, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let y = nl.not(a);
+/// nl.mark_output(y, "y");
+/// let text = dot::to_dot(&nl, "inverter");
+/// assert!(text.starts_with("digraph inverter"));
+/// assert!(text.contains("not"));
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let output_ids: std::collections::BTreeSet<usize> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|(id, _)| id.index())
+        .collect();
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let label = node
+            .name()
+            .map_or_else(|| node.kind().mnemonic().to_owned(), ToOwned::to_owned);
+        let shape = match node.kind() {
+            crate::GateKind::Input => "triangle",
+            _ if output_ids.contains(&idx) => "doublecircle",
+            _ => "box",
+        };
+        let _ = writeln!(out, "  n{idx} [label=\"{label}\", shape={shape}];");
+        for dep in node.inputs() {
+            let _ = writeln!(out, "  n{} -> n{idx};", dep.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let (nl, _) = builders::ripple_carry_adder(2);
+        let text = to_dot(&nl, "rca2");
+        // 2-bit RCA: 5 inputs + 4 xor + 2 maj = 11 nodes.
+        assert_eq!(text.matches("label=").count(), nl.len());
+        assert!(text.contains("->"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn outputs_are_double_circles() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let y = nl.buf(a);
+        nl.mark_output(y, "y");
+        let text = to_dot(&nl, "g");
+        assert!(text.contains("doublecircle"));
+        assert!(text.contains("triangle"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Switched-capacitance energy model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// First-order CMOS energy model: dynamic energy proportional to switched
+/// capacitance, plus a per-cycle leakage term proportional to total device
+/// width.
+///
+/// The capacitance of each cell is taken proportional to its transistor
+/// count ([`GateKind::transistor_count`]), the usual architectural-level
+/// approximation (cf. Weste & Harris, *CMOS VLSI Design*, 4th ed.). All
+/// energies are in arbitrary consistent units; the ApproxIt harness only
+/// ever reports energy *ratios* (normalized to the fully accurate mode),
+/// exactly as the paper does.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{EnergyModel, GateKind};
+///
+/// let model = EnergyModel::default();
+/// // An XOR toggle costs more than a NAND toggle.
+/// assert!(model.toggle_energy(GateKind::Xor2) > model.toggle_energy(GateKind::Nand2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per unit of switched capacitance (per transistor-count unit).
+    dynamic_per_cap: f64,
+    /// Leakage energy per transistor per evaluation cycle.
+    leakage_per_transistor_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    /// Dynamic-dominated default: leakage is 0.5% of the energy a
+    /// transistor-unit toggle costs, per cycle.
+    fn default() -> Self {
+        Self {
+            dynamic_per_cap: 1.0,
+            leakage_per_transistor_cycle: 0.005,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Create a model with explicit coefficients.
+    ///
+    /// `dynamic_per_cap` is the energy of one output toggle per unit of
+    /// cell capacitance; `leakage_per_transistor_cycle` is the static
+    /// energy each transistor leaks per evaluation.
+    #[must_use]
+    pub fn new(dynamic_per_cap: f64, leakage_per_transistor_cycle: f64) -> Self {
+        Self {
+            dynamic_per_cap,
+            leakage_per_transistor_cycle,
+        }
+    }
+
+    /// A purely dynamic model (no leakage), handy for unit tests.
+    #[must_use]
+    pub fn dynamic_only() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// Energy of a single output toggle of a gate of the given kind.
+    #[must_use]
+    pub fn toggle_energy(&self, kind: GateKind) -> f64 {
+        f64::from(kind.transistor_count()) * self.dynamic_per_cap
+    }
+
+    /// Leakage energy of the whole netlist for one evaluation cycle.
+    #[must_use]
+    pub fn leakage_per_cycle(&self, netlist: &Netlist) -> f64 {
+        netlist.transistor_count() as f64 * self.leakage_per_transistor_cycle
+    }
+
+    /// Total energy of a simulation run: per-node toggles weighted by cell
+    /// capacitance, plus leakage over `cycles` evaluations.
+    ///
+    /// # Panics
+    /// Panics if `toggles` does not have one entry per netlist node.
+    #[must_use]
+    pub fn energy(&self, netlist: &Netlist, toggles: &[u64], cycles: u64) -> f64 {
+        assert_eq!(
+            toggles.len(),
+            netlist.len(),
+            "toggle array length must match netlist size"
+        );
+        let dynamic: f64 = netlist
+            .nodes()
+            .iter()
+            .zip(toggles)
+            .map(|(node, &t)| t as f64 * self.toggle_energy(node.kind()))
+            .sum();
+        dynamic + cycles as f64 * self.leakage_per_cycle(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn dynamic_energy_scales_with_toggles() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let y = nl.not(a);
+        nl.mark_output(y, "y");
+
+        let model = EnergyModel::dynamic_only();
+        let e1 = model.energy(&nl, &[1, 1], 2);
+        let e2 = model.energy(&nl, &[2, 2], 2);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles_and_size() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let y = nl.not(a);
+        nl.mark_output(y, "y");
+
+        let model = EnergyModel::new(0.0, 1.0);
+        // Not = 2 transistors, input = 0.
+        assert!((model.energy(&nl, &[0, 0], 3) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "toggle array length")]
+    fn mismatched_toggle_array_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.mark_output(a, "y");
+        let _ = EnergyModel::default().energy(&nl, &[0, 0, 0], 1);
+    }
+
+    #[test]
+    fn default_is_dynamic_dominated() {
+        let model = EnergyModel::default();
+        assert!(model.toggle_energy(GateKind::Nand2) > 100.0 * 0.005);
+    }
+}

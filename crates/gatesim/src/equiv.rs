@@ -1,0 +1,209 @@
+//! Combinational equivalence checking by simulation.
+//!
+//! A lightweight stand-in for a SAT-based miter: two netlists with the
+//! same interface are compared on input vectors — exhaustively when the
+//! input count permits, by seeded random sampling otherwise. Simulation
+//! cannot *prove* equivalence for large circuits, but it is exactly the
+//! right tool for this crate's uses: validating the logic optimizer and
+//! cross-checking hand-built netlists against functional models.
+
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// All `2^n` input vectors agreed — the circuits are equivalent.
+    Proven,
+    /// `vectors` sampled vectors agreed; no counterexample found.
+    Sampled {
+        /// Number of vectors simulated.
+        vectors: u64,
+    },
+    /// A differing input vector was found.
+    Counterexample {
+        /// The inputs (LSB-first per primary input order).
+        inputs: Vec<bool>,
+        /// Outputs of the first netlist.
+        left: Vec<bool>,
+        /// Outputs of the second netlist.
+        right: Vec<bool>,
+    },
+    /// The interfaces differ (input or output counts), so the circuits
+    /// cannot be compared.
+    InterfaceMismatch,
+}
+
+impl Equivalence {
+    /// `true` unless a counterexample or interface mismatch was found.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, Equivalence::Proven | Equivalence::Sampled { .. })
+    }
+}
+
+/// Compare two netlists on input vectors: exhaustively if they have at
+/// most `exhaustive_limit` inputs, otherwise on `samples` vectors from a
+/// seeded xorshift stream.
+///
+/// # Panics
+/// Panics if `exhaustive_limit > 24` (16M vectors is the practical
+/// ceiling) or `samples` is 0.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{equiv, optimize, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let one = nl.constant(true);
+/// let y = nl.and2(a, one);
+/// nl.mark_output(y, "y");
+/// let optimized = optimize::optimize(&nl).netlist;
+/// assert!(equiv::check(&nl, &optimized, 16, 1000).holds());
+/// ```
+#[must_use]
+pub fn check(left: &Netlist, right: &Netlist, exhaustive_limit: u32, samples: u64) -> Equivalence {
+    assert!(
+        exhaustive_limit <= 24,
+        "exhaustive limit capped at 24 inputs"
+    );
+    assert!(samples > 0, "samples must be positive");
+    if left.num_inputs() != right.num_inputs() || left.num_outputs() != right.num_outputs() {
+        return Equivalence::InterfaceMismatch;
+    }
+    let n = left.num_inputs();
+    let mut sim_left = Simulator::new(left);
+    let mut sim_right = Simulator::new(right);
+    let mut try_vector = |inputs: &[bool]| -> Option<Equivalence> {
+        let out_left = sim_left.evaluate(inputs).expect("interface checked");
+        let out_right = sim_right.evaluate(inputs).expect("interface checked");
+        if out_left == out_right {
+            None
+        } else {
+            Some(Equivalence::Counterexample {
+                inputs: inputs.to_vec(),
+                left: out_left,
+                right: out_right,
+            })
+        }
+    };
+
+    if (n as u32) <= exhaustive_limit {
+        for pattern in 0..(1u64 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            if let Some(counterexample) = try_vector(&inputs) {
+                return counterexample;
+            }
+        }
+        return Equivalence::Proven;
+    }
+
+    // Seeded xorshift64* stream, bit-sliced into input vectors.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next_bit = {
+        let mut buffer = 0u64;
+        let mut remaining = 0u32;
+        move || -> bool {
+            if remaining == 0 {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                buffer = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                remaining = 64;
+            }
+            remaining -= 1;
+            let bit = buffer & 1 == 1;
+            buffer >>= 1;
+            bit
+        }
+    };
+    for _ in 0..samples {
+        let inputs: Vec<bool> = (0..n).map(|_| next_bit()).collect();
+        if let Some(counterexample) = try_vector(&inputs) {
+            return counterexample;
+        }
+    }
+    Equivalence::Sampled { vectors: samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::optimize::optimize;
+
+    #[test]
+    fn identical_netlists_are_proven_equivalent() {
+        let (a, _) = builders::ripple_carry_adder(4);
+        let (b, _) = builders::ripple_carry_adder(4);
+        assert_eq!(check(&a, &b, 16, 100), Equivalence::Proven);
+    }
+
+    #[test]
+    fn optimizer_output_is_equivalent() {
+        let (nl, _) = builders::ripple_carry_adder(6);
+        let optimized = optimize(&nl).netlist;
+        assert!(check(&nl, &optimized, 16, 100).holds());
+    }
+
+    #[test]
+    fn differing_circuits_yield_a_counterexample() {
+        let mut left = Netlist::new();
+        let a = left.input("a");
+        let b = left.input("b");
+        let y = left.and2(a, b);
+        left.mark_output(y, "y");
+
+        let mut right = Netlist::new();
+        let a = right.input("a");
+        let b = right.input("b");
+        let y = right.or2(a, b);
+        right.mark_output(y, "y");
+
+        match check(&left, &right, 16, 100) {
+            Equivalence::Counterexample {
+                inputs,
+                left,
+                right,
+            } => {
+                // AND and OR differ exactly when inputs differ.
+                assert_ne!(inputs[0], inputs[1]);
+                assert_ne!(left, right);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_is_reported() {
+        let (a, _) = builders::ripple_carry_adder(4);
+        let (b, _) = builders::ripple_carry_adder(5);
+        assert_eq!(check(&a, &b, 16, 100), Equivalence::InterfaceMismatch);
+        assert!(!check(&a, &b, 16, 100).holds());
+    }
+
+    #[test]
+    fn wide_circuits_fall_back_to_sampling() {
+        let (a, _) = builders::ripple_carry_adder(32); // 65 inputs
+        let (b, _) = builders::ripple_carry_adder(32);
+        assert_eq!(check(&a, &b, 16, 50), Equivalence::Sampled { vectors: 50 });
+    }
+
+    #[test]
+    fn sampling_finds_gross_differences() {
+        let (exact, _) = builders::ripple_carry_adder(32);
+        // A circuit that drops the carry chain entirely: same interface,
+        // wildly different function.
+        let mut broken = Netlist::new();
+        let (a, b, _cin) = builders::declare_operands(&mut broken, 32);
+        for i in 0..32 {
+            let s = broken.xor2(a[i], b[i]);
+            broken.mark_output(s, format!("sum{i}"));
+        }
+        let zero = broken.constant(false);
+        broken.mark_output(zero, "cout");
+        assert!(!check(&exact, &broken, 16, 200).holds());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for netlist construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a [`Netlist`](crate::Netlist) is assembled
+/// inconsistently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetlistError {
+    /// A gate referenced a node id that does not exist (yet) in this
+    /// netlist. Because netlists are append-only, forward references are
+    /// impossible by construction and this indicates a node id from a
+    /// different netlist.
+    UnknownNode {
+        /// The offending node id (raw index).
+        node: u32,
+        /// Number of nodes currently in the netlist.
+        len: usize,
+    },
+    /// An output was marked twice with the same name.
+    DuplicateOutputName(String),
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::UnknownNode { node, len } => write!(
+                f,
+                "node id {node} is out of range for a netlist with {len} nodes \
+                 (was it created by a different netlist?)"
+            ),
+            BuildNetlistError::DuplicateOutputName(name) => {
+                write!(f, "output name {name:?} is already in use")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetlistError {}
+
+/// Error raised by [`Simulator::evaluate`](crate::Simulator::evaluate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulateError {
+    /// The supplied input vector length does not match the number of
+    /// primary inputs of the netlist.
+    InputLengthMismatch {
+        /// Number of values supplied.
+        supplied: usize,
+        /// Number of primary inputs the netlist declares.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulateError::InputLengthMismatch { supplied, expected } => write!(
+                f,
+                "input vector has {supplied} values but the netlist has {expected} primary inputs"
+            ),
+        }
+    }
+}
+
+impl Error for SimulateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_messages() {
+        let e = SimulateError::InputLengthMismatch {
+            supplied: 3,
+            expected: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3"));
+        assert!(msg.contains("5"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = BuildNetlistError::UnknownNode { node: 9, len: 2 };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildNetlistError>();
+        assert_send_sync::<SimulateError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Logic gate primitives.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a netlist node.
+///
+/// The gate set is intentionally small: two-input standard cells plus a
+/// 2:1 multiplexer and a three-input majority gate (the carry function of a
+/// full adder, commonly available as a single complex cell). Everything the
+/// approximate-arithmetic crates need is expressible with these.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::GateKind;
+///
+/// assert_eq!(GateKind::Xor2.arity(), 2);
+/// assert!(GateKind::Xor2.transistor_count() > GateKind::Nand2.transistor_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input (value supplied by the testbench).
+    Input,
+    /// Constant `false`.
+    Const0,
+    /// Constant `true`.
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: `y = if sel { b } else { a }` with input order
+    /// `(sel, a, b)`.
+    Mux2,
+    /// Three-input majority: `y = ab + bc + ca` — the carry function.
+    Maj3,
+}
+
+impl GateKind {
+    /// Number of fan-in connections this gate kind requires.
+    #[must_use]
+    pub const fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Mux2 | GateKind::Maj3 => 3,
+        }
+    }
+
+    /// Static-CMOS transistor count of a standard-cell implementation.
+    ///
+    /// These counts drive the default [`EnergyModel`](crate::EnergyModel):
+    /// the switched capacitance of a cell is taken proportional to its
+    /// transistor count, the usual first-order approximation in
+    /// architectural energy models.
+    #[must_use]
+    pub const fn transistor_count(self) -> u32 {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Not => 2,
+            GateKind::Buf => 4,
+            GateKind::Nand2 | GateKind::Nor2 => 4,
+            GateKind::And2 | GateKind::Or2 => 6,
+            GateKind::Xor2 | GateKind::Xnor2 => 10,
+            GateKind::Mux2 => 12,
+            // AOI222 + inverter style majority cell.
+            GateKind::Maj3 => 14,
+        }
+    }
+
+    /// Evaluate the gate function on its (already arity-checked) inputs.
+    #[must_use]
+    pub(crate) fn eval(self, ins: [bool; 3]) -> bool {
+        let [x, y, z] = ins;
+        match self {
+            GateKind::Input => unreachable!("inputs are set by the simulator"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => x,
+            GateKind::Not => !x,
+            GateKind::And2 => x & y,
+            GateKind::Or2 => x | y,
+            GateKind::Xor2 => x ^ y,
+            GateKind::Nand2 => !(x & y),
+            GateKind::Nor2 => !(x | y),
+            GateKind::Xnor2 => !(x ^ y),
+            GateKind::Mux2 => {
+                if x {
+                    z
+                } else {
+                    y
+                }
+            }
+            GateKind::Maj3 => (x & y) | (y & z) | (x & z),
+        }
+    }
+
+    /// All gate kinds, in declaration order. Useful for reporting.
+    #[must_use]
+    pub const fn all() -> [GateKind; 13] {
+        [
+            GateKind::Input,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Xor2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Maj3,
+        ]
+    }
+
+    /// Short lowercase mnemonic (used by the DOT exporter).
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Input => "in",
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And2 => "and",
+            GateKind::Or2 => "or",
+            GateKind::Xor2 => "xor",
+            GateKind::Nand2 => "nand",
+            GateKind::Nor2 => "nor",
+            GateKind::Xnor2 => "xnor",
+            GateKind::Mux2 => "mux",
+            GateKind::Maj3 => "maj",
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        // Spot-check the truth tables.
+        assert!(GateKind::And2.eval([true, true, false]));
+        assert!(!GateKind::And2.eval([true, false, false]));
+        assert!(GateKind::Or2.eval([false, true, false]));
+        assert!(GateKind::Xor2.eval([true, false, false]));
+        assert!(!GateKind::Xor2.eval([true, true, false]));
+        assert!(GateKind::Nand2.eval([true, false, false]));
+        assert!(!GateKind::Nand2.eval([true, true, false]));
+        assert!(GateKind::Nor2.eval([false, false, false]));
+        assert!(GateKind::Xnor2.eval([true, true, false]));
+        assert!(GateKind::Not.eval([false, false, false]));
+        assert!(GateKind::Buf.eval([true, false, false]));
+    }
+
+    #[test]
+    fn mux_selects_second_operand_when_sel_high() {
+        // (sel, a, b)
+        assert!(!GateKind::Mux2.eval([false, false, true]));
+        assert!(GateKind::Mux2.eval([true, false, true]));
+        assert!(GateKind::Mux2.eval([false, true, false]));
+    }
+
+    #[test]
+    fn maj3_is_carry_function() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let expected = (u8::from(a) + u8::from(b) + u8::from(c)) >= 2;
+                    assert_eq!(GateKind::Maj3.eval([a, b, c]), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_counts_are_monotone_with_complexity() {
+        assert!(GateKind::Not.transistor_count() < GateKind::Nand2.transistor_count());
+        assert!(GateKind::Nand2.transistor_count() < GateKind::And2.transistor_count());
+        assert!(GateKind::And2.transistor_count() < GateKind::Xor2.transistor_count());
+        assert_eq!(GateKind::Input.transistor_count(), 0);
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        let all = GateKind::all();
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(GateKind::Xor2.to_string(), "xor");
+        assert_eq!(GateKind::Maj3.to_string(), "maj");
+    }
+}

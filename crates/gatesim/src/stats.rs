@@ -1,0 +1,141 @@
+//! Switching-activity reports.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyModel;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Aggregated switching-activity and energy statistics of a simulation run.
+///
+/// Produced by [`Simulator::activity_report`](crate::Simulator::activity_report).
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{builders, EnergyModel, Simulator};
+///
+/// # fn main() -> Result<(), gatesim::SimulateError> {
+/// let (nl, ports) = builders::ripple_carry_adder(8);
+/// let mut sim = Simulator::new(&nl);
+/// sim.evaluate(&ports.pack_operands(0, 0, false))?;
+/// sim.evaluate(&ports.pack_operands(255, 1, false))?;
+/// let report = sim.activity_report(&EnergyModel::default());
+/// assert!(report.total_energy > 0.0);
+/// assert!(report.dynamic_energy <= report.total_energy);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    /// Number of evaluations performed.
+    pub evaluations: u64,
+    /// Total node-output toggles.
+    pub total_toggles: u64,
+    /// Per-gate-kind toggle counts (kinds with zero toggles are omitted).
+    pub toggles_by_kind: BTreeMap<GateKind, u64>,
+    /// Per-gate-kind instance counts.
+    pub gates_by_kind: BTreeMap<GateKind, u64>,
+    /// Dynamic (switching) energy.
+    pub dynamic_energy: f64,
+    /// Static (leakage) energy over all evaluations.
+    pub leakage_energy: f64,
+    /// `dynamic_energy + leakage_energy`.
+    pub total_energy: f64,
+    /// Mean toggles per node per evaluation transition — the classic
+    /// "switching activity factor" α.
+    pub activity_factor: f64,
+}
+
+impl ActivityReport {
+    pub(crate) fn new(
+        netlist: &Netlist,
+        toggles: &[u64],
+        evaluations: u64,
+        model: &EnergyModel,
+    ) -> Self {
+        let mut toggles_by_kind = BTreeMap::new();
+        let mut gates_by_kind = BTreeMap::new();
+        let mut dynamic = 0.0;
+        for (node, &t) in netlist.nodes().iter().zip(toggles) {
+            *gates_by_kind.entry(node.kind()).or_insert(0) += 1;
+            if t > 0 {
+                *toggles_by_kind.entry(node.kind()).or_insert(0) += t;
+            }
+            dynamic += t as f64 * model.toggle_energy(node.kind());
+        }
+        let leakage = evaluations as f64 * model.leakage_per_cycle(netlist);
+        let total_toggles: u64 = toggles.iter().sum();
+        let transitions = evaluations.saturating_sub(1);
+        let activity_factor = if transitions == 0 || netlist.is_empty() {
+            0.0
+        } else {
+            total_toggles as f64 / (transitions as f64 * netlist.len() as f64)
+        };
+        Self {
+            evaluations,
+            total_toggles,
+            toggles_by_kind,
+            gates_by_kind,
+            dynamic_energy: dynamic,
+            leakage_energy: leakage,
+            total_energy: dynamic + leakage,
+            activity_factor,
+        }
+    }
+}
+
+impl std::fmt::Display for ActivityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "evaluations: {}, toggles: {}, activity: {:.4}",
+            self.evaluations, self.total_toggles, self.activity_factor
+        )?;
+        writeln!(
+            f,
+            "energy: dynamic {:.3} + leakage {:.3} = {:.3}",
+            self.dynamic_energy, self.leakage_energy, self.total_energy
+        )?;
+        for (kind, count) in &self.gates_by_kind {
+            let t = self.toggles_by_kind.get(kind).copied().unwrap_or(0);
+            writeln!(f, "  {kind:>6}: {count} gates, {t} toggles")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn report_aggregates_by_kind() {
+        let (nl, ports) = builders::ripple_carry_adder(4);
+        let mut sim = Simulator::new(&nl);
+        sim.evaluate(&ports.pack_operands(0, 0, false)).unwrap();
+        sim.evaluate(&ports.pack_operands(15, 15, false)).unwrap();
+        let report = sim.activity_report(&EnergyModel::default());
+        assert_eq!(report.evaluations, 2);
+        // 4-bit RCA: 8 XORs, 4 majority cells.
+        assert_eq!(report.gates_by_kind[&GateKind::Xor2], 8);
+        assert_eq!(report.gates_by_kind[&GateKind::Maj3], 4);
+        assert!(report.total_toggles > 0);
+        assert!(report.activity_factor > 0.0);
+        assert!(report.activity_factor <= 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let (nl, ports) = builders::ripple_carry_adder(2);
+        let mut sim = Simulator::new(&nl);
+        sim.evaluate(&ports.pack_operands(1, 1, false)).unwrap();
+        let text = sim.activity_report(&EnergyModel::default()).to_string();
+        assert!(text.contains("evaluations"));
+        assert!(text.contains("xor"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Static timing analysis: per-gate delays and critical paths.
+//!
+//! Approximate adders don't just save energy — truncating or segmenting
+//! the carry chain shortens the critical path, which is what lets
+//! voltage/frequency scaling convert the slack into further savings.
+//! This module measures that: a unit-delay-per-cell model (configurable
+//! per gate kind) and a longest-path computation over the netlist DAG.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Per-gate-kind propagation delays (arbitrary consistent units).
+///
+/// The default assigns delays proportional to a typical standard-cell
+/// library's logical effort: inverters fastest, XOR/majority/mux cells
+/// slowest.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::builders;
+/// use gatesim::timing::DelayModel;
+///
+/// let model = DelayModel::default();
+/// let (rca8, _) = builders::ripple_carry_adder(8);
+/// let (rca16, _) = builders::ripple_carry_adder(16);
+/// // The ripple carry chain dominates: delay grows with width.
+/// assert!(model.critical_path(&rca16) > model.critical_path(&rca8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    delays: [f64; 13],
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        let mut delays = [0.0; 13];
+        for kind in GateKind::all() {
+            delays[Self::slot(kind)] = match kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+                GateKind::Not => 1.0,
+                GateKind::Buf => 1.2,
+                GateKind::Nand2 | GateKind::Nor2 => 1.4,
+                GateKind::And2 | GateKind::Or2 => 2.0,
+                GateKind::Xor2 | GateKind::Xnor2 => 2.8,
+                GateKind::Mux2 => 3.0,
+                GateKind::Maj3 => 3.2,
+            };
+        }
+        Self { delays }
+    }
+}
+
+impl DelayModel {
+    fn slot(kind: GateKind) -> usize {
+        GateKind::all()
+            .iter()
+            .position(|&k| k == kind)
+            .expect("all() covers every kind")
+    }
+
+    /// Create a model with an explicit delay per gate kind, in the order
+    /// of [`GateKind::all`].
+    ///
+    /// # Panics
+    /// Panics if any delay is negative or non-finite.
+    #[must_use]
+    pub fn new(delays: [f64; 13]) -> Self {
+        assert!(
+            delays.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "delays must be non-negative"
+        );
+        Self { delays }
+    }
+
+    /// Propagation delay of one gate kind.
+    #[must_use]
+    pub fn delay(&self, kind: GateKind) -> f64 {
+        self.delays[Self::slot(kind)]
+    }
+
+    /// Arrival time of every node: the longest input-to-node path.
+    #[must_use]
+    pub fn arrival_times(&self, netlist: &Netlist) -> Vec<f64> {
+        let mut arrival = vec![0.0f64; netlist.len()];
+        for (idx, node) in netlist.nodes().iter().enumerate() {
+            let input_arrival = node
+                .inputs()
+                .iter()
+                .map(|dep| arrival[dep.index()])
+                .fold(0.0f64, f64::max);
+            arrival[idx] = input_arrival + self.delay(node.kind());
+        }
+        arrival
+    }
+
+    /// Critical-path delay: the latest arrival among primary outputs (or
+    /// among all nodes if no outputs are marked).
+    #[must_use]
+    pub fn critical_path(&self, netlist: &Netlist) -> f64 {
+        let arrival = self.arrival_times(netlist);
+        let outputs = netlist.primary_outputs();
+        if outputs.is_empty() {
+            arrival.iter().copied().fold(0.0, f64::max)
+        } else {
+            outputs
+                .iter()
+                .map(|(id, _)| arrival[id.index()])
+                .fold(0.0, f64::max)
+        }
+    }
+
+    /// Logic depth (in gate levels, ignoring per-kind delays) of the
+    /// netlist — the unit-delay critical path.
+    #[must_use]
+    pub fn logic_depth(netlist: &Netlist) -> usize {
+        let mut depth = vec![0usize; netlist.len()];
+        for (idx, node) in netlist.nodes().iter().enumerate() {
+            let input_depth = node
+                .inputs()
+                .iter()
+                .map(|dep| depth[dep.index()])
+                .max()
+                .unwrap_or(0);
+            depth[idx] = match node.kind() {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+                _ => input_depth + 1,
+            };
+        }
+        let outputs = netlist.primary_outputs();
+        if outputs.is_empty() {
+            depth.into_iter().max().unwrap_or(0)
+        } else {
+            outputs
+                .iter()
+                .map(|(id, _)| depth[id.index()])
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn inputs_have_zero_arrival() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.mark_output(a, "y");
+        let model = DelayModel::default();
+        assert_eq!(model.critical_path(&nl), 0.0);
+        assert_eq!(DelayModel::logic_depth(&nl), 0);
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let n3 = nl.not(n2);
+        nl.mark_output(n3, "y");
+        let model = DelayModel::default();
+        assert!((model.critical_path(&nl) - 3.0).abs() < 1e-12);
+        assert_eq!(DelayModel::logic_depth(&nl), 3);
+    }
+
+    #[test]
+    fn ripple_carry_delay_is_linear_in_width() {
+        let model = DelayModel::default();
+        let (w8, _) = builders::ripple_carry_adder(8);
+        let (w16, _) = builders::ripple_carry_adder(16);
+        let (w32, _) = builders::ripple_carry_adder(32);
+        let d8 = model.critical_path(&w8);
+        let d16 = model.critical_path(&w16);
+        let d32 = model.critical_path(&w32);
+        assert!(d8 < d16 && d16 < d32);
+        // Each extra bit adds one majority cell to the carry chain.
+        let per_bit = (d32 - d16) / 16.0;
+        assert!((per_bit - model.delay(crate::GateKind::Maj3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_ignores_dead_logic_when_outputs_marked() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        // A deep dead chain...
+        let mut dead = nl.xor2(a, b);
+        for _ in 0..10 {
+            dead = nl.xor2(dead, a);
+        }
+        // ...and a shallow observable path.
+        let y = nl.and2(a, b);
+        nl.mark_output(y, "y");
+        let model = DelayModel::default();
+        assert!((model.critical_path(&nl) - model.delay(crate::GateKind::And2)).abs() < 1e-12);
+        let _ = dead;
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        let mut delays = [1.0; 13];
+        delays[5] = -1.0;
+        let _ = DelayModel::new(delays);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: netlist adders agree with machine integer
+//! arithmetic, energy accounting is internally consistent, and the
+//! optimizer preserves behaviour on random circuits.
+
+use gatesim::{builders, optimize, EnergyModel, Netlist, NodeId, Simulator};
+use proptest::prelude::*;
+
+/// A random combinational netlist: `n_inputs` primary inputs, a few
+/// constants, then `ops` random gates over earlier nodes, with the last
+/// few nodes marked as outputs.
+fn random_netlist(n_inputs: usize, ops: &[(u8, usize, usize, usize)]) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut nodes: Vec<NodeId> = (0..n_inputs).map(|i| nl.input(format!("in{i}"))).collect();
+    nodes.push(nl.constant(false));
+    nodes.push(nl.constant(true));
+    for &(kind, a, b, c) in ops {
+        let pick = |i: usize, len: usize| i % len;
+        let x = nodes[pick(a, nodes.len())];
+        let y = nodes[pick(b, nodes.len())];
+        let z = nodes[pick(c, nodes.len())];
+        let id = match kind % 10 {
+            0 => nl.not(x),
+            1 => nl.and2(x, y),
+            2 => nl.or2(x, y),
+            3 => nl.xor2(x, y),
+            4 => nl.nand2(x, y),
+            5 => nl.nor2(x, y),
+            6 => nl.xnor2(x, y),
+            7 => nl.mux2(x, y, z),
+            8 => nl.maj3(x, y, z),
+            _ => nl.buf(x),
+        };
+        nodes.push(id);
+    }
+    let outputs = nodes.len().min(4);
+    for (i, id) in nodes.iter().rev().take(outputs).enumerate() {
+        nl.mark_output(*id, format!("out{i}"));
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ripple_carry_matches_u64(a: u64, b: u64, cin: bool, width in 1usize..=64) {
+        let (nl, ports) = builders::ripple_carry_adder(width);
+        let mut sim = Simulator::new(&nl);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let out = sim.evaluate(&ports.pack_operands(a, b, cin)).unwrap();
+        let (sum, cout) = ports.unpack_result(&out);
+        let exact = u128::from(a) + u128::from(b) + u128::from(cin);
+        prop_assert_eq!(u128::from(sum), exact & u128::from(mask));
+        prop_assert_eq!(cout, exact > u128::from(mask));
+    }
+
+    #[test]
+    fn toggles_are_zero_for_repeated_vectors(a: u64, b: u64) {
+        let (nl, ports) = builders::ripple_carry_adder(32);
+        let mut sim = Simulator::new(&nl);
+        let v = ports.pack_operands(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, false);
+        sim.evaluate(&v).unwrap();
+        sim.evaluate(&v).unwrap();
+        sim.evaluate(&v).unwrap();
+        prop_assert_eq!(sim.total_toggles(), 0);
+    }
+
+    #[test]
+    fn dynamic_energy_is_monotone_in_activity(pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 2..20)) {
+        // Simulating a prefix of a vector sequence can never cost more
+        // dynamic energy than the whole sequence.
+        let (nl, ports) = builders::ripple_carry_adder(32);
+        let model = EnergyModel::dynamic_only();
+        let mut sim = Simulator::new(&nl);
+        let mut energies = Vec::new();
+        for (a, b) in &pairs {
+            sim.evaluate(&ports.pack_operands(u64::from(*a), u64::from(*b), false)).unwrap();
+            energies.push(sim.energy(&model));
+        }
+        for w in energies.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_builder_netlists(width in 1usize..=16) {
+        let (nl, _) = builders::ripple_carry_adder(width);
+        prop_assert!(nl.validate().is_ok());
+        let mux: Netlist = builders::word_mux(width);
+        prop_assert!(mux.validate().is_ok());
+    }
+
+    #[test]
+    fn optimizer_preserves_behaviour_on_random_circuits(
+        n_inputs in 1usize..=6,
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+            1..40,
+        ),
+    ) {
+        let original = random_netlist(n_inputs, &ops);
+        let report = optimize::optimize(&original);
+        let optimized = report.netlist;
+        prop_assert!(optimized.validate().is_ok());
+        prop_assert_eq!(optimized.num_inputs(), original.num_inputs());
+        prop_assert_eq!(optimized.num_outputs(), original.num_outputs());
+        prop_assert!(optimized.len() <= original.len());
+        let mut sim_a = Simulator::new(&original);
+        let mut sim_b = Simulator::new(&optimized);
+        for pattern in 0..(1u32 << n_inputs) {
+            let inputs: Vec<bool> =
+                (0..n_inputs).map(|i| (pattern >> i) & 1 == 1).collect();
+            let a = sim_a.evaluate(&inputs).expect("valid inputs");
+            let b = sim_b.evaluate(&inputs).expect("valid inputs");
+            prop_assert_eq!(a, b, "optimizer changed behaviour on {:#b}", pattern);
+        }
+    }
+
+    #[test]
+    fn optimizer_is_idempotent(
+        n_inputs in 1usize..=5,
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+            1..25,
+        ),
+    ) {
+        let original = random_netlist(n_inputs, &ops);
+        let once = optimize::optimize(&original).netlist;
+        let twice = optimize::optimize(&once).netlist;
+        prop_assert_eq!(once.len(), twice.len(), "second pass found more work");
+    }
+}

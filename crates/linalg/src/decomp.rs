@@ -1,0 +1,270 @@
+//! Exact decompositions and solvers (error-sensitive kernels).
+//!
+//! These run in plain `f64`: the offline resilience partitioning keeps
+//! numerically fragile kernels — pivoted elimination, Cholesky, inverses —
+//! on exact hardware, because an approximate pivot choice can derail an
+//! entire solve rather than merely perturb it.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Errors
+/// Returns [`LinalgError::DimensionMismatch`] if `A` is not square or `b`
+/// has the wrong length, and [`LinalgError::Singular`] if a pivot
+/// underflows `1e-12` times the largest row entry.
+///
+/// # Example
+///
+/// ```
+/// use approx_linalg::{decomp, Matrix};
+///
+/// # fn main() -> Result<(), approx_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = decomp::solve(&a, &[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("square system of order {n}"),
+            found: format!("{}x{} with rhs of length {}", a.rows(), a.cols(), b.len()),
+        });
+    }
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = a.row(i).to_vec();
+            row.push(b[i]);
+            row
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty range");
+        m.swap(col, pivot_row);
+        let pivot = m[col][col];
+        let scale = m[col].iter().take(n).fold(0.0f64, |s, &v| s.max(v.abs()));
+        if pivot.abs() <= 1e-12 * scale.max(1e-300) {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        for row in (col + 1)..n {
+            let factor = m[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // m[row] and m[col] alias the same table
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = m[i][n];
+        for j in (i + 1)..n {
+            acc -= m[i][j] * x[j];
+        }
+        x[i] = acc / m[i][i];
+    }
+    Ok(x)
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular factor.
+///
+/// # Errors
+/// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+/// [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is not
+/// strictly positive.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: "square matrix".to_owned(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { minor: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Determinant via LU elimination (partial pivoting).
+///
+/// # Errors
+/// Returns [`LinalgError::DimensionMismatch`] for non-square input.
+pub fn determinant(a: &Matrix) -> Result<f64, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: "square matrix".to_owned(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let mut m: Vec<Vec<f64>> = (0..n).map(|i| a.row(i).to_vec()).collect();
+    let mut det = 1.0;
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty range");
+        if pivot_row != col {
+            m.swap(col, pivot_row);
+            det = -det;
+        }
+        let pivot = m[col][col];
+        if pivot == 0.0 {
+            return Ok(0.0);
+        }
+        det *= pivot;
+        for row in (col + 1)..n {
+            let factor = m[row][col] / pivot;
+            #[allow(clippy::needless_range_loop)] // m[row] and m[col] alias the same table
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    Ok(det)
+}
+
+/// Matrix inverse via column-wise solves.
+///
+/// # Errors
+/// Propagates [`LinalgError::Singular`] /
+/// [`LinalgError::DimensionMismatch`] from [`solve`].
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    let mut inv = Matrix::zeros(n, n.max(1));
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = solve(a, &e)?;
+        for i in 0..n {
+            inv[(i, j)] = col[i];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec_exact(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul_exact(&l.transpose());
+        for i in 0..3 {
+            assert_close(recon.row(i), a.row(i), 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { minor: 1 })
+        ));
+    }
+
+    #[test]
+    fn determinant_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((determinant(&a).unwrap() + 2.0).abs() < 1e-14);
+        assert!((determinant(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-14);
+        let sing = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(determinant(&sing).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul_exact(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+}

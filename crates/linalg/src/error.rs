@@ -1,0 +1,63 @@
+//! Error type for linear-algebra routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by decompositions and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape found.
+        found: String,
+    },
+    /// The matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot index at which elimination broke down.
+        pivot: usize,
+    },
+    /// The matrix is not symmetric positive definite.
+    NotPositiveDefinite {
+        /// Leading minor index at which the Cholesky factorization failed.
+        minor: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { minor } => {
+                write!(f, "matrix is not positive definite (leading minor {minor})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::Singular { pivot: 2 };
+        assert!(e.to_string().contains("pivot 2"));
+        let e = LinalgError::NotPositiveDefinite { minor: 1 };
+        assert!(e.to_string().contains("minor 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

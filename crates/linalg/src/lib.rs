@@ -1,0 +1,39 @@
+//! Small dense linear algebra for the ApproxIt reproduction.
+//!
+//! Two kinds of routines coexist, mirroring the paper's split between
+//! error-resilient and error-sensitive computation:
+//!
+//! * **Context routines** take a `&mut dyn ArithContext` and run every
+//!   scalar operation on the (possibly approximate) datapath —
+//!   [`vector`] sums/dots/axpys, [`stats`] means. These are what the
+//!   applications scale with accuracy levels.
+//! * **Exact routines** (norms, [`decomp`] solvers, inverses) run in
+//!   plain `f64`: they implement control flow, convergence checks, and
+//!   numerically fragile kernels that the offline resilience analysis
+//!   marks error-sensitive.
+//!
+//! # Example
+//!
+//! ```
+//! use approx_arith::{ArithContext, ExactContext, EnergyProfile};
+//! use approx_linalg::vector;
+//!
+//! let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+//! let mut ctx = ExactContext::with_profile(profile);
+//! let y = vector::axpy(&mut ctx, 2.0, &[1.0, 2.0], &[10.0, 20.0]);
+//! assert_eq!(y, vec![12.0, 24.0]);
+//! assert!(ctx.approx_energy() > 0.0); // the adds were metered
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod decomp;
+pub mod stats;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;

@@ -1,0 +1,229 @@
+//! Statistical kernels: means and covariances over point sets.
+//!
+//! The *mean* accumulations are context-routed — they are exactly the
+//! "Mean Value" datapath the paper scales on approximate adders for the
+//! GMM benchmark (its Table 2). Covariance estimation stays exact: it
+//! feeds matrix inversions, which the resilience partitioning marks
+//! error-sensitive.
+
+use approx_arith::ArithContext;
+
+use crate::matrix::Matrix;
+
+/// Mean of a set of points (rows of equal dimension), fully on the
+/// context's datapath — including the final division, so at approximate
+/// levels the result is quantized to the datapath's fixed-point format
+/// (exactly like hardware, where a sub-resolution update vanishes and
+/// the iteration freezes).
+///
+/// # Panics
+/// Panics if `points` is empty or the rows have unequal lengths.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ExactContext, EnergyProfile};
+/// use approx_linalg::stats;
+///
+/// let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+/// let mut ctx = ExactContext::with_profile(profile);
+/// let pts = [vec![1.0, 0.0], vec![3.0, 4.0]];
+/// assert_eq!(stats::mean(&mut ctx, &pts), vec![2.0, 2.0]);
+/// ```
+#[must_use]
+pub fn mean(ctx: &mut dyn ArithContext, points: &[Vec<f64>]) -> Vec<f64> {
+    assert!(
+        !points.is_empty(),
+        "mean of an empty point set is undefined"
+    );
+    let dim = points[0].len();
+    let mut acc = vec![0.0; dim];
+    for p in points {
+        assert_eq!(p.len(), dim, "all points must have the same dimension");
+        for (a, &x) in acc.iter_mut().zip(p) {
+            *a = ctx.add(*a, x);
+        }
+    }
+    let n = points.len() as f64;
+    acc.iter().map(|&a| ctx.div(a, n)).collect()
+}
+
+/// Weighted mean `Σ wᵢ·xᵢ / Σ wᵢ`, entirely on the context's datapath
+/// (accumulations *and* the final division) — the M-step mean update of
+/// GMM-EM. At approximate levels the result is quantized to the
+/// datapath's fixed-point format.
+///
+/// Returns `None` if the total weight is not strictly positive (an empty
+/// soft cluster).
+///
+/// # Panics
+/// Panics if the lengths differ, `points` is empty, or rows have unequal
+/// dimensions.
+#[must_use]
+pub fn weighted_mean(
+    ctx: &mut dyn ArithContext,
+    points: &[Vec<f64>],
+    weights: &[f64],
+) -> Option<Vec<f64>> {
+    assert!(
+        !points.is_empty(),
+        "weighted mean of an empty set is undefined"
+    );
+    assert_eq!(points.len(), weights.len(), "one weight per point required");
+    let dim = points[0].len();
+    let mut acc = vec![0.0; dim];
+    let mut total = 0.0;
+    for (p, &w) in points.iter().zip(weights) {
+        assert_eq!(p.len(), dim, "all points must have the same dimension");
+        total = ctx.add(total, w);
+        for (a, &x) in acc.iter_mut().zip(p) {
+            let wx = ctx.mul(w, x);
+            *a = ctx.add(*a, wx);
+        }
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    Some(acc.iter().map(|&a| ctx.div(a, total)).collect())
+}
+
+/// Exact sample covariance of a point set around a given mean, with
+/// optional weights (unnormalized responsibilities) and a diagonal
+/// regularizer `ridge` added for numerical safety.
+///
+/// # Panics
+/// Panics if `points` is empty, dimensions are inconsistent, or
+/// `weights` (when given) has the wrong length.
+#[must_use]
+pub fn covariance_exact(
+    points: &[Vec<f64>],
+    mean: &[f64],
+    weights: Option<&[f64]>,
+    ridge: f64,
+) -> Matrix {
+    assert!(
+        !points.is_empty(),
+        "covariance of an empty set is undefined"
+    );
+    let dim = mean.len();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), points.len(), "one weight per point required");
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    let mut total = 0.0;
+    for (idx, p) in points.iter().enumerate() {
+        assert_eq!(p.len(), dim, "all points must have the same dimension");
+        let w = weights.map_or(1.0, |ws| ws[idx]);
+        total += w;
+        for i in 0..dim {
+            let di = p[i] - mean[i];
+            for j in 0..dim {
+                cov[(i, j)] += w * di * (p[j] - mean[j]);
+            }
+        }
+    }
+    let denom = if total > 0.0 { total } else { 1.0 };
+    for i in 0..dim {
+        for j in 0..dim {
+            cov[(i, j)] /= denom;
+        }
+        cov[(i, i)] += ridge;
+    }
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{AccuracyLevel, EnergyProfile, ExactContext, QcsContext};
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    #[test]
+    fn mean_of_grid() {
+        let mut ctx = ExactContext::with_profile(profile());
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0],
+        ];
+        assert_eq!(mean(&mut ctx, &pts), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_mean_matches_unweighted_for_unit_weights() {
+        let mut ctx = ExactContext::with_profile(profile());
+        let pts = vec![vec![1.0], vec![2.0], vec![6.0]];
+        let w = vec![1.0, 1.0, 1.0];
+        let wm = weighted_mean(&mut ctx, &pts, &w).unwrap();
+        assert_eq!(wm, vec![3.0]);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let mut ctx = ExactContext::with_profile(profile());
+        let pts = vec![vec![0.0], vec![10.0]];
+        let wm = weighted_mean(&mut ctx, &pts, &[3.0, 1.0]).unwrap();
+        assert_eq!(wm, vec![2.5]);
+    }
+
+    #[test]
+    fn empty_soft_cluster_yields_none() {
+        let mut ctx = ExactContext::with_profile(profile());
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(weighted_mean(&mut ctx, &pts, &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn approximate_mean_is_biased_but_bounded() {
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(AccuracyLevel::Level4);
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i) / 10.0]).collect();
+        let approx = mean(&mut ctx, &pts);
+        let exact = 4.95;
+        // Level 4 corrupts the low 11 of 16 fraction bits: per-add error
+        // ≤ 2^-5 · 2, accumulated over 100 adds, divided by 100 (with a
+        // quantized division).
+        assert!((approx[0] - exact).abs() < 0.1, "mean {}", approx[0]);
+        assert_ne!(approx[0], exact); // but it *is* approximate
+    }
+
+    #[test]
+    fn covariance_of_isotropic_cloud() {
+        let pts = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ];
+        let cov = covariance_exact(&pts, &[0.0, 0.0], None, 0.0);
+        assert!((cov[(0, 0)] - 0.5).abs() < 1e-14);
+        assert!((cov[(1, 1)] - 0.5).abs() < 1e-14);
+        assert!(cov[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn ridge_keeps_covariance_invertible() {
+        // All points identical: zero covariance without the ridge.
+        let pts = vec![vec![2.0, 2.0]; 5];
+        let cov = covariance_exact(&pts, &[2.0, 2.0], None, 1e-6);
+        assert!(crate::decomp::cholesky(&cov).is_ok());
+    }
+
+    #[test]
+    fn weighted_covariance_ignores_zero_weight_points() {
+        let pts = vec![vec![0.0], vec![100.0]];
+        let cov = covariance_exact(&pts, &[0.0], Some(&[1.0, 0.0]), 0.0);
+        assert!(cov[(0, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_of_empty_panics() {
+        let mut ctx = ExactContext::with_profile(profile());
+        let _ = mean(&mut ctx, &[]);
+    }
+}

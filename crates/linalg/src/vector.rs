@@ -1,0 +1,185 @@
+//! Vector kernels, both context-routed (approximate-capable) and exact.
+
+use approx_arith::ArithContext;
+
+/// Element-wise sum `x + y` on the context's datapath.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn add(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(&a, &b)| ctx.add(a, b)).collect()
+}
+
+/// Element-wise difference `x − y` on the context's datapath.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn sub(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(&a, &b)| ctx.sub(a, b)).collect()
+}
+
+/// Scale `alpha · x` on the context's datapath.
+#[must_use]
+pub fn scale(ctx: &mut dyn ArithContext, alpha: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&a| ctx.mul(alpha, a)).collect()
+}
+
+/// `alpha · x + y` on the context's datapath.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn axpy(ctx: &mut dyn ArithContext, alpha: f64, x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let p = ctx.mul(alpha, a);
+            ctx.add(p, b)
+        })
+        .collect()
+}
+
+/// Dot product on the context's datapath (delegates to
+/// [`ArithContext::dot`]).
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn dot(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> f64 {
+    ctx.dot(x, y)
+}
+
+/// Accumulate `y += x` in place on the context's datapath.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn add_assign(ctx: &mut dyn ArithContext, y: &mut [f64], x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = ctx.add(*yi, xi);
+    }
+}
+
+/// Accumulate `y += alpha · x` in place on the context's datapath.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn axpy_assign(ctx: &mut dyn ArithContext, y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        let p = ctx.mul(alpha, xi);
+        *yi = ctx.add(*yi, p);
+    }
+}
+
+/// Exact Euclidean norm ‖x‖₂ (error-sensitive: used by convergence
+/// checks and the reconfiguration criteria).
+#[must_use]
+pub fn norm2_exact(x: &[f64]) -> f64 {
+    x.iter().map(|&a| a * a).sum::<f64>().sqrt()
+}
+
+/// Exact Euclidean distance ‖x − y‖₂.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn dist2_exact(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Exact dot product (error-sensitive path).
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn dot_exact(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Exact infinity norm max|xᵢ|.
+#[must_use]
+pub fn norm_inf_exact(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &a| m.max(a.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{EnergyProfile, ExactContext};
+
+    fn ctx() -> ExactContext {
+        ExactContext::with_profile(EnergyProfile::from_constants(
+            [1.0, 2.0, 3.0, 4.0, 5.0],
+            50.0,
+            100.0,
+        ))
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let mut c = ctx();
+        let x = [1.0, -2.0, 3.5];
+        let y = [0.5, 0.5, 0.5];
+        let s = add(&mut c, &x, &y);
+        let d = sub(&mut c, &s, &y);
+        assert_eq!(d, x.to_vec());
+        let twice = scale(&mut c, 2.0, &x);
+        assert_eq!(twice, vec![2.0, -4.0, 7.0]);
+    }
+
+    #[test]
+    fn axpy_matches_definition() {
+        let mut c = ctx();
+        let y = axpy(&mut c, 3.0, &[1.0, 2.0], &[10.0, 20.0]);
+        assert_eq!(y, vec![13.0, 26.0]);
+        let mut acc = vec![10.0, 20.0];
+        axpy_assign(&mut c, &mut acc, 3.0, &[1.0, 2.0]);
+        assert_eq!(acc, y);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut c = ctx();
+        let mut acc = vec![0.0; 3];
+        add_assign(&mut c, &mut acc, &[1.0, 2.0, 3.0]);
+        add_assign(&mut c, &mut acc, &[1.0, 2.0, 3.0]);
+        assert_eq!(acc, vec![2.0, 4.0, 6.0]);
+        assert_eq!(c.counts().adds, 6);
+    }
+
+    #[test]
+    fn exact_norms() {
+        assert_eq!(norm2_exact(&[3.0, 4.0]), 5.0);
+        assert_eq!(dist2_exact(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+        assert_eq!(norm_inf_exact(&[-7.0, 3.0]), 7.0);
+        assert_eq!(dot_exact(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2_exact(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_panic() {
+        let mut c = ctx();
+        let _ = add(&mut c, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn context_ops_are_metered() {
+        let mut c = ctx();
+        let _ = dot(&mut c, &[1.0; 10], &[2.0; 10]);
+        assert_eq!(c.counts().adds, 10);
+        assert_eq!(c.counts().muls, 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the linear-algebra kernels.
+
+use approx_arith::{EnergyProfile, ExactContext};
+use approx_linalg::{decomp, stats, vector, Matrix};
+use proptest::prelude::*;
+
+fn ctx() -> ExactContext {
+    ExactContext::with_profile(EnergyProfile::from_constants(
+        [1.0, 2.0, 3.0, 4.0, 5.0],
+        50.0,
+        100.0,
+    ))
+}
+
+/// Random well-conditioned SPD matrix A = B·Bᵀ + n·I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.matmul_exact(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_inverts_matvec(a in spd(3), x in proptest::collection::vec(-10.0f64..10.0, 3)) {
+        let b = a.matvec_exact(&x);
+        let got = decomp::solve(&a, &b).expect("SPD system");
+        prop_assert!(vector::dist2_exact(&got, &x) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_squares_back(a in spd(4)) {
+        let l = decomp::cholesky(&a).expect("SPD input");
+        let recon = l.matmul_exact(&l.transpose());
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_matches_cholesky_product(a in spd(3)) {
+        let det = decomp::determinant(&a).expect("square");
+        let l = decomp::cholesky(&a).expect("SPD");
+        let det_l: f64 = (0..3).map(|i| l[(i, i)]).product();
+        prop_assert!((det - det_l * det_l).abs() < 1e-6 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn inverse_solves_identity(a in spd(3)) {
+        let inv = decomp::inverse(&a).expect("SPD");
+        let prod = a.matmul_exact(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = f64::from(u8::from(i == j));
+                prop_assert!((prod[(i, j)] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_manual(
+        alpha in -10.0f64..10.0,
+        x in proptest::collection::vec(-10.0f64..10.0, 1..12),
+        y in proptest::collection::vec(-10.0f64..10.0, 1..12),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let mut c = ctx();
+        let got = vector::axpy(&mut c, alpha, x, y);
+        for ((g, &xi), &yi) in got.iter().zip(x).zip(y) {
+            prop_assert!((g - (alpha * xi + yi)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, 2), 1..20),
+        shift in -20.0f64..20.0,
+    ) {
+        let mut c = ctx();
+        let m = stats::mean(&mut c, &pts);
+        let shifted: Vec<Vec<f64>> =
+            pts.iter().map(|p| p.iter().map(|v| v + shift).collect()).collect();
+        let ms = stats::mean(&mut c, &shifted);
+        for (a, b) in m.iter().zip(&ms) {
+            prop_assert!((b - (a + shift)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 2), 3..25),
+    ) {
+        let mut c = ctx();
+        let m = stats::mean(&mut c, &pts);
+        let cov = stats::covariance_exact(&pts, &m, None, 1e-9);
+        // PSD check via Cholesky with the tiny ridge.
+        prop_assert!(decomp::cholesky(&cov).is_ok(), "covariance not PSD: {cov}");
+    }
+
+    #[test]
+    fn norms_satisfy_triangle_inequality(
+        x in proptest::collection::vec(-10.0f64..10.0, 1..10),
+        y in proptest::collection::vec(-10.0f64..10.0, 1..10),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let sum: Vec<f64> = x.iter().zip(y).map(|(&a, &b)| a + b).collect();
+        prop_assert!(
+            vector::norm2_exact(&sum)
+                <= vector::norm2_exact(x) + vector::norm2_exact(y) + 1e-9
+        );
+    }
+}

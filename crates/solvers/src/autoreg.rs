@@ -1,0 +1,314 @@
+//! Autoregression fitted by batch gradient descent.
+//!
+//! The paper's second benchmark (Table 1): an AR(p) model of a financial
+//! index series, fit by minimizing the mean squared one-step prediction
+//! error. The residual and gradient accumulations — the dominant
+//! datapath — run on the approximate adders; the convergence check and
+//! the reported least-square error are exact.
+
+use approx_arith::ArithContext;
+use approx_linalg::vector;
+
+use crate::datasets::SeriesDataset;
+use crate::method::IterativeMethod;
+
+/// AR(p) least-squares regression as an [`IterativeMethod`].
+///
+/// State is the coefficient vector `w ∈ ℝᵖ`; one iteration is a
+/// full-batch gradient step
+/// `w ← w + (α/N) Σₙ (yₙ − w·xₙ) xₙ` computed on the context's datapath.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ExactContext, EnergyProfile};
+/// use iter_solvers::datasets::ar_series;
+/// use iter_solvers::{AutoRegression, IterativeMethod};
+///
+/// let series = ar_series("demo", 400, &[0.6, 0.2], 1.0, 3);
+/// let ar = AutoRegression::from_series(&series, 0.5, 1e-10, 500);
+/// let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+/// let mut ctx = ExactContext::with_profile(profile);
+/// let mut w = ar.initial_state();
+/// for _ in 0..200 {
+///     w = ar.step(&w, &mut ctx);
+/// }
+/// // The fit should recover coefficients near the generating ones.
+/// assert!((w[0] - 0.6).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoRegression {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    step_size: f64,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl AutoRegression {
+    /// Create a regression over an explicit design matrix and target.
+    ///
+    /// # Panics
+    /// Panics if the design matrix is empty or ragged, `y` has a
+    /// different number of rows, the step size or tolerance is not
+    /// positive, or `max_iterations` is 0.
+    #[must_use]
+    pub fn new(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        step_size: f64,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Self {
+        assert!(!x.is_empty(), "design matrix must be non-empty");
+        let p = x[0].len();
+        assert!(p > 0, "at least one regressor is required");
+        assert!(x.iter().all(|r| r.len() == p), "ragged design matrix");
+        assert_eq!(x.len(), y.len(), "one target per row required");
+        assert!(step_size > 0.0, "step size must be positive");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_iterations > 0, "iteration budget must be positive");
+        Self {
+            x,
+            y,
+            step_size,
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// Create a regression from a windowed series dataset.
+    ///
+    /// # Panics
+    /// Propagates the panics of [`SeriesDataset::to_regression`] and
+    /// [`AutoRegression::new`].
+    #[must_use]
+    pub fn from_series(
+        series: &SeriesDataset,
+        step_size: f64,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Self {
+        let (x, y) = series.to_regression();
+        Self::new(x, y, step_size, tolerance, max_iterations)
+    }
+
+    /// Regression order `p`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.x[0].len()
+    }
+
+    /// Number of samples `N`.
+    #[must_use]
+    pub fn num_samples(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The exact least-squares solution via the normal equations — the
+    /// reference the QEM can be measured against.
+    ///
+    /// # Panics
+    /// Panics if the normal equations are singular.
+    #[must_use]
+    pub fn normal_equation_solution(&self) -> Vec<f64> {
+        let p = self.order();
+        let mut xtx = approx_linalg::Matrix::zeros(p, p);
+        let mut xty = vec![0.0; p];
+        for (row, &target) in self.x.iter().zip(&self.y) {
+            for i in 0..p {
+                xty[i] += row[i] * target;
+                for j in 0..p {
+                    xtx[(i, j)] += row[i] * row[j];
+                }
+            }
+        }
+        approx_linalg::decomp::solve(&xtx, &xty).expect("normal equations are SPD")
+    }
+}
+
+impl IterativeMethod for AutoRegression {
+    type State = Vec<f64>;
+
+    fn name(&self) -> &str {
+        "autoregression"
+    }
+
+    /// Start from the zero coefficient vector (identical across all
+    /// configurations).
+    fn initial_state(&self) -> Vec<f64> {
+        vec![0.0; self.order()]
+    }
+
+    fn step(&self, state: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
+        let p = self.order();
+        let mut acc = vec![0.0; p]; // Σ residual·x, accumulated approximately
+        for (row, &target) in self.x.iter().zip(&self.y) {
+            let pred = ctx.dot(row, state);
+            let residual = ctx.sub(target, pred);
+            vector::axpy_assign(ctx, &mut acc, residual, row);
+        }
+        let scale = self.step_size / self.num_samples() as f64;
+        vector::axpy(ctx, scale, &acc, state)
+    }
+
+    /// Exact mean squared error `(1/2N)‖y − Xw‖²`.
+    fn objective(&self, state: &Vec<f64>) -> f64 {
+        let mut sse = 0.0;
+        for (row, &target) in self.x.iter().zip(&self.y) {
+            let r = target - vector::dot_exact(row, state);
+            sse += r * r;
+        }
+        sse / (2.0 * self.num_samples() as f64)
+    }
+
+    /// Exact gradient `−(1/N) Xᵀ(y − Xw)`.
+    fn gradient(&self, state: &Vec<f64>) -> Option<Vec<f64>> {
+        let p = self.order();
+        let mut g = vec![0.0; p];
+        for (row, &target) in self.x.iter().zip(&self.y) {
+            let r = target - vector::dot_exact(row, state);
+            for (gi, &xi) in g.iter_mut().zip(row) {
+                *gi -= r * xi;
+            }
+        }
+        for gi in &mut g {
+            *gi /= self.num_samples() as f64;
+        }
+        Some(g)
+    }
+
+    fn params(&self, state: &Vec<f64>) -> Vec<f64> {
+        state.clone()
+    }
+
+    /// Converged when no coefficient moved more than the tolerance (the
+    /// paper uses 1e-13 on the financial datasets).
+    fn converged(&self, prev: &Vec<f64>, next: &Vec<f64>) -> bool {
+        prev.iter()
+            .zip(next)
+            .all(|(&a, &b)| (a - b).abs() < self.tolerance)
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::ar_series;
+    use crate::metrics::l2_error;
+    use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, ExactContext, QcsContext};
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    fn run<M: IterativeMethod>(m: &M, ctx: &mut dyn ArithContext) -> (M::State, usize) {
+        let mut state = m.initial_state();
+        for i in 0..m.max_iterations() {
+            let next = m.step(&state, ctx);
+            let done = m.converged(&state, &next);
+            state = next;
+            if done {
+                return (state, i + 1);
+            }
+        }
+        (state, m.max_iterations())
+    }
+
+    #[test]
+    fn exact_gd_approaches_normal_equations() {
+        let series = ar_series("t", 500, &[0.5, 0.25], 1.0, 17);
+        let ar = AutoRegression::from_series(&series, 0.5, 1e-12, 5000);
+        let want = ar.normal_equation_solution();
+        let mut ctx = ExactContext::with_profile(profile());
+        let (w, iters) = run(&ar, &mut ctx);
+        assert!(iters < 5000, "did not converge");
+        assert!(l2_error(&w, &want) < 1e-8, "w {w:?} vs {want:?}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let series = ar_series("t", 120, &[0.4, 0.2, 0.1], 1.0, 23);
+        let ar = AutoRegression::from_series(&series, 0.3, 1e-10, 100);
+        let w = vec![0.1, -0.2, 0.3];
+        let g = ar.gradient(&w).unwrap();
+        let h = 1e-7;
+        for i in 0..3 {
+            let mut wp = w.clone();
+            wp[i] += h;
+            let mut wm = w.clone();
+            wm[i] -= h;
+            let fd = (ar.objective(&wp) - ar.objective(&wm)) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-5, "dim {i}: {fd} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn objective_decreases_monotonically() {
+        let series = ar_series("t", 300, &[0.6], 1.0, 29);
+        let ar = AutoRegression::from_series(&series, 0.3, 1e-12, 50);
+        let mut ctx = ExactContext::with_profile(profile());
+        let mut state = ar.initial_state();
+        let mut prev = ar.objective(&state);
+        for _ in 0..20 {
+            state = ar.step(&state, &mut ctx);
+            let f = ar.objective(&state);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn approximate_modes_freeze_early_with_bias() {
+        let series = ar_series("t", 400, &[0.5, 0.3], 1.0, 31);
+        let reference = {
+            let ar = AutoRegression::from_series(&series, 0.4, 1e-13, 3000);
+            let mut ctx = ExactContext::with_profile(profile());
+            run(&ar, &mut ctx).0
+        };
+        let mut qems = Vec::new();
+        let mut iter_counts = Vec::new();
+        for level in [AccuracyLevel::Level1, AccuracyLevel::Level4] {
+            let ar = AutoRegression::from_series(&series, 0.4, 1e-13, 3000);
+            let mut ctx = QcsContext::with_profile(profile());
+            ctx.set_level(level);
+            let (w, iters) = run(&ar, &mut ctx);
+            qems.push(l2_error(&w, &reference));
+            iter_counts.push(iters);
+        }
+        // Level 1 is far worse than level 4.
+        assert!(qems[0] > qems[1], "qems {qems:?}");
+        // Both freeze before the budget (quantized updates reach zero).
+        assert!(iter_counts.iter().all(|&i| i < 3000), "{iter_counts:?}");
+    }
+
+    #[test]
+    fn step_counts_operations() {
+        let series = ar_series("t", 60, &[0.5], 1.0, 37);
+        let ar = AutoRegression::from_series(&series, 0.3, 1e-10, 10);
+        let mut ctx = ExactContext::with_profile(profile());
+        let w = ar.initial_state();
+        let _ = ar.step(&w, &mut ctx);
+        let n = ar.num_samples() as u64;
+        // Per sample: p muls + p adds (dot) + 1 sub + p muls + p adds
+        // (axpy) with p = 1, plus the final p-element update.
+        assert_eq!(ctx.counts().adds, n * 3 + 1);
+        assert_eq!(ctx.counts().muls, n * 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged design matrix")]
+    fn ragged_matrix_panics() {
+        let _ = AutoRegression::new(
+            vec![vec![1.0, 2.0], vec![1.0]],
+            vec![0.0, 0.0],
+            0.1,
+            1e-9,
+            10,
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Conjugate gradient for symmetric positive-definite systems.
+//!
+//! The paper positions iterative methods as "the most widely-used
+//! solutions for large linear … systems of equations"; conjugate
+//! gradient is the canonical such solver. It is also the most
+//! error-*sensitive* method in this suite — its three coupled
+//! recurrences lose conjugacy under arithmetic noise — which makes it a
+//! stress test for the reconfiguration schemes rather than an easy win.
+
+use approx_arith::ArithContext;
+use approx_linalg::{vector, Matrix};
+
+use crate::method::IterativeMethod;
+
+/// One CG iterate: the solution estimate plus the residual and search
+/// direction recurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgState {
+    /// Solution estimate `x`.
+    pub x: Vec<f64>,
+    /// Residual `r = b − Ax` (as maintained by the recurrence).
+    pub r: Vec<f64>,
+    /// Search direction `p`.
+    pub p: Vec<f64>,
+}
+
+/// Conjugate gradient on a dense SPD system, as an [`IterativeMethod`].
+///
+/// The matrix–vector product and the three axpy updates run on the
+/// arithmetic context; the step-size scalars α and β are computed from
+/// context-routed dot products as well, so direction *and* update error
+/// are both modelled. Monitoring (objective, gradient, convergence) uses
+/// the exact residual `b − Ax`, not the recurrence residual — the
+/// recurrence drifts under approximation, and trusting it would hide
+/// exactly the failures ApproxIt exists to catch.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{EnergyProfile, ExactContext};
+/// use approx_linalg::Matrix;
+/// use iter_solvers::{ConjugateGradient, IterativeMethod};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let cg = ConjugateGradient::new(a, vec![1.0, 2.0], 1e-10, 50);
+/// let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+/// let mut ctx = ExactContext::with_profile(profile);
+/// let mut state = cg.initial_state();
+/// for _ in 0..2 {
+///     state = cg.step(&state, &mut ctx); // CG solves 2x2 in 2 steps
+/// }
+/// assert!((state.x[0] - 1.0 / 11.0).abs() < 1e-9);
+/// assert!((state.x[1] - 7.0 / 11.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConjugateGradient {
+    a: Matrix,
+    b: Vec<f64>,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl ConjugateGradient {
+    /// Create a solver for `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `A` is not square and symmetric of order `b.len()`, the
+    /// tolerance is not positive, or `max_iterations` is 0.
+    #[must_use]
+    pub fn new(a: Matrix, b: Vec<f64>, tolerance: f64, max_iterations: usize) -> Self {
+        assert_eq!(a.rows(), b.len(), "A and b dimensions must agree");
+        assert!(a.is_symmetric(1e-9), "A must be symmetric");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_iterations > 0, "iteration budget must be positive");
+        Self {
+            a,
+            b,
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// The system order.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Exact residual `b − Ax` (monitoring).
+    #[must_use]
+    pub fn exact_residual(&self, x: &[f64]) -> Vec<f64> {
+        self.a
+            .matvec_exact(x)
+            .iter()
+            .zip(&self.b)
+            .map(|(&axi, &bi)| bi - axi)
+            .collect()
+    }
+}
+
+impl IterativeMethod for ConjugateGradient {
+    type State = CgState;
+
+    fn name(&self) -> &str {
+        "conjugate-gradient"
+    }
+
+    fn initial_state(&self) -> CgState {
+        let x = vec![0.0; self.order()];
+        let r = self.b.clone();
+        let p = self.b.clone();
+        CgState { x, r, p }
+    }
+
+    fn step(&self, state: &CgState, ctx: &mut dyn ArithContext) -> CgState {
+        let ap = self.a.matvec(ctx, &state.p);
+        let rr = ctx.dot(&state.r, &state.r);
+        let pap = ctx.dot(&state.p, &ap);
+        if pap.abs() < 1e-300 || rr.abs() < 1e-300 {
+            // Degenerate direction (possible under heavy approximation):
+            // restart from the steepest descent at the current point.
+            let r = self.exact_residual(&state.x);
+            return CgState {
+                x: state.x.clone(),
+                p: r.clone(),
+                r,
+            };
+        }
+        let alpha = rr / pap; // exact scalar division
+        let x = vector::axpy(ctx, alpha, &state.p, &state.x);
+        let r = vector::axpy(ctx, -alpha, &ap, &state.r);
+        let rr_new = ctx.dot(&r, &r);
+        let beta = rr_new / rr;
+        let p = vector::axpy(ctx, beta, &state.p, &r);
+        CgState { x, r, p }
+    }
+
+    /// Quadratic objective `½ xᵀAx − bᵀx` (exact).
+    fn objective(&self, state: &CgState) -> f64 {
+        let ax = self.a.matvec_exact(&state.x);
+        0.5 * vector::dot_exact(&state.x, &ax) - vector::dot_exact(&self.b, &state.x)
+    }
+
+    /// Gradient `Ax − b` — the exact negated residual.
+    fn gradient(&self, state: &CgState) -> Option<Vec<f64>> {
+        Some(self.exact_residual(&state.x).iter().map(|r| -r).collect())
+    }
+
+    fn params(&self, state: &CgState) -> Vec<f64> {
+        state.x.clone()
+    }
+
+    fn converged(&self, prev: &CgState, next: &CgState) -> bool {
+        prev.x
+            .iter()
+            .zip(&next.x)
+            .all(|(&a, &b)| (a - b).abs() < self.tolerance)
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, ExactContext, QcsContext};
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    /// A well-conditioned SPD test system.
+    fn system(n: usize) -> (Matrix, Vec<f64>) {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 4.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
+        (a, b)
+    }
+
+    fn run<M: IterativeMethod>(m: &M, ctx: &mut dyn ArithContext) -> (M::State, usize) {
+        let mut state = m.initial_state();
+        for i in 0..m.max_iterations() {
+            let next = m.step(&state, ctx);
+            let done = m.converged(&state, &next);
+            state = next;
+            if done {
+                return (state, i + 1);
+            }
+        }
+        (state, m.max_iterations())
+    }
+
+    #[test]
+    fn solves_in_at_most_n_steps_exactly() {
+        let (a, b) = system(8);
+        let want = approx_linalg::decomp::solve(&a, &b).expect("SPD");
+        let cg = ConjugateGradient::new(a, b, 1e-12, 100);
+        let mut ctx = ExactContext::with_profile(profile());
+        let mut state = cg.initial_state();
+        for _ in 0..8 {
+            state = cg.step(&state, &mut ctx);
+        }
+        assert!(vector::dist2_exact(&state.x, &want) < 1e-8);
+    }
+
+    #[test]
+    fn converges_via_the_iterative_interface() {
+        let (a, b) = system(12);
+        let want = approx_linalg::decomp::solve(&a, &b).expect("SPD");
+        let cg = ConjugateGradient::new(a, b, 1e-12, 100);
+        let mut ctx = ExactContext::with_profile(profile());
+        let (state, iters) = run(&cg, &mut ctx);
+        assert!(iters <= 20, "took {iters} iterations");
+        assert!(vector::dist2_exact(&state.x, &want) < 1e-6);
+    }
+
+    #[test]
+    fn objective_decreases_monotonically() {
+        let (a, b) = system(10);
+        let cg = ConjugateGradient::new(a, b, 1e-12, 50);
+        let mut ctx = ExactContext::with_profile(profile());
+        let mut state = cg.initial_state();
+        let mut prev = cg.objective(&state);
+        for _ in 0..10 {
+            state = cg.step(&state, &mut ctx);
+            let f = cg.objective(&state);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn gradient_vanishes_at_the_solution() {
+        let (a, b) = system(6);
+        let cg = ConjugateGradient::new(a, b, 1e-13, 50);
+        let mut ctx = ExactContext::with_profile(profile());
+        let (state, _) = run(&cg, &mut ctx);
+        let g = cg.gradient(&state).expect("gradient available");
+        assert!(vector::norm2_exact(&g) < 1e-8);
+    }
+
+    #[test]
+    fn approximate_cg_drifts_but_level4_stays_close() {
+        let (a, b) = system(10);
+        let want = approx_linalg::decomp::solve(&a, &b).expect("SPD");
+        let dist_at = |level: AccuracyLevel| {
+            let (a, b) = system(10);
+            let cg = ConjugateGradient::new(a, b, 1e-12, 200);
+            let mut ctx = QcsContext::with_profile(profile());
+            ctx.set_level(level);
+            let (state, _) = run(&cg, &mut ctx);
+            vector::dist2_exact(&state.x, &want)
+        };
+        let d4 = dist_at(AccuracyLevel::Level4);
+        let d1 = dist_at(AccuracyLevel::Level1);
+        assert!(d4 < 0.1, "level4 distance {d4}");
+        assert!(d1 > d4, "level1 {d1} should be worse than level4 {d4}");
+        let _ = a;
+        let _ = b;
+        let _ = want;
+    }
+
+    #[test]
+    #[should_panic(expected = "must be symmetric")]
+    fn asymmetric_matrix_panics() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let _ = ConjugateGradient::new(a, vec![1.0, 1.0], 1e-9, 10);
+    }
+}

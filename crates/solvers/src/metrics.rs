@@ -1,0 +1,156 @@
+//! Quality evaluation metrics (the paper's QEM column).
+
+/// Hamming distance between two labelings under the best label
+/// permutation — the paper's QEM for GMM clustering. Cluster indices are
+/// arbitrary, so predictions are aligned to the reference by trying all
+/// `k!` permutations (k ≤ 8) and keeping the minimum number of
+/// mismatches.
+///
+/// # Panics
+/// Panics if the labelings differ in length, `k` is 0 or greater than 8,
+/// or a label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use iter_solvers::metrics::hamming_distance;
+///
+/// // Identical clustering, swapped label names: distance 0.
+/// assert_eq!(hamming_distance(&[0, 0, 1, 1], &[1, 1, 0, 0], 2), 0);
+/// // One point genuinely misplaced.
+/// assert_eq!(hamming_distance(&[0, 0, 1, 0], &[1, 1, 0, 0], 2), 1);
+/// ```
+#[must_use]
+pub fn hamming_distance(predicted: &[usize], reference: &[usize], k: usize) -> usize {
+    assert_eq!(
+        predicted.len(),
+        reference.len(),
+        "labelings must have equal length"
+    );
+    assert!((1..=8).contains(&k), "k must be in 1..=8");
+    for &l in predicted.iter().chain(reference) {
+        assert!(l < k, "label {l} out of range for k={k}");
+    }
+    // Confusion counts: confusion[p][r] = #points predicted p with truth r.
+    let mut confusion = vec![vec![0usize; k]; k];
+    for (&p, &r) in predicted.iter().zip(reference) {
+        confusion[p][r] += 1;
+    }
+    // Minimize mismatches = N - max over permutations of Σ confusion[p][σ(p)].
+    let mut perm: Vec<usize> = (0..k).collect();
+    let mut best_agreement = 0usize;
+    heap_permutations(&mut perm, &mut |perm| {
+        let agreement: usize = (0..k).map(|p| confusion[p][perm[p]]).sum();
+        best_agreement = best_agreement.max(agreement);
+    });
+    predicted.len() - best_agreement
+}
+
+fn heap_permutations(items: &mut [usize], visit: &mut impl FnMut(&[usize])) {
+    let n = items.len();
+    if n <= 1 {
+        visit(items);
+        return;
+    }
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    visit(items);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            visit(items);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// ℓ2 distance between two parameter vectors — the paper's QEM for
+/// autoregression ("Least Square Error with ℓ2 norm" of the approximate
+/// coefficients against the Truth coefficients).
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+#[must_use]
+pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
+    approx_linalg::vector::dist2_exact(a, b)
+}
+
+/// Clustering accuracy: `1 − hamming_distance/N`.
+///
+/// # Panics
+/// Panics on the same conditions as [`hamming_distance`], or if the
+/// labelings are empty.
+#[must_use]
+pub fn clustering_accuracy(predicted: &[usize], reference: &[usize], k: usize) -> f64 {
+    assert!(!predicted.is_empty(), "labelings must be non-empty");
+    1.0 - hamming_distance(predicted, reference, k) as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_zero() {
+        assert_eq!(hamming_distance(&[0, 1, 2, 0], &[0, 1, 2, 0], 3), 0);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        // 3-cluster labeling under a cyclic rename.
+        let truth = [0, 0, 1, 1, 2, 2];
+        let renamed = [1, 1, 2, 2, 0, 0];
+        assert_eq!(hamming_distance(&renamed, &truth, 3), 0);
+    }
+
+    #[test]
+    fn counts_true_mismatches_only() {
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [1, 1, 1, 0, 0, 1]; // aligned: swap 0<->1, one mismatch
+        assert_eq!(hamming_distance(&pred, &truth, 2), 1);
+    }
+
+    #[test]
+    fn collapsed_clustering_has_large_distance() {
+        // Everything predicted as one cluster: best alignment recovers
+        // only the largest true cluster.
+        let truth = [0, 0, 0, 1, 1, 2];
+        let pred = [0; 6];
+        assert_eq!(hamming_distance(&pred, &truth, 3), 3);
+    }
+
+    #[test]
+    fn four_cluster_permutations_are_searched() {
+        let truth = [0, 1, 2, 3];
+        let pred = [3, 2, 1, 0];
+        assert_eq!(hamming_distance(&pred, &truth, 4), 0);
+    }
+
+    #[test]
+    fn accuracy_complements_distance() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        assert!((clustering_accuracy(&pred, &truth, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_error_basic() {
+        assert_eq!(l2_error(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(l2_error(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let _ = hamming_distance(&[0, 5], &[0, 1], 2);
+    }
+}

@@ -1,0 +1,505 @@
+//! Weighted-Jacobi iteration for the 2-D Poisson equation.
+//!
+//! The paper's introduction motivates iterative methods with "the
+//! iterative-based finite difference and finite element methods [that]
+//! give us perfect solutions … to tackle partial differential
+//! equations"; this module provides that workload: −Δu = f on the unit
+//! square with homogeneous Dirichlet boundaries, discretized by the
+//! classic 5-point stencil and solved by damped Jacobi sweeps whose
+//! stencil accumulations run on the approximate datapath.
+
+use approx_arith::ArithContext;
+use serde::{Deserialize, Serialize};
+
+use crate::method::IterativeMethod;
+
+/// Right-hand-side generators for [`PoissonJacobi`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PoissonSource {
+    /// `f(x, y) = 2π²·amplitude·sin(πx)sin(πy)` — the smooth benchmark
+    /// with the closed-form solution `u = amplitude·sin(πx)sin(πy)`.
+    Sine {
+        /// Peak of the analytic solution.
+        amplitude: f64,
+    },
+    /// A unit point load at the grid node nearest `(x, y)`.
+    Point {
+        /// Load position, in `[0, 1]²`.
+        x: f64,
+        /// Load position, in `[0, 1]²`.
+        y: f64,
+        /// Load strength.
+        strength: f64,
+    },
+}
+
+/// Relaxation sweep variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Simultaneous update from the previous iterate (the classic Jacobi
+    /// sweep — fully parallel hardware).
+    #[default]
+    Jacobi,
+    /// In-place lexicographic update (Gauss–Seidel; with `omega > 1`
+    /// this is SOR). Converges in roughly half the sweeps of Jacobi on
+    /// this stencil, at the cost of a sequential hardware schedule.
+    GaussSeidel,
+}
+
+/// Damped (weighted) Jacobi / Gauss–Seidel iteration on the 5-point
+/// Poisson stencil, as an [`IterativeMethod`].
+///
+/// The state is the solution on the `n × n` interior grid (row-major).
+/// One iteration computes, for every interior node,
+///
+/// ```text
+/// u'ᵢⱼ = (1 − ω)·uᵢⱼ + (ω/4)·(u_N + u_S + u_E + u_W + h²·fᵢⱼ)
+/// ```
+///
+/// with the neighbour accumulation on the arithmetic context. The
+/// monitored objective is the discrete energy functional
+/// `J(u) = ½·uᵀAu − bᵀu` (exact), whose gradient is the residual
+/// `Au − b` — so all three reconfiguration schemes apply.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{EnergyProfile, ExactContext};
+/// use iter_solvers::{IterativeMethod, PoissonJacobi, PoissonSource};
+///
+/// let pde = PoissonJacobi::new(15, PoissonSource::Sine { amplitude: 8.0 }, 0.8, 1e-7, 2000);
+/// let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+/// let mut ctx = ExactContext::with_profile(profile);
+/// let mut u = pde.initial_state();
+/// for _ in 0..500 {
+///     u = pde.step(&u, &mut ctx);
+/// }
+/// // The center value approaches the analytic peak (8.0).
+/// let center = u[(15 * 15) / 2];
+/// assert!((center - 8.0).abs() < 0.5, "center {center}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonJacobi {
+    n: usize,
+    h: f64,
+    rhs: Vec<f64>,
+    omega: f64,
+    sweep: SweepMode,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl PoissonJacobi {
+    /// Create a solver on an `n × n` interior grid.
+    ///
+    /// `omega` is the Jacobi damping factor (1.0 = undamped; 0.8 is the
+    /// usual smoother choice).
+    ///
+    /// # Panics
+    /// Panics if `n` is 0, `omega` is not in `(0, 1]`, the tolerance is
+    /// not positive, or `max_iterations` is 0.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        source: PoissonSource,
+        omega: f64,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Self {
+        assert!(n > 0, "grid must be non-empty");
+        assert!(omega > 0.0 && omega <= 1.0, "omega must be in (0, 1]");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_iterations > 0, "iteration budget must be positive");
+        let h = 1.0 / (n + 1) as f64;
+        let mut rhs = vec![0.0; n * n];
+        match source {
+            PoissonSource::Sine { amplitude } => {
+                let pi = std::f64::consts::PI;
+                for i in 0..n {
+                    for j in 0..n {
+                        let x = (j + 1) as f64 * h;
+                        let y = (i + 1) as f64 * h;
+                        rhs[i * n + j] =
+                            2.0 * pi * pi * amplitude * (pi * x).sin() * (pi * y).sin();
+                    }
+                }
+            }
+            PoissonSource::Point { x, y, strength } => {
+                let j = ((x / h).round() as usize).clamp(1, n) - 1;
+                let i = ((y / h).round() as usize).clamp(1, n) - 1;
+                rhs[i * n + j] = strength / (h * h);
+            }
+        }
+        Self {
+            n,
+            h,
+            rhs,
+            omega,
+            sweep: SweepMode::Jacobi,
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// Switch the relaxation sweep (Jacobi by default). Gauss–Seidel
+    /// permits `omega` up to 2 (SOR over-relaxation).
+    ///
+    /// # Panics
+    /// Panics if the current `omega` exceeds 1 for Jacobi or 2 for
+    /// Gauss–Seidel... the constructor already bounds `omega` at 1, so
+    /// this method only widens the admissible range.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Set the relaxation factor; Gauss–Seidel/SOR admits `(0, 2)`.
+    ///
+    /// # Panics
+    /// Panics if `omega` is outside `(0, 1]` for Jacobi or `(0, 2)` for
+    /// Gauss–Seidel.
+    #[must_use]
+    pub fn with_omega(mut self, omega: f64) -> Self {
+        let limit = match self.sweep {
+            SweepMode::Jacobi => 1.0,
+            SweepMode::GaussSeidel => 2.0 - 1e-9,
+        };
+        assert!(
+            omega > 0.0 && omega <= limit,
+            "omega {omega} out of range for {:?}",
+            self.sweep
+        );
+        self.omega = omega;
+        self
+    }
+
+    /// Interior grid size per side.
+    #[must_use]
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    /// Grid spacing `h = 1/(n+1)`.
+    #[must_use]
+    pub fn spacing(&self) -> f64 {
+        self.h
+    }
+
+    /// The discretized right-hand side `f` at the interior nodes
+    /// (row-major).
+    #[must_use]
+    pub fn rhs_values(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    fn at(&self, u: &[f64], i: isize, j: isize) -> f64 {
+        let n = self.n as isize;
+        if i < 0 || j < 0 || i >= n || j >= n {
+            0.0 // homogeneous Dirichlet boundary
+        } else {
+            u[(i * n + j) as usize]
+        }
+    }
+
+    /// Exact residual `b − Au` (scaled by h²: `h²f + u_N + u_S + u_E +
+    /// u_W − 4u`), used for monitoring.
+    #[must_use]
+    pub fn residual(&self, u: &[f64]) -> Vec<f64> {
+        let n = self.n as isize;
+        let mut r = vec![0.0; self.n * self.n];
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as usize;
+                r[idx] = self.h * self.h * self.rhs[idx]
+                    + self.at(u, i - 1, j)
+                    + self.at(u, i + 1, j)
+                    + self.at(u, i, j - 1)
+                    + self.at(u, i, j + 1)
+                    - 4.0 * u[idx];
+            }
+        }
+        r
+    }
+
+    /// The analytic solution sampled on the grid, when the source has
+    /// one (`Sine`); used by tests and examples to report the true
+    /// discretization error.
+    #[must_use]
+    pub fn sine_solution(&self, amplitude: f64) -> Vec<f64> {
+        let pi = std::f64::consts::PI;
+        let mut u = vec![0.0; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let x = (j + 1) as f64 * self.h;
+                let y = (i + 1) as f64 * self.h;
+                u[i * self.n + j] = amplitude * (pi * x).sin() * (pi * y).sin();
+            }
+        }
+        u
+    }
+}
+
+impl IterativeMethod for PoissonJacobi {
+    type State = Vec<f64>;
+
+    fn name(&self) -> &str {
+        match self.sweep {
+            SweepMode::Jacobi => "poisson-jacobi",
+            SweepMode::GaussSeidel => "poisson-gauss-seidel",
+        }
+    }
+
+    /// Start from the zero field.
+    fn initial_state(&self) -> Vec<f64> {
+        vec![0.0; self.n * self.n]
+    }
+
+    fn step(&self, u: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
+        let n = self.n as isize;
+        let mut next = match self.sweep {
+            SweepMode::Jacobi => vec![0.0; self.n * self.n],
+            // Gauss–Seidel reads already-updated neighbours in place.
+            SweepMode::GaussSeidel => u.clone(),
+        };
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as usize;
+                // Gauss–Seidel reads the in-place field (already-updated
+                // neighbours), Jacobi the previous iterate.
+                let (up, down, left, right, center) = match self.sweep {
+                    SweepMode::Jacobi => (
+                        self.at(u, i - 1, j),
+                        self.at(u, i + 1, j),
+                        self.at(u, i, j - 1),
+                        self.at(u, i, j + 1),
+                        u[idx],
+                    ),
+                    SweepMode::GaussSeidel => (
+                        self.at(&next, i - 1, j),
+                        self.at(&next, i + 1, j),
+                        self.at(&next, i, j - 1),
+                        self.at(&next, i, j + 1),
+                        next[idx],
+                    ),
+                };
+                // Neighbour + source accumulation on the approximate
+                // datapath.
+                let mut acc = ctx.add(up, down);
+                acc = ctx.add(acc, left);
+                acc = ctx.add(acc, right);
+                let h2f = ctx.mul(self.h * self.h, self.rhs[idx]);
+                acc = ctx.add(acc, h2f);
+                let relaxed = ctx.div(acc, 4.0);
+                // Damped/over-relaxed blend, also on the datapath.
+                let kept = ctx.mul(1.0 - self.omega, center);
+                let push = ctx.mul(self.omega, relaxed);
+                next[idx] = ctx.add(kept, push);
+            }
+        }
+        next
+    }
+
+    /// Discrete energy functional `½·uᵀAu − bᵀu` (with `A` the scaled
+    /// 5-point Laplacian), computed exactly.
+    fn objective(&self, u: &Vec<f64>) -> f64 {
+        // ½uᵀAu − bᵀu = −½uᵀ(residual + b_scaled) ... compute directly:
+        let n = self.n as isize;
+        let mut energy = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as usize;
+                let au = 4.0 * u[idx]
+                    - self.at(u, i - 1, j)
+                    - self.at(u, i + 1, j)
+                    - self.at(u, i, j - 1)
+                    - self.at(u, i, j + 1);
+                energy += 0.5 * u[idx] * au - self.h * self.h * self.rhs[idx] * u[idx];
+            }
+        }
+        energy
+    }
+
+    /// Gradient of the energy functional: `Au − b` (the negated
+    /// residual).
+    fn gradient(&self, u: &Vec<f64>) -> Option<Vec<f64>> {
+        Some(self.residual(u).iter().map(|r| -r).collect())
+    }
+
+    fn params(&self, u: &Vec<f64>) -> Vec<f64> {
+        u.clone()
+    }
+
+    fn converged(&self, prev: &Vec<f64>, next: &Vec<f64>) -> bool {
+        prev.iter()
+            .zip(next)
+            .all(|(&a, &b)| (a - b).abs() < self.tolerance)
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, ExactContext, QcsContext};
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    fn run<M: IterativeMethod>(m: &M, ctx: &mut dyn ArithContext) -> (M::State, usize) {
+        let mut state = m.initial_state();
+        for i in 0..m.max_iterations() {
+            let next = m.step(&state, ctx);
+            let done = m.converged(&state, &next);
+            state = next;
+            if done {
+                return (state, i + 1);
+            }
+        }
+        (state, m.max_iterations())
+    }
+
+    #[test]
+    fn converges_to_the_analytic_sine_solution() {
+        let pde = PoissonJacobi::new(15, PoissonSource::Sine { amplitude: 8.0 }, 0.9, 1e-8, 5000);
+        let mut ctx = ExactContext::with_profile(profile());
+        let (u, iters) = run(&pde, &mut ctx);
+        assert!(iters < 5000, "did not converge");
+        let truth = pde.sine_solution(8.0);
+        let err = u
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // Discretization error of the 5-point stencil at h = 1/16.
+        assert!(err < 0.1, "max error {err}");
+    }
+
+    #[test]
+    fn energy_functional_decreases_monotonically() {
+        let pde = PoissonJacobi::new(10, PoissonSource::Sine { amplitude: 5.0 }, 0.8, 1e-8, 100);
+        let mut ctx = ExactContext::with_profile(profile());
+        let mut u = pde.initial_state();
+        let mut prev = pde.objective(&u);
+        for _ in 0..30 {
+            u = pde.step(&u, &mut ctx);
+            let f = pde.objective(&u);
+            assert!(f <= prev + 1e-12, "energy rose {prev} -> {f}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn gradient_is_negated_residual_and_vanishes_at_convergence() {
+        let pde = PoissonJacobi::new(8, PoissonSource::Sine { amplitude: 3.0 }, 0.9, 1e-10, 5000);
+        let mut ctx = ExactContext::with_profile(profile());
+        let (u, _) = run(&pde, &mut ctx);
+        let g = pde.gradient(&u).expect("gradient available");
+        let norm = approx_linalg::vector::norm2_exact(&g);
+        assert!(norm < 1e-6, "gradient norm {norm}");
+    }
+
+    #[test]
+    fn point_load_produces_a_localized_bump() {
+        let pde = PoissonJacobi::new(
+            11,
+            PoissonSource::Point {
+                x: 0.5,
+                y: 0.5,
+                strength: 1.0,
+            },
+            0.9,
+            1e-9,
+            5000,
+        );
+        let mut ctx = ExactContext::with_profile(profile());
+        let (u, _) = run(&pde, &mut ctx);
+        let center = u[5 * 11 + 5];
+        let corner = u[0];
+        assert!(center > 0.0);
+        assert!(center > 5.0 * corner, "center {center} corner {corner}");
+    }
+
+    #[test]
+    fn approximate_sweeps_freeze_early_with_bounded_error() {
+        let pde = PoissonJacobi::new(12, PoissonSource::Sine { amplitude: 8.0 }, 0.9, 1e-8, 5000);
+        let mut exact = ExactContext::with_profile(profile());
+        let (u_exact, exact_iters) = run(&pde, &mut exact);
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(AccuracyLevel::Level4);
+        let (u4, iters4) = run(&pde, &mut ctx);
+        assert!(
+            iters4 < exact_iters,
+            "level4 {iters4} !< exact {exact_iters}"
+        );
+        let err = u4
+            .iter()
+            .zip(&u_exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 0.5, "level4 deviation {err}");
+    }
+
+    #[test]
+    fn level1_destroys_the_field() {
+        let pde = PoissonJacobi::new(12, PoissonSource::Sine { amplitude: 8.0 }, 0.9, 1e-8, 200);
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(AccuracyLevel::Level1);
+        let (u1, _) = run(&pde, &mut ctx);
+        // Every update truncates to multiples of 16 > field scale: the
+        // field never leaves zero.
+        assert!(u1.iter().all(|&v| v.abs() < 16.0));
+        let peak = u1.iter().fold(0.0f64, |m, &v| m.max(v));
+        assert!(
+            peak < 1.0,
+            "level1 accidentally built the field, peak {peak}"
+        );
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let iters_for = |sweep: SweepMode, omega: f64| {
+            let pde = PoissonJacobi::new(
+                12,
+                PoissonSource::Sine { amplitude: 5.0 },
+                0.9,
+                1e-7,
+                10_000,
+            )
+            .with_sweep(sweep)
+            .with_omega(omega);
+            let mut ctx = ExactContext::with_profile(profile());
+            let (u, iters) = run(&pde, &mut ctx);
+            let truth = pde.sine_solution(5.0);
+            let err = u
+                .iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err < 0.2, "{sweep:?} err {err}");
+            iters
+        };
+        let jacobi = iters_for(SweepMode::Jacobi, 0.9);
+        let gs = iters_for(SweepMode::GaussSeidel, 1.0);
+        let sor = iters_for(SweepMode::GaussSeidel, 1.5);
+        assert!(gs < jacobi, "GS {gs} !< Jacobi {jacobi}");
+        assert!(sor < gs, "SOR {sor} !< GS {gs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn jacobi_rejects_over_relaxation() {
+        let _ = PoissonJacobi::new(4, PoissonSource::Sine { amplitude: 1.0 }, 0.9, 1e-6, 10)
+            .with_omega(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be in")]
+    fn invalid_omega_panics() {
+        let _ = PoissonJacobi::new(4, PoissonSource::Sine { amplitude: 1.0 }, 1.5, 1e-6, 10);
+    }
+}

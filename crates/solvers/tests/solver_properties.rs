@@ -1,0 +1,145 @@
+//! Property-based tests over datasets, metrics, and solver invariants.
+
+use approx_arith::{EnergyProfile, ExactContext};
+use iter_solvers::datasets::{ar_series, gaussian_blobs};
+use iter_solvers::functions::{Objective, Quadratic, Rosenbrock};
+use iter_solvers::metrics::{clustering_accuracy, hamming_distance, l2_error};
+use iter_solvers::{GaussianMixture, IterativeMethod, KMeans};
+use proptest::prelude::*;
+
+fn ctx() -> ExactContext {
+    ExactContext::with_profile(EnergyProfile::from_constants(
+        [1.0, 2.0, 3.0, 4.0, 5.0],
+        50.0,
+        100.0,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_is_a_permutation_invariant_metric(
+        labels in proptest::collection::vec(0usize..3, 3..60),
+        relabel in proptest::sample::select(vec![[0usize, 1, 2], [1, 2, 0], [2, 0, 1], [0, 2, 1], [1, 0, 2], [2, 1, 0]]),
+    ) {
+        // Identity of indiscernibles and symmetry under label renaming.
+        prop_assert_eq!(hamming_distance(&labels, &labels, 3), 0);
+        let renamed: Vec<usize> = labels.iter().map(|&l| relabel[l]).collect();
+        prop_assert_eq!(hamming_distance(&renamed, &labels, 3), 0);
+        prop_assert_eq!(clustering_accuracy(&renamed, &labels, 3), 1.0);
+    }
+
+    #[test]
+    fn hamming_is_symmetric(
+        a in proptest::collection::vec(0usize..3, 10..40),
+        b in proptest::collection::vec(0usize..3, 10..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assert_eq!(hamming_distance(a, b, 3), hamming_distance(b, a, 3));
+    }
+
+    #[test]
+    fn l2_error_is_a_metric(
+        x in proptest::collection::vec(-100.0f64..100.0, 1..10),
+        y in proptest::collection::vec(-100.0f64..100.0, 1..10),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert_eq!(l2_error(x, x), 0.0);
+        prop_assert_eq!(l2_error(x, y), l2_error(y, x));
+        prop_assert!(l2_error(x, y) >= 0.0);
+    }
+
+    #[test]
+    fn blob_generator_is_seed_deterministic_and_label_consistent(
+        seed in 0u64..1000,
+        n in 5usize..40,
+    ) {
+        let d1 = gaussian_blobs("p", &[n, n], &[vec![0.0], vec![50.0]], &[1.0, 1.0], seed);
+        let d2 = gaussian_blobs("p", &[n, n], &[vec![0.0], vec![50.0]], &[1.0, 1.0], seed);
+        prop_assert_eq!(&d1, &d2);
+        // With 50-sigma separation, labels are perfectly recoverable
+        // from the sign of the coordinate.
+        for (p, &l) in d1.points.iter().zip(&d1.labels) {
+            prop_assert_eq!(l, usize::from(p[0] > 25.0));
+        }
+    }
+
+    #[test]
+    fn ar_series_is_standardized_for_any_seed(seed in 0u64..500) {
+        let s = ar_series("p", 300, &[0.5, 0.2], 1.0, seed);
+        let n = s.values.len() as f64;
+        let mean = s.values.iter().sum::<f64>() / n;
+        let var = s.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_value_is_minimal_at_minimizer(
+        d in 0.5f64..5.0,
+        off in -3.0f64..3.0,
+        probe in proptest::collection::vec(-5.0f64..5.0, 2),
+    ) {
+        let a = approx_linalg::Matrix::from_rows(&[&[d, 0.1], &[0.1, d + 0.5]]);
+        let q = Quadratic::new(a, vec![off, -off]);
+        let xs = q.minimizer();
+        prop_assert!(q.value(&xs) <= q.value(&probe) + 1e-9);
+    }
+
+    #[test]
+    fn rosenbrock_is_nonnegative(
+        x in proptest::collection::vec(-3.0f64..3.0, 2..6),
+    ) {
+        let r = Rosenbrock::new(x.len());
+        prop_assert!(r.value(&x) >= 0.0);
+    }
+}
+
+#[test]
+fn em_objective_is_monotone_for_many_seeds() {
+    for seed in [1u64, 2, 3, 4] {
+        let data = gaussian_blobs(
+            "mono",
+            &[30, 30],
+            &[vec![0.0, 0.0], vec![5.0, 4.0]],
+            &[1.0, 1.0],
+            seed,
+        );
+        let gmm = GaussianMixture::from_dataset(&data, 1e-8, 50, seed);
+        let mut c = ctx();
+        let mut state = gmm.initial_state();
+        let mut prev = gmm.objective(&state);
+        for _ in 0..15 {
+            state = gmm.step(&state, &mut c);
+            let f = gmm.objective(&state);
+            assert!(f <= prev + 1e-9, "seed {seed}: NLL rose {prev} -> {f}");
+            prev = f;
+        }
+    }
+}
+
+#[test]
+fn kmeans_objective_is_monotone_for_many_seeds() {
+    for seed in [5u64, 6, 7] {
+        let data = gaussian_blobs(
+            "km-mono",
+            &[40, 40],
+            &[vec![0.0, 0.0], vec![7.0, 7.0]],
+            &[1.0, 1.0],
+            seed,
+        );
+        let km = KMeans::from_dataset(&data, 1e-9, 50, seed);
+        let mut c = ctx();
+        let mut state = km.initial_state();
+        let mut prev = km.objective(&state);
+        for _ in 0..10 {
+            state = km.step(&state, &mut c);
+            let f = km.objective(&state);
+            assert!(f <= prev + 1e-12, "seed {seed}");
+            prev = f;
+        }
+    }
+}

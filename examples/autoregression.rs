@@ -1,0 +1,68 @@
+//! Autoregressive model fitting on the approximate datapath — a
+//! miniature of the paper's Table 4.
+//!
+//! ```sh
+//! cargo run -p approxit --example autoregression --release
+//! ```
+
+use approx_arith::{AccuracyLevel, QcsContext};
+use approxit::{
+    characterize, run, AdaptiveAngleStrategy, EnergyProfile, IncrementalStrategy, SingleMode,
+};
+use iter_solvers::datasets::ar_series;
+use iter_solvers::metrics::l2_error;
+use iter_solvers::AutoRegression;
+
+fn main() {
+    // A synthetic index-like series with AR(5) structure.
+    let series = ar_series("demo-index", 3000, &[0.35, 0.2, 0.1, 0.05, -0.04], 1.0, 99);
+    let ar = AutoRegression::from_series(&series, 0.2, 1e-13, 1000);
+    let profile = EnergyProfile::paper_default();
+    let table = characterize(&ar, &profile, 5);
+    let mut ctx = QcsContext::with_profile(profile);
+
+    let truth = run(&ar, &mut SingleMode::accurate(), &mut ctx);
+    println!(
+        "Truth: {} iterations, coefficients {:?}",
+        truth.report.iterations,
+        truth
+            .state
+            .iter()
+            .map(|c| (c * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "normal-equation reference distance: {:.2e}",
+        l2_error(&truth.state, &ar.normal_equation_solution())
+    );
+
+    println!("\nsingle-mode sweep:");
+    for level in AccuracyLevel::ALL {
+        let outcome = run(&ar, &mut SingleMode::new(level), &mut ctx);
+        println!(
+            "{:>8}: {:>4} iterations, QEM {:.3e}, energy {:.4}",
+            level.to_string(),
+            outcome.report.iterations,
+            l2_error(&outcome.state, &truth.state),
+            outcome.report.normalized_energy(&truth.report),
+        );
+    }
+
+    println!("\nonline reconfiguration:");
+    let mut incremental = IncrementalStrategy::from_characterization(&table);
+    let outcome = run(&ar, &mut incremental, &mut ctx);
+    println!(
+        "incremental: steps {:?}, QEM {:.3e}, energy {:.4}",
+        outcome.report.steps_per_level,
+        l2_error(&outcome.state, &truth.state),
+        outcome.report.normalized_energy(&truth.report),
+    );
+    let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
+    let outcome = run(&ar, &mut adaptive, &mut ctx);
+    println!(
+        "adaptive:    steps {:?}, QEM {:.3e}, energy {:.4}",
+        outcome.report.steps_per_level,
+        l2_error(&outcome.state, &truth.state),
+        outcome.report.normalized_energy(&truth.report),
+    );
+}

@@ -1,0 +1,67 @@
+//! Gaussian-mixture clustering under every approximation mode and both
+//! reconfiguration strategies — a miniature of the paper's Tables 3(a)
+//! and 3(b).
+//!
+//! ```sh
+//! cargo run -p approxit --example gmm_clustering --release
+//! ```
+
+use approx_arith::{AccuracyLevel, QcsContext};
+use approxit::{
+    characterize, run, AdaptiveAngleStrategy, EnergyProfile, IncrementalStrategy, ReconfigStrategy,
+    SingleMode,
+};
+use iter_solvers::datasets::gaussian_blobs;
+use iter_solvers::metrics::hamming_distance;
+use iter_solvers::GaussianMixture;
+
+fn main() {
+    let data = gaussian_blobs(
+        "demo3",
+        &[150, 150, 150],
+        &[vec![0.0, 0.0], vec![4.8, 0.8], vec![1.8, 4.4]],
+        &[1.05, 1.05, 1.05],
+        2024,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 500, 11);
+    let profile = EnergyProfile::paper_default();
+    let table = characterize(&gmm, &profile, 5);
+    let mut ctx = QcsContext::with_profile(profile);
+
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth_labels = gmm.assignments(&truth.state);
+    println!("single-mode sweep ({} points, 3 clusters):", data.len());
+    println!(
+        "{:>8} {:>10} {:>6} {:>8}",
+        "mode", "iterations", "QEM", "energy"
+    );
+    for level in AccuracyLevel::ALL {
+        let outcome = run(&gmm, &mut SingleMode::new(level), &mut ctx);
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        println!(
+            "{:>8} {:>10} {:>6} {:>8.4}",
+            level.to_string(),
+            outcome.report.iterations,
+            qem,
+            outcome.report.normalized_energy(&truth.report),
+        );
+    }
+
+    println!("\nonline reconfiguration:");
+    let strategies: Vec<Box<dyn ReconfigStrategy>> = vec![
+        Box::new(IncrementalStrategy::from_characterization(&table)),
+        Box::new(AdaptiveAngleStrategy::from_characterization(&table, 1)),
+    ];
+    for mut strategy in strategies {
+        let outcome = run(&gmm, strategy.as_mut(), &mut ctx);
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        println!(
+            "{:>12}: steps {:?}, {} rollbacks, QEM {}, energy {:.4}",
+            outcome.report.strategy,
+            outcome.report.steps_per_level,
+            outcome.report.rollbacks,
+            qem,
+            outcome.report.normalized_energy(&truth.report),
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the whole ApproxIt flow in ~40 lines.
+//!
+//! ```sh
+//! cargo run -p approxit --example quickstart --release
+//! ```
+
+use approx_arith::QcsContext;
+use approxit::{characterize, run, EnergyProfile, IncrementalStrategy, SingleMode};
+use iter_solvers::datasets::gaussian_blobs;
+use iter_solvers::metrics::hamming_distance;
+use iter_solvers::GaussianMixture;
+
+fn main() {
+    // 1. A workload: cluster 300 points with GMM-EM.
+    let data = gaussian_blobs(
+        "quickstart",
+        &[100, 100, 100],
+        &[vec![0.0, 0.0], vec![5.0, 1.0], vec![2.0, 4.5]],
+        &[1.0, 1.0, 1.0],
+        42,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 400, 7);
+
+    // 2. Offline stage: measure per-op energy from the adder's gate
+    //    netlists and characterize each mode's iteration-level quality
+    //    error on a few representative iterations.
+    let profile = EnergyProfile::paper_default();
+    let table = characterize(&gmm, &profile, 5);
+    println!(
+        "offline quality errors (levels 1-4, acc): {:?}",
+        table.quality_errors
+    );
+
+    // 3. Online stage: run the exact baseline and the dynamically
+    //    effort-scaled version of the same computation.
+    let mut ctx = QcsContext::with_profile(profile);
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let mut strategy = IncrementalStrategy::from_characterization(&table);
+    let scaled = run(&gmm, &mut strategy, &mut ctx);
+
+    // 4. Same answer, less energy.
+    let qem = hamming_distance(
+        &gmm.assignments(&scaled.state),
+        &gmm.assignments(&truth.state),
+        3,
+    );
+    println!("{}", truth.report);
+    println!("{}", scaled.report);
+    println!("clustering difference vs Truth (QEM): {qem}");
+    println!(
+        "energy vs Truth: {:.1}%",
+        100.0 * scaled.report.normalized_energy(&truth.report)
+    );
+}

@@ -1,0 +1,107 @@
+//! The offline characterization stage: invariants of the quality-error
+//! tables across applications, and their interaction with the LP.
+
+use approx_arith::{AccuracyLevel, EnergyProfile};
+use approxit::lp::solve_effort_allocation;
+use approxit::{characterize, quality_error};
+use iter_solvers::datasets::{ar_series, gaussian_blobs};
+use iter_solvers::{AutoRegression, GaussianMixture};
+
+fn profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+fn gmm() -> GaussianMixture {
+    let data = gaussian_blobs(
+        "char-gmm",
+        &[50, 50],
+        &[vec![0.0, 0.0], vec![6.0, 5.0]],
+        &[1.0, 1.0],
+        21,
+    );
+    GaussianMixture::from_dataset(&data, 1e-7, 200, 9)
+}
+
+fn ar() -> AutoRegression {
+    let series = ar_series("char-ar", 400, &[0.5, 0.2], 1.0, 33);
+    AutoRegression::from_series(&series, 0.2, 1e-12, 500)
+}
+
+#[test]
+fn quality_errors_are_monotone_for_both_applications() {
+    for table in [
+        characterize(&gmm(), &profile(), 4),
+        characterize(&ar(), &profile(), 4),
+    ] {
+        let e = table.quality_errors;
+        assert_eq!(e[4], 0.0, "accurate mode must have zero error");
+        assert!(
+            e[0] >= e[2] && e[2] >= e[3],
+            "quality errors not monotone: {e:?}"
+        );
+        assert!(e[0] > 0.0, "level1 must show error");
+        let u = table.update_errors;
+        assert_eq!(u[4], 0.0);
+        assert!(u[0] > u[3], "update errors not ordered: {u:?}");
+    }
+}
+
+#[test]
+fn characterized_budget_is_positive_and_reasonable() {
+    let table = characterize(&gmm(), &profile(), 4);
+    assert!(table.initial_objective_drop > 0.0);
+    // A relative first-iteration improvement beyond 10x would indicate a
+    // normalization bug.
+    assert!(table.initial_objective_drop < 10.0);
+}
+
+#[test]
+fn lp_accepts_characterized_tables() {
+    for table in [
+        characterize(&gmm(), &profile(), 3),
+        characterize(&ar(), &profile(), 3),
+    ] {
+        for budget in [0.0, table.initial_objective_drop, 1.0] {
+            let w =
+                solve_effort_allocation(&table.relative_energies, &table.quality_errors, budget);
+            let total: f64 = w.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            let err: f64 = w
+                .iter()
+                .zip(&table.quality_errors)
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(err <= budget + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn characterization_iteration_count_is_recorded() {
+    let table = characterize(&gmm(), &profile(), 6);
+    assert_eq!(table.iterations, 6);
+}
+
+#[test]
+fn more_iterations_stabilize_the_estimate() {
+    // The estimate from many iterations is in the same ballpark as the
+    // estimate from few — characterization is stable, not chaotic.
+    let short = characterize(&ar(), &profile(), 2);
+    let long = characterize(&ar(), &profile(), 8);
+    for level in AccuracyLevel::APPROXIMATE {
+        let a = short.quality_error(level).max(1e-12);
+        let b = long.quality_error(level).max(1e-12);
+        let ratio = (a / b).max(b / a);
+        assert!(ratio < 100.0, "level {level}: unstable estimate {a} vs {b}");
+    }
+}
+
+#[test]
+fn definition1_metric_behaves() {
+    // Spot-check the quality error metric directly against the
+    // characterization pipeline's use of it.
+    assert_eq!(quality_error(1.0, 1.0), 0.0);
+    assert!(quality_error(1.0, 2.0) > quality_error(1.0, 1.1));
+    // Sign-insensitive in the deviation.
+    assert_eq!(quality_error(10.0, 9.0), quality_error(10.0, 11.0));
+}

@@ -1,0 +1,156 @@
+//! End-to-end integration: offline characterization → online
+//! reconfiguration → quality/energy verification, across both benchmark
+//! applications and the generic solvers.
+
+use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};
+use approx_linalg::Matrix;
+use approxit::{characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, SingleMode};
+use iter_solvers::datasets::{ar_series, gaussian_blobs};
+use iter_solvers::functions::Quadratic;
+use iter_solvers::metrics::{hamming_distance, l2_error};
+use iter_solvers::{AutoRegression, GaussianMixture, GradientDescent};
+
+fn profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+#[test]
+fn gmm_pipeline_reaches_truth_quality() {
+    let data = gaussian_blobs(
+        "e2e-gmm",
+        &[60, 60, 60],
+        &[vec![0.0, 0.0], vec![4.8, 0.8], vec![1.8, 4.4]],
+        &[1.0, 1.0, 1.0],
+        77,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 400, 5);
+    let table = characterize(&gmm, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    assert!(truth.report.converged, "truth did not converge");
+    let truth_labels = gmm.assignments(&truth.state);
+
+    for update_period in [1usize, 5] {
+        let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, update_period);
+        let outcome = run(&gmm, &mut adaptive, &mut ctx);
+        assert!(outcome.report.converged, "adaptive f={update_period}");
+        assert_eq!(
+            hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3),
+            0,
+            "adaptive f={update_period} deviated from Truth"
+        );
+    }
+
+    let mut incremental = IncrementalStrategy::from_characterization(&table);
+    let outcome = run(&gmm, &mut incremental, &mut ctx);
+    assert!(outcome.report.converged);
+    assert_eq!(
+        hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3),
+        0
+    );
+}
+
+#[test]
+fn ar_pipeline_reaches_truth_quality() {
+    let series = ar_series("e2e-ar", 600, &[0.45, 0.25, 0.1], 1.0, 101);
+    let ar = AutoRegression::from_series(&series, 0.2, 1e-12, 2000);
+    let table = characterize(&ar, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+
+    let truth = run(&ar, &mut SingleMode::accurate(), &mut ctx);
+    assert!(truth.report.converged, "truth did not converge");
+
+    let mut incremental = IncrementalStrategy::from_characterization(&table);
+    let outcome = run(&ar, &mut incremental, &mut ctx);
+    assert!(outcome.report.converged, "incremental did not converge");
+    let qem = l2_error(&outcome.state, &truth.state);
+    // On the fixed-point datapath "equal quality" means within a few
+    // quantization steps of the Truth coefficients.
+    assert!(qem < 1e-3, "incremental AR qem {qem}");
+
+    let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
+    let outcome = run(&ar, &mut adaptive, &mut ctx);
+    assert!(outcome.report.converged, "adaptive did not converge");
+    let qem = l2_error(&outcome.state, &truth.state);
+    assert!(qem < 1e-3, "adaptive AR qem {qem}");
+}
+
+#[test]
+fn single_mode_staircase_holds_for_gmm() {
+    let data = gaussian_blobs(
+        "e2e-staircase",
+        &[60, 60, 60],
+        &[vec![0.0, 0.0], vec![4.8, 0.8], vec![1.8, 4.4]],
+        &[1.0, 1.0, 1.0],
+        77,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 400, 5);
+    let mut ctx = QcsContext::with_profile(profile());
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth_labels = gmm.assignments(&truth.state);
+
+    let mut qems = Vec::new();
+    let mut energies_per_iter = Vec::new();
+    for level in AccuracyLevel::APPROXIMATE {
+        let outcome = run(&gmm, &mut SingleMode::new(level), &mut ctx);
+        qems.push(hamming_distance(
+            &gmm.assignments(&outcome.state),
+            &truth_labels,
+            3,
+        ));
+        energies_per_iter.push(outcome.report.energy_per_iteration_mean());
+    }
+    // Per-iteration energy rises with accuracy level.
+    for pair in energies_per_iter.windows(2) {
+        assert!(pair[0] < pair[1], "energy staircase violated");
+    }
+    // Level 1 is catastrophically wrong, level 4 near-perfect.
+    assert!(qems[0] > 30, "level1 qem {} suspiciously good", qems[0]);
+    assert!(qems[3] <= 2, "level4 qem {} should be near zero", qems[3]);
+}
+
+#[test]
+fn generic_gradient_descent_plugs_into_the_framework() {
+    // The framework is method-agnostic: a plain quadratic solver gets
+    // the same treatment as the paper's benchmarks.
+    let a = Matrix::from_rows(&[&[2.5, 0.4], &[0.4, 1.5]]);
+    let q = Quadratic::new(a, vec![1.0, -2.0]);
+    let want = q.minimizer();
+    let gd = GradientDescent::new(q, vec![8.0, -8.0], 0.3, 1e-9, 2000);
+    let table = characterize(&gd, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+
+    let truth = run(&gd, &mut SingleMode::accurate(), &mut ctx);
+    assert!(truth.report.converged);
+
+    // A tight gradient tolerance makes the convergence veto demand a
+    // near-stationary final iterate (the default 0.05 would accept a
+    // coarser freeze whose distance from the optimum is still within
+    // the accepted level's noise floor).
+    let mut strategy =
+        IncrementalStrategy::from_characterization(&table).with_gradient_tolerance(1e-3);
+    let outcome = run(&gd, &mut strategy, &mut ctx);
+    assert!(outcome.report.converged);
+    assert!(l2_error(&outcome.state, &want) < 5e-3);
+    assert!(l2_error(&truth.state, &want) < 1e-3);
+}
+
+#[test]
+fn reports_are_reproducible() {
+    let data = gaussian_blobs(
+        "e2e-repro",
+        &[40, 40],
+        &[vec![0.0, 0.0], vec![6.0, 5.0]],
+        &[1.0, 1.0],
+        13,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 200, 3);
+    let table = characterize(&gmm, &profile(), 3);
+    let mut ctx = QcsContext::with_profile(profile());
+    let mut s1 = IncrementalStrategy::from_characterization(&table);
+    let r1 = run(&gmm, &mut s1, &mut ctx);
+    let mut s2 = IncrementalStrategy::from_characterization(&table);
+    let r2 = run(&gmm, &mut s2, &mut ctx);
+    assert_eq!(r1.report, r2.report, "runs must be bit-reproducible");
+}

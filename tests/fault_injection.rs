@@ -1,0 +1,93 @@
+//! Failure injection: the framework's recovery machinery under
+//! transient bit flips the offline characterization never saw.
+
+use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, FaultInjector, QcsContext};
+use approxit::{characterize, run, IncrementalStrategy, SingleMode};
+use iter_solvers::datasets::gaussian_blobs;
+use iter_solvers::metrics::hamming_distance;
+use iter_solvers::GaussianMixture;
+
+fn profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+fn workload() -> (iter_solvers::datasets::ClusterDataset, GaussianMixture) {
+    let data = gaussian_blobs(
+        "fault",
+        &[60, 60, 60],
+        &[vec![0.0, 0.0], vec![4.8, 0.8], vec![1.8, 4.4]],
+        &[1.0, 1.0, 1.0],
+        55,
+    );
+    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 500, 5);
+    (data, gmm)
+}
+
+#[test]
+fn low_rate_soft_errors_do_not_break_the_guarantee() {
+    let (_, gmm) = workload();
+    let table = characterize(&gmm, &profile(), 4);
+
+    // Clean truth reference.
+    let mut clean_ctx = QcsContext::with_profile(profile());
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut clean_ctx);
+    assert!(truth.report.converged);
+    let truth_labels = gmm.assignments(&truth.state);
+
+    // Reconfigured run on a datapath with occasional low-bit upsets.
+    let mut faulty = FaultInjector::new(
+        QcsContext::with_profile(profile()),
+        0.001, // one upset per ~1000 adds
+        8,     // in the low 8 bits (sub-resolution noise)
+        1234,
+    );
+    let mut strategy = IncrementalStrategy::from_characterization(&table);
+    let outcome = run(&gmm, &mut strategy, &mut faulty);
+    assert!(faulty.faults_injected() > 0, "no faults were injected");
+    assert!(outcome.report.converged, "faulty run did not converge");
+    let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+    assert_eq!(qem, 0, "soft errors broke the quality guarantee");
+}
+
+#[test]
+fn heavy_faults_trigger_recovery_machinery() {
+    let (_, gmm) = workload();
+    let table = characterize(&gmm, &profile(), 4);
+    let mut clean_ctx = QcsContext::with_profile(profile());
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut clean_ctx);
+    let truth_labels = gmm.assignments(&truth.state);
+
+    // Aggressive upsets in meaningful bit positions (up to bit 20 of
+    // Q15.16, i.e. value flips up to ±16).
+    let mut faulty = FaultInjector::new(QcsContext::with_profile(profile()), 0.0005, 20, 99);
+    let mut strategy = IncrementalStrategy::from_characterization(&table);
+    let outcome = run(&gmm, &mut strategy, &mut faulty);
+    assert!(faulty.faults_injected() > 0);
+    // The run must end in a truth-quality state or at worst have kept
+    // iterating to the budget — but never silently accept a corrupted
+    // result: if it reports convergence, quality must hold.
+    if outcome.report.converged {
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        assert_eq!(
+            qem, 0,
+            "a converged run under faults must still match Truth"
+        );
+    }
+}
+
+#[test]
+fn single_mode_truth_absorbs_subresolution_faults() {
+    // Sanity: sub-resolution upsets at the accurate level do not keep
+    // the method from freezing.
+    let (_, gmm) = workload();
+    let mut faulty = FaultInjector::new(
+        QcsContext::with_profile(profile()),
+        0.01,
+        4, // flips of at most 2^-13
+        7,
+    );
+    faulty.set_level(AccuracyLevel::Accurate);
+    let outcome = run(&gmm, &mut SingleMode::accurate(), &mut faulty);
+    assert!(outcome.report.converged || outcome.report.iterations == 500);
+    assert!(faulty.faults_injected() > 0);
+}
