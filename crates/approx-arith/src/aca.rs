@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -24,7 +23,7 @@ use crate::adder::{width_mask, Adder};
 /// // A carry chain longer than the window is broken.
 /// assert_ne!(short.add(0x00FF, 0x0001), 0x0100);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowedCarryAdder {
     width: u32,
     lookahead: u32,

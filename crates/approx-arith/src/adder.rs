@@ -3,7 +3,6 @@
 
 use gatesim::builders::AdderPorts;
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 /// Accuracy level of the quality-configurable adder.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(AccuracyLevel::Level3.next_higher(), Some(AccuracyLevel::Level4));
 /// assert_eq!(AccuracyLevel::Accurate.next_higher(), None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccuracyLevel {
     /// Lowest accuracy, lowest energy.
     Level1,

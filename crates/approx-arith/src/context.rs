@@ -9,15 +9,13 @@
 //! context, mirroring the offline resilience partitioning of Chippa et
 //! al. that the paper adopts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::adder::AccuracyLevel;
 use crate::energy::EnergyProfile;
 use crate::fixed::QFormat;
 use crate::recon::QcsAdder;
 
 /// Operation counters of a context.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Additions (including subtractions, which negate exactly and add).
     pub adds: u64,
@@ -77,6 +75,15 @@ pub trait ArithContext {
     /// Reset counters and energy meters (the level is preserved).
     fn reset_counters(&mut self);
 
+    /// The fixed-point format of the hardware datapath, if this context
+    /// models one. Software baselines (plain `f64`) return `None`.
+    ///
+    /// Decorators that corrupt or transform bit patterns use this to
+    /// address the *actual* word width instead of assuming a format.
+    fn datapath_format(&self) -> Option<QFormat> {
+        None
+    }
+
     /// Left-to-right sum of a slice through [`ArithContext::add`].
     fn sum(&mut self, xs: &[f64]) -> f64 {
         xs.iter().fold(0.0, |acc, &x| self.add(acc, x))
@@ -127,7 +134,7 @@ pub trait ArithContext {
 /// assert!((approx - 0.375).abs() < 32.0);
 /// assert!(ctx.approx_energy() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QcsContext {
     qcs: QcsAdder,
     format: QFormat,
@@ -139,7 +146,7 @@ pub struct QcsContext {
     trace: Option<Trace>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Trace {
     capacity: usize,
     pairs: Vec<(u64, u64)>,
@@ -298,6 +305,10 @@ impl ArithContext for QcsContext {
             trace.pairs.clear();
         }
     }
+
+    fn datapath_format(&self) -> Option<QFormat> {
+        Some(self.format)
+    }
 }
 
 /// An idealized infinite-precision (`f64`) context with accurate-mode
@@ -318,7 +329,7 @@ impl ArithContext for QcsContext {
 /// assert_eq!(ctx.dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// assert_eq!(ctx.counts().muls, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExactContext {
     profile: EnergyProfile,
     counts: OpCounts,

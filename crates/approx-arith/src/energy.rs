@@ -8,7 +8,6 @@
 //! gate-level simulation costs per arithmetic operation.
 
 use gatesim::{EnergyModel, Simulator};
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{AccuracyLevel, Adder};
 use crate::multiplier::ArrayMultiplier;
@@ -82,7 +81,7 @@ pub fn characterize_adder_energy_on_trace(
 /// assert!(profile.add_energy(AccuracyLevel::Level1)
 ///     < profile.add_energy(AccuracyLevel::Accurate));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyProfile {
     add: [f64; 5],
     mul: f64,

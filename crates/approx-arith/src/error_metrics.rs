@@ -7,8 +7,6 @@
 //! standard vocabulary for characterizing the units themselves, and the
 //! offline stage uses them as sanity checks on the hardware models.
 
-use serde::{Deserialize, Serialize};
-
 use crate::adder::Adder;
 use crate::rng::Pcg32;
 
@@ -18,7 +16,7 @@ use crate::rng::Pcg32;
 /// All errors are computed on the unsigned interpretation of the
 /// `width`-bit outputs, the convention used in the approximate-arithmetic
 /// literature (Liang, Han & Lombardi, IEEE TC 2013).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorStats {
     /// Number of operand pairs evaluated.
     pub samples: u64,

@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -26,7 +25,7 @@ use crate::adder::{width_mask, Adder};
 /// // without its carry-in.
 /// assert_eq!(adder.add(0x00FF, 0x0001), 0x0000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EtaIiAdder {
     width: u32,
     block_size: u32,

@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -17,7 +16,7 @@ use crate::adder::{width_mask, Adder};
 /// assert_eq!(adder.add(0xFFFF, 1), 0); // modular
 /// assert_eq!(adder.add(1234, 4321), 5555);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RippleCarryAdder {
     width: u32,
 }

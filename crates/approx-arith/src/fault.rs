@@ -1,25 +1,115 @@
-//! Transient-fault injection (single-event-upset model).
+//! Datapath-level fault injection (SEU, stuck-at, and burst models).
 //!
 //! Approximate-computing systems are often co-evaluated under *soft
 //! errors*: radiation-induced bit flips that corrupt a result
 //! transiently rather than systematically. [`FaultInjector`] wraps any
-//! [`ArithContext`] and flips one uniformly chosen result bit of an
-//! addition with a configurable probability, which lets the test suite
-//! exercise the framework's recovery machinery (the function scheme's
-//! rollback) under failures the offline characterization never saw.
+//! [`ArithContext`] and corrupts operation results under a configurable
+//! [`FaultModel`], which lets the test suite and the resilience
+//! benchmarks exercise the framework's recovery machinery (rollback,
+//! checkpoint restore, escalation) under failures the offline
+//! characterization never saw.
+//!
+//! Faults strike the fixed-point representation of the result in the
+//! wrapped context's *own* [`QFormat`] — the injector reads the format
+//! via [`ArithContext::datapath_format`] instead of assuming a width.
 
 use crate::adder::{width_mask, AccuracyLevel};
 use crate::context::{ArithContext, OpCounts};
 use crate::fixed::QFormat;
 use crate::rng::Pcg32;
 
-/// An [`ArithContext`] decorator that injects single-bit upsets into
-/// addition results.
+/// How a fault manifests in an operation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// Single-event upset: with probability `rate` per operation, flip
+    /// one uniformly chosen bit among the low `fault_bits` of the result.
+    Seu {
+        /// Per-operation upset probability in `[0, 1]`.
+        rate: f64,
+        /// Number of low result bits exposed to upsets.
+        fault_bits: u32,
+    },
+    /// A persistent defect: result `bit` reads as `value` in every
+    /// operation (the datapath analogue of a gate-level stuck-at).
+    StuckAt {
+        /// The defective result bit.
+        bit: u32,
+        /// The value the bit is stuck at.
+        value: bool,
+    },
+    /// Burst upset: with probability `rate` per operation, flip `width`
+    /// *adjacent* result bits at a uniformly chosen offset — modelling
+    /// multi-bit upsets from a single particle strike.
+    Burst {
+        /// Per-operation burst probability in `[0, 1]`.
+        rate: f64,
+        /// Number of adjacent bits flipped per burst.
+        width: u32,
+    },
+}
+
+impl FaultModel {
+    /// Validate this model against a datapath of `width` bits.
+    ///
+    /// # Panics
+    /// Panics if a probability is not in `[0, 1]`, a bit position or
+    /// burst width falls outside the datapath, or a count is zero.
+    pub fn validate(&self, width: u32) {
+        match *self {
+            Self::Seu { rate, fault_bits } => {
+                assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+                assert!(
+                    (1..=width).contains(&fault_bits),
+                    "fault_bits must be in 1..={width} for this datapath, got {fault_bits}"
+                );
+            }
+            Self::StuckAt { bit, .. } => {
+                assert!(
+                    bit < width,
+                    "stuck-at bit {bit} outside the {width}-bit datapath"
+                );
+            }
+            Self::Burst { rate, width: w } => {
+                assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+                assert!(
+                    (1..=width).contains(&w),
+                    "burst width must be in 1..={width}, got {w}"
+                );
+            }
+        }
+    }
+}
+
+/// Which operation results the injector corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTargets {
+    /// Corrupt addition (and therefore subtraction) results.
+    pub adds: bool,
+    /// Corrupt multiplication results.
+    pub muls: bool,
+}
+
+impl FaultTargets {
+    /// Adders only — the historical default (adders dominate the exposed
+    /// area in this datapath).
+    pub const ADDS: Self = Self {
+        adds: true,
+        muls: false,
+    };
+    /// Both the adder fabric and the multiplier.
+    pub const ALL: Self = Self {
+        adds: true,
+        muls: true,
+    };
+}
+
+/// An [`ArithContext`] decorator that injects faults into operation
+/// results under a configurable [`FaultModel`].
 ///
-/// Faults strike the fixed-point representation of the sum: one bit in
-/// the low `fault_bits` positions of the [`QFormat`] pattern is flipped.
-/// Multiplications and divisions are passed through untouched (adders
-/// dominate the exposed area in this datapath).
+/// The corrupted bit positions are resolved against the wrapped
+/// context's own fixed-point format ([`ArithContext::datapath_format`]);
+/// software contexts without a hardware format fall back to
+/// [`QFormat::Q15_16`]. Divisions are passed through untouched.
 ///
 /// # Example
 ///
@@ -38,8 +128,9 @@ use crate::rng::Pcg32;
 #[derive(Debug, Clone)]
 pub struct FaultInjector<C> {
     inner: C,
-    rate: f64,
-    fault_bits: u32,
+    model: FaultModel,
+    targets: FaultTargets,
+    spare_accurate: bool,
     format: QFormat,
     rng: Pcg32,
     faults: u64,
@@ -47,26 +138,69 @@ pub struct FaultInjector<C> {
 
 impl<C: ArithContext> FaultInjector<C> {
     /// Wrap `inner`, flipping one of the low `fault_bits` bits of each
-    /// add result with probability `rate`.
+    /// add result with probability `rate` (the SEU model on adds only).
     ///
     /// # Panics
     /// Panics if `rate` is not in `[0, 1]` or `fault_bits` is 0 or
-    /// exceeds the datapath width (48 is the cap used here).
+    /// exceeds the wrapped context's datapath width.
     #[must_use]
     pub fn new(inner: C, rate: f64, fault_bits: u32, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        assert!(
-            (1..=48).contains(&fault_bits),
-            "fault_bits must be in 1..=48"
-        );
+        Self::with_model(inner, FaultModel::Seu { rate, fault_bits }, seed)
+    }
+
+    /// Wrap `inner` with an explicit fault model, targeting adds only.
+    ///
+    /// # Panics
+    /// Panics if the model is invalid for the wrapped context's datapath
+    /// width (see [`FaultModel::validate`]).
+    #[must_use]
+    pub fn with_model(inner: C, model: FaultModel, seed: u64) -> Self {
+        let format = inner.datapath_format().unwrap_or(QFormat::Q15_16);
+        model.validate(format.width());
         Self {
             inner,
-            rate,
-            fault_bits,
-            format: QFormat::Q15_16,
+            model,
+            targets: FaultTargets::ADDS,
+            spare_accurate: false,
+            format,
             rng: Pcg32::seeded(seed, 7),
             faults: 0,
         }
+    }
+
+    /// Select which operation results are exposed to faults.
+    #[must_use]
+    pub fn targeting(mut self, targets: FaultTargets) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// Inject faults only while the wrapped context runs at an
+    /// *approximate* level.
+    ///
+    /// This models voltage-overscaled operation: the approximate modes
+    /// buy their energy savings by running the carry chain past its
+    /// timing margin, which is precisely where upsets strike, while the
+    /// accurate mode runs at nominal voltage and stays dependable.
+    /// Operations executed at the accurate level do not advance the
+    /// fault RNG, so the fault schedule seen at the approximate levels
+    /// is independent of how long a run lingers at the accurate level.
+    #[must_use]
+    pub fn sparing_accurate(mut self) -> Self {
+        self.spare_accurate = true;
+        self
+    }
+
+    /// The active fault model.
+    #[must_use]
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The format faults are resolved against.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
     }
 
     /// Number of faults injected so far.
@@ -86,26 +220,71 @@ impl<C: ArithContext> FaultInjector<C> {
     pub fn into_inner(self) -> C {
         self.inner
     }
+
+    /// Apply the fault model to one clean result.
+    fn corrupt(&mut self, clean: f64) -> f64 {
+        let bits = self.format.to_bits(self.format.to_raw(clean));
+        let corrupted = match self.model {
+            FaultModel::Seu { rate, fault_bits } => {
+                if self.rng.next_f64() >= rate {
+                    return clean;
+                }
+                let bit = self.rng.below(u64::from(fault_bits)) as u32;
+                bits ^ (1u64 << bit)
+            }
+            FaultModel::StuckAt { bit, value } => {
+                if value {
+                    bits | (1u64 << bit)
+                } else {
+                    bits & !(1u64 << bit)
+                }
+            }
+            FaultModel::Burst { rate, width } => {
+                if self.rng.next_f64() >= rate {
+                    return clean;
+                }
+                let positions = u64::from(self.format.width() - width) + 1;
+                let start = self.rng.below(positions) as u32;
+                bits ^ (width_mask(width) << start)
+            }
+        };
+        if corrupted == bits {
+            // A stuck-at that agrees with the clean value is not an event.
+            return clean;
+        }
+        self.faults += 1;
+        self.format.from_raw(
+            self.format
+                .from_bits(corrupted & width_mask(self.format.width())),
+        )
+    }
+}
+
+impl<C: ArithContext> FaultInjector<C> {
+    /// Whether faults are currently suppressed by [`sparing_accurate`]
+    /// (see [`FaultInjector::sparing_accurate`]).
+    fn shielded(&self) -> bool {
+        self.spare_accurate && self.inner.level().is_accurate()
+    }
 }
 
 impl<C: ArithContext> ArithContext for FaultInjector<C> {
     fn add(&mut self, a: f64, b: f64) -> f64 {
         let clean = self.inner.add(a, b);
-        if self.rng.next_f64() >= self.rate {
-            return clean;
+        if self.targets.adds && !self.shielded() {
+            self.corrupt(clean)
+        } else {
+            clean
         }
-        self.faults += 1;
-        let bit = self.rng.below(u64::from(self.fault_bits)) as u32;
-        let raw = self.format.to_raw(clean);
-        let bits = self.format.to_bits(raw) ^ (1u64 << bit);
-        self.format.from_raw(
-            self.format
-                .from_bits(bits & width_mask(self.format.width())),
-        )
     }
 
     fn mul(&mut self, a: f64, b: f64) -> f64 {
-        self.inner.mul(a, b)
+        let clean = self.inner.mul(a, b);
+        if self.targets.muls && !self.shielded() {
+            self.corrupt(clean)
+        } else {
+            clean
+        }
     }
 
     fn div(&mut self, a: f64, b: f64) -> f64 {
@@ -135,20 +314,25 @@ impl<C: ArithContext> ArithContext for FaultInjector<C> {
     fn reset_counters(&mut self) {
         self.inner.reset_counters();
     }
+
+    fn datapath_format(&self) -> Option<QFormat> {
+        self.inner.datapath_format()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::QcsContext;
+    use crate::context::{ExactContext, QcsContext};
+    use crate::recon::QcsAdder;
     use crate::EnergyProfile;
 
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
     fn inner() -> QcsContext {
-        QcsContext::with_profile(EnergyProfile::from_constants(
-            [1.0, 2.0, 3.0, 4.0, 5.0],
-            50.0,
-            100.0,
-        ))
+        QcsContext::with_profile(profile())
     }
 
     #[test]
@@ -215,5 +399,121 @@ mod tests {
     #[should_panic(expected = "rate must be in")]
     fn invalid_rate_panics() {
         let _ = FaultInjector::new(inner(), 1.5, 8, 1);
+    }
+
+    #[test]
+    fn format_follows_the_wrapped_context() {
+        // A Q31.16 (48-bit) datapath accepts fault_bits the 32-bit
+        // default would reject.
+        let wide = QcsContext::new(
+            QcsAdder::new(48, [20, 15, 10, 5]),
+            QFormat::Q31_16,
+            profile(),
+        );
+        let faulty = FaultInjector::new(wide, 0.1, 48, 1);
+        assert_eq!(faulty.format(), QFormat::Q31_16);
+        // Software baselines fall back to Q15.16.
+        let soft = FaultInjector::new(ExactContext::with_profile(profile()), 0.1, 8, 1);
+        assert_eq!(soft.format(), QFormat::Q15_16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_bits must be in 1..=32")]
+    fn fault_bits_beyond_the_datapath_panic() {
+        // Q15.16 is a 32-bit datapath; 48 was accepted under the old
+        // hardcoded cap and must now be rejected.
+        let _ = FaultInjector::new(inner(), 0.1, 48, 1);
+    }
+
+    #[test]
+    fn mul_results_are_corrupted_when_targeted() {
+        let mut faulty = FaultInjector::new(inner(), 1.0, 4, 5).targeting(FaultTargets::ALL);
+        let mut clean = inner();
+        let mut mul_faults = 0;
+        for i in 1..50 {
+            let x = f64::from(i) * 0.17;
+            if faulty.mul(x, 3.0) != clean.mul(x, 3.0) {
+                mul_faults += 1;
+            }
+        }
+        assert!(mul_faults > 0, "no multiplier faults fired at rate 1.0");
+        // And with the default targets, muls stay clean.
+        let mut adds_only = FaultInjector::new(inner(), 1.0, 4, 5);
+        let mut clean2 = inner();
+        for i in 1..50 {
+            let x = f64::from(i) * 0.17;
+            assert_eq!(adds_only.mul(x, 3.0), clean2.mul(x, 3.0));
+        }
+    }
+
+    #[test]
+    fn stuck_at_forces_the_bit_every_operation() {
+        // Bit 16 of Q15.16 has weight 1.0: any integer-valued sum with
+        // an even integer part reads one higher with stuck-at-1.
+        let mut faulty = FaultInjector::with_model(
+            inner(),
+            FaultModel::StuckAt {
+                bit: 16,
+                value: true,
+            },
+            1,
+        );
+        assert_eq!(faulty.add(2.0, 2.0), 5.0);
+        assert_eq!(faulty.faults_injected(), 1);
+        // A sum that already has the bit set is not an event.
+        assert_eq!(faulty.add(2.0, 3.0), 5.0);
+        assert_eq!(faulty.faults_injected(), 1);
+    }
+
+    #[test]
+    fn burst_flips_adjacent_bits() {
+        let model = FaultModel::Burst {
+            rate: 1.0,
+            width: 3,
+        };
+        let mut faulty = FaultInjector::with_model(inner(), model, 2);
+        let mut any_large = false;
+        for i in 0..100 {
+            let x = f64::from(i) * 0.05;
+            let clean = QFormat::Q15_16.quantize(QFormat::Q15_16.quantize(x) + 1.0);
+            let got = faulty.add(x, 1.0);
+            let err = (got - clean).abs();
+            if err > 0.0 {
+                any_large = true;
+            }
+        }
+        assert!(any_large);
+        assert_eq!(faulty.faults_injected(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck-at bit")]
+    fn stuck_at_outside_datapath_panics() {
+        let _ = FaultInjector::with_model(
+            inner(),
+            FaultModel::StuckAt {
+                bit: 32,
+                value: true,
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn sparing_accurate_shields_the_accurate_level_only() {
+        let mut faulty = FaultInjector::new(inner(), 1.0, 8, 11).sparing_accurate();
+        let mut clean = inner();
+        faulty.set_level(AccuracyLevel::Accurate);
+        clean.set_level(AccuracyLevel::Accurate);
+        for i in 0..50 {
+            let x = f64::from(i) * 0.23;
+            assert_eq!(faulty.add(x, 1.0), clean.add(x, 1.0));
+        }
+        assert_eq!(faulty.faults_injected(), 0);
+        faulty.set_level(AccuracyLevel::Level2);
+        for _ in 0..50 {
+            faulty.add(1.0, 1.0);
+        }
+        assert_eq!(faulty.faults_injected(), 50);
     }
 }

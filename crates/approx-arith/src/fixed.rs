@@ -1,7 +1,5 @@
 //! Two's-complement fixed-point formats (Q notation).
 
-use serde::{Deserialize, Serialize};
-
 use crate::adder::width_mask;
 
 /// A signed fixed-point format: `width` total bits (including sign) of
@@ -24,7 +22,7 @@ use crate::adder::width_mask;
 /// let x = 0.123_456_789;
 /// assert!((q.quantize(x) - x).abs() <= q.resolution() / 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QFormat {
     width: u32,
     frac_bits: u32,

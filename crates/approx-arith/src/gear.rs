@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -29,7 +28,7 @@ use crate::adder::{width_mask, Adder};
 ///     assert_eq!(gear.add(a, b), eta.add(a, b));
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GeArAdder {
     width: u32,
     resultant_bits: u32,

@@ -59,7 +59,7 @@ pub use error_metrics::{
 };
 pub use eta::EtaIiAdder;
 pub use exact::RippleCarryAdder;
-pub use fault::FaultInjector;
+pub use fault::{FaultInjector, FaultModel, FaultTargets};
 pub use fixed::QFormat;
 pub use gear::GeArAdder;
 pub use loa::LowerOrAdder;

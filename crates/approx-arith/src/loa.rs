@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -25,7 +24,7 @@ use crate::adder::{width_mask, Adder};
 /// // The exact upper part still adds correctly.
 /// assert_eq!(adder.add(0x10, 0x20), 0x30);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowerOrAdder {
     width: u32,
     approx_bits: u32,

@@ -8,7 +8,6 @@
 
 use gatesim::builders;
 use gatesim::{Netlist, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::adder::width_mask;
 
@@ -27,7 +26,7 @@ use crate::adder::width_mask;
 /// // Truncation only ever under-estimates.
 /// assert!(trunc.mul(255, 255) <= 255 * 255);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArrayMultiplier {
     width: u32,
     truncated_columns: u32,

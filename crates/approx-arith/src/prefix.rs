@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -26,7 +25,7 @@ use crate::adder::{width_mask, Adder};
 /// let (rca_nl, _) = RippleCarryAdder::new(32).netlist();
 /// assert!(model.critical_path(&ks_nl) < model.critical_path(&rca_nl) / 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KoggeStoneAdder {
     width: u32,
 }

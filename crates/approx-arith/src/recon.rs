@@ -3,7 +3,6 @@
 
 use gatesim::builders::AdderPorts;
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, AccuracyLevel, Adder};
 use crate::exact::RippleCarryAdder;
@@ -11,7 +10,7 @@ use crate::loa::LowerOrAdder;
 use crate::trunc::LowerZeroAdder;
 
 /// How the QCS adder's approximated low bits are computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LowPartPolicy {
     /// Low bits are tied to zero (truncation-error-tolerant style, Zhu
     /// et al. TVLSI'10 — the paper's ref \[14\]). Results land on a
@@ -46,7 +45,7 @@ pub enum LowPartPolicy {
 /// // High-order bits are always exact.
 /// assert_eq!(exact, approx);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QcsAdder {
     width: u32,
     approx_bits: [u32; 4],
@@ -153,7 +152,7 @@ impl QcsAdder {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ModeImpl {
     Exact(RippleCarryAdder),
     Zero(LowerZeroAdder),
@@ -171,7 +170,7 @@ impl ModeImpl {
 }
 
 /// One accuracy mode of a [`QcsAdder`], viewed as a standalone [`Adder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QcsModeAdder {
     level: AccuracyLevel,
     inner: ModeImpl,

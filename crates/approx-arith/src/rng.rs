@@ -5,8 +5,6 @@
 //! characterization use this self-contained generator instead of an
 //! external crate (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64: tiny, fast, full-period 64-bit generator.
 ///
 /// Used both directly and to seed [`Pcg32`].
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -55,7 +53,7 @@ impl SplitMix64 {
 /// let x = rng.next_f64();
 /// assert!((0.0..1.0).contains(&x));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pcg32 {
     state: u64,
     inc: u64,

@@ -2,7 +2,6 @@
 
 use gatesim::builders::{self, AdderPorts};
 use gatesim::Netlist;
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{width_mask, Adder};
 
@@ -27,7 +26,7 @@ use crate::adder::{width_mask, Adder};
 /// assert_eq!(adder.add(0x13, 0x25), 0x30);
 /// assert_eq!(adder.add(0x0F, 0x0F), 0x00); // everything below 2^4 vanishes
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowerZeroAdder {
     width: u32,
     approx_bits: u32,

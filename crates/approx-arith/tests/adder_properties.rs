@@ -1,41 +1,55 @@
 //! Property-based tests over the approximate arithmetic substrate.
+//!
+//! These are seed-driven: each property is checked over a deterministic
+//! stream of random inputs from the in-repo [`Pcg32`], so the suite is
+//! hermetic (no external property-testing dependency) and bit-reproducible
+//! across platforms.
 
+use approx_arith::rng::Pcg32;
 use approx_arith::{
     AccuracyLevel, Adder, ArithContext, EnergyProfile, EtaIiAdder, LowerOrAdder, QFormat, QcsAdder,
     QcsContext, RippleCarryAdder, WindowedCarryAdder,
 };
-use proptest::prelude::*;
+
+const CASES: usize = 128;
 
 fn test_profile() -> EnergyProfile {
     EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn loa_high_bits_are_exact_when_no_low_carry(a: u64, b: u64) {
-        // If the low parts are zero, LOA must be exact.
-        let adder = LowerOrAdder::new(48, 16, false);
-        let mask = adder.mask() & !0xFFFF;
-        let (a, b) = (a & mask, b & mask);
+#[test]
+fn loa_high_bits_are_exact_when_no_low_carry() {
+    // If the low parts are zero, LOA must be exact.
+    let mut rng = Pcg32::seeded(0x10A, 0);
+    let adder = LowerOrAdder::new(48, 16, false);
+    let mask = adder.mask() & !0xFFFF;
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let exact = RippleCarryAdder::new(48).add(a, b);
-        prop_assert_eq!(adder.add(a, b), exact);
+        assert_eq!(adder.add(a, b), exact, "a={a:#x} b={b:#x}");
     }
+}
 
-    #[test]
-    fn qcs_accurate_equals_rca(a: u64, b: u64) {
-        let qcs = QcsAdder::paper_default();
-        let rca = RippleCarryAdder::new(32);
-        prop_assert_eq!(qcs.add(a, b, AccuracyLevel::Accurate), rca.add(a, b));
+#[test]
+fn qcs_accurate_equals_rca() {
+    let mut rng = Pcg32::seeded(0x9C5, 0);
+    let qcs = QcsAdder::paper_default();
+    let rca = RippleCarryAdder::new(32);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(qcs.add(a, b, AccuracyLevel::Accurate), rca.add(a, b));
     }
+}
 
-    #[test]
-    fn qcs_error_never_reaches_high_bits(a: u64, b: u64) {
-        // The approximate low part can corrupt at most approx_bits + 1
-        // positions (one lost carry); everything above is exact.
-        let qcs = QcsAdder::paper_default();
-        let rca = RippleCarryAdder::new(32);
+#[test]
+fn qcs_error_never_reaches_high_bits() {
+    // The approximate low part can corrupt at most approx_bits + 1
+    // positions (one lost carry); everything above is exact.
+    let mut rng = Pcg32::seeded(0x9C5E, 0);
+    let qcs = QcsAdder::paper_default();
+    let rca = RippleCarryAdder::new(32);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         for level in AccuracyLevel::APPROXIMATE {
             let k = qcs.approx_bits(level);
             let approx = qcs.add(a, b, level);
@@ -45,59 +59,86 @@ proptest! {
             // possibly wrapping the 32-bit ring.
             let ring = 1u128 << 32;
             let dist = diff.min(ring - diff);
-            prop_assert!(dist <= 1u128 << (k + 1),
-                "level {level}: dist {dist} > 2^{}", k + 1);
+            assert!(
+                dist <= 1u128 << (k + 1),
+                "level {level}: dist {dist} > 2^{}",
+                k + 1
+            );
         }
     }
+}
 
-    #[test]
-    fn eta_block0_always_exact(a in 0u64..256, b in 0u64..256) {
-        let eta = EtaIiAdder::new(16, 8);
+#[test]
+fn eta_block0_always_exact() {
+    let mut rng = Pcg32::seeded(0xE7A, 0);
+    let eta = EtaIiAdder::new(16, 8);
+    for _ in 0..CASES {
+        let (a, b) = (rng.below(256), rng.below(256));
         let got = eta.add(a, b) & 0xFF;
-        prop_assert_eq!(got, (a + b) & 0xFF);
+        assert_eq!(got, (a + b) & 0xFF, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn aca_is_monotonically_better(a: u64, b: u64) {
-        // A longer window never makes a *specific* carry worse in the
-        // aggregate; test the weaker per-sample property that the full
-        // window is exact.
-        let full = WindowedCarryAdder::new(32, 32);
-        let exact = RippleCarryAdder::new(32);
-        prop_assert_eq!(full.add(a, b), exact.add(a, b));
+#[test]
+fn aca_is_monotonically_better() {
+    // A longer window never makes a *specific* carry worse in the
+    // aggregate; test the weaker per-sample property that the full
+    // window is exact.
+    let mut rng = Pcg32::seeded(0xACA, 0);
+    let full = WindowedCarryAdder::new(32, 32);
+    let exact = RippleCarryAdder::new(32);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(full.add(a, b), exact.add(a, b));
     }
+}
 
-    #[test]
-    fn fixed_point_round_trip(x in -1e6f64..1e6) {
-        let q = QFormat::Q31_16;
+#[test]
+fn fixed_point_round_trip() {
+    let mut rng = Pcg32::seeded(0xF1D, 0);
+    let q = QFormat::Q31_16;
+    for _ in 0..CASES {
+        let x = rng.uniform(-1e6, 1e6);
         let y = q.quantize(x);
-        prop_assert!((y - x).abs() <= q.resolution() / 2.0 + 1e-12);
+        assert!((y - x).abs() <= q.resolution() / 2.0 + 1e-12);
         // Quantization is idempotent.
-        prop_assert_eq!(q.quantize(y), y);
+        assert_eq!(q.quantize(y), y);
     }
+}
 
-    #[test]
-    fn fixed_bits_round_trip(raw in -(1i64 << 47)..(1i64 << 47)) {
-        let q = QFormat::Q31_16;
-        prop_assert_eq!(q.from_bits(q.to_bits(raw)), raw);
+#[test]
+fn fixed_bits_round_trip() {
+    let mut rng = Pcg32::seeded(0xB175, 0);
+    let q = QFormat::Q31_16;
+    for _ in 0..CASES {
+        let raw = (rng.below(1 << 48) as i64) - (1i64 << 47);
+        assert_eq!(q.from_bits(q.to_bits(raw)), raw);
     }
+}
 
-    #[test]
-    fn context_add_is_commutative(x in -1e4f64..1e4, y in -1e4f64..1e4) {
-        let mut ctx = QcsContext::with_profile(test_profile());
+#[test]
+fn context_add_is_commutative() {
+    let mut rng = Pcg32::seeded(0xC0, 0);
+    let mut ctx = QcsContext::with_profile(test_profile());
+    for _ in 0..CASES {
+        let x = rng.uniform(-1e4, 1e4);
+        let y = rng.uniform(-1e4, 1e4);
         for level in AccuracyLevel::ALL {
             ctx.set_level(level);
             let ab = ctx.add(x, y);
             let ba = ctx.add(y, x);
-            prop_assert_eq!(ab, ba, "level {}", level);
+            assert_eq!(ab, ba, "level {level}");
         }
     }
+}
 
-    #[test]
-    fn context_approximate_error_shrinks_with_level(
-        x in -1e3f64..1e3, y in -1e3f64..1e3
-    ) {
-        let mut ctx = QcsContext::with_profile(test_profile());
+#[test]
+fn context_approximate_error_shrinks_with_level() {
+    let mut rng = Pcg32::seeded(0xE88, 0);
+    let mut ctx = QcsContext::with_profile(test_profile());
+    for _ in 0..CASES {
+        let x = rng.uniform(-1e3, 1e3);
+        let y = rng.uniform(-1e3, 1e3);
         let exact = x + y;
         let mut errors = Vec::new();
         for level in AccuracyLevel::APPROXIMATE {
@@ -106,21 +147,25 @@ proptest! {
         }
         // Not strictly monotone per sample, but bounded by the level's
         // worst case: 2^(k+1-frac).
-        for (i, k) in [20u32, 15, 10, 5].iter().enumerate() {
-            let bound = f64::from(*k as i32 + 1 - 16).exp2() + 1e-9;
-            prop_assert!(errors[i] <= bound, "level{} err {}", i + 1, errors[i]);
+        for (i, k) in [20i32, 15, 10, 5].iter().enumerate() {
+            let bound = f64::from(k + 1 - 16).exp2() + 1e-9;
+            assert!(errors[i] <= bound, "level{} err {}", i + 1, errors[i]);
         }
     }
+}
 
-    #[test]
-    fn energy_meter_is_additive(ops in 1usize..50) {
+#[test]
+fn energy_meter_is_additive() {
+    let mut rng = Pcg32::seeded(0xE9E, 0);
+    for _ in 0..32 {
+        let ops = 1 + rng.below(49) as usize;
         let mut ctx = QcsContext::with_profile(test_profile());
         ctx.set_level(AccuracyLevel::Level2);
         for i in 0..ops {
             ctx.add(i as f64, 1.0);
         }
         let per_add = 2.0; // level2 in the test profile
-        prop_assert!((ctx.approx_energy() - per_add * ops as f64).abs() < 1e-9);
-        prop_assert_eq!(ctx.counts().adds, ops as u64);
+        assert!((ctx.approx_energy() - per_add * ops as f64).abs() < 1e-9);
+        assert_eq!(ctx.counts().adds, ops as u64);
     }
 }

@@ -1,13 +1,12 @@
 //! Microbenchmarks of the adder architectures: functional models vs
 //! gate-level simulation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use approx_arith::rng::Pcg32;
 use approx_arith::{
     AccuracyLevel, Adder, EtaIiAdder, LowerOrAdder, LowerZeroAdder, QcsAdder, RippleCarryAdder,
     WindowedCarryAdder,
 };
+use approxit_bench::harness::{black_box, Harness};
 use gatesim::Simulator;
 
 fn operand_stream(n: usize) -> Vec<(u64, u64)> {
@@ -15,7 +14,9 @@ fn operand_stream(n: usize) -> Vec<(u64, u64)> {
     (0..n).map(|_| (rng.next_u64(), rng.next_u64())).collect()
 }
 
-fn bench_functional_adders(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
+
     let ops = operand_stream(1024);
     let adders: Vec<(&str, Box<dyn Adder>)> = vec![
         ("rca32", Box::new(RippleCarryAdder::new(32))),
@@ -24,42 +25,29 @@ fn bench_functional_adders(c: &mut Criterion) {
         ("etaii32/b8", Box::new(EtaIiAdder::new(32, 8))),
         ("aca32/l8", Box::new(WindowedCarryAdder::new(32, 8))),
     ];
-    let mut group = c.benchmark_group("functional_adders");
     for (name, adder) in &adders {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(x, y) in &ops {
-                    acc ^= adder.add(black_box(x), black_box(y));
-                }
-                acc
-            })
+        h.bench(&format!("functional_adders/{name}"), || {
+            let mut acc = 0u64;
+            for &(x, y) in &ops {
+                acc ^= adder.add(black_box(x), black_box(y));
+            }
+            acc
         });
     }
-    group.finish();
-}
 
-fn bench_netlist_simulation(c: &mut Criterion) {
-    let ops = operand_stream(64);
-    let mut group = c.benchmark_group("netlist_simulation");
+    let sim_ops = operand_stream(64);
     for level in [AccuracyLevel::Level1, AccuracyLevel::Accurate] {
         let adder = QcsAdder::paper_default().at(level);
         let (netlist, ports) = adder.netlist();
-        group.bench_function(format!("qcs32/{level}"), |b| {
-            b.iter(|| {
-                let mut sim = Simulator::new(&netlist);
-                for &(x, y) in &ops {
-                    let out = sim
-                        .evaluate(&ports.pack_operands(x, y, false))
-                        .expect("valid inputs");
-                    black_box(out);
-                }
-                sim.total_toggles()
-            })
+        h.bench(&format!("netlist_simulation/qcs32/{level}"), || {
+            let mut sim = Simulator::new(&netlist);
+            for &(x, y) in &sim_ops {
+                let out = sim
+                    .evaluate(&ports.pack_operands(x, y, false))
+                    .expect("valid inputs");
+                black_box(out);
+            }
+            sim.total_toggles()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_functional_adders, bench_netlist_simulation);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
 //! Application-level benchmarks: cost of one EM / gradient-descent
 //! iteration on each datapath mode, and of the offline characterization.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext};
 use approxit::characterize;
+use approxit_bench::harness::{black_box, Harness};
 use iter_solvers::datasets::{ar_series, gaussian_blobs};
 use iter_solvers::{AutoRegression, GaussianMixture, IterativeMethod};
 
@@ -12,7 +11,9 @@ fn profile() -> EnergyProfile {
     EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
 }
 
-fn bench_gmm_step(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
+
     let data = gaussian_blobs(
         "bench",
         &[100, 100, 100],
@@ -22,50 +23,34 @@ fn bench_gmm_step(c: &mut Criterion) {
     );
     let gmm = GaussianMixture::from_dataset(&data, 1e-7, 100, 5);
     let state = gmm.initial_state();
-    let mut group = c.benchmark_group("gmm_step_300pts");
     for level in [AccuracyLevel::Level1, AccuracyLevel::Accurate] {
-        group.bench_function(level.to_string(), |b| {
-            let mut ctx = QcsContext::with_profile(profile());
-            ctx.set_level(level);
-            b.iter(|| black_box(gmm.step(&state, &mut ctx)))
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(level);
+        h.bench(&format!("gmm_step_300pts/{level}"), || {
+            black_box(gmm.step(&state, &mut ctx))
         });
     }
-    group.finish();
-}
 
-fn bench_ar_step(c: &mut Criterion) {
     let series = ar_series("bench", 1010, &[0.4, 0.2], 1.0, 3);
     let ar = AutoRegression::from_series(&series, 0.2, 1e-12, 100);
-    let state = vec![0.1, 0.05];
-    let mut group = c.benchmark_group("ar_step_1000pts");
+    let ar_state = vec![0.1, 0.05];
     for level in [AccuracyLevel::Level2, AccuracyLevel::Accurate] {
-        group.bench_function(level.to_string(), |b| {
-            let mut ctx = QcsContext::with_profile(profile());
-            ctx.set_level(level);
-            b.iter(|| black_box(ar.step(&state, &mut ctx)))
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(level);
+        h.bench(&format!("ar_step_1000pts/{level}"), || {
+            black_box(ar.step(&ar_state, &mut ctx))
         });
     }
-    group.finish();
-}
 
-fn bench_characterization(c: &mut Criterion) {
-    let data = gaussian_blobs(
+    let char_data = gaussian_blobs(
         "bench-char",
         &[50, 50],
         &[vec![0.0, 0.0], vec![6.0, 5.0]],
         &[1.0, 1.0],
         9,
     );
-    let gmm = GaussianMixture::from_dataset(&data, 1e-7, 100, 5);
-    c.bench_function("characterize/gmm_3iters", |b| {
-        b.iter(|| black_box(characterize(&gmm, &profile(), 3)))
+    let char_gmm = GaussianMixture::from_dataset(&char_data, 1e-7, 100, 5);
+    h.bench("characterize/gmm_3iters", || {
+        black_box(characterize(&char_gmm, &profile(), 3))
     });
 }
-
-criterion_group!(
-    benches,
-    bench_gmm_step,
-    bench_ar_step,
-    bench_characterization
-);
-criterion_main!(benches);

@@ -1,71 +1,59 @@
 //! Microbenchmarks of the fixed-point datapath and the arithmetic
 //! contexts.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use approx_arith::rng::Pcg32;
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QFormat, QcsContext};
+use approxit_bench::harness::{black_box, Harness};
 
 fn values(n: usize) -> Vec<f64> {
     let mut rng = Pcg32::seeded(0xF1D0, 0);
     (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect()
 }
 
-fn bench_qformat(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
+
     let xs = values(1024);
     let q = QFormat::Q15_16;
-    c.bench_function("qformat/round_trip", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &x in &xs {
-                acc += q.quantize(black_box(x));
-            }
-            acc
-        })
+    h.bench("qformat/round_trip", || {
+        let mut acc = 0.0;
+        for &x in &xs {
+            acc += q.quantize(black_box(x));
+        }
+        acc
     });
-    c.bench_function("qformat/mul_raw", |b| {
-        let raws: Vec<i64> = xs.iter().map(|&x| q.to_raw(x)).collect();
-        b.iter(|| {
-            let mut acc = 0i64;
-            for w in raws.windows(2) {
-                acc ^= q.mul_raw(black_box(w[0]), black_box(w[1]));
-            }
-            acc
-        })
-    });
-}
 
-fn bench_context_ops(c: &mut Criterion) {
-    let xs = values(1024);
+    let raws: Vec<i64> = xs.iter().map(|&x| q.to_raw(x)).collect();
+    h.bench("qformat/mul_raw", || {
+        let mut acc = 0i64;
+        for w in raws.windows(2) {
+            acc ^= q.mul_raw(black_box(w[0]), black_box(w[1]));
+        }
+        acc
+    });
+
     let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
-    let mut group = c.benchmark_group("context_add");
     for level in [
         AccuracyLevel::Level1,
         AccuracyLevel::Level4,
         AccuracyLevel::Accurate,
     ] {
-        group.bench_function(level.to_string(), |b| {
-            let mut ctx = QcsContext::with_profile(profile.clone());
-            ctx.set_level(level);
-            b.iter(|| {
-                let mut acc = 0.0;
-                for &x in &xs {
-                    acc = ctx.add(black_box(acc), black_box(x));
-                }
-                acc
-            })
+        let mut ctx = QcsContext::with_profile(profile.clone());
+        ctx.set_level(level);
+        h.bench(&format!("context_add/{level}"), || {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc = ctx.add(black_box(acc), black_box(x));
+            }
+            acc
         });
     }
-    group.finish();
 
-    c.bench_function("context_dot/len64", |b| {
-        let mut ctx = QcsContext::with_profile(profile.clone());
-        ctx.set_level(AccuracyLevel::Level3);
-        let x = &xs[..64];
-        let y = &xs[64..128];
-        b.iter(|| ctx.dot(black_box(x), black_box(y)))
+    let mut ctx = QcsContext::with_profile(profile);
+    ctx.set_level(AccuracyLevel::Level3);
+    let x: Vec<f64> = xs[..64].to_vec();
+    let y: Vec<f64> = xs[64..128].to_vec();
+    h.bench("context_dot/len64", || {
+        ctx.dot(black_box(&x), black_box(&y))
     });
 }
-
-criterion_group!(benches, bench_qformat, bench_context_ops);
-criterion_main!(benches);

@@ -2,13 +2,12 @@
 //! claim that the extra computation of online reconfiguration is
 //! negligible.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use approx_arith::AccuracyLevel;
 use approxit::lp::solve_effort_allocation;
 use approxit::{
     AdaptiveAngleStrategy, IncrementalStrategy, IterationObservation, PidStrategy, ReconfigStrategy,
 };
+use approxit_bench::harness::{black_box, Harness};
 
 const EPS: [f64; 5] = [0.5, 0.2, 0.05, 0.01, 0.0];
 const J: [f64; 5] = [0.46, 0.59, 0.73, 0.86, 1.0];
@@ -31,32 +30,29 @@ fn observation<'a>(
     }
 }
 
-fn bench_decide(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
+
     let params_prev: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.1).collect();
     let params_curr: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.1 + 0.01).collect();
     let grad: Vec<f64> = (0..64).map(|i| -f64::from(i) * 0.01).collect();
 
-    c.bench_function("decide/incremental", |b| {
-        let mut s = IncrementalStrategy::new(EPS);
-        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    let mut incremental = IncrementalStrategy::new(EPS);
+    h.bench("decide/incremental", || {
+        black_box(incremental.decide(&observation(&params_prev, &params_curr, &grad)))
     });
 
-    c.bench_function("decide/adaptive_f1", |b| {
-        let mut s = AdaptiveAngleStrategy::new(EPS, J, 0.2, 1);
-        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    let mut adaptive = AdaptiveAngleStrategy::new(EPS, J, 0.2, 1);
+    h.bench("decide/adaptive_f1", || {
+        black_box(adaptive.decide(&observation(&params_prev, &params_curr, &grad)))
     });
 
-    c.bench_function("decide/pid", |b| {
-        let mut s = PidStrategy::default();
-        b.iter(|| black_box(s.decide(&observation(&params_prev, &params_curr, &grad))))
+    let mut pid = PidStrategy::default();
+    h.bench("decide/pid", || {
+        black_box(pid.decide(&observation(&params_prev, &params_curr, &grad)))
     });
-}
 
-fn bench_lp(c: &mut Criterion) {
-    c.bench_function("lp/solve_effort_allocation", |b| {
-        b.iter(|| black_box(solve_effort_allocation(&J, &EPS, black_box(0.07))))
+    h.bench("lp/solve_effort_allocation", || {
+        black_box(solve_effort_allocation(&J, &EPS, black_box(0.07)))
     });
 }
-
-criterion_group!(benches, bench_decide, bench_lp);
-criterion_main!(benches);

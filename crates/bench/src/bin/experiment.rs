@@ -119,7 +119,7 @@ fn drive<M: IterativeMethod>(
         );
     }
     if wants("pid") {
-        add("pid", Box::new(PidStrategy::default()));
+        add("pid", Box::<PidStrategy>::default());
     }
     if selected.is_empty() {
         return Err(format!("unknown strategy {want} (try --help)"));

@@ -13,12 +13,13 @@
 //! | `ablation`| extensions: scheme ablation, f-step sweep, PID baseline, width sweep |
 //!
 //! This library holds the shared experiment definitions so the binaries,
-//! the integration tests, and the Criterion benches agree on every
+//! the integration tests, and the micro-benchmarks agree on every
 //! parameter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod render;
 pub mod specs;
 pub mod tables;

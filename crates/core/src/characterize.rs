@@ -10,13 +10,12 @@
 
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext};
 use iter_solvers::IterativeMethod;
-use serde::{Deserialize, Serialize};
 
 use crate::quality::quality_error;
 
 /// The offline characterization of one application on one hardware
 /// configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharacterizationTable {
     /// Mean iteration-level quality error `ε` per mode (Definition 1,
     /// objective space); the accurate mode's entry is 0 by construction.

@@ -14,7 +14,6 @@
 
 use approx_arith::AccuracyLevel;
 use approx_linalg::vector;
-use serde::{Deserialize, Serialize};
 
 use crate::characterize::CharacterizationTable;
 use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
@@ -22,7 +21,7 @@ use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
 /// Which reading of the (tersely printed) quality-scheme condition to
 /// use. The strategy's behaviour with both is studied in the ablation
 /// bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QualitySchemeVariant {
     /// Reconfigure when `‖xᵏ‖·εᵢ > ‖xᵏ − xᵏ⁻¹‖` — the paper's prose:
     /// "the estimated error is bigger than the distance (ℓ2 norm) of two
@@ -36,7 +35,7 @@ pub enum QualitySchemeVariant {
 }
 
 /// Configuration of the incremental strategy's schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IncrementalConfig {
     /// Enable the gradient (direction-error) scheme.
     pub gradient_scheme: bool,

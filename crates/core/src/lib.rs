@@ -21,7 +21,11 @@
 //!   the design the paper argues against;
 //! * the [`run`] controller that drives any
 //!   [`iter_solvers::IterativeMethod`] under any [`ReconfigStrategy`]
-//!   with full energy/quality telemetry ([`RunReport`]).
+//!   with full energy/quality telemetry ([`RunReport`]);
+//! * a runner watchdog ([`WatchdogConfig`], used via
+//!   [`run_with_watchdog`]) with NaN/Inf/overflow guards, divergence
+//!   detection, checkpointed recovery, and level escalation for
+//!   fault-tolerant execution under soft errors.
 //!
 //! # Quickstart
 //!
@@ -61,6 +65,7 @@ mod quality;
 mod report;
 mod runner;
 mod strategy;
+mod watchdog;
 
 pub mod lp;
 
@@ -70,8 +75,9 @@ pub use incremental::{IncrementalConfig, IncrementalStrategy, QualitySchemeVaria
 pub use pid::{PidConfig, PidStrategy};
 pub use quality::quality_error;
 pub use report::RunReport;
-pub use runner::{run, RunOutcome};
+pub use runner::{run, run_with_watchdog, RunOutcome};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
+pub use watchdog::{RecoveryTelemetry, WatchdogConfig};
 
 // Re-export the vocabulary types downstream code always needs together
 // with this crate.

@@ -9,12 +9,11 @@
 //! which the ablation bench demonstrates empirically.
 
 use approx_arith::AccuracyLevel;
-use serde::{Deserialize, Serialize};
 
 use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
 
 /// PID gains and setpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PidConfig {
     /// Proportional gain.
     pub kp: f64,

@@ -1,11 +1,12 @@
 //! Run reports: the telemetry every experiment table is built from.
 
 use approx_arith::{AccuracyLevel, OpCounts};
-use serde::{Deserialize, Serialize};
+
+use crate::watchdog::RecoveryTelemetry;
 
 /// Everything recorded about one run of an iterative method under a
 /// reconfiguration strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Method name (e.g. `"gmm-em"`).
     pub method: String,
@@ -34,6 +35,9 @@ pub struct RunReport {
     pub final_objective: f64,
     /// Operation counters of the run.
     pub op_counts: OpCounts,
+    /// Watchdog recovery events (guard trips, checkpoints, restores,
+    /// escalations) — all zero for runs without active protection.
+    pub recovery: RecoveryTelemetry,
 }
 
 impl RunReport {
@@ -79,7 +83,8 @@ impl RunReport {
     pub fn csv_header() -> &'static str {
         "method,strategy,iterations,converged,steps_level1,steps_level2,\
          steps_level3,steps_level4,steps_acc,rollbacks,approx_energy,\
-         total_energy,final_objective,adds,muls,divs"
+         total_energy,final_objective,adds,muls,divs,guard_trips,\
+         divergence_trips,checkpoints,restores,escalations"
     }
 
     /// One CSV row with the run's summary statistics, for spreadsheet or
@@ -91,12 +96,12 @@ impl RunReport {
     /// use approxit::RunReport;
     ///
     /// let header = RunReport::csv_header();
-    /// assert_eq!(header.split(',').count(), 16);
+    /// assert_eq!(header.split(',').count(), 21);
     /// ```
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.method,
             self.strategy,
             self.iterations,
@@ -113,6 +118,88 @@ impl RunReport {
             self.op_counts.adds,
             self.op_counts.muls,
             self.op_counts.divs,
+            self.recovery.guard_trips,
+            self.recovery.divergence_trips,
+            self.recovery.checkpoints_taken,
+            self.recovery.restores,
+            self.recovery.escalations,
+        )
+    }
+
+    /// The report as a self-contained JSON object (hand-emitted — the
+    /// crate builds offline with no serialization dependency).
+    ///
+    /// Numbers use Rust's `f64` Display (round-trippable); strings are
+    /// escaped per RFC 8259; non-finite values are emitted as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                // JSON has no Inf/NaN; emit null like most tooling does.
+                "null".to_owned()
+            }
+        }
+        let energy_list = self
+            .energy_per_iteration
+            .iter()
+            .map(|&e| num(e))
+            .collect::<Vec<_>>()
+            .join(",");
+        let schedule = self
+            .level_schedule
+            .iter()
+            .map(|l| format!("\"{l}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"method\":\"{}\",\"strategy\":\"{}\",\"iterations\":{},\
+             \"converged\":{},\"steps_per_level\":[{},{},{},{},{}],\
+             \"rollbacks\":{},\"approx_energy\":{},\"total_energy\":{},\
+             \"final_objective\":{},\
+             \"op_counts\":{{\"adds\":{},\"muls\":{},\"divs\":{}}},\
+             \"recovery\":{{\"guard_trips\":{},\"divergence_trips\":{},\
+             \"checkpoints_taken\":{},\"restores\":{},\"escalations\":{}}},\
+             \"energy_per_iteration\":[{}],\"level_schedule\":[{}]}}",
+            esc(&self.method),
+            esc(&self.strategy),
+            self.iterations,
+            self.converged,
+            self.steps_per_level[0],
+            self.steps_per_level[1],
+            self.steps_per_level[2],
+            self.steps_per_level[3],
+            self.steps_per_level[4],
+            self.rollbacks,
+            num(self.approx_energy),
+            num(self.total_energy),
+            num(self.final_objective),
+            self.op_counts.adds,
+            self.op_counts.muls,
+            self.op_counts.divs,
+            self.recovery.guard_trips,
+            self.recovery.divergence_trips,
+            self.recovery.checkpoints_taken,
+            self.recovery.restores,
+            self.recovery.escalations,
+            energy_list,
+            schedule,
         )
     }
 
@@ -158,7 +245,11 @@ impl std::fmt::Display for RunReport {
             f,
             "  energy: approx {:.4}, total {:.4}; final f = {:.6e}",
             self.approx_energy, self.total_energy, self.final_objective
-        )
+        )?;
+        if self.recovery.any() {
+            writeln!(f, "  recovery: {}", self.recovery)?;
+        }
+        Ok(())
     }
 }
 
@@ -180,6 +271,7 @@ mod tests {
             level_schedule: vec![AccuracyLevel::Level1; 10],
             final_objective: 0.5,
             op_counts: OpCounts::default(),
+            recovery: RecoveryTelemetry::default(),
         }
     }
 
@@ -246,5 +338,51 @@ mod tests {
         let mut r = sample();
         r.level_schedule.clear();
         assert_eq!(r.schedule_summary(), "");
+    }
+
+    #[test]
+    fn json_contains_all_top_level_keys() {
+        let mut r = sample();
+        r.recovery.restores = 2;
+        r.recovery.escalations = 1;
+        let json = r.to_json();
+        for key in [
+            "\"method\":\"m\"",
+            "\"strategy\":\"s\"",
+            "\"iterations\":10",
+            "\"converged\":true",
+            "\"steps_per_level\":[3,2,2,2,1]",
+            "\"rollbacks\":1",
+            "\"recovery\":{\"guard_trips\":0,\"divergence_trips\":0,\
+             \"checkpoints_taken\":0,\"restores\":2,\"escalations\":1}",
+            "\"level_schedule\":[\"level1\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nulls_non_finite() {
+        let mut r = sample();
+        r.method = "m\"with\\quotes".into();
+        r.final_objective = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("m\\\"with\\\\quotes"));
+        assert!(json.contains("\"final_objective\":null"));
+    }
+
+    #[test]
+    fn display_mentions_recovery_only_when_active() {
+        let mut r = sample();
+        assert!(!r.to_string().contains("recovery"));
+        r.recovery.guard_trips = 3;
+        assert!(r.to_string().contains("recovery: guards 3"));
     }
 }

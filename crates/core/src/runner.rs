@@ -1,12 +1,24 @@
 //! The online reconfiguration controller: drives any
 //! [`IterativeMethod`] under a [`ReconfigStrategy`] with full telemetry.
 
-use approx_arith::ArithContext;
+use std::collections::VecDeque;
+
+use approx_arith::{AccuracyLevel, ArithContext};
 use approx_linalg::vector;
 use iter_solvers::IterativeMethod;
 
 use crate::report::RunReport;
 use crate::strategy::{Decision, IterationObservation, ReconfigStrategy};
+use crate::watchdog::{RecoveryTelemetry, WatchdogConfig};
+
+/// A committed state snapshot the watchdog can restore after a hard
+/// failure.
+struct Checkpoint<S> {
+    state: S,
+    objective: f64,
+    params: Vec<f64>,
+    gradient: Option<Vec<f64>>,
+}
 
 /// Result of a run: the final state plus its report.
 #[derive(Debug, Clone)]
@@ -52,6 +64,30 @@ pub fn run<M: IterativeMethod, C: ArithContext>(
     strategy: &mut dyn ReconfigStrategy,
     ctx: &mut C,
 ) -> RunOutcome<M::State> {
+    run_with_watchdog(method, strategy, ctx, &WatchdogConfig::default())
+}
+
+/// [`run`] with an explicit [`WatchdogConfig`] (see [`crate::watchdog`]).
+///
+/// The watchdog inspects every candidate iterate *before* the normal
+/// convergence/strategy flow. A hard failure — non-finite or overflowing
+/// objective/parameters, or an objective that rose for the configured
+/// number of consecutive iterations — discards the iterate, restores the
+/// most recent checkpoint if one exists, and counts as a rollback for
+/// the escalation policy. After the configured number of consecutive
+/// rollbacks (from the strategy or the watchdog), the accuracy level is
+/// forced one step toward exact and becomes a floor the strategy cannot
+/// go below.
+///
+/// With [`WatchdogConfig::default`] (NaN/Inf guards only), a fault-free
+/// run is bit-identical to the plain [`run`] loop. Discarded
+/// iterations' energy remains charged, as it would be in hardware.
+pub fn run_with_watchdog<M: IterativeMethod, C: ArithContext>(
+    method: &M,
+    strategy: &mut dyn ReconfigStrategy,
+    ctx: &mut C,
+    watchdog: &WatchdogConfig,
+) -> RunOutcome<M::State> {
     ctx.reset_counters();
     ctx.set_level(strategy.initial_level());
 
@@ -68,6 +104,22 @@ pub fn run<M: IterativeMethod, C: ArithContext>(
     let mut converged = false;
     let mut iterations = 0usize;
 
+    let mut recovery = RecoveryTelemetry::default();
+    let mut checkpoints: VecDeque<Checkpoint<M::State>> = VecDeque::new();
+    let mut rising_streak = 0usize;
+    let mut consecutive_rollbacks = 0usize;
+    let mut committed_since_checkpoint = 0usize;
+    // Escalation ratchet: the strategy may not select a level below this.
+    let mut level_floor = 0usize;
+
+    let clamp_to_floor = |level: AccuracyLevel, floor: usize| -> AccuracyLevel {
+        if level.index() < floor {
+            AccuracyLevel::from_index(floor).expect("floor is a valid level index")
+        } else {
+            level
+        }
+    };
+
     while iterations < method.max_iterations() {
         let level = ctx.level();
         let energy_before = ctx.approx_energy();
@@ -79,6 +131,58 @@ pub fn run<M: IterativeMethod, C: ArithContext>(
 
         let objective_curr = method.objective(&next);
         let params_curr = method.params(&next);
+
+        // --- Watchdog: guards and divergence detection -----------------
+        let non_finite = watchdog.guard_non_finite
+            && (!objective_curr.is_finite() || params_curr.iter().any(|p| !p.is_finite()));
+        let overflow = !non_finite
+            && watchdog.overflow_threshold.is_some_and(|bound| {
+                objective_curr.abs() > bound || params_curr.iter().any(|p| p.abs() > bound)
+            });
+        let mut diverging = false;
+        if let Some(window) = watchdog.divergence_window {
+            if !non_finite && !overflow {
+                if objective_curr > objective_prev {
+                    rising_streak += 1;
+                } else {
+                    rising_streak = 0;
+                }
+                diverging = rising_streak >= window;
+            }
+        }
+
+        if non_finite || overflow || diverging {
+            if diverging {
+                recovery.divergence_trips += 1;
+            } else {
+                recovery.guard_trips += 1;
+            }
+            rising_streak = 0;
+            // Hard failure: discard the iterate. Restore the most recent
+            // checkpoint when one exists; otherwise xᵏ⁻¹ stands.
+            if let Some(cp) = checkpoints.pop_back() {
+                state = cp.state;
+                objective_prev = cp.objective;
+                params_prev = cp.params;
+                gradient_prev = cp.gradient;
+                recovery.restores += 1;
+            }
+            rollbacks += 1;
+            consecutive_rollbacks += 1;
+            if watchdog
+                .escalation_threshold
+                .is_some_and(|r| consecutive_rollbacks >= r)
+            {
+                if let Some(higher) = ctx.level().next_higher() {
+                    level_floor = level_floor.max(higher.index());
+                    ctx.set_level(higher);
+                    recovery.escalations += 1;
+                }
+                consecutive_rollbacks = 0;
+            }
+            continue;
+        }
+
         let gradient_curr = method.gradient(&next);
 
         let observation = IterationObservation {
@@ -106,25 +210,61 @@ pub fn run<M: IterativeMethod, C: ArithContext>(
             strategy.decide(&observation)
         };
 
+        let mut committed = false;
         match decision {
             Decision::Keep => {
                 state = next;
                 objective_prev = objective_curr;
                 params_prev = params_curr;
                 gradient_prev = gradient_curr;
+                committed = true;
             }
             Decision::SwitchTo(new_level) => {
-                ctx.set_level(new_level);
+                ctx.set_level(clamp_to_floor(new_level, level_floor));
                 state = next;
                 objective_prev = objective_curr;
                 params_prev = params_curr;
                 gradient_prev = gradient_curr;
+                committed = true;
             }
             Decision::RollbackAndSwitch(new_level) => {
-                ctx.set_level(new_level);
+                ctx.set_level(clamp_to_floor(new_level, level_floor));
                 rollbacks += 1;
+                consecutive_rollbacks += 1;
+                if watchdog
+                    .escalation_threshold
+                    .is_some_and(|r| consecutive_rollbacks >= r)
+                {
+                    if let Some(higher) = ctx.level().next_higher() {
+                        level_floor = level_floor.max(higher.index());
+                        ctx.set_level(higher);
+                        recovery.escalations += 1;
+                    }
+                    consecutive_rollbacks = 0;
+                }
                 // `state`, `objective_prev`, `params_prev`,
                 // `gradient_prev` all stay at xᵏ⁻¹.
+            }
+        }
+
+        if committed {
+            consecutive_rollbacks = 0;
+            committed_since_checkpoint += 1;
+            if watchdog.checkpoint_interval > 0
+                && watchdog.checkpoint_capacity > 0
+                && committed_since_checkpoint >= watchdog.checkpoint_interval
+            {
+                if checkpoints.len() >= watchdog.checkpoint_capacity {
+                    checkpoints.pop_front();
+                }
+                checkpoints.push_back(Checkpoint {
+                    state: state.clone(),
+                    objective: objective_prev,
+                    params: params_prev.clone(),
+                    gradient: gradient_prev.clone(),
+                });
+                recovery.checkpoints_taken += 1;
+                committed_since_checkpoint = 0;
             }
         }
     }
@@ -142,6 +282,7 @@ pub fn run<M: IterativeMethod, C: ArithContext>(
         level_schedule,
         final_objective: method.objective(&state),
         op_counts: ctx.counts(),
+        recovery,
     };
     RunOutcome { state, report }
 }
@@ -303,5 +444,188 @@ mod tests {
         assert_eq!(r.level_schedule.len(), r.iterations);
         let energy_sum: f64 = r.energy_per_iteration.iter().sum();
         assert!((energy_sum - r.approx_energy).abs() < 1e-6 * r.approx_energy);
+    }
+
+    #[test]
+    fn clean_runs_are_identical_with_and_without_the_watchdog() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let plain = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let guarded = run_with_watchdog(
+            &gmm,
+            &mut SingleMode::accurate(),
+            &mut ctx,
+            &WatchdogConfig::resilient(),
+        );
+        // Same trajectory: the watchdog only takes checkpoints.
+        assert_eq!(plain.report.iterations, guarded.report.iterations);
+        assert_eq!(plain.report.level_schedule, guarded.report.level_schedule);
+        assert_eq!(plain.report.final_objective, guarded.report.final_objective);
+        assert_eq!(plain.report.rollbacks, guarded.report.rollbacks);
+        assert!(!plain.report.recovery.any());
+        assert!(guarded.report.recovery.checkpoints_taken > 0);
+        assert_eq!(guarded.report.recovery.guard_trips, 0);
+        assert_eq!(guarded.report.recovery.restores, 0);
+        assert_eq!(guarded.report.recovery.escalations, 0);
+    }
+
+    /// A deliberately sabotaged method: descends cleanly for a while,
+    /// then every step at an approximate level corrupts the state so the
+    /// objective explodes — only the watchdog can recover it.
+    struct Sabotaged {
+        explode_after: usize,
+        max_iterations: usize,
+    }
+
+    impl iter_solvers::IterativeMethod for Sabotaged {
+        type State = (usize, f64);
+
+        fn name(&self) -> &str {
+            "sabotaged"
+        }
+
+        fn initial_state(&self) -> Self::State {
+            (0, 100.0)
+        }
+
+        fn step(
+            &self,
+            state: &Self::State,
+            ctx: &mut dyn approx_arith::ArithContext,
+        ) -> Self::State {
+            let (k, x) = *state;
+            let accurate = ctx.level().is_accurate();
+            let next = ctx.mul(x, 0.5);
+            if k + 1 > self.explode_after && !accurate {
+                // Fault-like corruption: the iterate leaves the basin.
+                (k + 1, f64::NAN)
+            } else {
+                (k + 1, next)
+            }
+        }
+
+        fn objective(&self, state: &Self::State) -> f64 {
+            state.1.abs()
+        }
+
+        fn params(&self, state: &Self::State) -> Vec<f64> {
+            vec![state.1]
+        }
+
+        fn converged(&self, prev: &Self::State, next: &Self::State) -> bool {
+            (prev.1 - next.1).abs() < 1e-6 && next.1.is_finite()
+        }
+
+        fn max_iterations(&self) -> usize {
+            self.max_iterations
+        }
+    }
+
+    #[test]
+    fn watchdog_restores_checkpoints_and_escalates_out_of_a_hard_failure() {
+        let method = Sabotaged {
+            explode_after: 12,
+            max_iterations: 200,
+        };
+        let mut ctx = QcsContext::with_profile(profile());
+        let config = WatchdogConfig {
+            checkpoint_interval: 2,
+            escalation_threshold: Some(2),
+            ..WatchdogConfig::resilient()
+        };
+        let outcome = run_with_watchdog(
+            &method,
+            &mut SingleMode::new(AccuracyLevel::Level2),
+            &mut ctx,
+            &config,
+        );
+        let r = &outcome.report.recovery;
+        assert!(r.guard_trips > 0, "NaN guard never fired");
+        assert!(r.checkpoints_taken > 0, "no checkpoints were taken");
+        assert!(r.restores > 0, "hard failure did not restore");
+        assert!(r.escalations > 0, "escalation never fired");
+        // Escalation ratchets to Accurate, where steps are clean again —
+        // the run must converge to the true fixed point.
+        assert!(outcome.report.converged, "watchdog failed to rescue");
+        assert!(outcome.state.1.is_finite());
+        assert!(outcome.report.final_objective < 1e-3);
+        // Recovery shows up in the committed level schedule too.
+        assert!(outcome
+            .report
+            .level_schedule
+            .iter()
+            .any(|l| l.is_accurate()));
+    }
+
+    #[test]
+    fn without_watchdog_the_sabotaged_run_never_converges() {
+        let method = Sabotaged {
+            explode_after: 12,
+            max_iterations: 60,
+        };
+        let mut ctx = QcsContext::with_profile(profile());
+        let outcome = run_with_watchdog(
+            &method,
+            &mut SingleMode::new(AccuracyLevel::Level2),
+            &mut ctx,
+            &WatchdogConfig {
+                guard_non_finite: false,
+                ..WatchdogConfig::default()
+            },
+        );
+        assert!(!outcome.report.converged);
+        assert!(!outcome.state.1.is_finite());
+    }
+
+    #[test]
+    fn divergence_window_trips_on_a_rising_objective() {
+        /// Objective rises forever at approximate levels, falls at
+        /// Accurate.
+        struct Riser;
+        impl iter_solvers::IterativeMethod for Riser {
+            type State = f64;
+            fn name(&self) -> &str {
+                "riser"
+            }
+            fn initial_state(&self) -> f64 {
+                1.0
+            }
+            fn step(&self, state: &f64, ctx: &mut dyn approx_arith::ArithContext) -> f64 {
+                if ctx.level().is_accurate() {
+                    ctx.mul(*state, 0.5)
+                } else {
+                    ctx.mul(*state, 1.5)
+                }
+            }
+            fn objective(&self, state: &f64) -> f64 {
+                state.abs()
+            }
+            fn params(&self, state: &f64) -> Vec<f64> {
+                vec![*state]
+            }
+            fn converged(&self, prev: &f64, next: &f64) -> bool {
+                (prev - next).abs() < 1e-9
+            }
+            fn max_iterations(&self) -> usize {
+                300
+            }
+        }
+        let mut ctx = QcsContext::with_profile(profile());
+        let config = WatchdogConfig {
+            divergence_window: Some(4),
+            escalation_threshold: Some(1),
+            ..WatchdogConfig::resilient()
+        };
+        let outcome = run_with_watchdog(
+            &Riser,
+            &mut SingleMode::new(AccuracyLevel::Level1),
+            &mut ctx,
+            &config,
+        );
+        let r = &outcome.report.recovery;
+        assert!(r.divergence_trips > 0, "divergence detector never fired");
+        assert!(r.escalations > 0);
+        assert!(outcome.report.converged, "escalation failed to rescue");
     }
 }

@@ -1,0 +1,167 @@
+//! Runner watchdog: guards, divergence detection, checkpointed
+//! recovery, and escalation.
+//!
+//! Approximate hardware occasionally fails in ways the strategies'
+//! objective-based monitoring cannot absorb: a fault flips a high bit
+//! and the iterate blows up, or sustained upsets push the objective
+//! uphill for many consecutive iterations. The watchdog wraps the
+//! runner's commit loop with four defenses:
+//!
+//! 1. **Guards** — the exact monitoring quantities (objective and
+//!    parameter vector) are checked for NaN/Inf and, optionally, for
+//!    magnitude overflow before an iterate can be committed.
+//! 2. **Divergence detection** — an objective that rises for K
+//!    consecutive iterations trips the watchdog even though each
+//!    individual step looked plausible.
+//! 3. **Checkpointed recovery** — a bounded ring buffer holds the last
+//!    few *committed* states; a tripped guard restores the most recent
+//!    checkpoint instead of continuing from a corrupt iterate.
+//! 4. **Escalation** — after R consecutive rollbacks (strategy- or
+//!    watchdog-initiated) the accuracy level is forced one step toward
+//!    exact and pinned there, breaking fault-induced livelock.
+//!
+//! The [`Default`] configuration enables only the NaN/Inf guards, which
+//! can never fire on a healthy datapath — fault-free runs are
+//! bit-identical with or without the watchdog. Energy accounting is
+//! deliberately untouched by recovery: discarded iterations stay
+//! charged, exactly as the hardware would have spent the energy.
+
+/// Configuration of the runner watchdog (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Reject iterates whose objective or parameters are NaN/Inf.
+    pub guard_non_finite: bool,
+    /// Reject iterates whose objective or parameter magnitude exceeds
+    /// this bound (`None` disables the overflow guard).
+    pub overflow_threshold: Option<f64>,
+    /// Trip after this many consecutive objective increases (`None`
+    /// disables divergence detection).
+    pub divergence_window: Option<usize>,
+    /// Take a checkpoint every this many *committed* iterations
+    /// (0 disables checkpointing).
+    pub checkpoint_interval: usize,
+    /// Number of checkpoints retained in the ring buffer.
+    pub checkpoint_capacity: usize,
+    /// Force the level one step toward exact after this many
+    /// consecutive rollbacks (`None` disables escalation).
+    pub escalation_threshold: Option<usize>,
+}
+
+impl Default for WatchdogConfig {
+    /// Guards only: NaN/Inf rejection, no divergence detection, no
+    /// checkpoints, no escalation. Fault-free runs are unaffected.
+    fn default() -> Self {
+        Self {
+            guard_non_finite: true,
+            overflow_threshold: None,
+            divergence_window: None,
+            checkpoint_interval: 0,
+            checkpoint_capacity: 4,
+            escalation_threshold: None,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Full protection, tuned for fault-injection studies: overflow
+    /// guard at 10³⁰, divergence after 5 rising iterations, a
+    /// checkpoint every 5 committed iterations (ring of 4), and
+    /// escalation after 3 consecutive rollbacks.
+    #[must_use]
+    pub fn resilient() -> Self {
+        Self {
+            guard_non_finite: true,
+            overflow_threshold: Some(1e30),
+            divergence_window: Some(5),
+            checkpoint_interval: 5,
+            checkpoint_capacity: 4,
+            escalation_threshold: Some(3),
+        }
+    }
+
+    /// Whether any protection beyond the plain strategy loop is active.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.guard_non_finite
+            || self.overflow_threshold.is_some()
+            || self.divergence_window.is_some()
+            || self.checkpoint_interval > 0
+            || self.escalation_threshold.is_some()
+    }
+}
+
+/// Recovery events observed during one run, surfaced in
+/// [`RunReport`](crate::RunReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryTelemetry {
+    /// NaN/Inf or overflow guard trips.
+    pub guard_trips: usize,
+    /// Divergence-window trips.
+    pub divergence_trips: usize,
+    /// Checkpoints written into the ring buffer.
+    pub checkpoints_taken: usize,
+    /// Restores from a checkpoint after a hard failure.
+    pub restores: usize,
+    /// Forced level escalations toward exact.
+    pub escalations: usize,
+}
+
+impl RecoveryTelemetry {
+    /// Whether any recovery machinery fired during the run.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.guard_trips > 0
+            || self.divergence_trips > 0
+            || self.checkpoints_taken > 0
+            || self.restores > 0
+            || self.escalations > 0
+    }
+}
+
+impl std::fmt::Display for RecoveryTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "guards {}, divergences {}, checkpoints {}, restores {}, escalations {}",
+            self.guard_trips,
+            self.divergence_trips,
+            self.checkpoints_taken,
+            self.restores,
+            self.escalations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_guards_only() {
+        let c = WatchdogConfig::default();
+        assert!(c.guard_non_finite);
+        assert!(c.overflow_threshold.is_none());
+        assert!(c.divergence_window.is_none());
+        assert_eq!(c.checkpoint_interval, 0);
+        assert!(c.escalation_threshold.is_none());
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn resilient_config_enables_everything() {
+        let c = WatchdogConfig::resilient();
+        assert!(c.overflow_threshold.is_some());
+        assert!(c.divergence_window.is_some());
+        assert!(c.checkpoint_interval > 0);
+        assert!(c.escalation_threshold.is_some());
+    }
+
+    #[test]
+    fn telemetry_any_reflects_events() {
+        let mut t = RecoveryTelemetry::default();
+        assert!(!t.any());
+        t.restores = 1;
+        assert!(t.any());
+        assert!(t.to_string().contains("restores 1"));
+    }
+}

@@ -1,93 +1,94 @@
 //! Property-based tests over the LP, the lookup table, and the
 //! strategies' decision functions.
+//!
+//! Seed-driven on the in-repo `Pcg32` so the suite is hermetic and
+//! bit-reproducible across platforms.
 
+use approx_arith::rng::Pcg32;
 use approx_arith::AccuracyLevel;
 use approxit::lp::solve_effort_allocation;
 use approxit::{
     AdaptiveAngleStrategy, Decision, IncrementalStrategy, IterationObservation, ReconfigStrategy,
 };
-use proptest::prelude::*;
+
+const CASES: usize = 256;
 
 /// Strictly decreasing error vectors with a zero accurate entry, and
 /// increasing positive energy vectors.
-fn mode_vectors() -> impl Strategy<Value = ([f64; 5], [f64; 5])> {
-    (
-        proptest::collection::vec(1e-6f64..1.0, 4),
-        proptest::collection::vec(0.01f64..1.0, 5),
-    )
-        .prop_map(|(raw_eps, raw_j)| {
-            // Sort errors descending, append the exact mode's zero.
-            let mut eps_sorted = raw_eps;
-            eps_sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-            let eps = [
-                eps_sorted[0],
-                eps_sorted[1],
-                eps_sorted[2],
-                eps_sorted[3],
-                0.0,
-            ];
-            // Energies: cumulative sums are strictly increasing.
-            let mut j = [0.0; 5];
-            let mut acc = 0.0;
-            for (slot, r) in j.iter_mut().zip(&raw_j) {
-                acc += r;
-                *slot = acc;
-            }
-            (eps, j)
-        })
+fn mode_vectors(rng: &mut Pcg32) -> ([f64; 5], [f64; 5]) {
+    let mut eps_sorted: Vec<f64> = (0..4).map(|_| rng.uniform(1e-6, 1.0)).collect();
+    eps_sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let eps = [
+        eps_sorted[0],
+        eps_sorted[1],
+        eps_sorted[2],
+        eps_sorted[3],
+        0.0,
+    ];
+    // Energies: cumulative sums are strictly increasing.
+    let mut j = [0.0; 5];
+    let mut acc = 0.0;
+    for slot in &mut j {
+        acc += rng.uniform(0.01, 1.0);
+        *slot = acc;
+    }
+    (eps, j)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lp_always_returns_a_feasible_distribution(
-        (eps, j) in mode_vectors(),
-        budget in 0.0f64..2.0,
-    ) {
+#[test]
+fn lp_always_returns_a_feasible_distribution() {
+    let mut rng = Pcg32::seeded(0x19, 0);
+    for _ in 0..CASES {
+        let (eps, j) = mode_vectors(&mut rng);
+        let budget = rng.uniform(0.0, 2.0);
         let w = solve_effort_allocation(&j, &eps, budget);
         let total: f64 = w.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
-        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+        assert!(w.iter().all(|&x| x >= 0.0));
         let err: f64 = w.iter().zip(&eps).map(|(a, b)| a * b).sum();
-        prop_assert!(err <= budget + 1e-9, "error {err} > budget {budget}");
+        assert!(err <= budget + 1e-9, "error {err} > budget {budget}");
     }
+}
 
-    #[test]
-    fn lp_cost_never_exceeds_the_accurate_mode(
-        (eps, j) in mode_vectors(),
-        budget in 0.0f64..2.0,
-    ) {
+#[test]
+fn lp_cost_never_exceeds_the_accurate_mode() {
+    let mut rng = Pcg32::seeded(0x11A, 0);
+    for _ in 0..CASES {
+        let (eps, j) = mode_vectors(&mut rng);
+        let budget = rng.uniform(0.0, 2.0);
         let w = solve_effort_allocation(&j, &eps, budget);
         let cost: f64 = w.iter().zip(&j).map(|(a, b)| a * b).sum();
-        prop_assert!(cost <= j[4] + 1e-9, "cost {cost} > accurate {}", j[4]);
+        assert!(cost <= j[4] + 1e-9, "cost {cost} > accurate {}", j[4]);
     }
+}
 
-    #[test]
-    fn adaptive_lut_is_a_partition(
-        (eps, j) in mode_vectors(),
-        budget in 0.0f64..2.0,
-    ) {
+#[test]
+fn adaptive_lut_is_a_partition() {
+    let mut rng = Pcg32::seeded(0x1A7, 0);
+    for _ in 0..CASES {
+        let (eps, j) = mode_vectors(&mut rng);
+        let budget = rng.uniform(0.0, 2.0);
         let strategy = AdaptiveAngleStrategy::new(eps, j, budget, 1);
         let lut = strategy.lookup_table();
-        prop_assert_eq!(lut[0].1, 0.0);
-        prop_assert!((lut[4].2 - 90.0).abs() < 1e-9);
+        assert_eq!(lut[0].1, 0.0);
+        assert!((lut[4].2 - 90.0).abs() < 1e-9);
         for w in lut.windows(2) {
-            prop_assert!((w[0].2 - w[1].1).abs() < 1e-9, "gap in LUT");
-            prop_assert!(w[0].2 >= w[0].1 - 1e-12, "negative range");
+            assert!((w[0].2 - w[1].1).abs() < 1e-9, "gap in LUT");
+            assert!(w[0].2 >= w[0].1 - 1e-12, "negative range");
         }
     }
+}
 
-    #[test]
-    fn incremental_decisions_never_lower_accuracy(
-        f_prev in -10.0f64..10.0,
-        f_curr in -10.0f64..10.0,
-        px in -5.0f64..5.0,
-        py in -5.0f64..5.0,
-        gx in -5.0f64..5.0,
-        level_index in 0usize..5,
-    ) {
-        let level = AccuracyLevel::from_index(level_index).expect("valid index");
+#[test]
+fn incremental_decisions_never_lower_accuracy() {
+    let mut rng = Pcg32::seeded(0x1DC, 0);
+    for _ in 0..CASES {
+        let f_prev = rng.uniform(-10.0, 10.0);
+        let f_curr = rng.uniform(-10.0, 10.0);
+        let px = rng.uniform(-5.0, 5.0);
+        let py = rng.uniform(-5.0, 5.0);
+        let gx = rng.uniform(-5.0, 5.0);
+        let level = AccuracyLevel::from_index(rng.below(5) as usize).expect("valid index");
         let mut s = IncrementalStrategy::new([0.5, 0.2, 0.05, 0.01, 0.0]);
         let params_prev = [0.5f64, -0.5];
         let params_curr = [px, py];
@@ -106,17 +107,20 @@ proptest! {
         match s.decide(&obs) {
             Decision::Keep => {}
             Decision::SwitchTo(next) | Decision::RollbackAndSwitch(next) => {
-                prop_assert!(next > level, "incremental lowered accuracy");
+                assert!(next > level, "incremental lowered accuracy");
             }
         }
     }
+}
 
-    #[test]
-    fn adaptive_never_selects_a_retired_mode(
-        f_deltas in proptest::collection::vec(-0.5f64..0.5, 1..30),
-    ) {
-        // Feed an arbitrary objective trajectory; whenever a level gets
-        // retired (objective increase), it must never be selected again.
+#[test]
+fn adaptive_never_selects_a_retired_mode() {
+    // Feed an arbitrary objective trajectory; whenever a level gets
+    // retired (objective increase), it must never be selected again.
+    let mut rng = Pcg32::seeded(0xAD, 0);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(29) as usize;
+        let f_deltas: Vec<f64> = (0..n).map(|_| rng.uniform(-0.5, 0.5)).collect();
         let mut s = AdaptiveAngleStrategy::new(
             [0.5, 0.2, 0.05, 0.01, 0.0],
             [0.4, 0.6, 0.75, 0.9, 1.0],
@@ -149,7 +153,7 @@ proptest! {
                     f = f_next;
                 }
                 Decision::SwitchTo(next) => {
-                    prop_assert!(
+                    assert!(
                         next.index() >= retired_below,
                         "selected retired mode {next} (floor {retired_below})"
                     );
@@ -157,7 +161,7 @@ proptest! {
                     f = f_next;
                 }
                 Decision::RollbackAndSwitch(next) => {
-                    prop_assert!(next.index() >= retired_below);
+                    assert!(next.index() >= retired_below);
                     level = next;
                     // state rolled back: f unchanged
                 }

@@ -1,7 +1,5 @@
 //! Switched-capacitance energy model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gate::GateKind;
 use crate::netlist::Netlist;
 
@@ -25,7 +23,7 @@ use crate::netlist::Netlist;
 /// // An XOR toggle costs more than a NAND toggle.
 /// assert!(model.toggle_energy(GateKind::Xor2) > model.toggle_energy(GateKind::Nand2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Energy per unit of switched capacitance (per transistor-count unit).
     dynamic_per_cap: f64,

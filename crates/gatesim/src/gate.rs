@@ -1,7 +1,5 @@
 //! Logic gate primitives.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a netlist node.
 ///
 /// The gate set is intentionally small: two-input standard cells plus a
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(GateKind::Xor2.arity(), 2);
 /// assert!(GateKind::Xor2.transistor_count() > GateKind::Nand2.transistor_count());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GateKind {
     /// Primary input (value supplied by the testbench).
     Input,

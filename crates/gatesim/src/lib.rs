@@ -63,12 +63,14 @@ mod sim;
 pub mod builders;
 pub mod dot;
 pub mod equiv;
+pub mod fault;
 pub mod optimize;
 pub mod stats;
 pub mod timing;
 
 pub use energy::EnergyModel;
 pub use error::{BuildNetlistError, SimulateError};
+pub use fault::{CampaignRow, ErrorStats, FaultCampaign, FaultySimulator, StructuralFault};
 pub use gate::GateKind;
 pub use netlist::{Netlist, Node, NodeId};
 pub use sim::Simulator;

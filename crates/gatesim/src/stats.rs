@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::energy::EnergyModel;
 use crate::gate::GateKind;
 use crate::netlist::Netlist;
@@ -28,7 +26,7 @@ use crate::netlist::Netlist;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivityReport {
     /// Number of evaluations performed.
     pub evaluations: u64,

@@ -6,8 +6,6 @@
 //! This module measures that: a unit-delay-per-cell model (configurable
 //! per gate kind) and a longest-path computation over the netlist DAG.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gate::GateKind;
 use crate::netlist::Netlist;
 
@@ -29,7 +27,7 @@ use crate::netlist::Netlist;
 /// // The ripple carry chain dominates: delay grows with width.
 /// assert!(model.critical_path(&rca16) > model.critical_path(&rca8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DelayModel {
     delays: [f64; 13],
 }

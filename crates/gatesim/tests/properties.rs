@@ -1,9 +1,29 @@
 //! Property-based tests: netlist adders agree with machine integer
 //! arithmetic, energy accounting is internally consistent, and the
 //! optimizer preserves behaviour on random circuits.
+//!
+//! Seed-driven and hermetic: random inputs come from a small in-file
+//! SplitMix64 stream so the suite needs no external crates and is
+//! bit-reproducible.
 
 use gatesim::{builders, optimize, EnergyModel, Netlist, NodeId, Simulator};
-use proptest::prelude::*;
+
+/// Minimal deterministic generator (SplitMix64) for test-input streams.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
 
 /// A random combinational netlist: `n_inputs` primary inputs, a few
 /// constants, then `ops` random gates over earlier nodes, with the last
@@ -39,95 +59,123 @@ fn random_netlist(n_inputs: usize, ops: &[(u8, usize, usize, usize)]) -> Netlist
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_ops(rng: &mut TestRng, len: usize) -> Vec<(u8, usize, usize, usize)> {
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as usize,
+                rng.next_u64() as usize,
+                rng.next_u64() as usize,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn ripple_carry_matches_u64(a: u64, b: u64, cin: bool, width in 1usize..=64) {
+#[test]
+fn ripple_carry_matches_u64() {
+    let mut rng = TestRng(0x51CA);
+    for _ in 0..64 {
+        let width = 1 + rng.below(64) as usize;
         let (nl, ports) = builders::ripple_carry_adder(width);
         let mut sim = Simulator::new(&nl);
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        let (a, b) = (a & mask, b & mask);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
+        let cin = rng.below(2) == 1;
         let out = sim.evaluate(&ports.pack_operands(a, b, cin)).unwrap();
         let (sum, cout) = ports.unpack_result(&out);
         let exact = u128::from(a) + u128::from(b) + u128::from(cin);
-        prop_assert_eq!(u128::from(sum), exact & u128::from(mask));
-        prop_assert_eq!(cout, exact > u128::from(mask));
+        assert_eq!(u128::from(sum), exact & u128::from(mask));
+        assert_eq!(cout, exact > u128::from(mask));
     }
+}
 
-    #[test]
-    fn toggles_are_zero_for_repeated_vectors(a: u64, b: u64) {
-        let (nl, ports) = builders::ripple_carry_adder(32);
+#[test]
+fn toggles_are_zero_for_repeated_vectors() {
+    let mut rng = TestRng(0x7055);
+    let (nl, ports) = builders::ripple_carry_adder(32);
+    for _ in 0..16 {
         let mut sim = Simulator::new(&nl);
-        let v = ports.pack_operands(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, false);
+        let (a, b) = (rng.next_u64() & 0xFFFF_FFFF, rng.next_u64() & 0xFFFF_FFFF);
+        let v = ports.pack_operands(a, b, false);
         sim.evaluate(&v).unwrap();
         sim.evaluate(&v).unwrap();
         sim.evaluate(&v).unwrap();
-        prop_assert_eq!(sim.total_toggles(), 0);
+        assert_eq!(sim.total_toggles(), 0);
     }
+}
 
-    #[test]
-    fn dynamic_energy_is_monotone_in_activity(pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 2..20)) {
-        // Simulating a prefix of a vector sequence can never cost more
-        // dynamic energy than the whole sequence.
-        let (nl, ports) = builders::ripple_carry_adder(32);
-        let model = EnergyModel::dynamic_only();
+#[test]
+fn dynamic_energy_is_monotone_in_activity() {
+    // Simulating a prefix of a vector sequence can never cost more
+    // dynamic energy than the whole sequence.
+    let mut rng = TestRng(0xD9A);
+    let (nl, ports) = builders::ripple_carry_adder(32);
+    let model = EnergyModel::dynamic_only();
+    for _ in 0..16 {
         let mut sim = Simulator::new(&nl);
+        let n = 2 + rng.below(18) as usize;
         let mut energies = Vec::new();
-        for (a, b) in &pairs {
-            sim.evaluate(&ports.pack_operands(u64::from(*a), u64::from(*b), false)).unwrap();
+        for _ in 0..n {
+            let (a, b) = (rng.below(1 << 32), rng.below(1 << 32));
+            sim.evaluate(&ports.pack_operands(a, b, false)).unwrap();
             energies.push(sim.energy(&model));
         }
         for w in energies.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
     }
+}
 
-    #[test]
-    fn validate_accepts_builder_netlists(width in 1usize..=16) {
+#[test]
+fn validate_accepts_builder_netlists() {
+    for width in 1..=16 {
         let (nl, _) = builders::ripple_carry_adder(width);
-        prop_assert!(nl.validate().is_ok());
+        assert!(nl.validate().is_ok());
         let mux: Netlist = builders::word_mux(width);
-        prop_assert!(mux.validate().is_ok());
+        assert!(mux.validate().is_ok());
     }
+}
 
-    #[test]
-    fn optimizer_preserves_behaviour_on_random_circuits(
-        n_inputs in 1usize..=6,
-        ops in proptest::collection::vec(
-            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
-            1..40,
-        ),
-    ) {
+#[test]
+fn optimizer_preserves_behaviour_on_random_circuits() {
+    let mut rng = TestRng(0x0971);
+    for _ in 0..64 {
+        let n_inputs = 1 + rng.below(6) as usize;
+        let n_ops = 1 + rng.below(39) as usize;
+        let ops = random_ops(&mut rng, n_ops);
         let original = random_netlist(n_inputs, &ops);
         let report = optimize::optimize(&original);
         let optimized = report.netlist;
-        prop_assert!(optimized.validate().is_ok());
-        prop_assert_eq!(optimized.num_inputs(), original.num_inputs());
-        prop_assert_eq!(optimized.num_outputs(), original.num_outputs());
-        prop_assert!(optimized.len() <= original.len());
+        assert!(optimized.validate().is_ok());
+        assert_eq!(optimized.num_inputs(), original.num_inputs());
+        assert_eq!(optimized.num_outputs(), original.num_outputs());
+        assert!(optimized.len() <= original.len());
         let mut sim_a = Simulator::new(&original);
         let mut sim_b = Simulator::new(&optimized);
         for pattern in 0..(1u32 << n_inputs) {
-            let inputs: Vec<bool> =
-                (0..n_inputs).map(|i| (pattern >> i) & 1 == 1).collect();
+            let inputs: Vec<bool> = (0..n_inputs).map(|i| (pattern >> i) & 1 == 1).collect();
             let a = sim_a.evaluate(&inputs).expect("valid inputs");
             let b = sim_b.evaluate(&inputs).expect("valid inputs");
-            prop_assert_eq!(a, b, "optimizer changed behaviour on {:#b}", pattern);
+            assert_eq!(a, b, "optimizer changed behaviour on {pattern:#b}");
         }
     }
+}
 
-    #[test]
-    fn optimizer_is_idempotent(
-        n_inputs in 1usize..=5,
-        ops in proptest::collection::vec(
-            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
-            1..25,
-        ),
-    ) {
+#[test]
+fn optimizer_is_idempotent() {
+    let mut rng = TestRng(0x1DE9);
+    for _ in 0..64 {
+        let n_inputs = 1 + rng.below(5) as usize;
+        let n_ops = 1 + rng.below(24) as usize;
+        let ops = random_ops(&mut rng, n_ops);
         let original = random_netlist(n_inputs, &ops);
         let once = optimize::optimize(&original).netlist;
         let twice = optimize::optimize(&once).netlist;
-        prop_assert_eq!(once.len(), twice.len(), "second pass found more work");
+        assert_eq!(once.len(), twice.len(), "second pass found more work");
     }
 }

@@ -1,7 +1,5 @@
 //! Dense row-major matrices.
 
-use serde::{Deserialize, Serialize};
-
 use approx_arith::ArithContext;
 
 /// A dense row-major `f64` matrix.
@@ -15,7 +13,7 @@ use approx_arith::ArithContext;
 /// assert_eq!(m[(0, 1)], 2.0);
 /// assert_eq!(m.transpose()[(1, 0)], 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

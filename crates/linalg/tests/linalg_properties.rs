@@ -1,8 +1,13 @@
 //! Property-based tests over the linear-algebra kernels.
+//!
+//! Seed-driven on the in-repo `Pcg32` so the suite is hermetic and
+//! bit-reproducible across platforms.
 
+use approx_arith::rng::Pcg32;
 use approx_arith::{EnergyProfile, ExactContext};
 use approx_linalg::{decomp, stats, vector, Matrix};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn ctx() -> ExactContext {
     ExactContext::with_profile(EnergyProfile::from_constants(
@@ -13,112 +18,139 @@ fn ctx() -> ExactContext {
 }
 
 /// Random well-conditioned SPD matrix A = B·Bᵀ + n·I.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
-        let b = Matrix::from_vec(n, n, data);
-        let mut a = b.matmul_exact(&b.transpose());
-        for i in 0..n {
-            a[(i, i)] += n as f64;
-        }
-        a
-    })
+fn spd(rng: &mut Pcg32, n: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b = Matrix::from_vec(n, n, data);
+    let mut a = b.matmul_exact(&b.transpose());
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec(rng: &mut Pcg32, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
+}
 
-    #[test]
-    fn solve_inverts_matvec(a in spd(3), x in proptest::collection::vec(-10.0f64..10.0, 3)) {
+#[test]
+fn solve_inverts_matvec() {
+    let mut rng = Pcg32::seeded(0x501E, 0);
+    for _ in 0..CASES {
+        let a = spd(&mut rng, 3);
+        let x = random_vec(&mut rng, 3, -10.0, 10.0);
         let b = a.matvec_exact(&x);
         let got = decomp::solve(&a, &b).expect("SPD system");
-        prop_assert!(vector::dist2_exact(&got, &x) < 1e-8);
+        assert!(vector::dist2_exact(&got, &x) < 1e-8);
     }
+}
 
-    #[test]
-    fn cholesky_squares_back(a in spd(4)) {
+#[test]
+fn cholesky_squares_back() {
+    let mut rng = Pcg32::seeded(0xC01E, 0);
+    for _ in 0..CASES {
+        let a = spd(&mut rng, 4);
         let l = decomp::cholesky(&a).expect("SPD input");
         let recon = l.matmul_exact(&l.transpose());
         for i in 0..4 {
             for j in 0..4 {
-                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9);
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn determinant_matches_cholesky_product(a in spd(3)) {
+#[test]
+fn determinant_matches_cholesky_product() {
+    let mut rng = Pcg32::seeded(0xDE7, 0);
+    for _ in 0..CASES {
+        let a = spd(&mut rng, 3);
         let det = decomp::determinant(&a).expect("square");
         let l = decomp::cholesky(&a).expect("SPD");
         let det_l: f64 = (0..3).map(|i| l[(i, i)]).product();
-        prop_assert!((det - det_l * det_l).abs() < 1e-6 * det.abs().max(1.0));
+        assert!((det - det_l * det_l).abs() < 1e-6 * det.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn inverse_solves_identity(a in spd(3)) {
+#[test]
+fn inverse_solves_identity() {
+    let mut rng = Pcg32::seeded(0x14, 0);
+    for _ in 0..CASES {
+        let a = spd(&mut rng, 3);
         let inv = decomp::inverse(&a).expect("SPD");
         let prod = a.matmul_exact(&inv);
         for i in 0..3 {
             for j in 0..3 {
                 let want = f64::from(u8::from(i == j));
-                prop_assert!((prod[(i, j)] - want).abs() < 1e-8);
+                assert!((prod[(i, j)] - want).abs() < 1e-8);
             }
         }
     }
+}
 
-    #[test]
-    fn axpy_matches_manual(
-        alpha in -10.0f64..10.0,
-        x in proptest::collection::vec(-10.0f64..10.0, 1..12),
-        y in proptest::collection::vec(-10.0f64..10.0, 1..12),
-    ) {
-        let n = x.len().min(y.len());
-        let (x, y) = (&x[..n], &y[..n]);
+#[test]
+fn axpy_matches_manual() {
+    let mut rng = Pcg32::seeded(0xA9, 0);
+    for _ in 0..CASES {
+        let alpha = rng.uniform(-10.0, 10.0);
+        let n = 1 + rng.below(11) as usize;
+        let x = random_vec(&mut rng, n, -10.0, 10.0);
+        let y = random_vec(&mut rng, n, -10.0, 10.0);
         let mut c = ctx();
-        let got = vector::axpy(&mut c, alpha, x, y);
-        for ((g, &xi), &yi) in got.iter().zip(x).zip(y) {
-            prop_assert!((g - (alpha * xi + yi)).abs() < 1e-12);
+        let got = vector::axpy(&mut c, alpha, &x, &y);
+        for ((g, &xi), &yi) in got.iter().zip(&x).zip(&y) {
+            assert!((g - (alpha * xi + yi)).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn mean_is_translation_equivariant(
-        pts in proptest::collection::vec(
-            proptest::collection::vec(-50.0f64..50.0, 2), 1..20),
-        shift in -20.0f64..20.0,
-    ) {
+#[test]
+fn mean_is_translation_equivariant() {
+    let mut rng = Pcg32::seeded(0x3EA, 0);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(19) as usize;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| random_vec(&mut rng, 2, -50.0, 50.0))
+            .collect();
+        let shift = rng.uniform(-20.0, 20.0);
         let mut c = ctx();
         let m = stats::mean(&mut c, &pts);
-        let shifted: Vec<Vec<f64>> =
-            pts.iter().map(|p| p.iter().map(|v| v + shift).collect()).collect();
+        let shifted: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|p| p.iter().map(|v| v + shift).collect())
+            .collect();
         let ms = stats::mean(&mut c, &shifted);
         for (a, b) in m.iter().zip(&ms) {
-            prop_assert!((b - (a + shift)).abs() < 1e-9);
+            assert!((b - (a + shift)).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn covariance_is_psd(
-        pts in proptest::collection::vec(
-            proptest::collection::vec(-10.0f64..10.0, 2), 3..25),
-    ) {
+#[test]
+fn covariance_is_psd() {
+    let mut rng = Pcg32::seeded(0xC0F, 0);
+    for _ in 0..CASES {
+        let n = 3 + rng.below(22) as usize;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| random_vec(&mut rng, 2, -10.0, 10.0))
+            .collect();
         let mut c = ctx();
         let m = stats::mean(&mut c, &pts);
         let cov = stats::covariance_exact(&pts, &m, None, 1e-9);
         // PSD check via Cholesky with the tiny ridge.
-        prop_assert!(decomp::cholesky(&cov).is_ok(), "covariance not PSD: {cov}");
+        assert!(decomp::cholesky(&cov).is_ok(), "covariance not PSD: {cov}");
     }
+}
 
-    #[test]
-    fn norms_satisfy_triangle_inequality(
-        x in proptest::collection::vec(-10.0f64..10.0, 1..10),
-        y in proptest::collection::vec(-10.0f64..10.0, 1..10),
-    ) {
-        let n = x.len().min(y.len());
-        let (x, y) = (&x[..n], &y[..n]);
-        let sum: Vec<f64> = x.iter().zip(y).map(|(&a, &b)| a + b).collect();
-        prop_assert!(
-            vector::norm2_exact(&sum)
-                <= vector::norm2_exact(x) + vector::norm2_exact(y) + 1e-9
+#[test]
+fn norms_satisfy_triangle_inequality() {
+    let mut rng = Pcg32::seeded(0x7121, 0);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(9) as usize;
+        let x = random_vec(&mut rng, n, -10.0, 10.0);
+        let y = random_vec(&mut rng, n, -10.0, 10.0);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        assert!(
+            vector::norm2_exact(&sum) <= vector::norm2_exact(&x) + vector::norm2_exact(&y) + 1e-9
         );
     }
 }

@@ -6,12 +6,10 @@
 //! structure, autocorrelation — which is what drives the convergence and
 //! quality behaviour the paper reports (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
-
 use approx_arith::rng::Pcg32;
 
 /// A labelled clustering dataset (for GMM and k-means).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterDataset {
     /// Dataset name (e.g. `"3cluster"`).
     pub name: String,
@@ -145,7 +143,7 @@ pub fn four_cluster() -> ClusterDataset {
 }
 
 /// A univariate time series for autoregression (paper Table 2, rows 4–6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesDataset {
     /// Dataset name (e.g. `"hangseng"`).
     pub name: String,

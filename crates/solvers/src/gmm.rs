@@ -8,7 +8,6 @@
 
 use approx_arith::ArithContext;
 use approx_linalg::{decomp, stats, Matrix};
-use serde::{Deserialize, Serialize};
 
 use approx_arith::rng::Pcg32;
 
@@ -16,7 +15,7 @@ use crate::datasets::ClusterDataset;
 use crate::method::IterativeMethod;
 
 /// Parameters of a `k`-component Gaussian mixture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GmmState {
     /// Component means.
     pub means: Vec<Vec<f64>>,

@@ -9,7 +9,6 @@
 
 use approx_arith::ArithContext;
 use approx_linalg::{stats, vector};
-use serde::{Deserialize, Serialize};
 
 use approx_arith::rng::Pcg32;
 
@@ -17,7 +16,7 @@ use crate::datasets::ClusterDataset;
 use crate::method::IterativeMethod;
 
 /// K-means state: the centroid positions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KMeansState {
     /// Cluster centroids.
     pub centroids: Vec<Vec<f64>>,

@@ -9,12 +9,11 @@
 //! stencil accumulations run on the approximate datapath.
 
 use approx_arith::ArithContext;
-use serde::{Deserialize, Serialize};
 
 use crate::method::IterativeMethod;
 
 /// Right-hand-side generators for [`PoissonJacobi`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PoissonSource {
     /// `f(x, y) = 2π²·amplitude·sin(πx)sin(πy)` — the smooth benchmark
     /// with the closed-form solution `u = amplitude·sin(πx)sin(πy)`.
@@ -34,7 +33,7 @@ pub enum PoissonSource {
 }
 
 /// Relaxation sweep variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SweepMode {
     /// Simultaneous update from the previous iterate (the classic Jacobi
     /// sweep — fully parallel hardware).

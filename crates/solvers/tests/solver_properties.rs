@@ -1,11 +1,16 @@
 //! Property-based tests over datasets, metrics, and solver invariants.
+//!
+//! Seed-driven on the in-repo `Pcg32` so the suite is hermetic and
+//! bit-reproducible across platforms.
 
+use approx_arith::rng::Pcg32;
 use approx_arith::{EnergyProfile, ExactContext};
 use iter_solvers::datasets::{ar_series, gaussian_blobs};
 use iter_solvers::functions::{Objective, Quadratic, Rosenbrock};
 use iter_solvers::metrics::{clustering_accuracy, hamming_distance, l2_error};
 use iter_solvers::{GaussianMixture, IterativeMethod, KMeans};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn ctx() -> ExactContext {
     ExactContext::with_profile(EnergyProfile::from_constants(
@@ -15,86 +20,115 @@ fn ctx() -> ExactContext {
     ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_labels(rng: &mut Pcg32, len: usize, k: u64) -> Vec<usize> {
+    (0..len).map(|_| rng.below(k) as usize).collect()
+}
 
-    #[test]
-    fn hamming_is_a_permutation_invariant_metric(
-        labels in proptest::collection::vec(0usize..3, 3..60),
-        relabel in proptest::sample::select(vec![[0usize, 1, 2], [1, 2, 0], [2, 0, 1], [0, 2, 1], [1, 0, 2], [2, 1, 0]]),
-    ) {
+#[test]
+fn hamming_is_a_permutation_invariant_metric() {
+    const RELABELS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [0, 2, 1],
+        [1, 0, 2],
+        [2, 1, 0],
+    ];
+    let mut rng = Pcg32::seeded(0x4A1, 0);
+    for _ in 0..CASES {
+        let len = 3 + rng.below(57) as usize;
+        let labels = random_labels(&mut rng, len, 3);
+        let relabel = RELABELS[rng.below(6) as usize];
         // Identity of indiscernibles and symmetry under label renaming.
-        prop_assert_eq!(hamming_distance(&labels, &labels, 3), 0);
+        assert_eq!(hamming_distance(&labels, &labels, 3), 0);
         let renamed: Vec<usize> = labels.iter().map(|&l| relabel[l]).collect();
-        prop_assert_eq!(hamming_distance(&renamed, &labels, 3), 0);
-        prop_assert_eq!(clustering_accuracy(&renamed, &labels, 3), 1.0);
+        assert_eq!(hamming_distance(&renamed, &labels, 3), 0);
+        assert_eq!(clustering_accuracy(&renamed, &labels, 3), 1.0);
     }
+}
 
-    #[test]
-    fn hamming_is_symmetric(
-        a in proptest::collection::vec(0usize..3, 10..40),
-        b in proptest::collection::vec(0usize..3, 10..40),
-    ) {
-        let n = a.len().min(b.len());
-        let (a, b) = (&a[..n], &b[..n]);
-        prop_assert_eq!(hamming_distance(a, b, 3), hamming_distance(b, a, 3));
+#[test]
+fn hamming_is_symmetric() {
+    let mut rng = Pcg32::seeded(0x4A2, 0);
+    for _ in 0..CASES {
+        let n = 10 + rng.below(30) as usize;
+        let a = random_labels(&mut rng, n, 3);
+        let b = random_labels(&mut rng, n, 3);
+        assert_eq!(hamming_distance(&a, &b, 3), hamming_distance(&b, &a, 3));
     }
+}
 
-    #[test]
-    fn l2_error_is_a_metric(
-        x in proptest::collection::vec(-100.0f64..100.0, 1..10),
-        y in proptest::collection::vec(-100.0f64..100.0, 1..10),
-    ) {
-        let n = x.len().min(y.len());
-        let (x, y) = (&x[..n], &y[..n]);
-        prop_assert_eq!(l2_error(x, x), 0.0);
-        prop_assert_eq!(l2_error(x, y), l2_error(y, x));
-        prop_assert!(l2_error(x, y) >= 0.0);
+#[test]
+fn l2_error_is_a_metric() {
+    let mut rng = Pcg32::seeded(0x12E, 0);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(9) as usize;
+        let x: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        assert_eq!(l2_error(&x, &x), 0.0);
+        assert_eq!(l2_error(&x, &y), l2_error(&y, &x));
+        assert!(l2_error(&x, &y) >= 0.0);
     }
+}
 
-    #[test]
-    fn blob_generator_is_seed_deterministic_and_label_consistent(
-        seed in 0u64..1000,
-        n in 5usize..40,
-    ) {
+#[test]
+fn blob_generator_is_seed_deterministic_and_label_consistent() {
+    let mut rng = Pcg32::seeded(0xB10B, 0);
+    for _ in 0..CASES {
+        let seed = rng.below(1000);
+        let n = 5 + rng.below(35) as usize;
         let d1 = gaussian_blobs("p", &[n, n], &[vec![0.0], vec![50.0]], &[1.0, 1.0], seed);
         let d2 = gaussian_blobs("p", &[n, n], &[vec![0.0], vec![50.0]], &[1.0, 1.0], seed);
-        prop_assert_eq!(&d1, &d2);
+        assert_eq!(&d1, &d2);
         // With 50-sigma separation, labels are perfectly recoverable
         // from the sign of the coordinate.
         for (p, &l) in d1.points.iter().zip(&d1.labels) {
-            prop_assert_eq!(l, usize::from(p[0] > 25.0));
+            assert_eq!(l, usize::from(p[0] > 25.0));
         }
     }
+}
 
-    #[test]
-    fn ar_series_is_standardized_for_any_seed(seed in 0u64..500) {
+#[test]
+fn ar_series_is_standardized_for_any_seed() {
+    let mut rng = Pcg32::seeded(0xA55, 0);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
         let s = ar_series("p", 300, &[0.5, 0.2], 1.0, seed);
         let n = s.values.len() as f64;
         let mean = s.values.iter().sum::<f64>() / n;
-        let var = s.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        prop_assert!(mean.abs() < 1e-9);
-        prop_assert!((var - 1.0).abs() < 1e-9);
+        let var = s
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn quadratic_value_is_minimal_at_minimizer(
-        d in 0.5f64..5.0,
-        off in -3.0f64..3.0,
-        probe in proptest::collection::vec(-5.0f64..5.0, 2),
-    ) {
+#[test]
+fn quadratic_value_is_minimal_at_minimizer() {
+    let mut rng = Pcg32::seeded(0x9A4, 0);
+    for _ in 0..CASES {
+        let d = rng.uniform(0.5, 5.0);
+        let off = rng.uniform(-3.0, 3.0);
+        let probe = vec![rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)];
         let a = approx_linalg::Matrix::from_rows(&[&[d, 0.1], &[0.1, d + 0.5]]);
         let q = Quadratic::new(a, vec![off, -off]);
         let xs = q.minimizer();
-        prop_assert!(q.value(&xs) <= q.value(&probe) + 1e-9);
+        assert!(q.value(&xs) <= q.value(&probe) + 1e-9);
     }
+}
 
-    #[test]
-    fn rosenbrock_is_nonnegative(
-        x in proptest::collection::vec(-3.0f64..3.0, 2..6),
-    ) {
+#[test]
+fn rosenbrock_is_nonnegative() {
+    let mut rng = Pcg32::seeded(0x905E, 0);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(4) as usize;
+        let x: Vec<f64> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
         let r = Rosenbrock::new(x.len());
-        prop_assert!(r.value(&x) >= 0.0);
+        assert!(r.value(&x) >= 0.0);
     }
 }
 

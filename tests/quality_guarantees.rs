@@ -1,10 +1,10 @@
 //! The paper's central claim: ApproxIt guarantees final output quality
 //! while single-mode approximation and the PID baseline do not.
 
-use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};
+use approx_arith::{AccuracyLevel, EnergyProfile, FaultInjector, QcsContext};
 use approxit::{
-    characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, PidStrategy, ReconfigStrategy,
-    SingleMode,
+    characterize, run, run_with_watchdog, AdaptiveAngleStrategy, IncrementalStrategy, PidStrategy,
+    ReconfigStrategy, SingleMode, WatchdogConfig,
 };
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::metrics::hamming_distance;
@@ -54,6 +54,37 @@ fn reconfiguration_matches_truth_across_seeds() {
                 outcome.report.strategy
             );
         }
+    }
+}
+
+#[test]
+fn adaptive_meets_truth_quality_under_soft_errors() {
+    // The guarantee must survive a realistic soft-error environment:
+    // SEU rates up to 1e-3 per operation on the datapath, with the
+    // resilient watchdog active. The Truth-convergence criterion is the
+    // same one the clean runs are held to.
+    let (_, gmm) = workload(11);
+    let table = characterize(&gmm, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth_labels = gmm.assignments(&truth.state);
+
+    for rate in [1e-4, 1e-3] {
+        let mut faulty = FaultInjector::new(QcsContext::with_profile(profile()), rate, 8, 321);
+        let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
+        let outcome = run_with_watchdog(
+            &gmm,
+            &mut strategy,
+            &mut faulty,
+            &WatchdogConfig::resilient(),
+        );
+        assert!(
+            faulty.faults_injected() > 0,
+            "rate {rate}: no faults were injected"
+        );
+        assert!(outcome.report.converged, "rate {rate}: adaptive stuck");
+        let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
+        assert_eq!(qem, 0, "rate {rate}: adaptive broke the quality guarantee");
     }
 }
 
