@@ -12,6 +12,7 @@
 use crate::adder::AccuracyLevel;
 use crate::energy::EnergyProfile;
 use crate::fixed::QFormat;
+use crate::range::RangeConfig;
 use crate::recon::QcsAdder;
 
 /// Operation counters of a context.
@@ -81,6 +82,15 @@ pub trait ArithContext {
     /// Decorators that corrupt or transform bit patterns use this to
     /// address the *actual* word width instead of assuming a format.
     fn datapath_format(&self) -> Option<QFormat> {
+        None
+    }
+
+    /// Per-operation error model for static range analysis, if this
+    /// context models a bounded-error hardware datapath. Software
+    /// baselines return `None`; the QCS context returns a
+    /// [`RangeConfig`] whose add slack covers the worst-case error of
+    /// the *current* accuracy level.
+    fn range_config(&self) -> Option<RangeConfig> {
         None
     }
 
@@ -308,6 +318,10 @@ impl ArithContext for QcsContext {
 
     fn datapath_format(&self) -> Option<QFormat> {
         Some(self.format)
+    }
+
+    fn range_config(&self) -> Option<RangeConfig> {
+        Some(RangeConfig::for_qcs(&self.qcs, self.level, self.format))
     }
 }
 

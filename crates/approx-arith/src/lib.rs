@@ -47,6 +47,7 @@ mod prefix;
 mod recon;
 mod trunc;
 
+pub mod range;
 pub mod rng;
 
 pub use aca::WindowedCarryAdder;
@@ -65,6 +66,7 @@ pub use gear::GeArAdder;
 pub use loa::LowerOrAdder;
 pub use multiplier::ArrayMultiplier;
 pub use prefix::KoggeStoneAdder;
+pub use range::{ExprId, Interval, RangeConfig, RangeGraph, RangeReport, RangeVerdict};
 pub use recon::{LowPartPolicy, QcsAdder, QcsModeAdder};
 pub use trunc::LowerZeroAdder;
 

@@ -1,0 +1,899 @@
+//! Static fixed-point range analysis by abstract interpretation.
+//!
+//! The analyzer proves — at analysis time, before any simulation — that a
+//! datapath expressed over a [`QFormat`] cannot overflow or hit the
+//! saturating converter for declared input ranges. Two abstract domains
+//! run in lockstep and their results are intersected per expression:
+//!
+//! * **interval arithmetic** — cheap, sound, but blind to correlation
+//!   (`x − x` gets the width of `2x`);
+//! * **affine arithmetic** — tracks first-order correlations through
+//!   shared noise symbols, so linear cancellation is exact
+//!   (`x − x = 0`), at the price of a conservative quadratic remainder
+//!   on multiplication.
+//!
+//! Approximation error enters as a per-operation slack taken from the
+//! configured adder family: a [`RangeConfig`] built by
+//! [`RangeConfig::for_qcs`] widens every add by the worst-case error of
+//! the selected accuracy level (plus half-ulp rounding), so the proof
+//! covers the *approximate* datapath, not an idealized exact one.
+//!
+//! # Example
+//!
+//! ```
+//! use approx_arith::range::{RangeConfig, RangeGraph};
+//! use approx_arith::QFormat;
+//!
+//! let mut g = RangeGraph::new();
+//! let x = g.input("x", -100.0, 100.0);
+//! let y = g.input("y", -100.0, 100.0);
+//! let p = g.mul(x, y);
+//! let s = g.named(p, "x*y");
+//! let _acc = g.sum_of(s, 3);
+//! let report = g.analyze(&RangeConfig::exact(QFormat::Q15_16));
+//! assert!(report.proven(), "{}", report.verdict);
+//! ```
+
+use crate::adder::AccuracyLevel;
+use crate::fixed::QFormat;
+use crate::recon::QcsAdder;
+
+/// A closed real interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+// Not the std operator traits on purpose: interval `div` is partial
+// (returns `Option` on zero-straddling divisors) and the others read
+// best alongside it as plain methods.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// Create an interval.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    #[must_use]
+    pub fn point(x: f64) -> Self {
+        Self::new(x, x)
+    }
+
+    /// The whole real line (used when a division cannot be bounded).
+    #[must_use]
+    pub fn everything() -> Self {
+        Self::new(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Interval sum.
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        Self::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+
+    /// Interval difference.
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        Self::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+
+    /// Interval negation.
+    #[must_use]
+    pub fn neg(self) -> Self {
+        Self::new(-self.hi, -self.lo)
+    }
+
+    /// Interval product (min/max over the four endpoint products).
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        let products = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = products.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = products.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::new(lo, hi)
+    }
+
+    /// Interval quotient; `None` when the divisor straddles zero.
+    #[must_use]
+    pub fn div(self, rhs: Self) -> Option<Self> {
+        if rhs.lo <= 0.0 && rhs.hi >= 0.0 {
+            return None;
+        }
+        Some(self.mul(Self::new(1.0 / rhs.hi, 1.0 / rhs.lo)))
+    }
+
+    /// Widen symmetrically by `slack ≥ 0`.
+    #[must_use]
+    pub fn widen(self, slack: f64) -> Self {
+        Self::new(self.lo - slack, self.hi + slack)
+    }
+
+    /// Convex hull of two intervals.
+    #[must_use]
+    pub fn union(self, rhs: Self) -> Self {
+        Self::new(self.lo.min(rhs.lo), self.hi.max(rhs.hi))
+    }
+
+    /// Intersection, when non-empty; otherwise the tighter of the two
+    /// (the analyzer only intersects sound over-approximations of the
+    /// same value, so an empty intersection cannot arise — this keeps
+    /// the operation total under floating-point rounding).
+    #[must_use]
+    pub fn intersect(self, rhs: Self) -> Self {
+        let lo = self.lo.max(rhs.lo);
+        let hi = self.hi.min(rhs.hi);
+        if lo <= hi {
+            Self::new(lo, hi)
+        } else if self.hi - self.lo <= rhs.hi - rhs.lo {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// `true` if `self` lies entirely within `outer`.
+    #[must_use]
+    pub fn within(self, outer: Self) -> bool {
+        self.lo >= outer.lo && self.hi <= outer.hi
+    }
+
+    /// Midpoint.
+    #[must_use]
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Half-width (radius).
+    #[must_use]
+    pub fn radius(self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Largest absolute value in the interval.
+    #[must_use]
+    pub fn abs_bound(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` if `x` lies in the interval.
+    #[must_use]
+    pub fn contains(self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.6}, {:.6}]", self.lo, self.hi)
+    }
+}
+
+/// First-order affine form `center + Σ coeffᵢ·εᵢ + extra·ε*` with all
+/// `ε ∈ [−1, 1]` and `ε*` fresh.
+#[derive(Debug, Clone, PartialEq)]
+struct AffineForm {
+    center: f64,
+    /// Sorted by symbol id; symbols are shared across forms so linear
+    /// correlation cancels exactly.
+    terms: Vec<(u32, f64)>,
+    /// Radius of uncorrelated noise (rounding, approximation slack,
+    /// multiplication remainder).
+    extra: f64,
+}
+
+impl AffineForm {
+    fn constant(x: f64) -> Self {
+        Self {
+            center: x,
+            terms: Vec::new(),
+            extra: 0.0,
+        }
+    }
+
+    fn from_interval_with_symbol(iv: Interval, symbol: u32) -> Self {
+        Self {
+            center: iv.mid(),
+            terms: vec![(symbol, iv.radius())],
+            extra: 0.0,
+        }
+    }
+
+    fn from_interval(iv: Interval) -> Self {
+        Self {
+            center: iv.mid(),
+            terms: Vec::new(),
+            extra: iv.radius(),
+        }
+    }
+
+    /// Total noise radius (linear terms plus extra).
+    fn radius(&self) -> f64 {
+        self.terms.iter().map(|(_, c)| c.abs()).sum::<f64>() + self.extra
+    }
+
+    fn to_interval(&self) -> Interval {
+        let r = self.radius();
+        if r.is_finite() && self.center.is_finite() {
+            Interval::new(self.center - r, self.center + r)
+        } else {
+            Interval::everything()
+        }
+    }
+
+    fn merge_terms(a: &[(u32, f64)], b: &[(u32, f64)], b_sign: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                    let c = ca + b_sign * cb;
+                    if c != 0.0 {
+                        out.push((sa, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                    out.push((sa, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(sb, cb))) => {
+                    out.push((sb, b_sign * cb));
+                    j += 1;
+                }
+                (Some(&(sa, ca)), None) => {
+                    out.push((sa, ca));
+                    i += 1;
+                }
+                (None, Some(&(sb, cb))) => {
+                    out.push((sb, b_sign * cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        out
+    }
+
+    fn add(&self, rhs: &Self, slack: f64) -> Self {
+        Self {
+            center: self.center + rhs.center,
+            terms: Self::merge_terms(&self.terms, &rhs.terms, 1.0),
+            extra: self.extra + rhs.extra + slack,
+        }
+    }
+
+    fn sub(&self, rhs: &Self, slack: f64) -> Self {
+        Self {
+            center: self.center - rhs.center,
+            terms: Self::merge_terms(&self.terms, &rhs.terms, -1.0),
+            extra: self.extra + rhs.extra + slack,
+        }
+    }
+
+    fn neg(&self) -> Self {
+        Self {
+            center: -self.center,
+            terms: self.terms.iter().map(|&(s, c)| (s, -c)).collect(),
+            extra: self.extra,
+        }
+    }
+
+    /// Affine product with the standard conservative remainder
+    /// `rad(f)·rad(g)` folded into the uncorrelated noise.
+    fn mul(&self, rhs: &Self, slack: f64) -> Self {
+        let a = self.center;
+        let b = rhs.center;
+        let mut terms = Self::merge_terms(
+            &self
+                .terms
+                .iter()
+                .map(|&(s, c)| (s, c * b))
+                .collect::<Vec<_>>(),
+            &rhs.terms
+                .iter()
+                .map(|&(s, c)| (s, c * a))
+                .collect::<Vec<_>>(),
+            1.0,
+        );
+        terms.retain(|(_, c)| *c != 0.0);
+        Self {
+            center: a * b,
+            terms,
+            extra: a.abs() * rhs.extra
+                + b.abs() * self.extra
+                + self.radius() * rhs.radius()
+                + slack,
+        }
+    }
+
+    /// `count` independent copies summed: centers scale, radii scale (no
+    /// cancellation between copies is assumed).
+    fn sum_copies(&self, count: usize, slack_per_add: f64) -> Self {
+        let k = count as f64;
+        Self {
+            center: self.center * k,
+            terms: Vec::new(),
+            extra: self.radius() * k + slack_per_add * k,
+        }
+    }
+}
+
+/// Per-operation error model for the analysis.
+///
+/// `add_slack` is the worst-case absolute error of one datapath add (in
+/// value units); `mul_slack` the same for one multiply. Both include the
+/// half-ulp rounding of the fixed-point converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeConfig {
+    /// The datapath format whose representable range must not be left.
+    pub format: QFormat,
+    /// Worst-case per-add error in value units.
+    pub add_slack: f64,
+    /// Worst-case per-multiply error in value units.
+    pub mul_slack: f64,
+}
+
+impl RangeConfig {
+    /// A configuration for an exact datapath: only half-ulp rounding per
+    /// operation.
+    #[must_use]
+    pub fn exact(format: QFormat) -> Self {
+        let half_ulp = 0.5 * format.resolution();
+        Self {
+            format,
+            add_slack: half_ulp,
+            mul_slack: half_ulp,
+        }
+    }
+
+    /// A configuration for the QCS adder at the given accuracy level: the
+    /// family's worst-case error bound (`< 2^(k+1)` raw units for both
+    /// low-part policies, where `k` is the level's approximate bit count)
+    /// plus half-ulp rounding, in value units.
+    #[must_use]
+    pub fn for_qcs(qcs: &QcsAdder, level: AccuracyLevel, format: QFormat) -> Self {
+        let k = qcs.approx_bits(level);
+        let raw_bound = if k == 0 { 0.0 } else { 2f64.powi(k as i32 + 1) };
+        let half_ulp = 0.5 * format.resolution();
+        Self {
+            format,
+            add_slack: raw_bound * format.resolution() + half_ulp,
+            mul_slack: half_ulp,
+        }
+    }
+
+    /// The representable interval of the configured format.
+    #[must_use]
+    pub fn representable(&self) -> Interval {
+        Interval::new(self.format.min_value(), self.format.max_value())
+    }
+}
+
+/// Handle to an expression inside a [`RangeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// Raw index of the expression in the graph.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RangeNode {
+    Input(Interval),
+    Const(f64),
+    Add(ExprId, ExprId),
+    Sub(ExprId, ExprId),
+    Neg(ExprId),
+    Mul(ExprId, ExprId),
+    Div(ExprId, ExprId),
+    /// `count` independent draws of `item`, summed left to right. The
+    /// bound covers every partial sum, not only the final value.
+    SumOf(ExprId, usize),
+}
+
+/// An append-only expression DAG over declared input ranges.
+///
+/// Build the datapath once per workload, then [`RangeGraph::analyze`]
+/// under any [`RangeConfig`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangeGraph {
+    nodes: Vec<(RangeNode, Option<String>)>,
+}
+
+impl RangeGraph {
+    /// Create an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: RangeNode, name: Option<String>) -> ExprId {
+        let id = ExprId(u32::try_from(self.nodes.len()).expect("graph larger than u32 nodes"));
+        self.nodes.push((node, name));
+        id
+    }
+
+    fn check(&self, id: ExprId) {
+        assert!(
+            id.index() < self.nodes.len(),
+            "expression {id:?} does not belong to this graph"
+        );
+    }
+
+    /// Declare an input with the given range.
+    pub fn input(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> ExprId {
+        self.push(RangeNode::Input(Interval::new(lo, hi)), Some(name.into()))
+    }
+
+    /// A constant.
+    pub fn constant(&mut self, x: f64) -> ExprId {
+        self.push(RangeNode::Const(x), None)
+    }
+
+    /// Datapath addition (widened by the config's `add_slack`).
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.check(a);
+        self.check(b);
+        self.push(RangeNode::Add(a, b), None)
+    }
+
+    /// Datapath subtraction (exact negation plus one add).
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.check(a);
+        self.check(b);
+        self.push(RangeNode::Sub(a, b), None)
+    }
+
+    /// Exact negation.
+    pub fn neg(&mut self, a: ExprId) -> ExprId {
+        self.check(a);
+        self.push(RangeNode::Neg(a), None)
+    }
+
+    /// Datapath multiplication.
+    pub fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.check(a);
+        self.check(b);
+        self.push(RangeNode::Mul(a, b), None)
+    }
+
+    /// Datapath division. If the divisor's range straddles zero the
+    /// analysis reports [`RangeVerdict::Unbounded`].
+    pub fn div(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.check(a);
+        self.check(b);
+        self.push(RangeNode::Div(a, b), None)
+    }
+
+    /// A left-to-right sum of `count` independent draws of `item`. The
+    /// resulting bound covers all partial sums, so an accumulator proved
+    /// in range here cannot overflow mid-loop either.
+    ///
+    /// # Panics
+    /// Panics if `count` is 0.
+    pub fn sum_of(&mut self, item: ExprId, count: usize) -> ExprId {
+        self.check(item);
+        assert!(count > 0, "sums must have at least one term");
+        self.push(RangeNode::SumOf(item, count), None)
+    }
+
+    /// A dot product of `count` element pairs: sugar for
+    /// `sum_of(mul(x, y), count)`.
+    ///
+    /// # Panics
+    /// Panics if `count` is 0.
+    pub fn dot(&mut self, x: ExprId, y: ExprId, count: usize) -> ExprId {
+        let p = self.mul(x, y);
+        self.sum_of(p, count)
+    }
+
+    /// Attach a display name to an expression (returned unchanged), so
+    /// verdicts point at something readable.
+    pub fn named(&mut self, id: ExprId, name: impl Into<String>) -> ExprId {
+        self.check(id);
+        self.nodes[id.index()].1 = Some(name.into());
+        id
+    }
+
+    /// Number of expressions in the graph.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no expressions were declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Human-readable name of an expression.
+    #[must_use]
+    pub fn name_of(&self, id: ExprId) -> String {
+        match &self.nodes[id.index()].1 {
+            Some(name) => name.clone(),
+            None => format!("expr#{}", id.index()),
+        }
+    }
+
+    /// Run the analysis: forward abstract interpretation in both
+    /// domains, intersected per node, then a containment check of every
+    /// expression against the format's representable interval.
+    #[must_use]
+    pub fn analyze(&self, config: &RangeConfig) -> RangeReport {
+        let mut intervals: Vec<Interval> = Vec::with_capacity(self.nodes.len());
+        let mut affines: Vec<AffineForm> = Vec::with_capacity(self.nodes.len());
+        let mut next_symbol = 0u32;
+        let mut unbounded: Option<ExprId> = None;
+        for (idx, (node, _)) in self.nodes.iter().enumerate() {
+            let id = ExprId(idx as u32);
+            let (iv, af) = match node {
+                RangeNode::Input(range) => {
+                    let symbol = next_symbol;
+                    next_symbol += 1;
+                    (
+                        *range,
+                        AffineForm::from_interval_with_symbol(*range, symbol),
+                    )
+                }
+                RangeNode::Const(x) => (Interval::point(*x), AffineForm::constant(*x)),
+                RangeNode::Add(a, b) => (
+                    intervals[a.index()]
+                        .add(intervals[b.index()])
+                        .widen(config.add_slack),
+                    affines[a.index()].add(&affines[b.index()], config.add_slack),
+                ),
+                RangeNode::Sub(a, b) => (
+                    intervals[a.index()]
+                        .sub(intervals[b.index()])
+                        .widen(config.add_slack),
+                    affines[a.index()].sub(&affines[b.index()], config.add_slack),
+                ),
+                RangeNode::Neg(a) => (intervals[a.index()].neg(), affines[a.index()].neg()),
+                RangeNode::Mul(a, b) => (
+                    intervals[a.index()]
+                        .mul(intervals[b.index()])
+                        .widen(config.mul_slack),
+                    affines[a.index()].mul(&affines[b.index()], config.mul_slack),
+                ),
+                RangeNode::Div(a, b) => {
+                    match intervals[a.index()].div(intervals[b.index()]) {
+                        Some(iv) => {
+                            let widened = iv.widen(config.mul_slack);
+                            // Division drops to the interval domain: the
+                            // affine reciprocal is not worth its
+                            // remainder here.
+                            (widened, AffineForm::from_interval(widened))
+                        }
+                        None => {
+                            unbounded.get_or_insert(id);
+                            (
+                                Interval::everything(),
+                                AffineForm::from_interval(Interval::everything()),
+                            )
+                        }
+                    }
+                }
+                RangeNode::SumOf(item, count) => {
+                    // Cover every partial sum: hull with zero before
+                    // scaling.
+                    let per_item = intervals[item.index()].union(Interval::point(0.0));
+                    let k = *count as f64;
+                    let iv =
+                        Interval::new(per_item.lo * k, per_item.hi * k).widen(config.add_slack * k);
+                    let af = affines[item.index()].sum_copies(*count, config.add_slack);
+                    // The affine form tracks the *final* sum; hull its
+                    // interval with zero so partials are covered too.
+                    let af_iv = af.to_interval().union(Interval::point(0.0));
+                    (iv, AffineForm::from_interval(af_iv))
+                }
+            };
+            let combined = iv.intersect(af.to_interval());
+            intervals.push(combined);
+            affines.push(af);
+        }
+
+        let representable = config.representable();
+        let mut verdict = RangeVerdict::Proven;
+        if let Some(id) = unbounded {
+            verdict = RangeVerdict::Unbounded {
+                expr: self.name_of(id),
+            };
+        } else {
+            for (idx, &iv) in intervals.iter().enumerate() {
+                if !iv.within(representable) {
+                    verdict = RangeVerdict::MayOverflow {
+                        expr: self.name_of(ExprId(idx as u32)),
+                        interval: iv,
+                        representable,
+                    };
+                    break;
+                }
+            }
+        }
+        RangeReport {
+            verdict,
+            intervals,
+            format: config.format,
+        }
+    }
+}
+
+/// Outcome of a range analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeVerdict {
+    /// Every expression stays within the representable range: the
+    /// datapath cannot overflow or saturate for the declared inputs.
+    Proven,
+    /// An expression's bound escapes the representable interval.
+    MayOverflow {
+        /// Name of the violating expression.
+        expr: String,
+        /// Its computed bound.
+        interval: Interval,
+        /// The format's representable interval.
+        representable: Interval,
+    },
+    /// A division's divisor range straddles zero, so no finite bound
+    /// exists.
+    Unbounded {
+        /// Name of the unbounded division.
+        expr: String,
+    },
+}
+
+impl RangeVerdict {
+    /// `true` for [`RangeVerdict::Proven`].
+    #[must_use]
+    pub fn is_proven(&self) -> bool {
+        matches!(self, RangeVerdict::Proven)
+    }
+}
+
+impl std::fmt::Display for RangeVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeVerdict::Proven => write!(f, "proven: no overflow or saturation"),
+            RangeVerdict::MayOverflow {
+                expr,
+                interval,
+                representable,
+            } => write!(
+                f,
+                "may overflow: {expr} ranges over {interval}, outside {representable}"
+            ),
+            RangeVerdict::Unbounded { expr } => {
+                write!(f, "unbounded: divisor of {expr} straddles zero")
+            }
+        }
+    }
+}
+
+/// Result of [`RangeGraph::analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeReport {
+    /// The overall verdict.
+    pub verdict: RangeVerdict,
+    intervals: Vec<Interval>,
+    format: QFormat,
+}
+
+impl RangeReport {
+    /// `true` if the datapath was proven overflow-free.
+    #[must_use]
+    pub fn proven(&self) -> bool {
+        self.verdict.is_proven()
+    }
+
+    /// The computed bound of an expression.
+    #[must_use]
+    pub fn interval(&self, id: ExprId) -> Interval {
+        self.intervals[id.index()]
+    }
+
+    /// The format the proof is against.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    fn q() -> QFormat {
+        QFormat::Q15_16
+    }
+
+    #[test]
+    fn interval_arithmetic_endpoints() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(1.0, 4.0);
+        assert_eq!(a.add(b), Interval::new(-1.0, 7.0));
+        assert_eq!(a.sub(b), Interval::new(-6.0, 2.0));
+        assert_eq!(a.mul(b), Interval::new(-8.0, 12.0));
+        assert_eq!(a.neg(), Interval::new(-3.0, 2.0));
+        assert_eq!(
+            b.div(Interval::new(2.0, 2.0)),
+            Some(Interval::new(0.5, 2.0))
+        );
+        assert_eq!(b.div(a), None, "divisor straddles zero");
+    }
+
+    #[test]
+    fn affine_cancellation_beats_plain_intervals() {
+        let mut g = RangeGraph::new();
+        let x = g.input("x", -100.0, 100.0);
+        let d = g.sub(x, x);
+        let cfg = RangeConfig {
+            format: q(),
+            add_slack: 0.0,
+            mul_slack: 0.0,
+        };
+        let report = g.analyze(&cfg);
+        // Interval domain alone would give [-200, 200]; the affine
+        // domain proves exact cancellation.
+        assert_eq!(report.interval(d), Interval::point(0.0));
+    }
+
+    #[test]
+    fn predicted_intervals_contain_brute_force_fixed_point_sweeps() {
+        // y = a*b + c on the exact Q15.16 datapath, checked against a
+        // brute-force sweep through QFormat::to_raw.
+        let (a_lo, a_hi) = (-3.0, 5.0);
+        let (b_lo, b_hi) = (-2.0, 2.0);
+        let (c_lo, c_hi) = (-50.0, 50.0);
+        let mut g = RangeGraph::new();
+        let a = g.input("a", a_lo, a_hi);
+        let b = g.input("b", b_lo, b_hi);
+        let c = g.input("c", c_lo, c_hi);
+        let p = g.mul(a, b);
+        let y = g.add(p, c);
+        let report = g.analyze(&RangeConfig::exact(q()));
+        assert!(report.proven(), "{}", report.verdict);
+
+        let fmt = q();
+        let steps = 17;
+        let lerp = |lo: f64, hi: f64, i: usize| lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+        for i in 0..steps {
+            for j in 0..steps {
+                for k in 0..steps {
+                    let av = fmt.quantize(lerp(a_lo, a_hi, i));
+                    let bv = fmt.quantize(lerp(b_lo, b_hi, j));
+                    let cv = fmt.quantize(lerp(c_lo, c_hi, k));
+                    let pv = fmt.from_raw(fmt.mul_raw(fmt.to_raw(av), fmt.to_raw(bv)));
+                    let yv = fmt.from_raw(fmt.to_raw(pv + cv));
+                    assert!(
+                        report.interval(p).contains(pv),
+                        "p={pv} outside {}",
+                        report.interval(p)
+                    );
+                    assert!(
+                        report.interval(y).contains(yv),
+                        "y={yv} outside {}",
+                        report.interval(y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qcs_slack_covers_measured_approximate_error() {
+        // The for_qcs config must contain every result the real Level1
+        // adder produces for operands in range.
+        let qcs = QcsAdder::paper_default();
+        let fmt = q();
+        let level = AccuracyLevel::Level1;
+        let cfg = RangeConfig::for_qcs(&qcs, level, fmt);
+        let mut g = RangeGraph::new();
+        let a = g.input("a", -100.0, 100.0);
+        let b = g.input("b", -100.0, 100.0);
+        let s = g.add(a, b);
+        let report = g.analyze(&cfg);
+        assert!(report.proven(), "{}", report.verdict);
+        let bound = report.interval(s);
+
+        let mut rng = Pcg32::seeded(0xFEED, 7);
+        for _ in 0..2000 {
+            let av = rng.uniform(-100.0, 100.0);
+            let bv = rng.uniform(-100.0, 100.0);
+            let ba = fmt.to_bits(fmt.to_raw(av));
+            let bb = fmt.to_bits(fmt.to_raw(bv));
+            let got = fmt.from_raw(fmt.from_bits(qcs.add(ba, bb, level)));
+            assert!(
+                bound.contains(got),
+                "approximate sum {got} escapes {bound} for {av} + {bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_of_covers_partial_sums() {
+        let mut g = RangeGraph::new();
+        let x = g.input("x", 0.0, 2.0);
+        let s = g.sum_of(x, 100);
+        let cfg = RangeConfig::exact(q());
+        let report = g.analyze(&cfg);
+        let iv = report.interval(s);
+        // 100 draws of [0, 2]: every partial sum is within [0, 200].
+        assert!(iv.lo <= 0.0 && iv.hi >= 200.0, "{iv}");
+        assert!(report.proven());
+    }
+
+    #[test]
+    fn overflow_is_detected_and_named() {
+        let mut g = RangeGraph::new();
+        let x = g.input("x", 0.0, 1000.0);
+        let p = g.mul(x, x);
+        g.named(p, "x_squared");
+        let report = g.analyze(&RangeConfig::exact(q()));
+        match &report.verdict {
+            RangeVerdict::MayOverflow { expr, interval, .. } => {
+                assert_eq!(expr, "x_squared");
+                assert!(interval.hi >= 1_000_000.0);
+            }
+            other => panic!("expected overflow, got {other}"),
+        }
+        assert!(!report.proven());
+    }
+
+    #[test]
+    fn zero_straddling_division_is_unbounded() {
+        let mut g = RangeGraph::new();
+        let x = g.input("x", 1.0, 2.0);
+        let d = g.input("d", -1.0, 1.0);
+        let q_expr = g.div(x, d);
+        g.named(q_expr, "x/d");
+        let report = g.analyze(&RangeConfig::exact(q()));
+        assert_eq!(
+            report.verdict,
+            RangeVerdict::Unbounded { expr: "x/d".into() }
+        );
+    }
+
+    #[test]
+    fn verdicts_render_readably() {
+        assert_eq!(
+            RangeVerdict::Proven.to_string(),
+            "proven: no overflow or saturation"
+        );
+        let v = RangeVerdict::Unbounded { expr: "α".into() };
+        assert!(v.to_string().contains("α"));
+    }
+
+    #[test]
+    fn exact_adder_accurate_level_has_rounding_only_slack() {
+        let qcs = QcsAdder::paper_default();
+        let cfg = RangeConfig::for_qcs(&qcs, AccuracyLevel::Accurate, q());
+        assert_eq!(cfg.add_slack, 0.5 * q().resolution());
+        let lvl1 = RangeConfig::for_qcs(&qcs, AccuracyLevel::Level1, q());
+        assert!(lvl1.add_slack > cfg.add_slack);
+        // Level 1 mangles 20 bits: slack ≈ 2^21 raw units = 2^5 = 32.0.
+        assert!((lvl1.add_slack - (32.0 + cfg.add_slack)).abs() < 1e-9);
+    }
+}

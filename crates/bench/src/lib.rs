@@ -11,6 +11,7 @@
 //! | `fig3`    | Figure 3 — GMM clustering scatter (per-mode assignments) |
 //! | `fig4`    | Figure 4 — GMM energy comparison (total & per-iteration) |
 //! | `ablation`| extensions: scheme ablation, f-step sweep, PID baseline, width sweep |
+//! | `verify`  | formal pipeline: lint, BDD equivalence proofs, exact error characterization, static range analysis |
 //!
 //! This library holds the shared experiment definitions so the binaries,
 //! the integration tests, and the micro-benchmarks agree on every

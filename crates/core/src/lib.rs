@@ -74,7 +74,7 @@ pub use characterize::{characterize, characterize_on, CharacterizationTable};
 pub use incremental::{IncrementalConfig, IncrementalStrategy, QualitySchemeVariant};
 pub use pid::{PidConfig, PidStrategy};
 pub use quality::quality_error;
-pub use report::RunReport;
+pub use report::{RangeProofSummary, RunReport};
 pub use runner::{run, run_with_watchdog, RunOutcome};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
 pub use watchdog::{RecoveryTelemetry, WatchdogConfig};

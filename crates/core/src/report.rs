@@ -1,8 +1,47 @@
 //! Run reports: the telemetry every experiment table is built from.
 
+use approx_arith::range::RangeConfig;
 use approx_arith::{AccuracyLevel, OpCounts};
+use iter_solvers::RangeModel;
 
 use crate::watchdog::RecoveryTelemetry;
+
+/// Outcome of the static fixed-point range analysis performed before a
+/// run, when the workload has a range model and the context models a
+/// bounded-error datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeProofSummary {
+    /// Whether every datapath expression was proven overflow-free.
+    pub proven: bool,
+    /// Rendered verdict (e.g. `"proven: no overflow or saturation"`).
+    pub verdict: String,
+    /// Declared assumptions the proof is conditioned on.
+    pub assumptions: Vec<String>,
+}
+
+impl RangeProofSummary {
+    /// Analyze a solver's range model under a per-operation error
+    /// configuration and summarize the outcome for reporting.
+    #[must_use]
+    pub fn from_model(model: &RangeModel, config: &RangeConfig) -> Self {
+        let report = model.analyze(config);
+        Self {
+            proven: report.proven(),
+            verdict: report.verdict.to_string(),
+            assumptions: model.notes().to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Display for RangeProofSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.verdict)?;
+        for note in &self.assumptions {
+            write!(f, "; {note}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Everything recorded about one run of an iterative method under a
 /// reconfiguration strategy.
@@ -38,6 +77,9 @@ pub struct RunReport {
     /// Watchdog recovery events (guard trips, checkpoints, restores,
     /// escalations) — all zero for runs without active protection.
     pub recovery: RecoveryTelemetry,
+    /// Static range-analysis outcome for the workload's datapath, when
+    /// one was computed (`None` for runs without a range model).
+    pub range_proof: Option<RangeProofSummary>,
 }
 
 impl RunReport {
@@ -168,6 +210,23 @@ impl RunReport {
             .map(|l| format!("\"{l}\""))
             .collect::<Vec<_>>()
             .join(",");
+        let range_proof = match &self.range_proof {
+            None => "null".to_owned(),
+            Some(rp) => {
+                let assumptions = rp
+                    .assumptions
+                    .iter()
+                    .map(|a| format!("\"{}\"", esc(a)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"proven\":{},\"verdict\":\"{}\",\"assumptions\":[{}]}}",
+                    rp.proven,
+                    esc(&rp.verdict),
+                    assumptions
+                )
+            }
+        };
         format!(
             "{{\"method\":\"{}\",\"strategy\":\"{}\",\"iterations\":{},\
              \"converged\":{},\"steps_per_level\":[{},{},{},{},{}],\
@@ -176,6 +235,7 @@ impl RunReport {
              \"op_counts\":{{\"adds\":{},\"muls\":{},\"divs\":{}}},\
              \"recovery\":{{\"guard_trips\":{},\"divergence_trips\":{},\
              \"checkpoints_taken\":{},\"restores\":{},\"escalations\":{}}},\
+             \"range_proof\":{},\
              \"energy_per_iteration\":[{}],\"level_schedule\":[{}]}}",
             esc(&self.method),
             esc(&self.strategy),
@@ -198,6 +258,7 @@ impl RunReport {
             self.recovery.checkpoints_taken,
             self.recovery.restores,
             self.recovery.escalations,
+            range_proof,
             energy_list,
             schedule,
         )
@@ -249,6 +310,9 @@ impl std::fmt::Display for RunReport {
         if self.recovery.any() {
             writeln!(f, "  recovery: {}", self.recovery)?;
         }
+        if let Some(rp) = &self.range_proof {
+            writeln!(f, "  range: {}", rp.verdict)?;
+        }
         Ok(())
     }
 }
@@ -272,6 +336,7 @@ mod tests {
             final_objective: 0.5,
             op_counts: OpCounts::default(),
             recovery: RecoveryTelemetry::default(),
+            range_proof: None,
         }
     }
 
@@ -366,6 +431,38 @@ mod tests {
             "unbalanced braces"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_and_display_carry_the_range_proof() {
+        let mut r = sample();
+        assert!(r.to_json().contains("\"range_proof\":null"));
+        r.range_proof = Some(RangeProofSummary {
+            proven: true,
+            verdict: "proven: no overflow or saturation".into(),
+            assumptions: vec!["assumes iterate bound 8".into()],
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"range_proof\":{\"proven\":true"));
+        assert!(json.contains("assumes iterate bound 8"));
+        assert!(r.to_string().contains("range: proven"));
+        // The CSV schema is frozen: the proof travels in JSON/Display only.
+        assert_eq!(r.to_csv_row().split(',').count(), 21);
+    }
+
+    #[test]
+    fn range_proof_summary_from_model_records_assumptions() {
+        use approx_arith::QFormat;
+        use approx_linalg::Matrix;
+        use iter_solvers::{cg_range_model, CgRangeSpec, ConjugateGradient};
+
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let cg = ConjugateGradient::new(a, vec![1.0, 2.0], 1e-10, 50);
+        let model = cg_range_model(&cg, &CgRangeSpec::default());
+        let summary = RangeProofSummary::from_model(&model, &RangeConfig::exact(QFormat::Q15_16));
+        assert!(summary.proven, "{}", summary.verdict);
+        assert_eq!(summary.assumptions.len(), 2);
+        assert!(summary.to_string().contains("alpha"));
     }
 
     #[test]

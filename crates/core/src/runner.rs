@@ -283,6 +283,7 @@ pub fn run_with_watchdog<M: IterativeMethod, C: ArithContext>(
         final_objective: method.objective(&state),
         op_counts: ctx.counts(),
         recovery,
+        range_proof: None,
     };
     RunOutcome { state, report }
 }

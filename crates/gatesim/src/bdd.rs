@@ -1,0 +1,674 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for formal
+//! verification of netlists.
+//!
+//! This module is the proof engine behind [`crate::equiv::prove`]: a
+//! hash-consed BDD manager compiles a [`Netlist`] into one canonical
+//! decision diagram per primary output. Because ROBDDs are canonical for
+//! a fixed variable order, two circuits are equivalent *iff* their
+//! output diagrams are the same node — an actual proof, unlike the
+//! simulation sampling of [`crate::equiv::check`].
+//!
+//! Beyond equivalence, the manager supports the two analyses the
+//! approximate-arithmetic crates need for proof-grade error
+//! characterization without `2^n` vector sweeps:
+//!
+//! * **model counting** ([`Bdd::sat_fraction`]) — the exact fraction of
+//!   input vectors satisfying a function, which gives exhaustive error
+//!   rates;
+//! * **word-level arithmetic over BDD vectors** ([`Bdd::word_sub`],
+//!   [`Bdd::word_abs`], [`Bdd::max_unsigned`]) — symbolic two's
+//!   complement subtraction and a greedy MSB-first maximization that
+//!   extracts the worst-case error *and* an operand pair attaining it.
+//!
+//! # Variable ordering
+//!
+//! BDD sizes are notoriously order-sensitive: a ripple-carry adder is
+//! linear under the interleaved order `a0, b0, cin, a1, b1, …` and
+//! exponential under the declaration order `a0…an, b0…bn`. The
+//! [`interleaved_order`] heuristic derives a good order structurally by
+//! a depth-first traversal from the outputs, which interleaves operand
+//! bits for all the adder topologies in this workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use gatesim::bdd::{interleaved_order, Bdd};
+//! use gatesim::Netlist;
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let y = nl.xor2(a, b);
+//! nl.mark_output(y, "y");
+//!
+//! let mut bdd = Bdd::new(nl.num_inputs() as u32);
+//! let order = interleaved_order(&nl);
+//! let outs = bdd.compile(&nl, &order).unwrap();
+//! // XOR is true on half of the input space.
+//! assert_eq!(bdd.sat_fraction(outs[0]), 0.5);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Handle to a BDD node inside a [`Bdd`] manager.
+///
+/// Refs are canonical: two refs from the same manager denote the same
+/// Boolean function *iff* they are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false function.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true function.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// `true` for the two terminal nodes.
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Error raised when a BDD operation exceeds the manager's node budget.
+///
+/// BDDs can blow up exponentially under a bad variable order; the budget
+/// turns that failure mode into a recoverable error so callers can fall
+/// back to simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// The configured node budget.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BDD node budget of {} nodes exceeded", self.limit)
+    }
+}
+
+impl std::error::Error for NodeLimitExceeded {}
+
+/// Variable index of the terminal nodes: sorts after every real variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A hash-consed ROBDD manager over a fixed number of variables.
+///
+/// The default node budget is [`Bdd::DEFAULT_NODE_LIMIT`]; use
+/// [`Bdd::with_node_limit`] to tighten or loosen it.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    num_vars: u32,
+    node_limit: usize,
+}
+
+impl Bdd {
+    /// Default node budget: generous enough for every 64-bit adder in the
+    /// workspace under the interleaved order, small enough to fail fast
+    /// on an exponential blow-up.
+    pub const DEFAULT_NODE_LIMIT: usize = 1 << 22;
+
+    /// Create a manager over `num_vars` variables with the default node
+    /// budget.
+    #[must_use]
+    pub fn new(num_vars: u32) -> Self {
+        Self::with_node_limit(num_vars, Self::DEFAULT_NODE_LIMIT)
+    }
+
+    /// Create a manager with an explicit node budget.
+    #[must_use]
+    pub fn with_node_limit(num_vars: u32, node_limit: usize) -> Self {
+        let mut nodes = Vec::with_capacity(1024);
+        // Index 0 / 1 are the FALSE / TRUE terminals.
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: BddRef::FALSE,
+            hi: BddRef::FALSE,
+        });
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: BddRef::TRUE,
+            hi: BddRef::TRUE,
+        });
+        Self {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+            node_limit,
+        }
+    }
+
+    /// Number of variables this manager was created over.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if only the terminals exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    fn var_of(&self, f: BddRef) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(NodeLimitExceeded {
+                limit: self.node_limit,
+            });
+        }
+        let r = BddRef(u32::try_from(self.nodes.len()).expect("BDD larger than u32 nodes"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        Ok(r)
+    }
+
+    /// The single-variable function `x_var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is outside the manager's variable range.
+    pub fn var(&mut self, var: u32) -> Result<BddRef, NodeLimitExceeded> {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        let node = &self.nodes[f.0 as usize];
+        if node.var == var {
+            (node.lo, node.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)` — the universal
+    /// BDD operation every connective below derives from.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return Ok(g);
+        }
+        if f == BddRef::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let m = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, m);
+        let (g0, g1) = self.cofactors(g, m);
+        let (h0, h1) = self.cofactors(h, m);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(m, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, NodeLimitExceeded> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Compile a netlist into one BDD per primary output (in output
+    /// declaration order).
+    ///
+    /// `var_of_input[i]` is the BDD variable assigned to the netlist's
+    /// `i`-th primary input — typically produced by [`interleaved_order`].
+    ///
+    /// # Errors
+    /// Returns [`NodeLimitExceeded`] if any intermediate diagram exceeds
+    /// the node budget.
+    ///
+    /// # Panics
+    /// Panics if `var_of_input` does not cover every primary input or
+    /// assigns a variable outside the manager's range.
+    pub fn compile(
+        &mut self,
+        netlist: &Netlist,
+        var_of_input: &[u32],
+    ) -> Result<Vec<BddRef>, NodeLimitExceeded> {
+        assert_eq!(
+            var_of_input.len(),
+            netlist.num_inputs(),
+            "variable order must cover every primary input"
+        );
+        let mut input_seq = 0usize;
+        let mut refs: Vec<BddRef> = Vec::with_capacity(netlist.len());
+        for node in netlist.nodes() {
+            let get = |i: usize| refs[node.inputs()[i].index()];
+            let r = match node.kind() {
+                GateKind::Input => {
+                    let v = var_of_input[input_seq];
+                    input_seq += 1;
+                    self.var(v)?
+                }
+                GateKind::Const0 => BddRef::FALSE,
+                GateKind::Const1 => BddRef::TRUE,
+                GateKind::Buf => get(0),
+                GateKind::Not => self.not(get(0))?,
+                GateKind::And2 => self.and(get(0), get(1))?,
+                GateKind::Or2 => self.or(get(0), get(1))?,
+                GateKind::Xor2 => self.xor(get(0), get(1))?,
+                GateKind::Nand2 => {
+                    let t = self.and(get(0), get(1))?;
+                    self.not(t)?
+                }
+                GateKind::Nor2 => {
+                    let t = self.or(get(0), get(1))?;
+                    self.not(t)?
+                }
+                GateKind::Xnor2 => {
+                    let t = self.xor(get(0), get(1))?;
+                    self.not(t)?
+                }
+                // Mux input order is (sel, a, b): y = if sel { b } else { a }.
+                GateKind::Mux2 => self.ite(get(0), get(2), get(1))?,
+                GateKind::Maj3 => {
+                    let (a, b, c) = (get(0), get(1), get(2));
+                    let bc_or = self.or(b, c)?;
+                    let bc_and = self.and(b, c)?;
+                    self.ite(a, bc_or, bc_and)?
+                }
+            };
+            refs.push(r);
+        }
+        Ok(netlist
+            .primary_outputs()
+            .iter()
+            .map(|(id, _)| refs[id.index()])
+            .collect())
+    }
+
+    /// The exact fraction of the `2^num_vars` input vectors on which `f`
+    /// is true.
+    ///
+    /// The result is exact (every intermediate is a dyadic rational with
+    /// at most `num_vars` significant bits) as long as `num_vars ≤ 52`;
+    /// beyond that it is correctly rounded to `f64`.
+    #[must_use]
+    pub fn sat_fraction(&self, f: BddRef) -> f64 {
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        self.sat_fraction_memo(f, &mut memo)
+    }
+
+    fn sat_fraction_memo(&self, f: BddRef, memo: &mut HashMap<BddRef, f64>) -> f64 {
+        if f == BddRef::FALSE {
+            return 0.0;
+        }
+        if f == BddRef::TRUE {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&f) {
+            return p;
+        }
+        let node = &self.nodes[f.0 as usize];
+        let p =
+            0.5 * (self.sat_fraction_memo(node.lo, memo) + self.sat_fraction_memo(node.hi, memo));
+        memo.insert(f, p);
+        p
+    }
+
+    /// One satisfying assignment of `f`, as `assignment[var] = value`
+    /// over all `num_vars` variables (don't-care variables are `false`),
+    /// or `None` if `f` is unsatisfiable.
+    #[must_use]
+    pub fn any_sat(&self, f: BddRef) -> Option<Vec<bool>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while cur != BddRef::TRUE {
+            let node = &self.nodes[cur.0 as usize];
+            if node.lo != BddRef::FALSE {
+                cur = node.lo;
+            } else {
+                assignment[node.var as usize] = true;
+                cur = node.hi;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Symbolic full adder on three bits; returns `(sum, carry)`.
+    fn full_add(
+        &mut self,
+        a: BddRef,
+        b: BddRef,
+        c: BddRef,
+    ) -> Result<(BddRef, BddRef), NodeLimitExceeded> {
+        let axb = self.xor(a, b)?;
+        let sum = self.xor(axb, c)?;
+        let bc_or = self.or(b, c)?;
+        let bc_and = self.and(b, c)?;
+        let carry = self.ite(a, bc_or, bc_and)?;
+        Ok((sum, carry))
+    }
+
+    /// Symbolic two's complement subtraction of unsigned words:
+    /// `a − b` over `max(len)+1` bits, LSB first. The extra bit makes the
+    /// result a valid signed value for any unsigned operands.
+    pub fn word_sub(
+        &mut self,
+        a: &[BddRef],
+        b: &[BddRef],
+    ) -> Result<Vec<BddRef>, NodeLimitExceeded> {
+        let w = a.len().max(b.len()) + 1;
+        let mut out = Vec::with_capacity(w);
+        // a + ~b + 1, zero-extending both operands.
+        let mut carry = BddRef::TRUE;
+        for i in 0..w {
+            let ai = a.get(i).copied().unwrap_or(BddRef::FALSE);
+            let bi = b.get(i).copied().unwrap_or(BddRef::FALSE);
+            let nbi = self.not(bi)?;
+            let (s, c) = self.full_add(ai, nbi, carry)?;
+            out.push(s);
+            carry = c;
+        }
+        Ok(out)
+    }
+
+    /// Symbolic two's complement negation (LSB first).
+    pub fn word_neg(&mut self, bits: &[BddRef]) -> Result<Vec<BddRef>, NodeLimitExceeded> {
+        let mut out = Vec::with_capacity(bits.len());
+        let mut carry = BddRef::TRUE;
+        for &bit in bits {
+            let nb = self.not(bit)?;
+            let (s, c) = self.full_add(nb, BddRef::FALSE, carry)?;
+            out.push(s);
+            carry = c;
+        }
+        Ok(out)
+    }
+
+    /// Symbolic absolute value of a two's complement word (LSB first).
+    /// The result is interpreted as unsigned.
+    pub fn word_abs(&mut self, bits: &[BddRef]) -> Result<Vec<BddRef>, NodeLimitExceeded> {
+        let Some(&sign) = bits.last() else {
+            return Ok(Vec::new());
+        };
+        let neg = self.word_neg(bits)?;
+        bits.iter()
+            .zip(&neg)
+            .map(|(&b, &n)| self.ite(sign, n, b))
+            .collect()
+    }
+
+    /// The maximum value an unsigned BDD word (LSB first) attains over
+    /// all input vectors, together with an assignment attaining it.
+    ///
+    /// Works greedily from the MSB down: each bit is forced to 1 when the
+    /// accumulated constraint stays satisfiable.
+    ///
+    /// # Panics
+    /// Panics if `bits` is wider than 64.
+    pub fn max_unsigned(&mut self, bits: &[BddRef]) -> Result<(u64, Vec<bool>), NodeLimitExceeded> {
+        assert!(bits.len() <= 64, "word wider than u64");
+        let mut constraint = BddRef::TRUE;
+        let mut value = 0u64;
+        for (i, &bit) in bits.iter().enumerate().rev() {
+            let forced = self.and(constraint, bit)?;
+            if forced == BddRef::FALSE {
+                let nb = self.not(bit)?;
+                constraint = self.and(constraint, nb)?;
+            } else {
+                constraint = forced;
+                value |= 1 << i;
+            }
+        }
+        let witness = self
+            .any_sat(constraint)
+            .expect("constraint is satisfiable by construction");
+        Ok((value, witness))
+    }
+}
+
+/// A structurally derived variable order: depth-first traversal from the
+/// primary outputs, assigning variables to inputs in first-visit order.
+///
+/// Returns `var_of_input[i]` — the BDD variable for the `i`-th primary
+/// input. Inputs unreachable from any output are ordered last, in
+/// declaration order.
+///
+/// For the word-level arithmetic netlists in this workspace (outputs
+/// declared LSB first, each depending on operand bits of its own and
+/// lower positions) this produces the interleaved order `a0, b0, cin,
+/// a1, b1, …` under which adder BDDs stay linear in the width.
+#[must_use]
+pub fn interleaved_order(netlist: &Netlist) -> Vec<u32> {
+    // Map node index -> primary-input position.
+    let mut input_pos: HashMap<usize, usize> = HashMap::new();
+    for (pos, id) in netlist.primary_inputs().iter().enumerate() {
+        input_pos.insert(id.index(), pos);
+    }
+    let mut order = vec![u32::MAX; netlist.num_inputs()];
+    let mut next_var = 0u32;
+    let mut visited = vec![false; netlist.len()];
+    for (out, _) in netlist.primary_outputs() {
+        // Iterative DFS; children pushed in reverse so the first fan-in
+        // is visited first.
+        let mut stack = vec![out.index()];
+        while let Some(idx) = stack.pop() {
+            if visited[idx] {
+                continue;
+            }
+            visited[idx] = true;
+            if let Some(&pos) = input_pos.get(&idx) {
+                order[pos] = next_var;
+                next_var += 1;
+            }
+            let node = &netlist.nodes()[idx];
+            for dep in node.inputs().iter().rev() {
+                if dep.index() < visited.len() && !visited[dep.index()] {
+                    stack.push(dep.index());
+                }
+            }
+        }
+    }
+    for slot in &mut order {
+        if *slot == u32::MAX {
+            *slot = next_var;
+            next_var += 1;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn terminals_and_variables_are_canonical() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var(0).unwrap();
+        let x2 = bdd.var(0).unwrap();
+        assert_eq!(x, x2);
+        let nx = bdd.not(x).unwrap();
+        let nnx = bdd.not(nx).unwrap();
+        assert_eq!(nnx, x);
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let and = bdd.and(x, y).unwrap();
+        let or = bdd.or(x, y).unwrap();
+        let xor = bdd.xor(x, y).unwrap();
+        assert_eq!(bdd.sat_fraction(and), 0.25);
+        assert_eq!(bdd.sat_fraction(or), 0.75);
+        assert_eq!(bdd.sat_fraction(xor), 0.5);
+        // De Morgan, canonically.
+        let nand = bdd.not(and).unwrap();
+        let nx = bdd.not(x).unwrap();
+        let ny = bdd.not(y).unwrap();
+        let de_morgan = bdd.or(nx, ny).unwrap();
+        assert_eq!(nand, de_morgan);
+    }
+
+    #[test]
+    fn compile_agrees_with_simulation() {
+        let (nl, ports) = builders::ripple_carry_adder(5);
+        let order = interleaved_order(&nl);
+        let mut bdd = Bdd::new(nl.num_inputs() as u32);
+        let outs = bdd.compile(&nl, &order).unwrap();
+        let mut sim = crate::sim::Simulator::new(&nl);
+        for a in 0..32u64 {
+            for b in (0..32u64).step_by(3) {
+                let inputs = ports.pack_operands(a, b, false);
+                let want = sim.evaluate(&inputs).unwrap();
+                for (o, &w) in outs.iter().zip(&want) {
+                    // Evaluate the BDD on the same vector.
+                    let mut cur = *o;
+                    while !cur.is_const() {
+                        let node = &bdd.nodes[cur.0 as usize];
+                        // Map variable back to an input position.
+                        let pos = order
+                            .iter()
+                            .position(|&v| v == node.var)
+                            .expect("var maps to an input");
+                        cur = if inputs[pos] { node.hi } else { node.lo };
+                    }
+                    assert_eq!(cur == BddRef::TRUE, w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_bdd_stays_small_under_interleaved_order() {
+        let (nl, _) = builders::ripple_carry_adder(32);
+        let order = interleaved_order(&nl);
+        let mut bdd = Bdd::new(nl.num_inputs() as u32);
+        bdd.compile(&nl, &order).unwrap();
+        // Linear in width — far below the node budget. (Under the
+        // declaration order this would be millions of nodes.)
+        assert!(bdd.len() < 10_000, "unexpected blow-up: {}", bdd.len());
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let (nl, _) = builders::ripple_carry_adder(16);
+        // Declaration order a0..a15 b0..b15 cin: exponential for the
+        // high sum bits — must trip a small budget.
+        let order: Vec<u32> = (0..nl.num_inputs() as u32).collect();
+        let mut bdd = Bdd::with_node_limit(nl.num_inputs() as u32, 2_000);
+        let err = bdd.compile(&nl, &order).unwrap_err();
+        assert_eq!(err.limit, 2_000);
+        assert!(err.to_string().contains("2000"));
+    }
+
+    #[test]
+    fn sat_fraction_counts_adder_carries() {
+        // cout of a 1-bit full adder is the majority function: 4 of 8.
+        let (nl, _) = builders::ripple_carry_adder(1);
+        let order = interleaved_order(&nl);
+        let mut bdd = Bdd::new(3);
+        let outs = bdd.compile(&nl, &order).unwrap();
+        assert_eq!(bdd.sat_fraction(outs[1]), 0.5);
+    }
+
+    #[test]
+    fn any_sat_finds_a_witness() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let ny = bdd.not(y).unwrap();
+        let f = bdd.and(x, ny).unwrap();
+        let w = bdd.any_sat(f).unwrap();
+        assert!(w[0]);
+        assert!(!w[1]);
+        assert_eq!(bdd.any_sat(BddRef::FALSE), None);
+    }
+
+    #[test]
+    fn word_sub_and_abs_compute_differences() {
+        // Two 2-bit constants: |1 - 3| = 2.
+        let mut bdd = Bdd::new(1);
+        let one = [BddRef::TRUE, BddRef::FALSE];
+        let three = [BddRef::TRUE, BddRef::TRUE];
+        let diff = bdd.word_sub(&one, &three).unwrap();
+        let abs = bdd.word_abs(&diff).unwrap();
+        let (max, _) = bdd.max_unsigned(&abs).unwrap();
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn max_unsigned_maximizes_symbolic_words() {
+        // max over x of |x - 5| for 3-bit x is |0 - 5| = 5... and
+        // |7 - 5| = 2; so 5.
+        let mut bdd = Bdd::new(3);
+        let x: Vec<BddRef> = (0..3).map(|i| bdd.var(i).unwrap()).collect();
+        let five = [BddRef::TRUE, BddRef::FALSE, BddRef::TRUE];
+        let diff = bdd.word_sub(&x, &five).unwrap();
+        let abs = bdd.word_abs(&diff).unwrap();
+        let (max, witness) = bdd.max_unsigned(&abs).unwrap();
+        assert_eq!(max, 5);
+        // The witness must be x = 0.
+        assert_eq!(witness[..3], [false, false, false]);
+    }
+
+    #[test]
+    fn interleaved_order_interleaves_adder_operands() {
+        let (nl, _) = builders::ripple_carry_adder(4);
+        let order = interleaved_order(&nl);
+        // Inputs are a0..a3, b0..b3, cin. sum0 = a0 ^ b0 ^ cin, so the
+        // first three variables are exactly {a0, b0, cin}.
+        let mut first_three: Vec<usize> = (0..9).filter(|&i| order[i] < 3).collect();
+        first_three.sort_unstable();
+        assert_eq!(first_three, vec![0, 4, 8]);
+    }
+}

@@ -77,6 +77,13 @@ impl AdderPorts {
         self.cin
     }
 
+    /// `true` if the netlist declares a carry-out output after the sum
+    /// bits.
+    #[must_use]
+    pub fn has_cout(&self) -> bool {
+        self.has_cout
+    }
+
     /// Pack two operands (and the carry-in, if present) into the input
     /// vector expected by [`Simulator::evaluate`](crate::Simulator::evaluate).
     ///
@@ -172,6 +179,44 @@ pub fn ripple_carry_adder(width: usize) -> (Netlist, AdderPorts) {
     }
     nl.mark_output(carry, "cout");
     let ports = AdderPorts::new(a, b, Some(cin), true);
+    (nl, ports)
+}
+
+/// Build a `width`-bit modular adder: `sum = (a + b) mod 2^width`, no
+/// carry-in or carry-out.
+///
+/// This port shape (`a[0..w]`, `b[0..w]` in, `sum[0..w]` out) matches the
+/// approximate adder families in `approx-arith`, making it the exact
+/// reference of choice for [`crate::equiv::error_bound`].
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 64.
+#[must_use]
+pub fn modular_adder(width: usize) -> (Netlist, AdderPorts) {
+    assert!((1..=64).contains(&width), "width must be in 1..=64");
+    let mut nl = Netlist::new();
+    let (a, b) = declare_ab(&mut nl, width);
+    // The top bit never needs its carry; skipping it keeps the netlist
+    // free of dead gates.
+    if width == 1 {
+        let sum = nl.xor2(a[0], b[0]);
+        nl.mark_output(sum, "sum0");
+    } else {
+        let (sum, mut carry) = half_adder(&mut nl, a[0], b[0]);
+        nl.mark_output(sum, "sum0");
+        for i in 1..width {
+            let sum = if i + 1 == width {
+                let axb = nl.xor2(a[i], b[i]);
+                nl.xor2(axb, carry)
+            } else {
+                let (s, c) = full_adder(&mut nl, a[i], b[i], carry);
+                carry = c;
+                s
+            };
+            nl.mark_output(sum, format!("sum{i}"));
+        }
+    }
+    let ports = AdderPorts::new(a, b, None, false);
     (nl, ports)
 }
 
@@ -296,5 +341,33 @@ mod tests {
     #[should_panic(expected = "width must be in 1..=64")]
     fn zero_width_adder_panics() {
         let _ = ripple_carry_adder(0);
+    }
+
+    #[test]
+    fn modular_adder_wraps_exhaustive_4bit() {
+        let (nl, ports) = modular_adder(4);
+        nl.validate().unwrap();
+        assert!(!ports.has_cout());
+        assert_eq!(ports.cin(), None);
+        let mut sim = Simulator::new(&nl);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let out = sim.evaluate(&ports.pack_operands(a, b, false)).unwrap();
+                let (sum, cout) = ports.unpack_result(&out);
+                assert_eq!(sum, (a + b) & 0xF);
+                assert!(!cout);
+            }
+        }
+    }
+
+    #[test]
+    fn modular_adder_width_one() {
+        let (nl, ports) = modular_adder(1);
+        let mut sim = Simulator::new(&nl);
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let out = sim.evaluate(&ports.pack_operands(a, b, false)).unwrap();
+            let (sum, _) = ports.unpack_result(&out);
+            assert_eq!(sum, (a + b) & 1);
+        }
     }
 }

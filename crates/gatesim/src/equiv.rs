@@ -1,21 +1,37 @@
-//! Combinational equivalence checking by simulation.
+//! Combinational equivalence checking: BDD proofs and simulation.
 //!
-//! A lightweight stand-in for a SAT-based miter: two netlists with the
-//! same interface are compared on input vectors — exhaustively when the
-//! input count permits, by seeded random sampling otherwise. Simulation
-//! cannot *prove* equivalence for large circuits, but it is exactly the
-//! right tool for this crate's uses: validating the logic optimizer and
-//! cross-checking hand-built netlists against functional models.
+//! [`prove`] is the primary entry point: it compiles both netlists into a
+//! shared [ROBDD](crate::bdd) manager and compares the canonical output
+//! diagrams — a real miter-style proof that returns
+//! [`Equivalence::Proven`] or a concrete [`Equivalence::Counterexample`]
+//! for arbitrary-width circuits (all the 16/32/64-bit adders in this
+//! workspace stay polynomial under the structural variable order).
+//!
+//! [`check`] is the older simulation path — exhaustive for small input
+//! counts, seeded random sampling otherwise. Sampling cannot prove
+//! equivalence and survives mainly for cross-checking the BDD engine and
+//! for circuits whose diagrams blow past the node budget; prefer
+//! [`prove`] wherever BDDs fit (they do for everything this crate
+//! builds).
+//!
+//! For approximate circuits — which are deliberately *not* equivalent to
+//! their exact references — [`error_bound`] characterizes the deviation
+//! exactly: the fraction of input vectors with any output mismatch (via
+//! BDD model counting) and the worst-case absolute word error (via
+//! symbolic two's complement arithmetic), without a `2^n` sweep.
 
+use crate::bdd::{interleaved_order, Bdd, BddRef, NodeLimitExceeded};
 use crate::netlist::Netlist;
 use crate::sim::Simulator;
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Equivalence {
-    /// All `2^n` input vectors agreed — the circuits are equivalent.
+    /// Equivalence was established for *all* input vectors — by BDD proof
+    /// ([`prove`]) or an exhaustive sweep ([`check`]).
     Proven,
-    /// `vectors` sampled vectors agreed; no counterexample found.
+    /// `vectors` sampled vectors agreed; no counterexample found. This is
+    /// evidence, not proof.
     Sampled {
         /// Number of vectors simulated.
         vectors: u64,
@@ -40,15 +56,243 @@ impl Equivalence {
     pub fn holds(&self) -> bool {
         matches!(self, Equivalence::Proven | Equivalence::Sampled { .. })
     }
+
+    /// `true` only for a full proof (not mere sampling evidence).
+    #[must_use]
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Equivalence::Proven)
+    }
 }
 
-/// Compare two netlists on input vectors: exhaustively if they have at
-/// most `exhaustive_limit` inputs, otherwise on `samples` vectors from a
-/// seeded xorshift stream.
+/// Largest input count for which [`check`] will sweep all `2^n` vectors;
+/// larger requests are clamped here (16M vectors is the practical
+/// ceiling).
+pub const EXHAUSTIVE_CEILING: u32 = 24;
+
+/// Samples used when [`prove`] has to fall back to simulation.
+const FALLBACK_SAMPLES: u64 = 4096;
+
+/// Prove or refute equivalence of two netlists with a BDD miter.
+///
+/// Both netlists are compiled into one BDD manager under a structural
+/// variable order derived from `left` (see
+/// [`interleaved_order`]); because ROBDDs are canonical, the circuits are
+/// equivalent exactly when every output pair maps to the same node.
+/// Inputs and outputs are matched positionally, as in [`check`].
+///
+/// Returns [`Equivalence::Proven`] or a concrete
+/// [`Equivalence::Counterexample`]. In the unlikely event the diagrams
+/// exceed the default node budget ([`Bdd::DEFAULT_NODE_LIMIT`]) the
+/// check falls back to seeded random simulation and returns
+/// [`Equivalence::Sampled`]; use [`prove_with_limit`] to observe the
+/// budget overrun directly.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{builders, equiv, Equivalence};
+///
+/// // 65 inputs: far beyond exhaustive simulation, trivial for BDDs.
+/// let (a, _) = builders::ripple_carry_adder(32);
+/// let (b, _) = builders::ripple_carry_adder(32);
+/// assert_eq!(equiv::prove(&a, &b), Equivalence::Proven);
+/// ```
+#[must_use]
+pub fn prove(left: &Netlist, right: &Netlist) -> Equivalence {
+    match prove_with_limit(left, right, Bdd::DEFAULT_NODE_LIMIT) {
+        Ok(verdict) => verdict,
+        Err(_) => check(left, right, EXHAUSTIVE_CEILING, FALLBACK_SAMPLES),
+    }
+}
+
+/// [`prove`] with an explicit BDD node budget and no simulation fallback.
+///
+/// # Errors
+/// Returns [`NodeLimitExceeded`] if either circuit's diagrams outgrow
+/// `node_limit` (e.g. under an adversarial structure the variable-order
+/// heuristic cannot tame).
+pub fn prove_with_limit(
+    left: &Netlist,
+    right: &Netlist,
+    node_limit: usize,
+) -> Result<Equivalence, NodeLimitExceeded> {
+    if left.num_inputs() != right.num_inputs() || left.num_outputs() != right.num_outputs() {
+        return Ok(Equivalence::InterfaceMismatch);
+    }
+    let n = left.num_inputs();
+    let order = interleaved_order(left);
+    let mut bdd = Bdd::with_node_limit(n as u32, node_limit);
+    let left_outs = bdd.compile(left, &order)?;
+    let right_outs = bdd.compile(right, &order)?;
+    let mut miter = BddRef::FALSE;
+    for (&l, &r) in left_outs.iter().zip(&right_outs) {
+        let diff = bdd.xor(l, r)?;
+        miter = bdd.or(miter, diff)?;
+    }
+    if miter == BddRef::FALSE {
+        return Ok(Equivalence::Proven);
+    }
+    let assignment = bdd.any_sat(miter).expect("non-false miter is satisfiable");
+    let inputs: Vec<bool> = (0..n).map(|i| assignment[order[i] as usize]).collect();
+    let left_out = Simulator::new(left)
+        .evaluate(&inputs)
+        .expect("interface checked");
+    let right_out = Simulator::new(right)
+        .evaluate(&inputs)
+        .expect("interface checked");
+    debug_assert_ne!(left_out, right_out, "BDD counterexample must re-simulate");
+    Ok(Equivalence::Counterexample {
+        inputs,
+        left: left_out,
+        right: right_out,
+    })
+}
+
+/// Exact error characterization of an approximate circuit against its
+/// exact reference, computed symbolically (no vector sweep).
+///
+/// Produced by [`error_bound`]. Outputs are interpreted as unsigned words
+/// (LSB first, matching the builder conventions); the error of a vector
+/// is `approx_word − exact_word` as a signed integer, the same convention
+/// as the simulation-based error statistics elsewhere in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBound {
+    /// Exact fraction of input vectors on which any output bit differs.
+    pub error_rate: f64,
+    /// Worst-case absolute word error over *all* input vectors.
+    pub max_abs_error: u64,
+    /// Worst-case error as a distance on the `2^w` output ring:
+    /// `min(d, 2^w − d)` where `d = (approx − exact) mod 2^w`. A modular
+    /// adder that drops a carry wraps the plain difference to nearly
+    /// `2^w`, but on the ring the damage is only the dropped carry's
+    /// weight — this is the right metric for truncated/speculative
+    /// adder families whose error bound is stated modulo the word width.
+    pub max_ring_error: u64,
+    /// An input vector attaining `max_abs_error` (LSB-first per primary
+    /// input order). All-false when the circuits are equivalent.
+    pub worst_case_inputs: Vec<bool>,
+}
+
+impl ErrorBound {
+    /// `true` if the circuits agree on every input vector.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.max_abs_error == 0 && self.error_rate == 0.0
+    }
+}
+
+/// Failure modes of [`error_bound`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorBoundError {
+    /// The circuits have different input or output counts.
+    InterfaceMismatch,
+    /// The output word is too wide for exact `u64` error extraction.
+    OutputTooWide {
+        /// Number of primary outputs.
+        bits: usize,
+    },
+    /// A BDD outgrew the node budget.
+    NodeLimit(NodeLimitExceeded),
+}
+
+impl std::fmt::Display for ErrorBoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorBoundError::InterfaceMismatch => {
+                write!(f, "circuits have mismatched interfaces")
+            }
+            ErrorBoundError::OutputTooWide { bits } => {
+                write!(f, "output word of {bits} bits exceeds the 63-bit limit")
+            }
+            ErrorBoundError::NodeLimit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ErrorBoundError {}
+
+impl From<NodeLimitExceeded> for ErrorBoundError {
+    fn from(e: NodeLimitExceeded) -> Self {
+        ErrorBoundError::NodeLimit(e)
+    }
+}
+
+/// Characterize the exact error of `approx` against `exact` by symbolic
+/// analysis: error rate via BDD model counting, worst-case absolute word
+/// error via two's complement BDD arithmetic and MSB-first maximization.
+///
+/// Both results are exact over all `2^n` input vectors — this supersedes
+/// exhaustive simulation sweeps, which are infeasible beyond ~24 inputs.
+///
+/// # Errors
+/// * [`ErrorBoundError::InterfaceMismatch`] if input/output counts differ;
+/// * [`ErrorBoundError::OutputTooWide`] if the circuits have more than 63
+///   outputs (the signed difference must fit in a `u64` word);
+/// * [`ErrorBoundError::NodeLimit`] if a diagram outgrows the budget.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{builders, equiv};
+///
+/// let (a, _) = builders::modular_adder(16);
+/// let (b, _) = builders::modular_adder(16);
+/// let bound = equiv::error_bound(&a, &b).unwrap();
+/// assert!(bound.is_exact());
+/// ```
+pub fn error_bound(approx: &Netlist, exact: &Netlist) -> Result<ErrorBound, ErrorBoundError> {
+    if approx.num_inputs() != exact.num_inputs() || approx.num_outputs() != exact.num_outputs() {
+        return Err(ErrorBoundError::InterfaceMismatch);
+    }
+    let out_bits = approx.num_outputs();
+    if out_bits > 63 {
+        return Err(ErrorBoundError::OutputTooWide { bits: out_bits });
+    }
+    let n = approx.num_inputs();
+    let order = interleaved_order(exact);
+    let mut bdd = Bdd::new(n as u32);
+    let approx_outs = bdd.compile(approx, &order)?;
+    let exact_outs = bdd.compile(exact, &order)?;
+
+    // Error rate: satisfying fraction of the miter.
+    let mut miter = BddRef::FALSE;
+    for (&a, &e) in approx_outs.iter().zip(&exact_outs) {
+        let diff = bdd.xor(a, e)?;
+        miter = bdd.or(miter, diff)?;
+    }
+    let error_rate = bdd.sat_fraction(miter);
+
+    // Worst-case |approx − exact| via symbolic subtraction.
+    let signed_diff = bdd.word_sub(&approx_outs, &exact_outs)?;
+    let abs_diff = bdd.word_abs(&signed_diff)?;
+    let (max_abs_error, witness) = bdd.max_unsigned(&abs_diff)?;
+    let worst_case_inputs: Vec<bool> = (0..n).map(|i| witness[order[i] as usize]).collect();
+
+    // Ring distance: keep only the low `out_bits` of the difference —
+    // that is (approx − exact) mod 2^w as a w-bit two's complement
+    // word, whose absolute value is min(d, 2^w − d).
+    let ring_abs = bdd.word_abs(&signed_diff[..out_bits])?;
+    let (max_ring_error, _) = bdd.max_unsigned(&ring_abs)?;
+    Ok(ErrorBound {
+        error_rate,
+        max_abs_error,
+        max_ring_error,
+        worst_case_inputs,
+    })
+}
+
+/// Compare two netlists by simulation: exhaustively if they have at most
+/// `min(exhaustive_limit, EXHAUSTIVE_CEILING)` inputs, otherwise on
+/// `samples` vectors from a seeded xorshift stream.
+///
+/// Limits above [`EXHAUSTIVE_CEILING`] are clamped (not an error): wider
+/// circuits silently take the sampling path, so callers can pass the
+/// input count directly. Prefer [`prove`] — it returns a real proof for
+/// any width this workspace builds; sampling survives for cross-checking
+/// the BDD engine and for circuits past the node budget.
 ///
 /// # Panics
-/// Panics if `exhaustive_limit > 24` (16M vectors is the practical
-/// ceiling) or `samples` is 0.
+/// Panics if `samples` is 0.
 ///
 /// # Example
 ///
@@ -65,10 +309,7 @@ impl Equivalence {
 /// ```
 #[must_use]
 pub fn check(left: &Netlist, right: &Netlist, exhaustive_limit: u32, samples: u64) -> Equivalence {
-    assert!(
-        exhaustive_limit <= 24,
-        "exhaustive limit capped at 24 inputs"
-    );
+    let exhaustive_limit = exhaustive_limit.min(EXHAUSTIVE_CEILING);
     assert!(samples > 0, "samples must be positive");
     if left.num_inputs() != right.num_inputs() || left.num_outputs() != right.num_outputs() {
         return Equivalence::InterfaceMismatch;
@@ -182,6 +423,7 @@ mod tests {
         let (b, _) = builders::ripple_carry_adder(5);
         assert_eq!(check(&a, &b, 16, 100), Equivalence::InterfaceMismatch);
         assert!(!check(&a, &b, 16, 100).holds());
+        assert_eq!(prove(&a, &b), Equivalence::InterfaceMismatch);
     }
 
     #[test]
@@ -189,6 +431,19 @@ mod tests {
         let (a, _) = builders::ripple_carry_adder(32); // 65 inputs
         let (b, _) = builders::ripple_carry_adder(32);
         assert_eq!(check(&a, &b, 16, 50), Equivalence::Sampled { vectors: 50 });
+    }
+
+    #[test]
+    fn oversized_exhaustive_limit_is_clamped_not_fatal() {
+        // Previously panicked; now clamps to EXHAUSTIVE_CEILING and
+        // samples, since 65 inputs > 24.
+        let (a, _) = builders::ripple_carry_adder(32);
+        let (b, _) = builders::ripple_carry_adder(32);
+        assert_eq!(check(&a, &b, 999, 10), Equivalence::Sampled { vectors: 10 });
+        // Small circuits under an oversized limit still get the full sweep.
+        let (c, _) = builders::ripple_carry_adder(2);
+        let (d, _) = builders::ripple_carry_adder(2);
+        assert_eq!(check(&c, &d, u32::MAX, 10), Equivalence::Proven);
     }
 
     #[test]
@@ -205,5 +460,126 @@ mod tests {
         let zero = broken.constant(false);
         broken.mark_output(zero, "cout");
         assert!(!check(&exact, &broken, 16, 200).holds());
+    }
+
+    #[test]
+    fn prove_upgrades_wide_adders_from_sampled_to_proven() {
+        for width in [16usize, 32, 64] {
+            let (a, _) = builders::ripple_carry_adder(width);
+            let (b, _) = builders::ripple_carry_adder(width);
+            assert_eq!(prove(&a, &b), Equivalence::Proven, "width {width}");
+        }
+    }
+
+    #[test]
+    fn prove_finds_counterexamples_on_wide_circuits() {
+        let (exact, ports) = builders::ripple_carry_adder(32);
+        let mut broken = Netlist::new();
+        let (a, b, _cin) = builders::declare_operands(&mut broken, 32);
+        for i in 0..32 {
+            let s = broken.xor2(a[i], b[i]);
+            broken.mark_output(s, format!("sum{i}"));
+        }
+        let zero = broken.constant(false);
+        broken.mark_output(zero, "cout");
+        match prove(&exact, &broken) {
+            Equivalence::Counterexample {
+                inputs,
+                left,
+                right,
+            } => {
+                assert_eq!(inputs.len(), 65);
+                assert_ne!(left, right);
+                // The counterexample must actually reproduce in simulation.
+                let got = Simulator::new(&exact).evaluate(&inputs).unwrap();
+                assert_eq!(got, left);
+                let _ = ports;
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prove_with_limit_reports_budget_overruns() {
+        let (a, _) = builders::ripple_carry_adder(24);
+        let (b, _) = builders::ripple_carry_adder(24);
+        let err = prove_with_limit(&a, &b, 64).unwrap_err();
+        assert_eq!(err.limit, 64);
+        // prove() still answers by falling back to sampling-based check.
+        assert!(prove(&a, &b).holds());
+    }
+
+    #[test]
+    fn prove_agrees_with_exhaustive_check_on_mux() {
+        let m1 = builders::word_mux(3);
+        let m2 = builders::word_mux(3);
+        assert_eq!(prove(&m1, &m2), check(&m1, &m2, 24, 10));
+    }
+
+    #[test]
+    fn error_bound_is_zero_for_equivalent_circuits() {
+        let (a, _) = builders::modular_adder(16);
+        let (b, _) = builders::modular_adder(16);
+        let bound = error_bound(&a, &b).unwrap();
+        assert!(bound.is_exact());
+        assert_eq!(bound.max_abs_error, 0);
+        assert_eq!(bound.max_ring_error, 0);
+        assert_eq!(bound.error_rate, 0.0);
+    }
+
+    #[test]
+    fn error_bound_matches_brute_force_on_carry_free_adder() {
+        // Approx: bitwise XOR (drops all carries). Exact: modular add.
+        let width = 3usize;
+        let (exact, ports) = builders::modular_adder(width);
+        let mut approx = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut approx, width);
+        for i in 0..width {
+            let s = approx.xor2(a[i], b[i]);
+            approx.mark_output(s, format!("sum{i}"));
+        }
+
+        let bound = error_bound(&approx, &exact).unwrap();
+
+        // Brute-force reference sweep.
+        let mask = (1u64 << width) - 1;
+        let mut mismatches = 0u64;
+        let mut worst = 0u64;
+        let mut worst_ring = 0u64;
+        let modulus = mask + 1;
+        for x in 0..=mask {
+            for y in 0..=mask {
+                let approx_word = x ^ y;
+                let exact_word = (x + y) & mask;
+                if approx_word != exact_word {
+                    mismatches += 1;
+                }
+                worst = worst.max(approx_word.abs_diff(exact_word));
+                let d = approx_word.wrapping_sub(exact_word) & mask;
+                worst_ring = worst_ring.max(d.min(modulus - d));
+            }
+        }
+        let total = modulus * modulus;
+        assert!((bound.error_rate - mismatches as f64 / total as f64).abs() < 1e-12);
+        assert_eq!(bound.max_abs_error, worst);
+        assert_eq!(bound.max_ring_error, worst_ring);
+
+        // The worst-case witness must reproduce in simulation.
+        let out = Simulator::new(&approx)
+            .evaluate(&bound.worst_case_inputs)
+            .unwrap();
+        let (approx_word, _) = ports.unpack_result(&out);
+        let ref_out = Simulator::new(&exact)
+            .evaluate(&bound.worst_case_inputs)
+            .unwrap();
+        let (exact_word, _) = ports.unpack_result(&ref_out);
+        assert_eq!(approx_word.abs_diff(exact_word), worst);
+    }
+
+    #[test]
+    fn error_bound_rejects_mismatched_interfaces() {
+        let (a, _) = builders::modular_adder(4);
+        let (b, _) = builders::modular_adder(5);
+        assert_eq!(error_bound(&a, &b), Err(ErrorBoundError::InterfaceMismatch));
     }
 }

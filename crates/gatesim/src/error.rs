@@ -19,6 +19,23 @@ pub enum BuildNetlistError {
     },
     /// An output was marked twice with the same name.
     DuplicateOutputName(String),
+    /// A primary output references a node id outside the netlist.
+    InvalidOutput {
+        /// Name of the offending output.
+        name: String,
+        /// The out-of-range node id (raw index).
+        node: u32,
+        /// Number of nodes in the netlist.
+        len: usize,
+    },
+    /// The primary-input list is inconsistent with the node array: an
+    /// entry is out of range, references a non-input node, or an
+    /// input-kind node is missing from the list (and would never be
+    /// driven by the simulator).
+    MalformedInputList {
+        /// The offending node id (raw index).
+        node: u32,
+    },
 }
 
 impl fmt::Display for BuildNetlistError {
@@ -32,6 +49,16 @@ impl fmt::Display for BuildNetlistError {
             BuildNetlistError::DuplicateOutputName(name) => {
                 write!(f, "output name {name:?} is already in use")
             }
+            BuildNetlistError::InvalidOutput { name, node, len } => write!(
+                f,
+                "output {name:?} references node id {node}, out of range for a \
+                 netlist with {len} nodes"
+            ),
+            BuildNetlistError::MalformedInputList { node } => write!(
+                f,
+                "primary-input list is inconsistent at node id {node} \
+                 (entry out of range, non-input node listed, or input node unlisted)"
+            ),
         }
     }
 }

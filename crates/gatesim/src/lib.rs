@@ -60,18 +60,22 @@ mod gate;
 mod netlist;
 mod sim;
 
+pub mod bdd;
 pub mod builders;
 pub mod dot;
 pub mod equiv;
 pub mod fault;
+pub mod lint;
 pub mod optimize;
 pub mod stats;
 pub mod timing;
 
 pub use energy::EnergyModel;
+pub use equiv::Equivalence;
 pub use error::{BuildNetlistError, SimulateError};
 pub use fault::{CampaignRow, ErrorStats, FaultCampaign, FaultySimulator, StructuralFault};
 pub use gate::GateKind;
+pub use lint::{LintConfig, LintDiagnostic, LintPass, LintReport, Severity};
 pub use netlist::{Netlist, Node, NodeId};
 pub use sim::Simulator;
 pub use stats::ActivityReport;

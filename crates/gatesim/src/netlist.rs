@@ -16,6 +16,17 @@ impl NodeId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct a node id from a raw index.
+    ///
+    /// Only meaningful together with [`Netlist::from_parts`] (e.g. when
+    /// reconstructing a netlist from a serialized form or building lint
+    /// fixtures); ids made this way bypass the builders' ownership
+    /// checks.
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
 }
 
 impl std::fmt::Display for NodeId {
@@ -34,6 +45,27 @@ pub struct Node {
 }
 
 impl Node {
+    /// Construct a free-standing node for [`Netlist::from_parts`].
+    ///
+    /// # Panics
+    /// Panics if `inputs` does not supply exactly `kind.arity()` ids.
+    #[must_use]
+    pub fn new(kind: GateKind, inputs: &[NodeId], name: Option<String>) -> Self {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} nodes take exactly {} inputs",
+            kind.arity()
+        );
+        let mut padded = [NodeId(0); 3];
+        padded[..inputs.len()].copy_from_slice(inputs);
+        Self {
+            kind,
+            inputs: padded,
+            name,
+        }
+    }
+
     /// The gate kind of this node.
     #[must_use]
     pub fn kind(&self) -> GateKind {
@@ -270,16 +302,46 @@ impl Netlist {
             .sum()
     }
 
-    /// Validate that every referenced node id is in range.
+    /// Assemble a netlist directly from its parts, bypassing the
+    /// builders' invariants.
+    ///
+    /// Intended for deserialization and for constructing deliberately
+    /// malformed fixtures for the [linter](crate::lint); netlists made
+    /// this way may contain forward references (even combinational
+    /// cycles), dangling ids, or inconsistent input lists — run
+    /// [`Netlist::validate`] and [`Netlist::lint`](crate::lint) before
+    /// simulating.
+    #[must_use]
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<(NodeId, String)>,
+    ) -> Self {
+        Self {
+            nodes,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Validate the structural invariants the builders normally enforce.
     ///
     /// This always holds for netlists built through the public API (the
     /// builders panic on foreign ids); it is exposed for netlists coming
-    /// from deserialization.
+    /// from deserialization or [`Netlist::from_parts`]. Checked:
+    ///
+    /// * every gate references only earlier nodes (no forward references,
+    ///   hence no combinational cycles);
+    /// * every primary output references an in-range node;
+    /// * output names are unique;
+    /// * the primary-input list and the `Input`-kind nodes agree.
     ///
     /// # Errors
-    /// Returns [`BuildNetlistError::UnknownNode`] on a dangling reference
-    /// and [`BuildNetlistError::DuplicateOutputName`] on a repeated output
-    /// name.
+    /// Returns [`BuildNetlistError::UnknownNode`] on a dangling gate
+    /// reference, [`BuildNetlistError::InvalidOutput`] on an out-of-range
+    /// output, [`BuildNetlistError::DuplicateOutputName`] on a repeated
+    /// output name, and [`BuildNetlistError::MalformedInputList`] on an
+    /// inconsistent input list.
     pub fn validate(&self) -> Result<(), BuildNetlistError> {
         for (idx, node) in self.nodes.iter().enumerate() {
             for input in node.inputs() {
@@ -291,11 +353,35 @@ impl Netlist {
                 }
             }
         }
+        for (node, name) in &self.outputs {
+            if node.index() >= self.nodes.len() {
+                return Err(BuildNetlistError::InvalidOutput {
+                    name: name.clone(),
+                    node: node.0,
+                    len: self.nodes.len(),
+                });
+            }
+        }
         let mut names: Vec<&str> = self.outputs.iter().map(|(_, n)| n.as_str()).collect();
         names.sort_unstable();
         for pair in names.windows(2) {
             if pair[0] == pair[1] {
                 return Err(BuildNetlistError::DuplicateOutputName(pair[0].to_owned()));
+            }
+        }
+        let mut listed = vec![false; self.nodes.len()];
+        for id in &self.inputs {
+            let in_range = id.index() < self.nodes.len();
+            if !in_range || self.nodes[id.index()].kind != GateKind::Input {
+                return Err(BuildNetlistError::MalformedInputList { node: id.0 });
+            }
+            listed[id.index()] = true;
+        }
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.kind == GateKind::Input && !listed[idx] {
+                return Err(BuildNetlistError::MalformedInputList {
+                    node: u32::try_from(idx).expect("netlist larger than u32 nodes"),
+                });
             }
         }
         Ok(())
@@ -365,6 +451,67 @@ mod tests {
         let zero = nl.constant(false);
         assert!(nl.nodes()[one.index()].inputs().is_empty());
         assert_eq!(nl.nodes()[zero.index()].kind(), GateKind::Const0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_outputs() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.mark_output(a, "y");
+        let broken = Netlist::from_parts(
+            nl.nodes().to_vec(),
+            nl.primary_inputs().to_vec(),
+            vec![(NodeId::from_raw(7), "ghost".into())],
+        );
+        assert_eq!(
+            broken.validate(),
+            Err(BuildNetlistError::InvalidOutput {
+                name: "ghost".into(),
+                node: 7,
+                len: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_input_lists() {
+        // An Input-kind node missing from the primary-input list.
+        let nodes = vec![Node::new(GateKind::Input, &[], Some("a".into()))];
+        let unlisted = Netlist::from_parts(nodes.clone(), vec![], vec![]);
+        assert_eq!(
+            unlisted.validate(),
+            Err(BuildNetlistError::MalformedInputList { node: 0 })
+        );
+        // A listed id that is not an Input node.
+        let nodes = vec![
+            Node::new(GateKind::Input, &[], Some("a".into())),
+            Node::new(GateKind::Not, &[NodeId::from_raw(0)], None),
+        ];
+        let wrong_kind = Netlist::from_parts(
+            nodes,
+            vec![NodeId::from_raw(0), NodeId::from_raw(1)],
+            vec![],
+        );
+        assert_eq!(
+            wrong_kind.validate(),
+            Err(BuildNetlistError::MalformedInputList { node: 1 })
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_valid_netlists() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.xor2(a, b);
+        nl.mark_output(y, "y");
+        let rebuilt = Netlist::from_parts(
+            nl.nodes().to_vec(),
+            nl.primary_inputs().to_vec(),
+            nl.primary_outputs().to_vec(),
+        );
+        rebuilt.validate().expect("round trip is valid");
+        assert_eq!(rebuilt, nl);
     }
 
     #[test]

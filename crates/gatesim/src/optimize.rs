@@ -292,6 +292,26 @@ pub fn optimize(netlist: &Netlist) -> OptimizeReport {
         out.mark_output(target, name.clone());
     }
 
+    // Lint post-pass: optimization must never introduce structural
+    // (error-severity) findings, and dead-gate elimination guarantees no
+    // dead logic survives. Constant-output warnings are exempt — folding
+    // can legitimately reveal a cone that was already stuck.
+    let lint_before = netlist.lint();
+    let lint_after = out.lint();
+    assert!(
+        lint_after.error_count() <= lint_before.error_count(),
+        "optimize() introduced lint errors:\n{lint_after}"
+    );
+    assert_eq!(
+        lint_after
+            .counts_by_pass()
+            .get(&crate::lint::LintPass::DeadGate)
+            .copied()
+            .unwrap_or(0),
+        0,
+        "optimize() left dead gates behind:\n{lint_after}"
+    );
+
     OptimizeReport {
         netlist: out,
         folded: folded_count,

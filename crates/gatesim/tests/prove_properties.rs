@@ -1,0 +1,186 @@
+//! Property tests: the BDD prover must agree with exhaustive simulation
+//! on randomly generated netlists.
+//!
+//! For every seeded random circuit of 6–10 inputs we require:
+//!
+//! * `prove(nl, optimize(nl))` returns `Proven`, matching the exhaustive
+//!   [`equiv::check`] sweep;
+//! * for a single-gate mutation of the circuit, `prove` and the
+//!   exhaustive sweep reach the same verdict, and any counterexample the
+//!   prover emits actually reproduces in simulation.
+
+use gatesim::equiv::{self, Equivalence};
+use gatesim::{optimize, GateKind, Netlist, NodeId, Simulator};
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+const TWO_INPUT_KINDS: [GateKind; 6] = [
+    GateKind::And2,
+    GateKind::Or2,
+    GateKind::Xor2,
+    GateKind::Nand2,
+    GateKind::Nor2,
+    GateKind::Xnor2,
+];
+
+/// Build a random DAG with `num_inputs` inputs and a handful of outputs.
+fn random_netlist(rng: &mut Rng, num_inputs: usize, num_gates: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut pool: Vec<NodeId> = (0..num_inputs).map(|i| nl.input(format!("x{i}"))).collect();
+    for _ in 0..num_gates {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let c = pool[rng.below(pool.len())];
+        let id = match rng.below(9) {
+            0 => nl.not(a),
+            1 => nl.mux2(a, b, c),
+            2 => nl.maj3(a, b, c),
+            k => {
+                let kind = TWO_INPUT_KINDS[k - 3];
+                match kind {
+                    GateKind::And2 => nl.and2(a, b),
+                    GateKind::Or2 => nl.or2(a, b),
+                    GateKind::Xor2 => nl.xor2(a, b),
+                    GateKind::Nand2 => nl.nand2(a, b),
+                    GateKind::Nor2 => nl.nor2(a, b),
+                    GateKind::Xnor2 => nl.xnor2(a, b),
+                    _ => unreachable!(),
+                }
+            }
+        };
+        pool.push(id);
+    }
+    // Mark the last few gates as outputs so most of the DAG stays live.
+    let num_outputs = 3 + rng.below(3);
+    for k in 0..num_outputs {
+        let node = pool[pool.len() - 1 - k * 2 % pool.len()];
+        nl.mark_output(node, format!("y{k}"));
+    }
+    nl
+}
+
+/// Rebuild `nl` with one randomly chosen 2-input gate swapped for a
+/// different kind. Returns `None` if the netlist has no 2-input gate.
+fn mutate_one_gate(nl: &Netlist, rng: &mut Rng) -> Option<Netlist> {
+    let candidates: Vec<usize> = nl
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.inputs().len() == 2)
+        .map(|(i, _)| i)
+        .collect();
+    let victim = *candidates.get(rng.below(candidates.len().max(1)))?;
+    let old_kind = nl.nodes()[victim].kind();
+    let new_kind = loop {
+        let k = TWO_INPUT_KINDS[rng.below(TWO_INPUT_KINDS.len())];
+        if k != old_kind {
+            break k;
+        }
+    };
+    let mut out = Netlist::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(nl.len());
+    for (idx, node) in nl.nodes().iter().enumerate() {
+        let kind = if idx == victim { new_kind } else { node.kind() };
+        let get = |i: usize| remap[node.inputs()[i].index()];
+        let id = match kind {
+            GateKind::Input => out.input(node.name().unwrap_or("in").to_owned()),
+            GateKind::Const0 => out.constant(false),
+            GateKind::Const1 => out.constant(true),
+            GateKind::Buf => out.buf(get(0)),
+            GateKind::Not => out.not(get(0)),
+            GateKind::And2 => out.and2(get(0), get(1)),
+            GateKind::Or2 => out.or2(get(0), get(1)),
+            GateKind::Xor2 => out.xor2(get(0), get(1)),
+            GateKind::Nand2 => out.nand2(get(0), get(1)),
+            GateKind::Nor2 => out.nor2(get(0), get(1)),
+            GateKind::Xnor2 => out.xnor2(get(0), get(1)),
+            GateKind::Mux2 => out.mux2(get(0), get(1), get(2)),
+            GateKind::Maj3 => out.maj3(get(0), get(1), get(2)),
+        };
+        remap.push(id);
+    }
+    for (id, name) in nl.primary_outputs() {
+        out.mark_output(remap[id.index()], name.clone());
+    }
+    Some(out)
+}
+
+fn assert_counterexample_reproduces(left: &Netlist, right: &Netlist, verdict: &Equivalence) {
+    if let Equivalence::Counterexample {
+        inputs,
+        left: lo,
+        right: ro,
+    } = verdict
+    {
+        let got_l = Simulator::new(left).evaluate(inputs).unwrap();
+        let got_r = Simulator::new(right).evaluate(inputs).unwrap();
+        assert_eq!(&got_l, lo, "left outputs must reproduce");
+        assert_eq!(&got_r, ro, "right outputs must reproduce");
+        assert_ne!(lo, ro, "counterexample must actually differ");
+    }
+}
+
+#[test]
+fn prove_matches_exhaustive_simulation_on_random_netlists() {
+    let mut rng = Rng(0xA5A5_0001_D00D_F00D);
+    for round in 0..40 {
+        let num_inputs = 6 + rng.below(5); // 6..=10
+        let num_gates = 15 + rng.below(25);
+        let nl = random_netlist(&mut rng, num_inputs, num_gates);
+        nl.validate().expect("generated netlists are valid");
+
+        // The optimizer must preserve the function — and prove() must
+        // agree with the exhaustive ground truth.
+        let optimized = optimize::optimize(&nl).netlist;
+        let proved = equiv::prove(&nl, &optimized);
+        let swept = equiv::check(&nl, &optimized, 24, 1);
+        assert_eq!(
+            proved,
+            Equivalence::Proven,
+            "round {round}: optimizer must be exact"
+        );
+        assert_eq!(swept, Equivalence::Proven, "round {round}");
+
+        // A mutated circuit: both engines must reach the same verdict.
+        let Some(mutated) = mutate_one_gate(&nl, &mut rng) else {
+            continue;
+        };
+        let proved = equiv::prove(&nl, &mutated);
+        let swept = equiv::check(&nl, &mutated, 24, 1);
+        match (&proved, &swept) {
+            (Equivalence::Proven, Equivalence::Proven) => {
+                // The mutated gate was dead or redundant — legitimate.
+            }
+            (Equivalence::Counterexample { .. }, Equivalence::Counterexample { .. }) => {
+                assert_counterexample_reproduces(&nl, &mutated, &proved);
+            }
+            other => panic!("round {round}: verdicts disagree: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn prove_is_deterministic() {
+    let mut rng = Rng(0xDEAD_BEEF_0BAD_CAFE);
+    let nl = random_netlist(&mut rng, 8, 30);
+    let Some(mutated) = mutate_one_gate(&nl, &mut rng) else {
+        panic!("expected a 2-input gate to mutate");
+    };
+    let first = equiv::prove(&nl, &mutated);
+    let second = equiv::prove(&nl, &mutated);
+    assert_eq!(first, second);
+}

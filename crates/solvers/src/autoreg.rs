@@ -105,6 +105,24 @@ impl AutoRegression {
         self.x.len()
     }
 
+    /// The design matrix rows (range analysis reads their entry bounds).
+    #[must_use]
+    pub fn design_matrix(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The regression targets.
+    #[must_use]
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The gradient-descent step size `α`.
+    #[must_use]
+    pub fn step_size(&self) -> f64 {
+        self.step_size
+    }
+
     /// The exact least-squares solution via the normal equations — the
     /// reference the QEM can be measured against.
     ///

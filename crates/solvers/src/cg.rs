@@ -86,6 +86,18 @@ impl ConjugateGradient {
         self.b.len()
     }
 
+    /// The system matrix `A` (range analysis reads its entry bounds).
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The right-hand side `b`.
+    #[must_use]
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+
     /// Exact residual `b − Ax` (monitoring).
     #[must_use]
     pub fn exact_residual(&self, x: &[f64]) -> Vec<f64> {

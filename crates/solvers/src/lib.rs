@@ -37,6 +37,7 @@ mod poisson;
 pub mod datasets;
 pub mod functions;
 pub mod metrics;
+pub mod ranges;
 
 pub use autoreg::AutoRegression;
 pub use cg::{CgState, ConjugateGradient};
@@ -48,6 +49,10 @@ pub use method::IterativeMethod;
 pub use multigrid::MultigridPoisson;
 pub use newton::NewtonMethod;
 pub use poisson::{PoissonJacobi, PoissonSource, SweepMode};
+pub use ranges::{
+    ar_range_model, cg_range_model, gmm_range_model, ArRangeSpec, CgRangeSpec, GmmRangeSpec,
+    RangeModel,
+};
 
 /// Deterministic PRNGs, re-exported from [`approx_arith::rng`] so that
 /// downstream code has a single import path.
