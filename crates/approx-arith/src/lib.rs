@@ -47,6 +47,7 @@ mod prefix;
 mod recon;
 mod trunc;
 
+pub mod errorprop;
 pub mod range;
 pub mod rng;
 
@@ -58,6 +59,7 @@ pub use error_metrics::{
     bit_error_rates, characterize_exhaustive, characterize_monte_carlo, characterize_trace,
     error_histogram, ErrorStats,
 };
+pub use errorprop::{propagate_error, ErrorPropReport, ErrorRecurrence};
 pub use eta::EtaIiAdder;
 pub use exact::RippleCarryAdder;
 pub use fault::{FaultInjector, FaultModel, FaultTargets};

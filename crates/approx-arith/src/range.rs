@@ -397,10 +397,17 @@ impl ExprId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild a handle from a raw index — only for crate-internal
+    /// passes that walk a graph they did not build (see
+    /// [`crate::errorprop`]).
+    pub(crate) fn from_index(idx: usize) -> Self {
+        Self(u32::try_from(idx).expect("graph larger than u32 nodes"))
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum RangeNode {
+pub(crate) enum RangeNode {
     Input(Interval),
     Const(f64),
     Add(ExprId, ExprId),
@@ -440,6 +447,13 @@ impl RangeGraph {
             id.index() < self.nodes.len(),
             "expression {id:?} does not belong to this graph"
         );
+    }
+
+    /// The structural node behind an expression — used by the
+    /// error-propagation pass in [`crate::errorprop`], which walks the
+    /// same DAG with a different abstract domain.
+    pub(crate) fn node(&self, id: ExprId) -> &RangeNode {
+        &self.nodes[id.index()].0
     }
 
     /// Declare an input with the given range.
@@ -544,11 +558,37 @@ impl RangeGraph {
     #[must_use]
     pub fn analyze(&self, config: &RangeConfig) -> RangeReport {
         let mut intervals: Vec<Interval> = Vec::with_capacity(self.nodes.len());
+        let mut pure_intervals: Vec<Interval> = Vec::with_capacity(self.nodes.len());
         let mut affines: Vec<AffineForm> = Vec::with_capacity(self.nodes.len());
         let mut next_symbol = 0u32;
         let mut unbounded: Option<ExprId> = None;
         for (idx, (node, _)) in self.nodes.iter().enumerate() {
             let id = ExprId(idx as u32);
+            // Pure interval domain, propagated without affine refinement
+            // — kept for diagnostics and the soundness property tests.
+            let pure = match node {
+                RangeNode::Input(range) => *range,
+                RangeNode::Const(x) => Interval::point(*x),
+                RangeNode::Add(a, b) => pure_intervals[a.index()]
+                    .add(pure_intervals[b.index()])
+                    .widen(config.add_slack),
+                RangeNode::Sub(a, b) => pure_intervals[a.index()]
+                    .sub(pure_intervals[b.index()])
+                    .widen(config.add_slack),
+                RangeNode::Neg(a) => pure_intervals[a.index()].neg(),
+                RangeNode::Mul(a, b) => pure_intervals[a.index()]
+                    .mul(pure_intervals[b.index()])
+                    .widen(config.mul_slack),
+                RangeNode::Div(a, b) => pure_intervals[a.index()]
+                    .div(pure_intervals[b.index()])
+                    .map_or(Interval::everything(), |iv| iv.widen(config.mul_slack)),
+                RangeNode::SumOf(item, count) => {
+                    let per_item = pure_intervals[item.index()].union(Interval::point(0.0));
+                    let k = *count as f64;
+                    Interval::new(per_item.lo * k, per_item.hi * k).widen(config.add_slack * k)
+                }
+            };
+            pure_intervals.push(pure);
             let (iv, af) = match node {
                 RangeNode::Input(range) => {
                     let symbol = next_symbol;
@@ -614,6 +654,7 @@ impl RangeGraph {
             intervals.push(combined);
             affines.push(af);
         }
+        let affine_intervals: Vec<Interval> = affines.iter().map(AffineForm::to_interval).collect();
 
         let representable = config.representable();
         let mut verdict = RangeVerdict::Proven;
@@ -636,6 +677,8 @@ impl RangeGraph {
         RangeReport {
             verdict,
             intervals,
+            interval_domain: pure_intervals,
+            affine_domain: affine_intervals,
             format: config.format,
         }
     }
@@ -697,6 +740,8 @@ pub struct RangeReport {
     /// The overall verdict.
     pub verdict: RangeVerdict,
     intervals: Vec<Interval>,
+    interval_domain: Vec<Interval>,
+    affine_domain: Vec<Interval>,
     format: QFormat,
 }
 
@@ -711,6 +756,19 @@ impl RangeReport {
     #[must_use]
     pub fn interval(&self, id: ExprId) -> Interval {
         self.intervals[id.index()]
+    }
+
+    /// The two abstract domains' bounds for an expression, *before*
+    /// intersection: `(interval-domain, affine-domain)`. Both are sound
+    /// over-approximations on their own; [`RangeReport::interval`] is
+    /// their intersection. Exposed for the soundness property tests and
+    /// for diagnosing which domain a tight (or loose) bound came from.
+    #[must_use]
+    pub fn domain_bounds(&self, id: ExprId) -> (Interval, Interval) {
+        (
+            self.interval_domain[id.index()],
+            self.affine_domain[id.index()],
+        )
     }
 
     /// The format the proof is against.

@@ -1,0 +1,209 @@
+//! Randomized-DAG property tests for the static range analyzer.
+//!
+//! Each case builds a random expression DAG over declared input ranges,
+//! analyzes it, and checks the two soundness obligations the analyzer
+//! makes:
+//!
+//! * both abstract domains (pure interval and affine) contain every
+//!   sampled concrete evaluation — and so does their intersection;
+//! * for *linear* DAGs (no multiplication remainder, no division
+//!   fallback) the affine domain's bound is contained in the interval
+//!   domain's, i.e. tracking correlation never loses precision.
+//!
+//! Like the adder property suite, these are seed-driven over the
+//! in-repo [`Pcg32`] so the tests stay hermetic and reproducible.
+
+use approx_arith::rng::Pcg32;
+use approx_arith::{ExprId, QFormat, RangeConfig, RangeGraph};
+
+const DAGS: usize = 60;
+const SAMPLES_PER_DAG: usize = 80;
+
+/// A randomly grown DAG plus the recipe to evaluate it concretely.
+struct RandomDag {
+    graph: RangeGraph,
+    /// Input declarations: `(lo, hi)` per input, in creation order.
+    inputs: Vec<(f64, f64)>,
+    /// Evaluation plan: one op per non-input node, referencing node
+    /// indices in creation order.
+    plan: Vec<Op>,
+    /// All node ids in creation order (inputs first is NOT guaranteed —
+    /// index i of `values` during eval corresponds to ids[i]).
+    ids: Vec<ExprId>,
+}
+
+enum Op {
+    Input(usize),
+    Const(f64),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Neg(usize),
+    Mul(usize, usize),
+    SumOf(usize, usize),
+}
+
+fn grow(rng: &mut Pcg32, nodes: usize, linear_only: bool) -> RandomDag {
+    let mut graph = RangeGraph::new();
+    let mut inputs = Vec::new();
+    let mut plan = Vec::new();
+    let mut ids: Vec<ExprId> = Vec::new();
+
+    // Seed with two inputs so binary ops always have operands.
+    for i in 0..2 {
+        let lo = rng.uniform(-4.0, 0.0);
+        let hi = lo + rng.uniform(0.5, 4.0);
+        ids.push(graph.input(format!("in{i}"), lo, hi));
+        inputs.push((lo, hi));
+        plan.push(Op::Input(i));
+    }
+
+    while ids.len() < nodes {
+        let pick = |rng: &mut Pcg32, n: usize| (rng.next_u64() as usize) % n;
+        let n = ids.len();
+        let choice = rng.next_u64() % if linear_only { 5 } else { 7 };
+        let (id, op) = match choice {
+            0 => {
+                let lo = rng.uniform(-4.0, 0.0);
+                let hi = lo + rng.uniform(0.5, 4.0);
+                let idx = inputs.len();
+                inputs.push((lo, hi));
+                (graph.input(format!("in{idx}"), lo, hi), Op::Input(idx))
+            }
+            1 => {
+                let c = rng.uniform(-3.0, 3.0);
+                (graph.constant(c), Op::Const(c))
+            }
+            2 => {
+                let (a, b) = (pick(rng, n), pick(rng, n));
+                (graph.add(ids[a], ids[b]), Op::Add(a, b))
+            }
+            3 => {
+                let (a, b) = (pick(rng, n), pick(rng, n));
+                (graph.sub(ids[a], ids[b]), Op::Sub(a, b))
+            }
+            4 => {
+                let a = pick(rng, n);
+                (graph.neg(ids[a]), Op::Neg(a))
+            }
+            5 => {
+                let (a, b) = (pick(rng, n), pick(rng, n));
+                (graph.mul(ids[a], ids[b]), Op::Mul(a, b))
+            }
+            _ => {
+                let a = pick(rng, n);
+                let k = 1 + (rng.next_u64() as usize) % 5;
+                (graph.sum_of(ids[a], k), Op::SumOf(a, k))
+            }
+        };
+        ids.push(id);
+        plan.push(op);
+    }
+    RandomDag {
+        graph,
+        inputs,
+        plan,
+        ids,
+    }
+}
+
+/// Evaluate the DAG concretely for one random input assignment.
+///
+/// `SumOf` models `count` *independent* draws of its item; since the
+/// analyzer's bound covers any draws, evaluating all copies at the one
+/// sampled value is a valid (if not adversarial) concretization.
+fn eval(dag: &RandomDag, assignment: &[f64]) -> Vec<f64> {
+    let mut values: Vec<f64> = Vec::with_capacity(dag.plan.len());
+    for op in &dag.plan {
+        let v = match *op {
+            Op::Input(i) => assignment[i],
+            Op::Const(c) => c,
+            Op::Add(a, b) => values[a] + values[b],
+            Op::Sub(a, b) => values[a] - values[b],
+            Op::Neg(a) => -values[a],
+            Op::Mul(a, b) => values[a] * values[b],
+            Op::SumOf(a, k) => values[a] * k as f64,
+        };
+        values.push(v);
+    }
+    values
+}
+
+fn exact_cfg() -> RangeConfig {
+    // Zero slack: the concrete evaluator is real-valued, so the sound
+    // comparison is against the slack-free abstraction.
+    RangeConfig {
+        format: QFormat::Q15_16,
+        add_slack: 0.0,
+        mul_slack: 0.0,
+    }
+}
+
+#[test]
+fn both_domains_contain_sampled_concrete_evaluations() {
+    let mut rng = Pcg32::seeded(0xDA6, 0);
+    for dag_i in 0..DAGS {
+        let dag = grow(&mut rng, 12, false);
+        let report = dag.graph.analyze(&exact_cfg());
+        for _ in 0..SAMPLES_PER_DAG {
+            let assignment: Vec<f64> = dag
+                .inputs
+                .iter()
+                .map(|&(lo, hi)| rng.uniform(lo, hi))
+                .collect();
+            let values = eval(&dag, &assignment);
+            for (i, &id) in dag.ids.iter().enumerate() {
+                let v = values[i];
+                let (iv, af) = report.domain_bounds(id);
+                let tol = 1e-9 * (1.0 + v.abs());
+                assert!(
+                    iv.lo - tol <= v && v <= iv.hi + tol,
+                    "dag {dag_i}: interval domain {iv} misses concrete {v} at node {i}"
+                );
+                assert!(
+                    af.lo - tol <= v && v <= af.hi + tol,
+                    "dag {dag_i}: affine domain {af} misses concrete {v} at node {i}"
+                );
+                let combined = report.interval(id);
+                assert!(
+                    combined.lo - tol <= v && v <= combined.hi + tol,
+                    "dag {dag_i}: combined bound {combined} misses concrete {v} at node {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn affine_bounds_are_contained_in_interval_bounds_on_linear_dags() {
+    // On DAGs with only linear ops the affine domain is at least as
+    // tight as plain intervals: correlation tracking can only shrink
+    // the bound, never widen it.
+    let mut rng = Pcg32::seeded(0xAFF1, 1);
+    for dag_i in 0..DAGS {
+        let dag = grow(&mut rng, 14, true);
+        let report = dag.graph.analyze(&exact_cfg());
+        for (i, &id) in dag.ids.iter().enumerate() {
+            let (iv, af) = report.domain_bounds(id);
+            let tol = 1e-9 * (1.0 + iv.abs_bound());
+            assert!(
+                af.lo >= iv.lo - tol && af.hi <= iv.hi + tol,
+                "dag {dag_i} node {i}: affine {af} not within interval {iv}"
+            );
+        }
+    }
+}
+
+#[test]
+fn combined_bound_is_never_looser_than_either_domain() {
+    let mut rng = Pcg32::seeded(0xC0B, 2);
+    for _ in 0..DAGS {
+        let dag = grow(&mut rng, 12, false);
+        let report = dag.graph.analyze(&exact_cfg());
+        for &id in &dag.ids {
+            let (iv, af) = report.domain_bounds(id);
+            let combined = report.interval(id);
+            assert!(combined.lo >= iv.lo.max(af.lo) - 1e-12);
+            assert!(combined.hi <= iv.hi.min(af.hi) + 1e-12);
+        }
+    }
+}

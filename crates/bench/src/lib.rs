@@ -12,6 +12,10 @@
 //! | `fig4`    | Figure 4 — GMM energy comparison (total & per-iteration) |
 //! | `ablation`| extensions: scheme ablation, f-step sweep, PID baseline, width sweep |
 //! | `verify`  | formal pipeline: lint, BDD equivalence proofs, exact error characterization, static range analysis |
+//! | `guarantee` | static quality-guarantee proofs: controller model checking (+ symbolic BDD cross-check), error-propagation × contraction recurrence, dominance over the measured characterization table |
+//! | `resilience` | fault campaign: quality vs fault rate under the runner watchdog |
+//! | `survey`  | adder design-space survey: error × energy × delay |
+//! | `experiment` | general runner for ad-hoc method/dataset/strategy sweeps |
 //!
 //! This library holds the shared experiment definitions so the binaries,
 //! the integration tests, and the micro-benchmarks agree on every

@@ -25,7 +25,11 @@
 //! * a runner watchdog ([`WatchdogConfig`], used via
 //!   [`run_with_watchdog`]) with NaN/Inf/overflow guards, divergence
 //!   detection, checkpointed recovery, and level escalation for
-//!   fault-tolerant execution under soft errors.
+//!   fault-tolerant execution under soft errors;
+//! * a controller [`modelcheck`]er that statically proves the
+//!   reconfiguration policies livelock-free and monotone over their
+//!   full reachable state spaces, with replayable counterexamples for
+//!   anything it cannot prove.
 //!
 //! # Quickstart
 //!
@@ -68,12 +72,17 @@ mod strategy;
 mod watchdog;
 
 pub mod lp;
+pub mod modelcheck;
 
 pub use adaptive::AdaptiveAngleStrategy;
 pub use characterize::{characterize, characterize_on, CharacterizationTable};
 pub use incremental::{IncrementalConfig, IncrementalStrategy, QualitySchemeVariant};
+pub use modelcheck::{
+    check as model_check, symbolic_cross_check, ControllerSpec, Counterexample, ModelCheckReport,
+    SymbolicCrossCheck,
+};
 pub use pid::{PidConfig, PidStrategy};
-pub use quality::quality_error;
+pub use quality::{quality_error, QUALITY_EPS};
 pub use report::{RangeProofSummary, RunReport};
 pub use runner::{run, run_with_watchdog, RunOutcome};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};

@@ -1,5 +1,19 @@
 //! The iteration-level *quality error* metric (paper Definition 1).
 
+/// Threshold below which the reference value is treated as numerically
+/// zero and [`quality_error`] falls back to the absolute difference.
+///
+/// The old cutoff (`1e-300`, essentially "exact IEEE zero") made the
+/// metric explode on tiny references: a reference of `1e-308` with an
+/// approximate value off by `1e-6` reported a relative error of `1e302`,
+/// and a *subnormal* reference could even overflow to infinity. No
+/// monitoring quantity in this codebase carries meaning at magnitudes
+/// below `1e-12` — objectives, gradients, and residuals live many orders
+/// of magnitude above it, and convergence tolerances bottom out around
+/// `1e-10` — so below this threshold the relative metric is noise and
+/// the absolute difference is the honest answer.
+pub const QUALITY_EPS: f64 = 1e-12;
+
 /// Relative difference between the accurate and approximate results of
 /// one iteration:
 ///
@@ -7,8 +21,10 @@
 /// ε = |f(x) − f'(x)| / |f(x)|
 /// ```
 ///
-/// When the accurate value is (numerically) zero the absolute difference
-/// is returned instead, so the metric stays finite.
+/// When the accurate value is numerically zero (`|f(x)| <`
+/// [`QUALITY_EPS`]) the absolute difference is returned instead, so the
+/// metric stays finite and meaningful near zero, for subnormal
+/// references, and across sign flips of a near-zero reference.
 ///
 /// # Example
 ///
@@ -22,7 +38,7 @@
 #[must_use]
 pub fn quality_error(accurate: f64, approximate: f64) -> f64 {
     let diff = (accurate - approximate).abs();
-    if accurate.abs() < 1e-300 {
+    if accurate.abs() < QUALITY_EPS {
         diff
     } else {
         diff / accurate.abs()
@@ -53,5 +69,49 @@ mod tests {
     #[test]
     fn zero_accurate_value_falls_back_to_absolute() {
         assert_eq!(quality_error(0.0, 0.25), 0.25);
+        assert_eq!(quality_error(-0.0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn subnormal_reference_does_not_blow_up() {
+        // The smallest positive subnormal. Under the old 1e-300 cutoff
+        // this divided by ~5e-324 and overflowed to infinity.
+        let tiny = f64::MIN_POSITIVE * f64::EPSILON;
+        assert!(tiny > 0.0 && tiny < f64::MIN_POSITIVE, "subnormal");
+        let err = quality_error(tiny, 0.25);
+        assert!(err.is_finite());
+        assert!((err - 0.25).abs() < 1e-12, "absolute fallback, got {err}");
+        // Same for a denormal-range reference just above the old cutoff.
+        let err = quality_error(1e-280, 1e-6);
+        assert!(err.is_finite());
+        assert!((err - 1e-6).abs() < 1e-18, "got {err}");
+    }
+
+    #[test]
+    fn sign_flip_across_zero_stays_bounded() {
+        // A monitored quantity crossing zero between iterations: the
+        // reference is ±tiny and the approximation landed on the other
+        // side. The metric must report the (small) absolute gap, not a
+        // huge relative one.
+        let err = quality_error(1e-15, -1e-15);
+        assert!(err <= 2e-15, "got {err}");
+        let err = quality_error(-1e-13, 1e-13);
+        assert!(err <= 2e-13, "got {err}");
+    }
+
+    #[test]
+    fn fallback_threshold_is_continuous_enough() {
+        // Just above the threshold the relative metric applies and is
+        // finite; just below, the absolute one. Neither side explodes.
+        let above = quality_error(2e-12, 3e-12);
+        assert!((above - 0.5).abs() < 1e-9, "relative above eps: {above}");
+        let below = quality_error(5e-13, 3e-12);
+        assert!(below < 1e-11, "absolute below eps: {below}");
+    }
+
+    #[test]
+    fn nan_propagates_rather_than_masquerading_as_quality() {
+        assert!(quality_error(f64::NAN, 1.0).is_nan());
+        assert!(quality_error(1.0, f64::NAN).is_nan());
     }
 }

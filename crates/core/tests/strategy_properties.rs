@@ -9,6 +9,7 @@ use approx_arith::AccuracyLevel;
 use approxit::lp::solve_effort_allocation;
 use approxit::{
     AdaptiveAngleStrategy, Decision, IncrementalStrategy, IterationObservation, ReconfigStrategy,
+    SingleMode,
 };
 
 const CASES: usize = 256;
@@ -111,6 +112,87 @@ fn incremental_decisions_never_lower_accuracy() {
             }
         }
     }
+}
+
+/// Classify a decision with an *exhaustive* match: adding a variant to
+/// [`Decision`] makes this test fail to compile until the coverage
+/// argument below is extended to produce it.
+fn variant_of(decision: &Decision) -> &'static str {
+    match decision {
+        Decision::Keep => "Keep",
+        Decision::SwitchTo(_) => "SwitchTo",
+        Decision::RollbackAndSwitch(_) => "RollbackAndSwitch",
+    }
+}
+
+#[test]
+fn every_decision_variant_is_producible_by_shipped_strategies() {
+    use std::collections::BTreeSet;
+    let mut produced: BTreeSet<&'static str> = BTreeSet::new();
+    let params = [1.0f64, 1.0];
+    let grad = [0.5f64, 0.5];
+    let obs = |iteration: usize, level, prev: f64, curr: f64| IterationObservation {
+        iteration,
+        level,
+        objective_prev: prev,
+        objective_curr: curr,
+        params_prev: &params,
+        params_curr: &params,
+        gradient_prev: Some(&grad),
+        gradient_curr: Some(&grad),
+        initial_gradient_norm: 1.0,
+    };
+
+    // SingleMode: always Keep.
+    let mut single = SingleMode::accurate();
+    produced.insert(variant_of(&single.decide(&obs(
+        1,
+        AccuracyLevel::Accurate,
+        10.0,
+        9.0,
+    ))));
+
+    // AdaptiveAngleStrategy: an objective *increase* at an approximate
+    // level retires the mode and rolls back.
+    let eps = [0.5, 0.2, 0.05, 0.01, 0.0];
+    let j = [0.4, 0.6, 0.75, 0.9, 1.0];
+    let mut adaptive = AdaptiveAngleStrategy::new(eps, j, 0.3, 1);
+    let level = adaptive.initial_level();
+    produced.insert(variant_of(&adaptive.decide(&obs(1, level, 10.0, 11.0))));
+
+    // AdaptiveAngleStrategy again: near-converged progress flattens the
+    // manifold angle, steering the LUT to a more accurate mode.
+    let mut adaptive = AdaptiveAngleStrategy::new(eps, j, 0.3, 1);
+    let mut level = adaptive.initial_level();
+    let mut f = 10.0f64;
+    for i in 1..=40 {
+        let f_next = f - 1e-4 * f; // slow progress: flat angle
+        let decision = adaptive.decide(&obs(i, level, f, f_next));
+        produced.insert(variant_of(&decision));
+        match decision {
+            Decision::Keep => f = f_next,
+            Decision::SwitchTo(next) => {
+                level = next;
+                f = f_next;
+            }
+            Decision::RollbackAndSwitch(next) => level = next,
+        }
+        if produced.len() == 3 {
+            break;
+        }
+    }
+
+    // IncrementalStrategy escalates with SwitchTo on quality stall (a
+    // second producer of the same variant, for good measure).
+    let mut incremental = IncrementalStrategy::new(eps);
+    let lvl = incremental.initial_level();
+    produced.insert(variant_of(&incremental.decide(&obs(3, lvl, 10.0, 10.0))));
+
+    assert_eq!(
+        produced.into_iter().collect::<Vec<_>>(),
+        vec!["Keep", "RollbackAndSwitch", "SwitchTo"],
+        "some Decision variant is not producible by any shipped strategy"
+    );
 }
 
 #[test]

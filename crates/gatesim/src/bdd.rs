@@ -380,6 +380,116 @@ impl Bdd {
         Some(assignment)
     }
 
+    /// Existential quantification `∃ vars . f`: the disjunction of all
+    /// cofactors of `f` over every variable in `vars`.
+    ///
+    /// This is the workhorse of symbolic reachability: the image of a
+    /// state set under a transition relation is
+    /// `∃ current, input . R ∧ Reached`.
+    ///
+    /// # Errors
+    /// Returns [`NodeLimitExceeded`] if an intermediate diagram exceeds
+    /// the node budget.
+    pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef, NodeLimitExceeded> {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo: HashMap<BddRef, BddRef> = HashMap::new();
+        self.exists_memo(f, &sorted, &mut memo)
+    }
+
+    fn exists_memo(
+        &mut self,
+        f: BddRef,
+        vars: &[u32],
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> Result<BddRef, NodeLimitExceeded> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        let top = self.var_of(f);
+        // Children only carry variables above `top`, so if every
+        // quantified variable sorts before `top`, none appears in `f`.
+        if vars.last().is_none_or(|&v| v < top) {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = &self.nodes[f.0 as usize];
+        let (lo, hi, var) = (node.lo, node.hi, node.var);
+        let lo_q = self.exists_memo(lo, vars, memo)?;
+        let hi_q = self.exists_memo(hi, vars, memo)?;
+        let r = if vars.binary_search(&var).is_ok() {
+            self.or(lo_q, hi_q)?
+        } else {
+            self.mk(var, lo_q, hi_q)?
+        };
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    /// Rename variables of `f` under an order-preserving substitution:
+    /// every variable `v` in the support of `f` that appears in `map`
+    /// becomes `map[v]`.
+    ///
+    /// Used by symbolic reachability to move an image expressed over
+    /// next-state variables back onto current-state variables.
+    ///
+    /// # Panics
+    /// Panics if the substitution is not strictly monotone on the
+    /// support of `f` (a non-monotone renaming would need a full
+    /// reordering pass to stay canonical), or if a target variable is
+    /// outside the manager's range.
+    ///
+    /// # Errors
+    /// Returns [`NodeLimitExceeded`] if an intermediate diagram exceeds
+    /// the node budget.
+    pub fn rename_monotone(
+        &mut self,
+        f: BddRef,
+        map: &HashMap<u32, u32>,
+    ) -> Result<BddRef, NodeLimitExceeded> {
+        let mut memo: HashMap<BddRef, BddRef> = HashMap::new();
+        self.rename_memo(f, map, &mut memo)
+    }
+
+    fn rename_memo(
+        &mut self,
+        f: BddRef,
+        map: &HashMap<u32, u32>,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> Result<BddRef, NodeLimitExceeded> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = &self.nodes[f.0 as usize];
+        let (lo, hi, var) = (node.lo, node.hi, node.var);
+        let target = map.get(&var).copied().unwrap_or(var);
+        assert!(target < self.num_vars, "renamed variable out of range");
+        // Monotonicity on the support: the renamed variable must still
+        // sort above everything renamed in the children. Verified
+        // structurally: the children's (renamed) top variables must stay
+        // strictly greater than `target`.
+        let lo_r = self.rename_memo(lo, map, memo)?;
+        let hi_r = self.rename_memo(hi, map, memo)?;
+        for child in [lo_r, hi_r] {
+            if !child.is_const() {
+                assert!(
+                    self.var_of(child) > target,
+                    "rename_monotone: substitution is not order-preserving \
+                     (variable {var} -> {target} collides with child order)"
+                );
+            }
+        }
+        let r = self.mk(target, lo_r, hi_r)?;
+        memo.insert(f, r);
+        Ok(r)
+    }
+
     /// Symbolic full adder on three bits; returns `(sum, carry)`.
     fn full_add(
         &mut self,
@@ -659,6 +769,69 @@ mod tests {
         assert_eq!(max, 5);
         // The witness must be x = 0.
         assert_eq!(witness[..3], [false, false, false]);
+    }
+
+    #[test]
+    fn exists_quantifies_variables_away() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let z = bdd.var(2).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let f = bdd.or(xy, z).unwrap();
+        // ∃y . (x∧y) ∨ z  =  x ∨ z.
+        let q = bdd.exists(f, &[1]).unwrap();
+        let want = bdd.or(x, z).unwrap();
+        assert_eq!(q, want);
+        // Quantifying everything yields TRUE for a satisfiable function.
+        let all = bdd.exists(f, &[0, 1, 2]).unwrap();
+        assert_eq!(all, BddRef::TRUE);
+        // ∃x over a function not mentioning x is a no-op.
+        let nz = bdd.exists(z, &[0, 1]).unwrap();
+        assert_eq!(nz, z);
+        assert_eq!(bdd.exists(BddRef::FALSE, &[0]).unwrap(), BddRef::FALSE);
+    }
+
+    #[test]
+    fn exists_matches_manual_cofactor_disjunction() {
+        // f = (x0 ⊕ x1) ∧ x2; ∃x1.f = x2 (one of the cofactors is true
+        // for either value of x0).
+        let mut bdd = Bdd::new(3);
+        let x0 = bdd.var(0).unwrap();
+        let x1 = bdd.var(1).unwrap();
+        let x2 = bdd.var(2).unwrap();
+        let x01 = bdd.xor(x0, x1).unwrap();
+        let f = bdd.and(x01, x2).unwrap();
+        let q = bdd.exists(f, &[1]).unwrap();
+        assert_eq!(q, x2);
+    }
+
+    #[test]
+    fn rename_monotone_shifts_variable_blocks() {
+        // Build f over vars {2, 3}, rename down to {0, 1}: the shifted
+        // function must equal the directly constructed one.
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(2).unwrap();
+        let b = bdd.var(3).unwrap();
+        let f = bdd.and(a, b).unwrap();
+        let map: HashMap<u32, u32> = [(2u32, 0u32), (3, 1)].into_iter().collect();
+        let g = bdd.rename_monotone(f, &map).unwrap();
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let want = bdd.and(x, y).unwrap();
+        assert_eq!(g, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "not order-preserving")]
+    fn rename_monotone_rejects_order_swaps() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0).unwrap();
+        let b = bdd.var(1).unwrap();
+        let f = bdd.and(a, b).unwrap();
+        // Swapping 0 and 1 is not order-preserving.
+        let map: HashMap<u32, u32> = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        let _ = bdd.rename_monotone(f, &map);
     }
 
     #[test]

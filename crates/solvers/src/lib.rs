@@ -34,6 +34,7 @@ mod multigrid;
 mod newton;
 mod poisson;
 
+pub mod contraction;
 pub mod datasets;
 pub mod functions;
 pub mod metrics;
@@ -41,6 +42,9 @@ pub mod ranges;
 
 pub use autoreg::AutoRegression;
 pub use cg::{CgState, ConjugateGradient};
+pub use contraction::{
+    ar_contraction, cg_contraction, gmm_contraction, injected_error_bound, ContractionReport,
+};
 pub use gmm::{GaussianMixture, GmmState};
 pub use gradient_descent::GradientDescent;
 pub use kmeans::{KMeans, KMeansState};

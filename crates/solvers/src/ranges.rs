@@ -15,7 +15,7 @@
 //!   records them in its [`RangeModel::notes`] so a report can show
 //!   exactly what the proof is conditioned on.
 
-use approx_arith::range::{RangeConfig, RangeGraph, RangeReport};
+use approx_arith::range::{ExprId, RangeConfig, RangeGraph, RangeReport};
 
 use crate::autoreg::AutoRegression;
 use crate::cg::ConjugateGradient;
@@ -28,6 +28,11 @@ pub struct RangeModel {
     name: String,
     graph: RangeGraph,
     notes: Vec<String>,
+    /// The next-state expressions of the iteration map — the values the
+    /// solver carries into the following iteration. Error injected into
+    /// these is what compounds across iterations, so the contraction
+    /// analysis reads its per-iteration injected bound here.
+    outputs: Vec<ExprId>,
 }
 
 impl RangeModel {
@@ -47,6 +52,13 @@ impl RangeModel {
     #[must_use]
     pub fn notes(&self) -> &[String] {
         &self.notes
+    }
+
+    /// The next-state expressions of the iteration map (see the field
+    /// doc on [`RangeModel`]).
+    #[must_use]
+    pub fn outputs(&self) -> &[ExprId] {
+        &self.outputs
     }
 
     /// Analyze the model under a per-operation error configuration.
@@ -131,6 +143,7 @@ pub fn cg_range_model(cg: &ConjugateGradient, spec: &CgRangeSpec) -> RangeModel 
     RangeModel {
         name: format!("conjugate-gradient(n={n})"),
         graph: g,
+        outputs: vec![x_next, r_next, p_next],
         notes: vec![
             format!(
                 "assumes iterate bound ‖x‖∞, ‖r‖∞, ‖p‖∞ ≤ {s} across all iterations \
@@ -196,6 +209,7 @@ pub fn ar_range_model(ar: &AutoRegression, spec: &ArRangeSpec) -> RangeModel {
     RangeModel {
         name: format!("autoregression(p={p}, N={n})"),
         graph: g,
+        outputs: vec![w_next],
         notes: vec![format!(
             "assumes coefficient bound ‖w‖∞ ≤ {w_bound} across all iterations \
              (data gives max |x| = {x_max:.4}, max |y| = {y_max:.4})"
@@ -257,6 +271,7 @@ pub fn gmm_range_model(gmm: &GaussianMixture, spec: &GmmRangeSpec) -> RangeModel
     RangeModel {
         name: format!("gmm-mean(m={m}, k={})", gmm.k()),
         graph: g,
+        outputs: vec![mean],
         notes: vec![format!(
             "assumes effective cluster weight nk ≥ {nk_min}: positivity is \
              guaranteed at runtime by the empty-cluster guard, not provable \
