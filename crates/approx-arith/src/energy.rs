@@ -6,8 +6,17 @@
 //! per-operation constants are then used by the
 //! [`contexts`](crate::context) so that application runs do not pay
 //! gate-level simulation costs per arithmetic operation.
+//!
+//! The simulation itself runs on gatesim's bit-parallel
+//! [`PackedSimulator`](gatesim::PackedSimulator) backend via
+//! [`trace_toggles`], split across cores; because the packed backend is
+//! toggle-identical to the scalar simulator, every energy constant is
+//! bit-identical to what the old one-vector-at-a-time loop measured
+//! (pinned by this module's tests), just measured much faster.
 
-use gatesim::{EnergyModel, Simulator};
+use gatesim::packed::trace_toggles;
+use gatesim::par::Executor;
+use gatesim::EnergyModel;
 
 use crate::adder::{AccuracyLevel, Adder};
 use crate::multiplier::ArrayMultiplier;
@@ -28,16 +37,21 @@ pub fn characterize_adder_energy(
 ) -> f64 {
     assert!(samples > 0, "samples must be positive");
     let (netlist, ports) = adder.netlist();
-    let mut sim = Simulator::new(&netlist);
+    // Draw the operand stream up front in the exact order the scalar
+    // loop consumed it, so the measured toggles (and hence the energy)
+    // stay bit-identical to the historical serial path.
     let mut rng = Pcg32::seeded(seed, 0);
     let mask = adder.mask();
-    for _ in 0..samples {
-        let a = rng.next_u64() & mask;
-        let b = rng.next_u64() & mask;
-        sim.evaluate(&ports.pack_operands(a, b, false))
-            .expect("ports match their own netlist");
-    }
-    sim.energy(model) / samples as f64
+    let vectors: Vec<Vec<bool>> = (0..samples)
+        .map(|_| {
+            let a = rng.next_u64() & mask;
+            let b = rng.next_u64() & mask;
+            ports.pack_operands(a, b, false)
+        })
+        .collect();
+    let toggles =
+        trace_toggles(&netlist, &vectors, &Executor::new()).expect("ports match their own netlist");
+    model.energy(&netlist, &toggles, samples) / samples as f64
 }
 
 /// Mean energy per addition on a recorded operand trace, reflecting the
@@ -53,13 +67,14 @@ pub fn characterize_adder_energy_on_trace(
 ) -> f64 {
     assert!(!trace.is_empty(), "operand trace must be non-empty");
     let (netlist, ports) = adder.netlist();
-    let mut sim = Simulator::new(&netlist);
     let mask = adder.mask();
-    for &(a, b) in trace {
-        sim.evaluate(&ports.pack_operands(a & mask, b & mask, false))
-            .expect("ports match their own netlist");
-    }
-    sim.energy(model) / trace.len() as f64
+    let vectors: Vec<Vec<bool>> = trace
+        .iter()
+        .map(|&(a, b)| ports.pack_operands(a & mask, b & mask, false))
+        .collect();
+    let toggles =
+        trace_toggles(&netlist, &vectors, &Executor::new()).expect("ports match their own netlist");
+    model.energy(&netlist, &toggles, trace.len() as u64) / trace.len() as f64
 }
 
 /// Per-operation energy constants of the datapath, indexed by accuracy
@@ -104,15 +119,17 @@ impl EnergyProfile {
         // width.
         let m8 = ArrayMultiplier::new(8, 0);
         let nl = m8.netlist();
-        let mut sim = Simulator::new(&nl);
         let mut rng = Pcg32::seeded(seed ^ 0xA5A5, 0);
-        for _ in 0..samples {
-            let a = rng.below(256);
-            let b = rng.below(256);
-            sim.evaluate(&m8.pack_operands(a, b))
-                .expect("multiplier ports match their netlist");
-        }
-        let mul8 = sim.energy(model) / samples as f64;
+        let vectors: Vec<Vec<bool>> = (0..samples)
+            .map(|_| {
+                let a = rng.below(256);
+                let b = rng.below(256);
+                m8.pack_operands(a, b)
+            })
+            .collect();
+        let toggles = trace_toggles(&nl, &vectors, &Executor::new())
+            .expect("multiplier ports match their netlist");
+        let mul8 = model.energy(&nl, &toggles, samples) / samples as f64;
         let scale = (f64::from(qcs.width()) / 8.0).powi(2);
         let mul = mul8 * scale;
         // Sequential divider: one exact add per quotient bit.
@@ -227,6 +244,45 @@ mod tests {
         assert!(rel[0] < 0.75, "level1 relative energy {}", rel[0]);
         // Multiplies dominate adds.
         assert!(profile.mul_energy() > profile.add_energy(AccuracyLevel::Accurate));
+    }
+
+    /// The historical serial measurement loop, kept as a reference to
+    /// pin the packed parallel path bit-for-bit.
+    fn scalar_reference_energy(
+        adder: &dyn Adder,
+        samples: u64,
+        seed: u64,
+        model: &EnergyModel,
+    ) -> f64 {
+        let (netlist, ports) = adder.netlist();
+        let mut sim = gatesim::Simulator::new(&netlist);
+        let mut rng = Pcg32::seeded(seed, 0);
+        let mask = adder.mask();
+        for _ in 0..samples {
+            let a = rng.next_u64() & mask;
+            let b = rng.next_u64() & mask;
+            sim.evaluate(&ports.pack_operands(a, b, false))
+                .expect("ports match their own netlist");
+        }
+        sim.energy(model) / samples as f64
+    }
+
+    #[test]
+    fn packed_measurement_is_bit_identical_to_scalar_loop() {
+        let model = EnergyModel::default();
+        // Every QCS mode netlist (all four approximate levels plus the
+        // accurate carry chain), and a plain RCA for good measure.
+        let qcs = QcsAdder::paper_default();
+        for level in AccuracyLevel::ALL {
+            let mode = qcs.at(level);
+            let packed = characterize_adder_energy(&mode, 128, 42, &model);
+            let scalar = scalar_reference_energy(&mode, 128, 42, &model);
+            assert_eq!(packed.to_bits(), scalar.to_bits(), "level {level}");
+        }
+        let rca = RippleCarryAdder::new(24);
+        let packed = characterize_adder_energy(&rca, 200, 7, &model);
+        let scalar = scalar_reference_energy(&rca, 200, 7, &model);
+        assert_eq!(packed.to_bits(), scalar.to_bits());
     }
 
     #[test]

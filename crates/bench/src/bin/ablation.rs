@@ -10,24 +10,26 @@
 
 use approx_arith::{EnergyProfile, QFormat, QcsAdder, QcsContext};
 use approxit::{
-    characterize, run, AdaptiveAngleStrategy, IncrementalConfig, IncrementalStrategy, PidStrategy,
-    QualitySchemeVariant, ReconfigStrategy, SingleMode,
+    characterize, AdaptiveAngleStrategy, IncrementalConfig, IncrementalStrategy, PidStrategy,
+    QualitySchemeVariant, ReconfigStrategy, RunConfig, SingleMode,
 };
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::{gmm_specs, shared_profile};
 use iter_solvers::metrics::hamming_distance;
 
 fn main() {
+    let _opts = BenchOpts::parse();
     let spec = &gmm_specs()[0]; // 3cluster
     let gmm = spec.model();
     let k = spec.dataset.k;
     let table = characterize(&gmm, shared_profile(), 5);
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
 
     let mut score = |name: String, strategy: &mut dyn ReconfigStrategy| -> Vec<String> {
-        let outcome = run(&gmm, strategy, &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(strategy);
         let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, k);
         vec![
             name,
@@ -164,10 +166,10 @@ fn main() {
     for (name, adder, format) in widths {
         let profile = EnergyProfile::characterize(&adder, 256, 0x5EED, &gatesim_default());
         let mut wide_ctx = QcsContext::new(adder, format, profile);
-        let truth_w = run(&gmm, &mut SingleMode::accurate(), &mut wide_ctx);
+        let truth_w = RunConfig::new(&gmm, &mut wide_ctx).execute(&mut SingleMode::accurate());
         let table_w = approxit::characterize_on(&gmm, &wide_ctx, 5);
         let mut strategy = IncrementalStrategy::from_characterization(&table_w);
-        let outcome = run(&gmm, &mut strategy, &mut wide_ctx);
+        let outcome = RunConfig::new(&gmm, &mut wide_ctx).execute(&mut strategy);
         let qem = hamming_distance(
             &gmm.assignments(&outcome.state),
             &gmm.assignments(&truth_w.state),
@@ -216,7 +218,7 @@ fn kmeans_mcd_ablation() {
     let spec = &gmm_specs()[0];
     let km = KMeans::from_dataset(&spec.dataset, 1e-6, 500, 7);
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
-    let truth = run(&km, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&km, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = km.assignments(&truth.state);
     let table = approxit::characterize(&km, shared_profile(), 5);
 
@@ -227,7 +229,7 @@ fn kmeans_mcd_ablation() {
     );
     let mut rows = Vec::new();
     let mut score = |name: &str, strategy: &mut dyn ReconfigStrategy| {
-        let outcome = run(&km, strategy, &mut ctx);
+        let outcome = RunConfig::new(&km, &mut ctx).execute(strategy);
         let qem = hamming_distance(
             &km.assignments(&outcome.state),
             &truth_labels,

@@ -16,9 +16,10 @@ use std::process::ExitCode;
 
 use approx_arith::{AccuracyLevel, QcsContext};
 use approxit::{
-    characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, PidStrategy, ReconfigStrategy,
-    RunReport, SingleMode,
+    characterize, AdaptiveAngleStrategy, IncrementalStrategy, PidStrategy, ReconfigStrategy,
+    RunConfig, RunReport, SingleMode,
 };
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::{ar_specs, gmm_specs, shared_profile};
 use iter_solvers::{IterativeMethod, KMeans, PoissonJacobi, PoissonSource};
@@ -32,7 +33,7 @@ struct Options {
     csv: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         method: "gmm".to_owned(),
         dataset: "3cluster".to_owned(),
@@ -41,7 +42,6 @@ fn parse_args() -> Result<Options, String> {
         grid: 23,
         csv: false,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -81,13 +81,14 @@ fn parse_args() -> Result<Options, String> {
 
 /// Everything the harness needs from a method, type-erased per method
 /// family via a driver closure.
-fn drive<M: IterativeMethod>(
-    method: &M,
-    options: &Options,
-) -> Result<Vec<(String, RunReport, f64)>, String> {
+fn drive<M>(method: &M, options: &Options) -> Result<Vec<(String, RunReport, f64)>, String>
+where
+    M: IterativeMethod + Sync,
+    M::State: Sync,
+{
     let table = characterize(method, shared_profile(), 5);
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
-    let truth = run(method, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(method, &mut ctx).execute(&mut SingleMode::accurate());
 
     let mut selected: Vec<(String, Box<dyn ReconfigStrategy>)> = Vec::new();
     let mut add = |name: &str, strategy: Box<dyn ReconfigStrategy>| {
@@ -128,7 +129,7 @@ fn drive<M: IterativeMethod>(
     Ok(selected
         .into_iter()
         .map(|(name, mut strategy)| {
-            let outcome = run(method, strategy.as_mut(), &mut ctx);
+            let outcome = RunConfig::new(method, &mut ctx).execute(strategy.as_mut());
             let energy = outcome.report.normalized_energy(&truth.report);
             (name, outcome.report, energy)
         })
@@ -136,7 +137,8 @@ fn drive<M: IterativeMethod>(
 }
 
 fn main() -> ExitCode {
-    let options = match parse_args() {
+    let opts = BenchOpts::parse();
+    let options = match parse_args(opts.rest()) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("{message}");

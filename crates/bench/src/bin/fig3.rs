@@ -9,18 +9,23 @@ use std::fs;
 use std::io::Write as _;
 
 use approx_arith::{AccuracyLevel, QcsContext};
-use approxit::{run, SingleMode};
+use approxit::{RunConfig, SingleMode};
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::ascii_scatter;
 use approxit_bench::{gmm_specs, shared_profile};
 
 fn main() {
+    let opts = BenchOpts::parse();
     let spec = &gmm_specs()[0]; // 3cluster
     let gmm = spec.model();
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
     let out_dir = std::path::Path::new("target/fig3");
     fs::create_dir_all(out_dir).expect("create output directory");
 
-    println!("Figure 3: GMM single-mode clustering on {}\n", spec.name());
+    opts.say(&format!(
+        "Figure 3: GMM single-mode clustering on {}\n",
+        spec.name()
+    ));
     // Panels in the paper's order: Truth, level4, level3, level2, level1.
     let panels = [
         AccuracyLevel::Accurate,
@@ -30,7 +35,7 @@ fn main() {
         AccuracyLevel::Level1,
     ];
     for level in panels {
-        let outcome = run(&gmm, &mut SingleMode::new(level), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::new(level));
         let labels = gmm.assignments(&outcome.state);
         let distinct = {
             let mut seen = [false; 8];
@@ -39,7 +44,7 @@ fn main() {
             }
             seen.iter().filter(|&&s| s).count()
         };
-        println!(
+        opts.say(&format!(
             "--- {} ({} iterations, {} clusters populated) ---",
             if level.is_accurate() {
                 "Truth".to_owned()
@@ -48,8 +53,11 @@ fn main() {
             },
             outcome.report.iterations,
             distinct,
-        );
-        println!("{}\n", ascii_scatter(&spec.dataset.points, &labels, 72, 24));
+        ));
+        opts.say(&format!(
+            "{}\n",
+            ascii_scatter(&spec.dataset.points, &labels, 72, 24)
+        ));
 
         let path = out_dir.join(format!("assignments_{level}.csv"));
         let mut file = fs::File::create(&path).expect("create csv");
@@ -57,6 +65,6 @@ fn main() {
         for (p, l) in spec.dataset.points.iter().zip(&labels) {
             writeln!(file, "{},{},{}", p[0], p[1], l).expect("write row");
         }
-        println!("(wrote {})\n", path.display());
+        opts.say(&format!("(wrote {})\n", path.display()));
     }
 }

@@ -7,19 +7,22 @@
 
 use approx_arith::QcsContext;
 use approxit::{
-    characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy, SingleMode,
+    characterize, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy, RunConfig,
+    SingleMode,
 };
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::{gmm_specs, shared_profile};
 
 fn main() {
-    println!("Figure 4: GMM comparison on energy consumption\n");
+    let opts = BenchOpts::parse();
+    opts.say("Figure 4: GMM comparison on energy consumption\n");
     let mut rows = Vec::new();
     for spec in gmm_specs() {
         let gmm = spec.model();
         let table = characterize(&gmm, shared_profile(), 5);
         let mut ctx = QcsContext::with_profile(shared_profile().clone());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
 
         let mut strategies: Vec<(&str, Box<dyn ReconfigStrategy>)> = vec![
             ("truth", Box::new(SingleMode::accurate())),
@@ -33,7 +36,7 @@ fn main() {
             ),
         ];
         for (name, strategy) in &mut strategies {
-            let outcome = run(&gmm, strategy.as_mut(), &mut ctx);
+            let outcome = RunConfig::new(&gmm, &mut ctx).execute(strategy.as_mut());
             let total = outcome.report.normalized_energy(&truth.report);
             let per_iter = outcome.report.energy_per_iteration_mean()
                 / truth.report.energy_per_iteration_mean();

@@ -39,6 +39,7 @@ use std::process::ExitCode;
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext, RangeConfig};
 use approxit::modelcheck::{symbolic_cross_check, ControllerSpec};
 use approxit::{characterize, model_check, CharacterizationTable};
+use approxit_bench::cli::{BenchOpts, Checker};
 use approxit_bench::shared_profile;
 use iter_solvers::{
     ar_contraction, ar_range_model, cg_contraction, cg_range_model, datasets, gmm_contraction,
@@ -56,37 +57,6 @@ const CHAR_ITERS: usize = 4;
 /// 4 before anything depends on it).
 const GMM_DECLARED_RHO: f64 = 0.9;
 
-/// Pass/fail accounting with eager diagnostics.
-struct Checker {
-    passed: usize,
-    failed: usize,
-}
-
-impl Checker {
-    fn new() -> Self {
-        Self {
-            passed: 0,
-            failed: 0,
-        }
-    }
-
-    fn check(&mut self, name: &str, ok: bool, detail: &str) {
-        if ok {
-            self.passed += 1;
-            println!(
-                "  ok   {name}{}{detail}",
-                if detail.is_empty() { "" } else { ": " }
-            );
-        } else {
-            self.failed += 1;
-            println!(
-                "  FAIL {name}{}{detail}",
-                if detail.is_empty() { "" } else { ": " }
-            );
-        }
-    }
-}
-
 fn shipped_specs() -> Vec<ControllerSpec> {
     vec![
         ControllerSpec::adaptive(),
@@ -97,7 +67,7 @@ fn shipped_specs() -> Vec<ControllerSpec> {
 }
 
 fn modelcheck_stage(c: &mut Checker) {
-    println!("[1/5] model checking: shipped controllers over their full state spaces");
+    c.note("[1/5] model checking: shipped controllers over their full state spaces");
     for spec in shipped_specs() {
         let report = model_check(&spec);
         c.check(
@@ -118,7 +88,7 @@ fn modelcheck_stage(c: &mut Checker) {
 }
 
 fn counterexample_stage(c: &mut Checker) {
-    println!("[2/5] counterexamples: planted controller bugs must be caught with traces");
+    c.note("[2/5] counterexamples: planted controller bugs must be caught with traces");
 
     // The inverted-escalation mutant: damage *lowers* the level.
     let mutant = ControllerSpec::inverted_escalation_mutant();
@@ -137,7 +107,7 @@ fn counterexample_stage(c: &mut Checker) {
             // Show the concrete decision trace, like verify prints the
             // broken adder's input assignment.
             for line in cx.to_string().lines() {
-                println!("       {line}");
+                c.note(&format!("       {line}"));
             }
         }
         None => c.check(
@@ -163,7 +133,7 @@ fn counterexample_stage(c: &mut Checker) {
 }
 
 fn symbolic_stage(c: &mut Checker) {
-    println!("[3/5] symbolic cross-check: BDD engine vs explicit exploration");
+    c.note("[3/5] symbolic cross-check: BDD engine vs explicit exploration");
     let mut specs = shipped_specs();
     specs.push(ControllerSpec::inverted_escalation_mutant());
     specs.push(ControllerSpec::single_mode_unprotected(
@@ -336,10 +306,10 @@ fn relative_static_bound(w: &Workload, ctx: &mut QcsContext, level: AccuracyLeve
 }
 
 fn contraction_stage(c: &mut Checker, loads: &[Workload], ctx: &mut QcsContext) {
-    println!("[4/5] error propagation x contraction: the recurrence e' <= rho*e + delta");
+    c.note("[4/5] error propagation x contraction: the recurrence e' <= rho*e + delta");
     for w in loads {
         for note in w.contraction.notes() {
-            println!("       {}: {note}", w.model.name());
+            c.note(&format!("       {}: {note}", w.model.name()));
         }
         c.check(
             &format!("{} contraction certified", w.contraction.name()),
@@ -385,27 +355,27 @@ fn contraction_stage(c: &mut Checker, loads: &[Workload], ctx: &mut QcsContext) 
 }
 
 fn dominance_stage(c: &mut Checker, loads: &[Workload], ctx: &mut QcsContext) {
-    println!("[5/5] dominance: static bounds vs the measured characterization table");
+    c.note("[5/5] dominance: static bounds vs the measured characterization table");
     for w in loads {
-        println!(
+        c.note(&format!(
             "       {} (dim {}, exact-norm floor {:.3e}):",
             w.model.name(),
             w.dim,
             w.min_exact_norm
-        );
-        println!(
+        ));
+        c.note(&format!(
             "       {:>8} {:>14} {:>14}",
             "mode", "measured eps", "static bound"
-        );
+        ));
         let mut dominated = true;
         let mut worst = String::new();
         for level in AccuracyLevel::APPROXIMATE {
             let measured = w.table.update_error(level);
             let stat = relative_static_bound(w, ctx, level);
-            println!(
+            c.note(&format!(
                 "       {:>8} {measured:>14.4e} {stat:>14.4e}",
                 level.to_string()
-            );
+            ));
             if !(stat.is_finite() && measured <= stat) {
                 dominated = false;
                 worst = format!("{level}: measured {measured:.4e} > static {stat:.4e}");
@@ -423,8 +393,9 @@ fn dominance_stage(c: &mut Checker, loads: &[Workload], ctx: &mut QcsContext) {
 }
 
 fn main() -> ExitCode {
-    println!("guarantee: controller model checking + static error-propagation proofs");
-    let mut c = Checker::new();
+    let opts = BenchOpts::parse();
+    opts.say("guarantee: controller model checking + static error-propagation proofs");
+    let mut c = Checker::new(opts.quiet);
     modelcheck_stage(&mut c);
     counterexample_stage(&mut c);
     symbolic_stage(&mut c);
@@ -435,10 +406,5 @@ fn main() -> ExitCode {
     contraction_stage(&mut c, &loads, &mut ctx);
     dominance_stage(&mut c, &loads, &mut ctx);
 
-    println!("guarantee: {} passed, {} failed", c.passed, c.failed);
-    if c.failed == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    c.finish("guarantee", &opts)
 }

@@ -16,9 +16,10 @@
 
 use approx_arith::{AccuracyLevel, Adder, FaultInjector, FaultModel, QcsAdder, QcsContext};
 use approxit::{
-    characterize, run_with_watchdog, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy,
+    characterize, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy, RunConfig,
     RunReport, SingleMode, WatchdogConfig,
 };
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::specs::shared_profile;
 use gatesim::FaultCampaign;
@@ -31,12 +32,13 @@ const SEU_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
 /// Low result bits exposed to upsets (up to bit 15 of Q15.16 — flips of
 /// magnitude up to 0.5, well above any convergence tolerance).
 const FAULT_BITS: u32 = 16;
-/// Fault-stream seed: every run of this binary replays the same faults.
+/// Default fault-stream seed: every run of this binary replays the same
+/// faults unless `--seed` overrides it.
 const SEED: u64 = 0xF01D;
 
-fn faulty_ctx(rate: f64) -> FaultInjector<QcsContext> {
+fn faulty_ctx(rate: f64, seed: u64) -> FaultInjector<QcsContext> {
     let inner = QcsContext::with_profile(shared_profile().clone());
-    FaultInjector::new(inner, rate, FAULT_BITS, SEED).sparing_accurate()
+    FaultInjector::new(inner, rate, FAULT_BITS, seed).sparing_accurate()
 }
 
 fn level_label(level: AccuracyLevel) -> String {
@@ -123,19 +125,17 @@ fn report_row(
 /// guards-only watchdog, reconfiguration strategies on the resilient
 /// one. `quality_ok` decides whether a QEM value counts as Truth
 /// quality.
-fn application_section<M, Q, G>(title: &str, method: &M, qem: Q, quality_ok: G)
+fn application_section<M, Q, G>(title: &str, method: &M, seed: u64, qem: Q, quality_ok: G)
 where
-    M: IterativeMethod,
+    M: IterativeMethod + Sync,
+    M::State: Sync,
     Q: Fn(&M::State, &M::State) -> f64,
     G: Fn(f64) -> bool,
 {
     let mut clean = QcsContext::with_profile(shared_profile().clone());
-    let truth = run_with_watchdog(
-        method,
-        &mut SingleMode::accurate(),
-        &mut clean,
-        &WatchdogConfig::default(),
-    );
+    let truth = RunConfig::new(method, &mut clean)
+        .with_watchdog(WatchdogConfig::default())
+        .execute(&mut SingleMode::accurate());
     let table = characterize(method, shared_profile(), 5);
 
     let mut rows = Vec::new();
@@ -143,13 +143,10 @@ where
     for &rate in &SEU_RATES {
         let mut failed_baselines: Vec<String> = Vec::new();
         for &level in &AccuracyLevel::ALL {
-            let mut ctx = faulty_ctx(rate);
-            let outcome = run_with_watchdog(
-                method,
-                &mut SingleMode::new(level),
-                &mut ctx,
-                &WatchdogConfig::default(),
-            );
+            let mut ctx = faulty_ctx(rate, seed);
+            let outcome = RunConfig::new(method, &mut ctx)
+                .with_watchdog(WatchdogConfig::default())
+                .execute(&mut SingleMode::new(level));
             let q = qem(&outcome.state, &truth.state);
             if !level.is_accurate() && (!outcome.report.converged || !quality_ok(q)) {
                 failed_baselines.push(format!(
@@ -176,13 +173,10 @@ where
             Box::new(AdaptiveAngleStrategy::from_characterization(&table, 1)),
         ];
         for (index, mut strategy) in strategies.into_iter().enumerate() {
-            let mut ctx = faulty_ctx(rate);
-            let outcome = run_with_watchdog(
-                method,
-                strategy.as_mut(),
-                &mut ctx,
-                &WatchdogConfig::resilient(),
-            );
+            let mut ctx = faulty_ctx(rate, seed);
+            let outcome = RunConfig::new(method, &mut ctx)
+                .with_watchdog(WatchdogConfig::resilient())
+                .execute(strategy.as_mut());
             let q = qem(&outcome.state, &truth.state);
             let label = outcome.report.strategy.clone();
             rows.push(report_row(rate, &label, &outcome.report, q, &truth.report));
@@ -241,18 +235,16 @@ where
 /// enough to trip the hard-failure guards, and show the watchdog's
 /// checkpoint restores and escalations pulling the run back to Truth
 /// quality.
-fn burst_recovery_section<M, Q>(method: &M, name: &str, qem: Q)
+fn burst_recovery_section<M, Q>(method: &M, name: &str, seed: u64, qem: Q)
 where
-    M: IterativeMethod,
+    M: IterativeMethod + Sync,
+    M::State: Sync,
     Q: Fn(&M::State, &M::State) -> f64,
 {
     let mut clean = QcsContext::with_profile(shared_profile().clone());
-    let truth = run_with_watchdog(
-        method,
-        &mut SingleMode::accurate(),
-        &mut clean,
-        &WatchdogConfig::default(),
-    );
+    let truth = RunConfig::new(method, &mut clean)
+        .with_watchdog(WatchdogConfig::default())
+        .execute(&mut SingleMode::accurate());
     let table = characterize(method, shared_profile(), 5);
 
     let (burst_rate, burst_width) = (1e-2, 16);
@@ -261,7 +253,7 @@ where
         width: burst_width,
     };
     let inner = QcsContext::with_profile(shared_profile().clone());
-    let mut ctx = FaultInjector::with_model(inner, model, SEED).sparing_accurate();
+    let mut ctx = FaultInjector::with_model(inner, model, seed).sparing_accurate();
     let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
     // Calibrate the overflow guard against the clean run: a healthy
     // objective never exceeds its starting value by orders of magnitude.
@@ -273,7 +265,9 @@ where
         escalation_threshold: Some(2),
         ..WatchdogConfig::resilient()
     };
-    let outcome = run_with_watchdog(method, &mut strategy, &mut ctx, &watchdog);
+    let outcome = RunConfig::new(method, &mut ctx)
+        .with_watchdog(watchdog.clone())
+        .execute(&mut strategy);
     let q = qem(&outcome.state, &truth.state);
     println!(
         "{name}: burst faults (rate {burst_rate:.0e}, width {burst_width}), \
@@ -294,13 +288,10 @@ where
     // escape: recovery is carried entirely by the watchdog's checkpoint
     // restores and forced escalations.
     let inner = QcsContext::with_profile(shared_profile().clone());
-    let mut ctx = FaultInjector::with_model(inner, model, SEED).sparing_accurate();
-    let outcome = run_with_watchdog(
-        method,
-        &mut SingleMode::new(AccuracyLevel::Level2),
-        &mut ctx,
-        &watchdog,
-    );
+    let mut ctx = FaultInjector::with_model(inner, model, seed).sparing_accurate();
+    let outcome = RunConfig::new(method, &mut ctx)
+        .with_watchdog(watchdog.clone())
+        .execute(&mut SingleMode::new(AccuracyLevel::Level2));
     let q = qem(&outcome.state, &truth.state);
     println!(
         "{name}: same faults, single-mode level2 + resilient watchdog:\n  \
@@ -318,6 +309,8 @@ where
 }
 
 fn main() {
+    let opts = BenchOpts::parse();
+    let seed = opts.seed_or(SEED);
     println!("ApproxIt resilience campaign");
     println!("============================\n");
 
@@ -334,6 +327,7 @@ fn main() {
     application_section(
         "GMM quality vs. SEU rate (QEM = Hamming distance to Truth assignments)",
         &gmm,
+        seed,
         |state, truth_state| {
             hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), 3) as f64
         },
@@ -351,15 +345,16 @@ fn main() {
     application_section(
         "AutoRegression quality vs. SEU rate (QEM = coefficient l2 error to Truth)",
         &ar,
+        seed,
         |state, truth_state| l2_error(state, truth_state),
         |q| q < 1e-3,
     );
 
     println!("Watchdog recovery under burst faults\n");
-    burst_recovery_section(&gmm, "GMM", |state, truth_state| {
+    burst_recovery_section(&gmm, "GMM", seed, |state, truth_state| {
         hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), 3) as f64
     });
-    burst_recovery_section(&ar, "AutoRegression", |state, truth_state| {
+    burst_recovery_section(&ar, "AutoRegression", seed, |state, truth_state| {
         l2_error(state, truth_state)
     });
 }

@@ -11,11 +11,14 @@ use approx_arith::{
     characterize_adder_energy, characterize_monte_carlo, Adder, EtaIiAdder, GeArAdder,
     KoggeStoneAdder, LowerOrAdder, LowerZeroAdder, RippleCarryAdder, WindowedCarryAdder,
 };
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use gatesim::timing::DelayModel;
 use gatesim::EnergyModel;
 
 fn main() {
+    let opts = BenchOpts::parse();
+    let seed = opts.seed_or(0x5EED);
     let width = 32u32;
     let adders: Vec<Box<dyn Adder>> = vec![
         Box::new(RippleCarryAdder::new(width)),
@@ -48,7 +51,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for adder in &adders {
-        let mut rng = Pcg32::seeded(0x5EED, 1);
+        let mut rng = Pcg32::seeded(seed, 1);
         let stats = characterize_monte_carlo(adder.as_ref(), samples, &mut rng);
         let energy = characterize_adder_energy(adder.as_ref(), 512, 0xCAFE, &energy_model);
         let (nl, _) = adder.netlist();

@@ -1,9 +1,11 @@
 //! Regenerates the paper's Table 2: dataset and parameter description.
 
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::render_table;
 use approxit_bench::{ar_specs, gmm_specs};
 
 fn main() {
+    let _opts = BenchOpts::parse();
     println!("Table 2: Dataset and Parameter Description\n");
     let mut rows = Vec::new();
     for spec in gmm_specs() {

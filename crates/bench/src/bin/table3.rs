@@ -4,16 +4,13 @@
 //! (b) runs the incremental and adaptive (f = 1) online reconfiguration
 //! strategies. Pass `--part a` or `--part b` to run one part only.
 
+use approxit_bench::cli::BenchOpts;
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::{gmm_reconfig_rows, gmm_single_mode_rows, gmm_specs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let part = args
-        .iter()
-        .position(|a| a == "--part")
-        .and_then(|i| args.get(i + 1))
-        .map_or("ab", String::as_str);
+    let opts = BenchOpts::parse();
+    let part = opts.flag_value("--part").unwrap_or("ab");
 
     if part.contains('a') {
         println!("Table 3(a): GMM single-mode results\n");

@@ -28,7 +28,8 @@ use approx_arith::{
     AccuracyLevel, Adder, ArithContext, EtaIiAdder, GeArAdder, KoggeStoneAdder, LowerOrAdder,
     LowerZeroAdder, QcsAdder, QcsContext, RippleCarryAdder, WindowedCarryAdder,
 };
-use approxit::{run, RangeProofSummary, SingleMode};
+use approxit::{RangeProofSummary, RunConfig, SingleMode};
+use approxit_bench::cli::{BenchOpts, Checker};
 use gatesim::builders::{self, AdderPorts};
 use gatesim::equiv::{self, Equivalence};
 use gatesim::{optimize, GateKind, Netlist, NodeId, Simulator};
@@ -36,37 +37,6 @@ use iter_solvers::{
     ar_range_model, cg_range_model, datasets, gmm_range_model, ArRangeSpec, AutoRegression,
     CgRangeSpec, ConjugateGradient, GaussianMixture, GmmRangeSpec,
 };
-
-/// Pass/fail accounting with eager diagnostics.
-struct Checker {
-    passed: usize,
-    failed: usize,
-}
-
-impl Checker {
-    fn new() -> Self {
-        Self {
-            passed: 0,
-            failed: 0,
-        }
-    }
-
-    fn check(&mut self, name: &str, ok: bool, detail: &str) {
-        if ok {
-            self.passed += 1;
-            println!(
-                "  ok   {name}{}{detail}",
-                if detail.is_empty() { "" } else { ": " }
-            );
-        } else {
-            self.failed += 1;
-            println!(
-                "  FAIL {name}{}{detail}",
-                if detail.is_empty() { "" } else { ": " }
-            );
-        }
-    }
-}
 
 /// The full 16-bit roster: every adder architecture the crate ships, in
 /// both exact and approximate configurations.
@@ -198,7 +168,7 @@ fn exhaustive_netlist_error(approx: &Netlist, exact: &Netlist) -> (f64, u64) {
 }
 
 fn lint_stage(c: &mut Checker) {
-    println!("[1/5] lint: every shipped adder netlist");
+    c.note("[1/5] lint: every shipped adder netlist");
     for adder in roster_16() {
         let (nl, _) = adder.netlist();
         let valid = nl.validate().is_ok();
@@ -216,7 +186,7 @@ fn lint_stage(c: &mut Checker) {
 }
 
 fn equivalence_stage(c: &mut Checker) {
-    println!("[2/5] equivalence: optimizer exactness + exact-config proofs");
+    c.note("[2/5] equivalence: optimizer exactness + exact-config proofs");
     for adder in roster_16() {
         let (nl, _) = adder.netlist();
         let optimized = optimize::optimize(&nl).netlist;
@@ -240,7 +210,7 @@ fn equivalence_stage(c: &mut Checker) {
 }
 
 fn counterexample_stage(c: &mut Checker) {
-    println!("[3/5] counterexample: a broken 16-bit adder must be caught");
+    c.note("[3/5] counterexample: a broken 16-bit adder must be caught");
     let (nl, _) = RippleCarryAdder::new(16).netlist();
     let broken = break_netlist(&nl, GateKind::Maj3, GateKind::And2);
     match equiv::prove(&nl, &broken) {
@@ -275,7 +245,7 @@ fn counterexample_stage(c: &mut Checker) {
 }
 
 fn error_bound_stage(c: &mut Checker) {
-    println!("[4/5] exact error characterization via BDD model counting");
+    c.note("[4/5] exact error characterization via BDD model counting");
     // Width-8 cross-check: BDD counting vs exhaustive netlist simulation.
     let qcs8 = QcsAdder::new(8, [4, 3, 2, 1]);
     let small: Vec<Box<dyn Adder>> = vec![
@@ -334,7 +304,7 @@ fn error_bound_stage(c: &mut Checker) {
 }
 
 fn range_stage(c: &mut Checker) {
-    println!("[5/5] static range analysis of the benchmark datapaths");
+    c.note("[5/5] static range analysis of the benchmark datapaths");
     let mut ctx = QcsContext::with_paper_defaults();
 
     // Build the three workload models at benchmark scale.
@@ -378,7 +348,11 @@ fn range_stage(c: &mut Checker) {
                     &report.verdict.to_string(),
                 );
             } else {
-                println!("       {} @ {level}: {}", model.name(), report.verdict);
+                c.note(&format!(
+                    "       {} @ {level}: {}",
+                    model.name(),
+                    report.verdict
+                ));
             }
         }
     }
@@ -389,7 +363,7 @@ fn range_stage(c: &mut Checker) {
     let config = ctx.range_config().expect("QCS context models hardware");
     let summary = RangeProofSummary::from_model(&cg_model, &config);
     let mut strategy = SingleMode::new(AccuracyLevel::Accurate);
-    let mut outcome = run(&cg, &mut strategy, &mut ctx);
+    let mut outcome = RunConfig::new(&cg, &mut ctx).execute(&mut strategy);
     outcome.report.range_proof = Some(summary);
     let json = outcome.report.to_json();
     c.check(
@@ -401,17 +375,13 @@ fn range_stage(c: &mut Checker) {
 }
 
 fn main() -> ExitCode {
-    println!("verify: BDD equivalence proofs, netlist lint, static range analysis");
-    let mut c = Checker::new();
+    let opts = BenchOpts::parse();
+    opts.say("verify: BDD equivalence proofs, netlist lint, static range analysis");
+    let mut c = Checker::new(opts.quiet);
     lint_stage(&mut c);
     equivalence_stage(&mut c);
     counterexample_stage(&mut c);
     error_bound_stage(&mut c);
     range_stage(&mut c);
-    println!("verify: {} passed, {} failed", c.passed, c.failed);
-    if c.failed == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    c.finish("verify", &opts)
 }

@@ -15,6 +15,7 @@
 //! | `guarantee` | static quality-guarantee proofs: controller model checking (+ symbolic BDD cross-check), error-propagation × contraction recurrence, dominance over the measured characterization table |
 //! | `resilience` | fault campaign: quality vs fault rate under the runner watchdog |
 //! | `survey`  | adder design-space survey: error × energy × delay |
+//! | `perf`    | packed-vs-scalar cross-check + exhaustive-sweep speedup measurement |
 //! | `experiment` | general runner for ad-hoc method/dataset/strategy sweeps |
 //!
 //! This library holds the shared experiment definitions so the binaries,
@@ -24,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod render;
 pub mod specs;

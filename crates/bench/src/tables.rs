@@ -2,8 +2,8 @@
 
 use approx_arith::{AccuracyLevel, QcsContext};
 use approxit::{
-    characterize, run, AdaptiveAngleStrategy, CharacterizationTable, IncrementalStrategy,
-    ReconfigStrategy, RunReport, SingleMode,
+    characterize, AdaptiveAngleStrategy, CharacterizationTable, IncrementalStrategy,
+    ReconfigStrategy, RunConfig, RunReport, SingleMode,
 };
 use iter_solvers::metrics::{hamming_distance, l2_error};
 use iter_solvers::IterativeMethod;
@@ -61,11 +61,11 @@ where
     Q: Fn(&M::State, &M::State) -> f64,
 {
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
-    let truth = run(method, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(method, &mut ctx).execute(&mut SingleMode::accurate());
     AccuracyLevel::ALL
         .iter()
         .map(|&level| {
-            let outcome = run(method, &mut SingleMode::new(level), &mut ctx);
+            let outcome = RunConfig::new(method, &mut ctx).execute(&mut SingleMode::new(level));
             SingleModeRow {
                 configuration: level_label(level),
                 iterations: outcome.report.iterations,
@@ -90,7 +90,7 @@ where
     Q: Fn(&M::State, &M::State) -> f64,
 {
     let mut ctx = QcsContext::with_profile(shared_profile().clone());
-    let truth = run(method, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(method, &mut ctx).execute(&mut SingleMode::accurate());
     let mut strategies: Vec<Box<dyn ReconfigStrategy>> = vec![
         Box::new(IncrementalStrategy::from_characterization(table)),
         Box::new(AdaptiveAngleStrategy::from_characterization(
@@ -101,7 +101,7 @@ where
     strategies
         .iter_mut()
         .map(|strategy| {
-            let outcome = run(method, strategy.as_mut(), &mut ctx);
+            let outcome = RunConfig::new(method, &mut ctx).execute(strategy.as_mut());
             row_from_report(
                 dataset,
                 &outcome.report,

@@ -9,6 +9,7 @@
 //! adaptive strategy's error budget `E = f(x¹) − f(x⁰)`.
 
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext};
+use gatesim::par::Executor;
 use iter_solvers::IterativeMethod;
 
 use crate::quality::quality_error;
@@ -89,11 +90,15 @@ impl std::fmt::Display for CharacterizationTable {
 ///
 /// # Panics
 /// Panics if `iterations` is 0.
-pub fn characterize<M: IterativeMethod>(
+pub fn characterize<M>(
     method: &M,
     profile: &EnergyProfile,
     iterations: usize,
-) -> CharacterizationTable {
+) -> CharacterizationTable
+where
+    M: IterativeMethod + Sync,
+    M::State: Sync,
+{
     characterize_on(
         method,
         &QcsContext::with_profile(profile.clone()),
@@ -106,11 +111,35 @@ pub fn characterize<M: IterativeMethod>(
 ///
 /// # Panics
 /// Panics if `iterations` is 0.
-pub fn characterize_on<M: IterativeMethod>(
+pub fn characterize_on<M>(
     method: &M,
     template: &QcsContext,
     iterations: usize,
-) -> CharacterizationTable {
+) -> CharacterizationTable
+where
+    M: IterativeMethod + Sync,
+    M::State: Sync,
+{
+    characterize_on_with(method, template, iterations, &Executor::new())
+}
+
+/// Like [`characterize_on`], but with an explicit [`Executor`]: the four
+/// approximate modes are characterized concurrently (they replay from
+/// the same read-only exact trajectory and never observe each other), so
+/// the table is bit-identical for every thread count.
+///
+/// # Panics
+/// Panics if `iterations` is 0.
+pub fn characterize_on_with<M>(
+    method: &M,
+    template: &QcsContext,
+    iterations: usize,
+    exec: &Executor,
+) -> CharacterizationTable
+where
+    M: IterativeMethod + Sync,
+    M::State: Sync,
+{
     assert!(iterations > 0, "at least one characterization iteration");
     let profile = template.profile();
     let mut exact_ctx = template.clone();
@@ -130,7 +159,12 @@ pub fn characterize_on<M: IterativeMethod>(
 
     let mut quality_errors = [0.0f64; 5];
     let mut update_errors = [0.0f64; 5];
-    for level in AccuracyLevel::APPROXIMATE {
+    // The four approximate modes replay from the same (read-only) exact
+    // trajectory and never observe each other, so they fan out across
+    // cores; each mode's arithmetic is untouched, making the table
+    // bit-identical for every thread count.
+    let per_level = exec.run_indexed(AccuracyLevel::APPROXIMATE.len(), |i| {
+        let level = AccuracyLevel::APPROXIMATE[i];
         let mut ctx = template.clone();
         ctx.reset_counters();
         ctx.set_level(level);
@@ -146,8 +180,11 @@ pub fn characterize_on<M: IterativeMethod>(
             let norm = approx_linalg::vector::norm2_exact(p_exact).max(1e-300);
             total_update += approx_linalg::vector::dist2_exact(&p_approx, p_exact) / norm;
         }
-        quality_errors[level.index()] = total / iterations as f64;
-        update_errors[level.index()] = total_update / iterations as f64;
+        (total / iterations as f64, total_update / iterations as f64)
+    });
+    for (level, (quality, update)) in AccuracyLevel::APPROXIMATE.iter().zip(per_level) {
+        quality_errors[level.index()] = quality;
+        update_errors[level.index()] = update;
     }
 
     CharacterizationTable {
@@ -227,5 +264,16 @@ mod tests {
         let a = characterize(&method(), &profile(), 4);
         let b = characterize(&method(), &profile(), 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_characterization_is_bit_identical_to_serial() {
+        let m = method();
+        let template = QcsContext::with_profile(profile());
+        let serial = characterize_on_with(&m, &template, 5, &Executor::with_threads(1));
+        for threads in [2usize, 4, 16] {
+            let parallel = characterize_on_with(&m, &template, 5, &Executor::with_threads(threads));
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
     }
 }

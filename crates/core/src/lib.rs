@@ -19,13 +19,13 @@
 //!   online-updated lookup table (see [`lp`]);
 //! * a PID-controller baseline ([`PidStrategy`]) after Chippa et al.,
 //!   the design the paper argues against;
-//! * the [`run`] controller that drives any
+//! * the [`RunConfig`] controller that drives any
 //!   [`iter_solvers::IterativeMethod`] under any [`ReconfigStrategy`]
 //!   with full energy/quality telemetry ([`RunReport`]);
-//! * a runner watchdog ([`WatchdogConfig`], used via
-//!   [`run_with_watchdog`]) with NaN/Inf/overflow guards, divergence
-//!   detection, checkpointed recovery, and level escalation for
-//!   fault-tolerant execution under soft errors;
+//! * a runner watchdog ([`WatchdogConfig`], attached via
+//!   [`RunConfig::with_watchdog`]) with NaN/Inf/overflow guards,
+//!   divergence detection, checkpointed recovery, and level escalation
+//!   for fault-tolerant execution under soft errors;
 //! * a controller [`modelcheck`]er that statically proves the
 //!   reconfiguration policies livelock-free and monotone over their
 //!   full reachable state spaces, with replayable counterexamples for
@@ -34,8 +34,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use approx_arith::{EnergyProfile, QcsContext};
-//! use approxit::{characterize, run, IncrementalStrategy, SingleMode};
+//! use approxit::prelude::*;
 //! use iter_solvers::datasets::gaussian_blobs;
 //! use iter_solvers::GaussianMixture;
 //!
@@ -52,9 +51,9 @@
 //! // Online stage: run under the incremental strategy and compare with
 //! // the fully accurate baseline.
 //! let mut ctx = QcsContext::with_profile(profile);
-//! let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+//! let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
 //! let mut strategy = IncrementalStrategy::from_characterization(&table);
-//! let scaled = run(&gmm, &mut strategy, &mut ctx);
+//! let scaled = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
 //! assert!(scaled.report.normalized_energy(&truth.report) < 1.0);
 //! ```
 
@@ -75,7 +74,9 @@ pub mod lp;
 pub mod modelcheck;
 
 pub use adaptive::AdaptiveAngleStrategy;
-pub use characterize::{characterize, characterize_on, CharacterizationTable};
+pub use characterize::{
+    characterize, characterize_on, characterize_on_with, CharacterizationTable,
+};
 pub use incremental::{IncrementalConfig, IncrementalStrategy, QualitySchemeVariant};
 pub use modelcheck::{
     check as model_check, symbolic_cross_check, ControllerSpec, Counterexample, ModelCheckReport,
@@ -84,10 +85,37 @@ pub use modelcheck::{
 pub use pid::{PidConfig, PidStrategy};
 pub use quality::{quality_error, QUALITY_EPS};
 pub use report::{RangeProofSummary, RunReport};
-pub use runner::{run, run_with_watchdog, RunOutcome};
+#[allow(deprecated)]
+pub use runner::{run, run_with_watchdog};
+pub use runner::{RunConfig, RunOutcome};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
 pub use watchdog::{RecoveryTelemetry, WatchdogConfig};
 
 // Re-export the vocabulary types downstream code always needs together
 // with this crate.
 pub use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};
+
+/// One-stop import for applications: `use approxit::prelude::*;`.
+///
+/// Re-exports the framework vocabulary — the [`RunConfig`] controller
+/// and its telemetry, the reconfiguration strategies, the offline
+/// characterization stage, and the arithmetic-context types from
+/// [`approx_arith`] — plus the [`IterativeMethod`](iter_solvers::IterativeMethod)
+/// trait every workload implements. Concrete solvers, datasets, and
+/// metrics stay behind explicit `iter_solvers::…` imports: they are
+/// workload choices, not framework vocabulary.
+pub mod prelude {
+    pub use crate::adaptive::AdaptiveAngleStrategy;
+    pub use crate::characterize::{
+        characterize, characterize_on, characterize_on_with, CharacterizationTable,
+    };
+    pub use crate::incremental::{IncrementalConfig, IncrementalStrategy};
+    pub use crate::quality::quality_error;
+    pub use crate::report::RunReport;
+    pub use crate::runner::{RunConfig, RunOutcome};
+    pub use crate::strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
+    pub use crate::watchdog::{RecoveryTelemetry, WatchdogConfig};
+
+    pub use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, FaultInjector, QcsContext};
+    pub use iter_solvers::IterativeMethod;
+}

@@ -29,60 +29,132 @@ pub struct RunOutcome<S> {
     pub report: RunReport,
 }
 
-/// Drive `method` to convergence (or `MAX_ITER`) under `strategy` on the
-/// datapath `ctx`.
+/// Builder configuring one controller run — the single entry point that
+/// replaces the old `run` / `run_with_watchdog` function pair.
 ///
-/// Control flow per iteration (paper Figure 1's online stage):
+/// # Example
 ///
-/// 1. run one step at the current level, metering its energy;
-/// 2. compute the exact monitoring quantities (objective, parameters,
-///    gradient — all available "for free" alongside the method);
-/// 3. check the method's own convergence criterion. A converged iterate
-///    is accepted if the final step did not increase the objective *and*
-///    the strategy’s [`ReconfigStrategy::convergence_veto`] allows it — the veto is how a
-///    reconfiguration strategy rejects being "falsely stopped" at an
-///    approximate level (single-mode baselines never veto and stop like
-///    raw hardware would). A vetoed or ascending freeze falls through to
-///    reconfiguration;
-/// 4. otherwise ask the strategy for a decision:
-///    * `Keep` — commit the iterate;
-///    * `SwitchTo` — commit the iterate and reconfigure;
-///    * `RollbackAndSwitch` — discard the iterate, restore `xᵏ⁻¹`, and
-///      reconfigure (the function scheme's recovery; the discarded
-///      iteration's energy remains charged, as it would be in
-///      hardware).
+/// ```
+/// use approxit::{RunConfig, SingleMode, WatchdogConfig};
+/// use approx_arith::{EnergyProfile, QcsContext};
+/// use iter_solvers::datasets::gaussian_blobs;
+/// use iter_solvers::GaussianMixture;
 ///
-/// The context's counters are reset at the start so the report reflects
-/// this run only; the context's level is managed by the runner.
+/// let data = gaussian_blobs("demo", &[30, 30],
+///     &[vec![0.0, 0.0], vec![6.0, 6.0]], &[0.7, 0.7], 1);
+/// let gmm = GaussianMixture::from_dataset(&data, 1e-8, 100, 3);
+/// let mut ctx = QcsContext::with_profile(EnergyProfile::from_constants(
+///     [1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0));
 ///
-/// The context is any [`ArithContext`] — the
-/// [`approx_arith::QcsContext`] hardware model in normal use, or a
-/// decorated one (e.g.
-/// [`approx_arith::FaultInjector`]) for failure-injection studies.
+/// let outcome = RunConfig::new(&gmm, &mut ctx)
+///     .with_watchdog(WatchdogConfig::resilient())
+///     .with_checkpoint_every(3)
+///     .execute(&mut SingleMode::accurate());
+/// assert!(outcome.report.converged);
+/// ```
+#[derive(Debug)]
+pub struct RunConfig<'a, M, C> {
+    method: &'a M,
+    ctx: &'a mut C,
+    watchdog: WatchdogConfig,
+}
+
+impl<'a, M: IterativeMethod, C: ArithContext> RunConfig<'a, M, C> {
+    /// Configure a run of `method` on the datapath `ctx`, with the
+    /// default (guards-only) watchdog.
+    #[must_use]
+    pub fn new(method: &'a M, ctx: &'a mut C) -> Self {
+        Self {
+            method,
+            ctx,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+
+    /// Replace the watchdog configuration (see [`crate::watchdog`]).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Take a recovery checkpoint every `k` committed iterations
+    /// (0 disables checkpointing). Adjusts the current watchdog
+    /// configuration, so order it after [`with_watchdog`](Self::with_watchdog).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, k: usize) -> Self {
+        self.watchdog.checkpoint_interval = k;
+        self
+    }
+
+    /// Drive the method to convergence (or `MAX_ITER`) under `strategy`.
+    ///
+    /// Control flow per iteration (paper Figure 1's online stage):
+    ///
+    /// 1. run one step at the current level, metering its energy;
+    /// 2. compute the exact monitoring quantities (objective, parameters,
+    ///    gradient — all available "for free" alongside the method);
+    /// 3. check the method's own convergence criterion. A converged iterate
+    ///    is accepted if the final step did not increase the objective *and*
+    ///    the strategy’s [`ReconfigStrategy::convergence_veto`] allows it — the veto is how a
+    ///    reconfiguration strategy rejects being "falsely stopped" at an
+    ///    approximate level (single-mode baselines never veto and stop like
+    ///    raw hardware would). A vetoed or ascending freeze falls through to
+    ///    reconfiguration;
+    /// 4. otherwise ask the strategy for a decision:
+    ///    * `Keep` — commit the iterate;
+    ///    * `SwitchTo` — commit the iterate and reconfigure;
+    ///    * `RollbackAndSwitch` — discard the iterate, restore `xᵏ⁻¹`, and
+    ///      reconfigure (the function scheme's recovery; the discarded
+    ///      iteration's energy remains charged, as it would be in
+    ///      hardware).
+    ///
+    /// The watchdog inspects every candidate iterate *before* the normal
+    /// convergence/strategy flow. A hard failure — non-finite or overflowing
+    /// objective/parameters, or an objective that rose for the configured
+    /// number of consecutive iterations — discards the iterate, restores the
+    /// most recent checkpoint if one exists, and counts as a rollback for
+    /// the escalation policy. After the configured number of consecutive
+    /// rollbacks (from the strategy or the watchdog), the accuracy level is
+    /// forced one step toward exact and becomes a floor the strategy cannot
+    /// go below. With [`WatchdogConfig::default`] (NaN/Inf guards only), a
+    /// fault-free run is bit-identical to an unguarded loop, and discarded
+    /// iterations' energy remains charged, as it would be in hardware.
+    ///
+    /// The context's counters are reset at the start so the report reflects
+    /// this run only; the context's level is managed by the runner. The
+    /// context is any [`ArithContext`] — the [`approx_arith::QcsContext`]
+    /// hardware model in normal use, or a decorated one (e.g.
+    /// [`approx_arith::FaultInjector`]) for failure-injection studies.
+    pub fn execute(self, strategy: &mut dyn ReconfigStrategy) -> RunOutcome<M::State> {
+        run_loop(self.method, strategy, self.ctx, &self.watchdog)
+    }
+}
+
+/// Drive `method` to convergence under `strategy` on the datapath `ctx`.
+#[deprecated(note = "use RunConfig::new(method, ctx).execute(strategy)")]
 pub fn run<M: IterativeMethod, C: ArithContext>(
     method: &M,
     strategy: &mut dyn ReconfigStrategy,
     ctx: &mut C,
 ) -> RunOutcome<M::State> {
-    run_with_watchdog(method, strategy, ctx, &WatchdogConfig::default())
+    run_loop(method, strategy, ctx, &WatchdogConfig::default())
 }
 
-/// [`run`] with an explicit [`WatchdogConfig`] (see [`crate::watchdog`]).
-///
-/// The watchdog inspects every candidate iterate *before* the normal
-/// convergence/strategy flow. A hard failure — non-finite or overflowing
-/// objective/parameters, or an objective that rose for the configured
-/// number of consecutive iterations — discards the iterate, restores the
-/// most recent checkpoint if one exists, and counts as a rollback for
-/// the escalation policy. After the configured number of consecutive
-/// rollbacks (from the strategy or the watchdog), the accuracy level is
-/// forced one step toward exact and becomes a floor the strategy cannot
-/// go below.
-///
-/// With [`WatchdogConfig::default`] (NaN/Inf guards only), a fault-free
-/// run is bit-identical to the plain [`run`] loop. Discarded
-/// iterations' energy remains charged, as it would be in hardware.
+/// Run with an explicit [`WatchdogConfig`] (see [`crate::watchdog`]).
+#[deprecated(note = "use RunConfig::new(method, ctx).with_watchdog(watchdog).execute(strategy)")]
 pub fn run_with_watchdog<M: IterativeMethod, C: ArithContext>(
+    method: &M,
+    strategy: &mut dyn ReconfigStrategy,
+    ctx: &mut C,
+    watchdog: &WatchdogConfig,
+) -> RunOutcome<M::State> {
+    run_loop(method, strategy, ctx, watchdog)
+}
+
+/// The controller loop backing [`RunConfig::execute`] (and the deprecated
+/// wrappers).
+fn run_loop<M: IterativeMethod, C: ArithContext>(
     method: &M,
     strategy: &mut dyn ReconfigStrategy,
     ctx: &mut C,
@@ -322,7 +394,7 @@ mod tests {
         let d = data();
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let mut ctx = QcsContext::with_profile(profile());
-        let outcome = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         assert!(outcome.report.converged);
         assert_eq!(
             outcome.report.steps_at(AccuracyLevel::Accurate),
@@ -341,8 +413,9 @@ mod tests {
         let d = data();
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let mut ctx = QcsContext::with_profile(profile());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
-        let l1 = run(&gmm, &mut SingleMode::new(AccuracyLevel::Level1), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
+        let l1 =
+            RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::new(AccuracyLevel::Level1));
         // Cheap per iteration...
         assert!(l1.report.energy_per_iteration_mean() < truth.report.energy_per_iteration_mean());
         // ...but a degraded clustering.
@@ -356,10 +429,10 @@ mod tests {
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let table = characterize(&gmm, &profile(), 5);
         let mut ctx = QcsContext::with_profile(profile());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         let truth_labels = gmm.assignments(&truth.state);
         let mut strategy = IncrementalStrategy::from_characterization(&table);
-        let outcome = run(&gmm, &mut strategy, &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
         assert!(outcome.report.converged, "incremental did not converge");
         // The paper's quality guarantee: reconfiguration matches the
         // Truth run's output (zero Hamming distance against it).
@@ -387,10 +460,10 @@ mod tests {
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let table = characterize(&gmm, &profile(), 5);
         let mut ctx = QcsContext::with_profile(profile());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         let truth_labels = gmm.assignments(&truth.state);
         let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-        let outcome = run(&gmm, &mut strategy, &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
         assert!(outcome.report.converged, "adaptive did not converge");
         let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
         assert_eq!(qem, 0, "adaptive must match Truth quality");
@@ -411,7 +484,7 @@ mod tests {
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let table = characterize(&gmm, &profile(), 5);
         let mut ctx = QcsContext::with_profile(profile());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         let truth_labels = gmm.assignments(&truth.state);
         for (name, strategy) in [
             (
@@ -424,7 +497,7 @@ mod tests {
                 &mut AdaptiveAngleStrategy::from_characterization(&table, 1),
             ),
         ] {
-            let outcome = run(&gmm, strategy, &mut ctx);
+            let outcome = RunConfig::new(&gmm, &mut ctx).execute(strategy);
             assert!(outcome.report.converged, "{name} did not converge");
             let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
             assert_eq!(qem, 0, "{name} must match Truth quality");
@@ -438,7 +511,7 @@ mod tests {
         let d = data();
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let mut ctx = QcsContext::with_profile(profile());
-        let outcome = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         let r = &outcome.report;
         assert_eq!(r.total_steps(), r.iterations);
         assert_eq!(r.energy_per_iteration.len(), r.iterations);
@@ -452,13 +525,10 @@ mod tests {
         let d = data();
         let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
         let mut ctx = QcsContext::with_profile(profile());
-        let plain = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
-        let guarded = run_with_watchdog(
-            &gmm,
-            &mut SingleMode::accurate(),
-            &mut ctx,
-            &WatchdogConfig::resilient(),
-        );
+        let plain = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
+        let guarded = RunConfig::new(&gmm, &mut ctx)
+            .with_watchdog(WatchdogConfig::resilient())
+            .execute(&mut SingleMode::accurate());
         // Same trajectory: the watchdog only takes checkpoints.
         assert_eq!(plain.report.iterations, guarded.report.iterations);
         assert_eq!(plain.report.level_schedule, guarded.report.level_schedule);
@@ -535,12 +605,9 @@ mod tests {
             escalation_threshold: Some(2),
             ..WatchdogConfig::resilient()
         };
-        let outcome = run_with_watchdog(
-            &method,
-            &mut SingleMode::new(AccuracyLevel::Level2),
-            &mut ctx,
-            &config,
-        );
+        let outcome = RunConfig::new(&method, &mut ctx)
+            .with_watchdog(config)
+            .execute(&mut SingleMode::new(AccuracyLevel::Level2));
         let r = &outcome.report.recovery;
         assert!(r.guard_trips > 0, "NaN guard never fired");
         assert!(r.checkpoints_taken > 0, "no checkpoints were taken");
@@ -566,15 +633,12 @@ mod tests {
             max_iterations: 60,
         };
         let mut ctx = QcsContext::with_profile(profile());
-        let outcome = run_with_watchdog(
-            &method,
-            &mut SingleMode::new(AccuracyLevel::Level2),
-            &mut ctx,
-            &WatchdogConfig {
+        let outcome = RunConfig::new(&method, &mut ctx)
+            .with_watchdog(WatchdogConfig {
                 guard_non_finite: false,
                 ..WatchdogConfig::default()
-            },
-        );
+            })
+            .execute(&mut SingleMode::new(AccuracyLevel::Level2));
         assert!(!outcome.report.converged);
         assert!(!outcome.state.1.is_finite());
     }
@@ -618,12 +682,9 @@ mod tests {
             escalation_threshold: Some(1),
             ..WatchdogConfig::resilient()
         };
-        let outcome = run_with_watchdog(
-            &Riser,
-            &mut SingleMode::new(AccuracyLevel::Level1),
-            &mut ctx,
-            &config,
-        );
+        let outcome = RunConfig::new(&Riser, &mut ctx)
+            .with_watchdog(config)
+            .execute(&mut SingleMode::new(AccuracyLevel::Level1));
         let r = &outcome.report.recovery;
         assert!(r.divergence_trips > 0, "divergence detector never fired");
         assert!(r.escalations > 0);

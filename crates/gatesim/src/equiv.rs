@@ -12,17 +12,30 @@
 //! equivalence and survives mainly for cross-checking the BDD engine and
 //! for circuits whose diagrams blow past the node budget; prefer
 //! [`prove`] wherever BDDs fit (they do for everything this crate
-//! builds).
+//! builds). The exhaustive sweep runs on the bit-parallel
+//! [`PackedSimulator`] split across cores by [`par::Executor`], yet
+//! returns exactly what the old scalar loop returned (the *lowest*
+//! differing pattern) regardless of thread count.
 //!
 //! For approximate circuits — which are deliberately *not* equivalent to
 //! their exact references — [`error_bound`] characterizes the deviation
 //! exactly: the fraction of input vectors with any output mismatch (via
 //! BDD model counting) and the worst-case absolute word error (via
 //! symbolic two's complement arithmetic), without a `2^n` sweep.
+//! [`exhaustive_error_bound`] computes the same statistics by a packed
+//! parallel sweep over all `2^n` vectors — an independent witness for
+//! the symbolic result, and the workhorse behind the measured speedups
+//! in EXPERIMENTS.md.
+//!
+//! [`par::Executor`]: crate::par::Executor
+//! [`PackedSimulator`]: crate::PackedSimulator
 
 use crate::bdd::{interleaved_order, Bdd, BddRef, NodeLimitExceeded};
 use crate::netlist::Netlist;
+use crate::packed::{exhaustive_input_words, PackedSimulator, LANES};
+use crate::par::Executor;
 use crate::sim::Simulator;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +204,13 @@ pub enum ErrorBoundError {
         /// Number of primary outputs.
         bits: usize,
     },
+    /// Too many primary inputs for an exhaustive sweep (only raised by
+    /// [`exhaustive_error_bound`]; the symbolic [`error_bound`] has no
+    /// such limit).
+    InputTooWide {
+        /// Number of primary inputs.
+        inputs: usize,
+    },
     /// A BDD outgrew the node budget.
     NodeLimit(NodeLimitExceeded),
 }
@@ -203,6 +223,13 @@ impl std::fmt::Display for ErrorBoundError {
             }
             ErrorBoundError::OutputTooWide { bits } => {
                 write!(f, "output word of {bits} bits exceeds the 63-bit limit")
+            }
+            ErrorBoundError::InputTooWide { inputs } => {
+                write!(
+                    f,
+                    "{inputs} inputs exceed the exhaustive-sweep ceiling of \
+                     {EXHAUSTIVE_ERROR_CEILING}; use the symbolic error_bound"
+                )
             }
             ErrorBoundError::NodeLimit(e) => write!(f, "{e}"),
         }
@@ -309,12 +336,53 @@ pub fn error_bound(approx: &Netlist, exact: &Netlist) -> Result<ErrorBound, Erro
 /// ```
 #[must_use]
 pub fn check(left: &Netlist, right: &Netlist, exhaustive_limit: u32, samples: u64) -> Equivalence {
+    check_with(left, right, exhaustive_limit, samples, &Executor::new())
+}
+
+/// [`check`] with an explicit [`Executor`] for the exhaustive sweep.
+///
+/// The verdict is identical for every thread count: the parallel sweep
+/// reduces to the *minimum* differing pattern, which is exactly the
+/// vector the old serial loop would have reported first.
+///
+/// # Panics
+/// Panics if `samples` is 0.
+#[must_use]
+pub fn check_with(
+    left: &Netlist,
+    right: &Netlist,
+    exhaustive_limit: u32,
+    samples: u64,
+    exec: &Executor,
+) -> Equivalence {
     let exhaustive_limit = exhaustive_limit.min(EXHAUSTIVE_CEILING);
     assert!(samples > 0, "samples must be positive");
     if left.num_inputs() != right.num_inputs() || left.num_outputs() != right.num_outputs() {
         return Equivalence::InterfaceMismatch;
     }
     let n = left.num_inputs();
+
+    if (n as u32) <= exhaustive_limit {
+        return match exhaustive_mismatch(left, right, exec) {
+            Some(pattern) => {
+                let inputs: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+                let out_left = Simulator::new(left)
+                    .evaluate(&inputs)
+                    .expect("interface checked");
+                let out_right = Simulator::new(right)
+                    .evaluate(&inputs)
+                    .expect("interface checked");
+                debug_assert_ne!(out_left, out_right);
+                Equivalence::Counterexample {
+                    inputs,
+                    left: out_left,
+                    right: out_right,
+                }
+            }
+            None => Equivalence::Proven,
+        };
+    }
+
     let mut sim_left = Simulator::new(left);
     let mut sim_right = Simulator::new(right);
     let mut try_vector = |inputs: &[bool]| -> Option<Equivalence> {
@@ -330,16 +398,6 @@ pub fn check(left: &Netlist, right: &Netlist, exhaustive_limit: u32, samples: u6
             })
         }
     };
-
-    if (n as u32) <= exhaustive_limit {
-        for pattern in 0..(1u64 << n) {
-            let inputs: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
-            if let Some(counterexample) = try_vector(&inputs) {
-                return counterexample;
-            }
-        }
-        return Equivalence::Proven;
-    }
 
     // Seeded xorshift64* stream, bit-sliced into input vectors.
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
@@ -367,6 +425,181 @@ pub fn check(left: &Netlist, right: &Netlist, exhaustive_limit: u32, samples: u6
         }
     }
     Equivalence::Sampled { vectors: samples }
+}
+
+/// Patterns per parallel work unit in exhaustive sweeps (multiple of 64
+/// so every chunk keeps full lanes and 64-aligned bases).
+const SWEEP_CHUNK: u64 = 1 << 16;
+
+/// Lowest input pattern on which the two netlists disagree, or `None`
+/// if they agree everywhere — computed packed and in parallel.
+fn exhaustive_mismatch(left: &Netlist, right: &Netlist, exec: &Executor) -> Option<u64> {
+    let n = left.num_inputs();
+    let total = 1u64 << n;
+    // Best (lowest) mismatch so far, shared so chunks that cannot beat
+    // it are skipped; the reduction below stays a pure minimum, so this
+    // is a pruning hint, never a determinism hazard.
+    let best = AtomicU64::new(u64::MAX);
+    let hits = exec.map_chunks(total, SWEEP_CHUNK, |start, end| -> Option<u64> {
+        if start > best.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut sim_left = PackedSimulator::new(left);
+        let mut sim_right = PackedSimulator::new(right);
+        let mut base = start;
+        while base < end {
+            let lanes = usize::try_from(end - base).map_or(LANES, |r| r.min(LANES));
+            let words = exhaustive_input_words(n, base);
+            let out_left = sim_left
+                .evaluate_packed(&words, lanes)
+                .expect("interface checked");
+            let out_right = sim_right
+                .evaluate_packed(&words, lanes)
+                .expect("interface checked");
+            let mut diff = 0u64;
+            for (l, r) in out_left.iter().zip(&out_right) {
+                diff |= l ^ r;
+            }
+            if diff != 0 {
+                let pattern = base + u64::from(diff.trailing_zeros());
+                best.fetch_min(pattern, Ordering::Relaxed);
+                return Some(pattern);
+            }
+            base += lanes as u64;
+        }
+        None
+    });
+    hits.into_iter().flatten().min()
+}
+
+/// Largest input count [`exhaustive_error_bound`] will sweep (`2^32`
+/// patterns — minutes of packed parallel simulation, not hours).
+pub const EXHAUSTIVE_ERROR_CEILING: u32 = 32;
+
+/// [`error_bound`] computed by brute force instead of symbolically: a
+/// bit-parallel sweep over all `2^n` input vectors, split across cores.
+///
+/// Returns the same exact statistics as the BDD-based [`error_bound`]
+/// (error rate, worst-case absolute and ring error, and the lowest
+/// input pattern attaining the worst absolute error), so the two
+/// entirely independent engines can be cross-checked against each
+/// other. Deterministic for any thread count.
+///
+/// # Errors
+/// * [`ErrorBoundError::InterfaceMismatch`] if input/output counts differ;
+/// * [`ErrorBoundError::OutputTooWide`] if the circuits have more than 63
+///   outputs;
+/// * [`ErrorBoundError::InputTooWide`] beyond [`EXHAUSTIVE_ERROR_CEILING`]
+///   inputs (use the symbolic [`error_bound`] there).
+pub fn exhaustive_error_bound(
+    approx: &Netlist,
+    exact: &Netlist,
+) -> Result<ErrorBound, ErrorBoundError> {
+    exhaustive_error_bound_with(approx, exact, &Executor::new())
+}
+
+/// Per-chunk partial result of the exhaustive error sweep.
+struct ErrorSweepChunk {
+    mismatches: u64,
+    max_abs: u64,
+    max_ring: u64,
+    witness: u64,
+}
+
+/// [`exhaustive_error_bound`] with an explicit [`Executor`].
+///
+/// # Errors
+/// Same conditions as [`exhaustive_error_bound`].
+pub fn exhaustive_error_bound_with(
+    approx: &Netlist,
+    exact: &Netlist,
+    exec: &Executor,
+) -> Result<ErrorBound, ErrorBoundError> {
+    if approx.num_inputs() != exact.num_inputs() || approx.num_outputs() != exact.num_outputs() {
+        return Err(ErrorBoundError::InterfaceMismatch);
+    }
+    let out_bits = approx.num_outputs();
+    if out_bits > 63 {
+        return Err(ErrorBoundError::OutputTooWide { bits: out_bits });
+    }
+    let n = approx.num_inputs();
+    if n as u32 > EXHAUSTIVE_ERROR_CEILING {
+        return Err(ErrorBoundError::InputTooWide { inputs: n });
+    }
+    let total = 1u64 << n;
+    let modulus = 1u64 << out_bits;
+    let ring_mask = modulus - 1;
+
+    let chunks = exec.map_chunks(total, SWEEP_CHUNK, |start, end| {
+        let mut sim_approx = PackedSimulator::new(approx);
+        let mut sim_exact = PackedSimulator::new(exact);
+        let mut partial = ErrorSweepChunk {
+            mismatches: 0,
+            max_abs: 0,
+            max_ring: 0,
+            witness: 0,
+        };
+        let mut base = start;
+        while base < end {
+            let lanes = usize::try_from(end - base).map_or(LANES, |r| r.min(LANES));
+            let words = exhaustive_input_words(n, base);
+            let out_approx = sim_approx
+                .evaluate_packed(&words, lanes)
+                .expect("interface checked");
+            let out_exact = sim_exact
+                .evaluate_packed(&words, lanes)
+                .expect("interface checked");
+            let mut diff = 0u64;
+            for (a, e) in out_approx.iter().zip(&out_exact) {
+                diff |= a ^ e;
+            }
+            partial.mismatches += u64::from(diff.count_ones());
+            // Gather word values only for mismatching lanes; matching
+            // lanes contribute zero error by definition.
+            let mut remaining = diff;
+            while remaining != 0 {
+                let lane = remaining.trailing_zeros();
+                remaining &= remaining - 1;
+                let mut approx_word = 0u64;
+                let mut exact_word = 0u64;
+                for (o, (aw, ew)) in out_approx.iter().zip(&out_exact).enumerate() {
+                    approx_word |= ((aw >> lane) & 1) << o;
+                    exact_word |= ((ew >> lane) & 1) << o;
+                }
+                let abs = approx_word.abs_diff(exact_word);
+                if abs > partial.max_abs {
+                    partial.max_abs = abs;
+                    partial.witness = base + u64::from(lane);
+                }
+                let wrapped = approx_word.wrapping_sub(exact_word) & ring_mask;
+                partial.max_ring = partial.max_ring.max(wrapped.min(modulus - wrapped));
+            }
+            base += lanes as u64;
+        }
+        partial
+    });
+
+    // In-order fold with a strict `>` update: the witness is the lowest
+    // pattern attaining the global maximum, independent of thread count.
+    let mut mismatches = 0u64;
+    let mut max_abs = 0u64;
+    let mut max_ring = 0u64;
+    let mut witness = 0u64;
+    for chunk in chunks {
+        mismatches += chunk.mismatches;
+        if chunk.max_abs > max_abs {
+            max_abs = chunk.max_abs;
+            witness = chunk.witness;
+        }
+        max_ring = max_ring.max(chunk.max_ring);
+    }
+    let worst_case_inputs: Vec<bool> = (0..n).map(|i| (witness >> i) & 1 == 1).collect();
+    Ok(ErrorBound {
+        error_rate: mismatches as f64 / total as f64,
+        max_abs_error: max_abs,
+        max_ring_error: max_ring,
+        worst_case_inputs,
+    })
 }
 
 #[cfg(test)]
@@ -581,5 +814,96 @@ mod tests {
         let (a, _) = builders::modular_adder(4);
         let (b, _) = builders::modular_adder(5);
         assert_eq!(error_bound(&a, &b), Err(ErrorBoundError::InterfaceMismatch));
+    }
+
+    /// Bitwise-XOR "adder" (drops every carry) with the same interface
+    /// as `modular_adder(width)` — a maximally error-prone approximation.
+    fn carry_free_adder(width: usize) -> Netlist {
+        let mut approx = Netlist::new();
+        let (a, b) = builders::declare_ab(&mut approx, width);
+        for i in 0..width {
+            let s = approx.xor2(a[i], b[i]);
+            approx.mark_output(s, format!("sum{i}"));
+        }
+        approx
+    }
+
+    #[test]
+    fn exhaustive_error_bound_agrees_with_symbolic_engine() {
+        for width in [3usize, 5, 8] {
+            let (exact, _) = builders::modular_adder(width);
+            let approx = carry_free_adder(width);
+            let symbolic = error_bound(&approx, &exact).unwrap();
+            let swept = exhaustive_error_bound(&approx, &exact).unwrap();
+            assert!(
+                (swept.error_rate - symbolic.error_rate).abs() < 1e-12,
+                "width {width}"
+            );
+            assert_eq!(swept.max_abs_error, symbolic.max_abs_error, "width {width}");
+            assert_eq!(
+                swept.max_ring_error, symbolic.max_ring_error,
+                "width {width}"
+            );
+            // Both witnesses must attain the maximum in simulation.
+            let check_witness = |inputs: &[bool]| {
+                let a_out = Simulator::new(&approx).evaluate(inputs).unwrap();
+                let e_out = Simulator::new(&exact).evaluate(inputs).unwrap();
+                let to_word = |bits: &[bool]| {
+                    bits.iter()
+                        .enumerate()
+                        .fold(0u64, |w, (i, &b)| w | (u64::from(b) << i))
+                };
+                to_word(&a_out).abs_diff(to_word(&e_out))
+            };
+            assert_eq!(check_witness(&swept.worst_case_inputs), swept.max_abs_error);
+        }
+    }
+
+    #[test]
+    fn exhaustive_error_bound_is_thread_count_invariant() {
+        let (exact, _) = builders::modular_adder(6);
+        let approx = carry_free_adder(6);
+        let serial = exhaustive_error_bound_with(&approx, &exact, &Executor::with_threads(1));
+        for threads in [2usize, 5, 16] {
+            let parallel =
+                exhaustive_error_bound_with(&approx, &exact, &Executor::with_threads(threads));
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_error_bound_rejects_wide_inputs() {
+        let (a, _) = builders::modular_adder(17); // 34 inputs
+        let (b, _) = builders::modular_adder(17);
+        assert_eq!(
+            exhaustive_error_bound(&a, &b),
+            Err(ErrorBoundError::InputTooWide { inputs: 34 })
+        );
+    }
+
+    #[test]
+    fn packed_check_reports_lowest_counterexample_for_any_thread_count() {
+        // AND vs OR differ on patterns 1 and 2; the lowest is 1
+        // (a=1, b=0), which the serial loop reported first.
+        let mut left = Netlist::new();
+        let a = left.input("a");
+        let b = left.input("b");
+        let y = left.and2(a, b);
+        left.mark_output(y, "y");
+        let mut right = Netlist::new();
+        let a = right.input("a");
+        let b = right.input("b");
+        let y = right.or2(a, b);
+        right.mark_output(y, "y");
+
+        for threads in [1usize, 2, 8] {
+            let verdict = check_with(&left, &right, 16, 100, &Executor::with_threads(threads));
+            match verdict {
+                Equivalence::Counterexample { ref inputs, .. } => {
+                    assert_eq!(inputs, &vec![true, false], "threads={threads}");
+                }
+                ref other => panic!("expected counterexample, got {other:?}"),
+            }
+        }
     }
 }

@@ -39,6 +39,7 @@
 use crate::builders::AdderPorts;
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, NodeId};
+use crate::par::Executor;
 use crate::sim::Simulator;
 use crate::timing::DelayModel;
 
@@ -287,6 +288,11 @@ pub struct CampaignRow {
 /// Sweeps structural faults over an adder netlist, comparing each faulty
 /// configuration against the fault-free reference on a shared random
 /// operand stream.
+///
+/// Sweep rows are independent by construction — every row re-derives its
+/// operand and fault RNG streams from the campaign seed — so the
+/// `sweep_*` methods fan rows out across an [`Executor`] and the results
+/// are bit-identical for any thread count.
 #[derive(Debug, Clone)]
 pub struct FaultCampaign<'a> {
     netlist: &'a Netlist,
@@ -294,11 +300,13 @@ pub struct FaultCampaign<'a> {
     delay_model: DelayModel,
     vectors: usize,
     seed: u64,
+    executor: Executor,
 }
 
 impl<'a> FaultCampaign<'a> {
     /// Create a campaign over `netlist` with the default delay model,
-    /// 256 vectors per configuration, and seed 0.
+    /// 256 vectors per configuration, seed 0, and a machine-sized
+    /// executor for the sweeps.
     #[must_use]
     pub fn new(netlist: &'a Netlist, ports: &'a AdderPorts) -> Self {
         Self {
@@ -307,7 +315,15 @@ impl<'a> FaultCampaign<'a> {
             delay_model: DelayModel::default(),
             vectors: 256,
             seed: 0,
+            executor: Executor::new(),
         }
+    }
+
+    /// Set the executor used to parallelize the `sweep_*` methods.
+    #[must_use]
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Set the number of operand vectors per fault configuration.
@@ -370,20 +386,21 @@ impl<'a> FaultCampaign<'a> {
         stats
     }
 
-    /// Stuck-at sweep: one row per (site, polarity) over the given sites.
+    /// Stuck-at sweep: one row per (site, polarity) over the given sites,
+    /// rows measured in parallel.
     #[must_use]
     pub fn sweep_stuck_at(&self, sites: &[NodeId]) -> Vec<CampaignRow> {
-        let mut rows = Vec::with_capacity(sites.len() * 2);
-        for &site in sites {
-            for value in [false, true] {
-                let stats = self.run(&[StructuralFault::stuck_at(site, value)]);
-                rows.push(CampaignRow {
-                    label: format!("stuck-at-{}@n{}", u8::from(value), site.index()),
-                    stats,
-                });
+        let configs: Vec<(NodeId, bool)> = sites
+            .iter()
+            .flat_map(|&site| [(site, false), (site, true)])
+            .collect();
+        self.executor.run_indexed(configs.len(), |i| {
+            let (site, value) = configs[i];
+            CampaignRow {
+                label: format!("stuck-at-{}@n{}", u8::from(value), site.index()),
+                stats: self.run(&[StructuralFault::stuck_at(site, value)]),
             }
-        }
-        rows
+        })
     }
 
     /// Transient sweep: every non-input node flips at each of the given
@@ -403,19 +420,17 @@ impl<'a> FaultCampaign<'a> {
             })
             .map(|(idx, _)| NodeId(u32::try_from(idx).expect("netlist fits u32")))
             .collect();
-        rates
-            .iter()
-            .map(|&rate| {
-                let faults: Vec<StructuralFault> = gate_nodes
-                    .iter()
-                    .map(|&node| StructuralFault::transient(node, rate))
-                    .collect();
-                CampaignRow {
-                    label: format!("transient@rate={rate:.0e}"),
-                    stats: self.run(&faults),
-                }
-            })
-            .collect()
+        self.executor.run_indexed(rates.len(), |i| {
+            let rate = rates[i];
+            let faults: Vec<StructuralFault> = gate_nodes
+                .iter()
+                .map(|&node| StructuralFault::transient(node, rate))
+                .collect();
+            CampaignRow {
+                label: format!("transient@rate={rate:.0e}"),
+                stats: self.run(&faults),
+            }
+        })
     }
 
     /// Timing-overscaling sweep: clock period set to each fraction of the
@@ -423,16 +438,14 @@ impl<'a> FaultCampaign<'a> {
     #[must_use]
     pub fn sweep_timing(&self, period_fractions: &[f64]) -> Vec<CampaignRow> {
         let critical = self.delay_model.critical_path(self.netlist);
-        period_fractions
-            .iter()
-            .map(|&frac| {
-                let clock_period = critical * frac;
-                CampaignRow {
-                    label: format!("clock@{:.0}%", frac * 100.0),
-                    stats: self.run(&[StructuralFault::TimingOverscale { clock_period }]),
-                }
-            })
-            .collect()
+        self.executor.run_indexed(period_fractions.len(), |i| {
+            let frac = period_fractions[i];
+            let clock_period = critical * frac;
+            CampaignRow {
+                label: format!("clock@{:.0}%", frac * 100.0),
+                stats: self.run(&[StructuralFault::TimingOverscale { clock_period }]),
+            }
+        })
     }
 }
 
@@ -515,6 +528,28 @@ mod tests {
         let lsb = nl.primary_outputs()[0].0;
         let faults = [StructuralFault::transient(lsb, 0.3)];
         assert_eq!(a.run(&faults), b.run(&faults));
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let (nl, ports) = campaign_fixture();
+        let serial = FaultCampaign::new(&nl, &ports)
+            .vectors(48)
+            .seed(11)
+            .executor(Executor::with_threads(1));
+        let parallel = FaultCampaign::new(&nl, &ports)
+            .vectors(48)
+            .seed(11)
+            .executor(Executor::with_threads(8));
+        let sites = &ports.a_bits()[..3];
+        assert_eq!(serial.sweep_stuck_at(sites), parallel.sweep_stuck_at(sites));
+        let rates = [1e-3, 1e-2, 1e-1];
+        assert_eq!(
+            serial.sweep_transient(&rates),
+            parallel.sweep_transient(&rates)
+        );
+        let fracs = [1.0, 0.5, 0.25];
+        assert_eq!(serial.sweep_timing(&fracs), parallel.sweep_timing(&fracs));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   order and evaluation is a single forward sweep.
 //! * [`Simulator`] — evaluates a netlist on Boolean input vectors and
 //!   counts per-gate output toggles across consecutive evaluations.
+//! * [`PackedSimulator`] — the bit-parallel backend: 64 input patterns
+//!   per `u64` word per gate, output- and toggle-identical to
+//!   [`Simulator`], used by every exhaustive sweep in the workspace.
+//! * [`par`] — dependency-free scoped-thread executor with deterministic
+//!   chunking and reduction; all parallel sweeps (equivalence checks,
+//!   fault campaigns, energy traces) are bit-identical to serial runs.
 //! * [`EnergyModel`] — maps toggle counts to (relative) dynamic energy and
 //!   adds a leakage term, using per-gate capacitances proportional to
 //!   transistor counts.
@@ -67,6 +73,8 @@ pub mod equiv;
 pub mod fault;
 pub mod lint;
 pub mod optimize;
+pub mod packed;
+pub mod par;
 pub mod stats;
 pub mod timing;
 
@@ -77,5 +85,7 @@ pub use fault::{CampaignRow, ErrorStats, FaultCampaign, FaultySimulator, Structu
 pub use gate::GateKind;
 pub use lint::{LintConfig, LintDiagnostic, LintPass, LintReport, Severity};
 pub use netlist::{Netlist, Node, NodeId};
+pub use packed::PackedSimulator;
+pub use par::Executor;
 pub use sim::Simulator;
 pub use stats::ActivityReport;

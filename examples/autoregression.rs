@@ -5,10 +5,7 @@
 //! cargo run -p approxit --example autoregression --release
 //! ```
 
-use approx_arith::{AccuracyLevel, QcsContext};
-use approxit::{
-    characterize, run, AdaptiveAngleStrategy, EnergyProfile, IncrementalStrategy, SingleMode,
-};
+use approxit::prelude::*;
 use iter_solvers::datasets::ar_series;
 use iter_solvers::metrics::l2_error;
 use iter_solvers::AutoRegression;
@@ -21,7 +18,7 @@ fn main() {
     let table = characterize(&ar, &profile, 5);
     let mut ctx = QcsContext::with_profile(profile);
 
-    let truth = run(&ar, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&ar, &mut ctx).execute(&mut SingleMode::accurate());
     println!(
         "Truth: {} iterations, coefficients {:?}",
         truth.report.iterations,
@@ -38,7 +35,7 @@ fn main() {
 
     println!("\nsingle-mode sweep:");
     for level in AccuracyLevel::ALL {
-        let outcome = run(&ar, &mut SingleMode::new(level), &mut ctx);
+        let outcome = RunConfig::new(&ar, &mut ctx).execute(&mut SingleMode::new(level));
         println!(
             "{:>8}: {:>4} iterations, QEM {:.3e}, energy {:.4}",
             level.to_string(),
@@ -50,7 +47,7 @@ fn main() {
 
     println!("\nonline reconfiguration:");
     let mut incremental = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&ar, &mut incremental, &mut ctx);
+    let outcome = RunConfig::new(&ar, &mut ctx).execute(&mut incremental);
     println!(
         "incremental: steps {:?}, QEM {:.3e}, energy {:.4}",
         outcome.report.steps_per_level,
@@ -58,7 +55,7 @@ fn main() {
         outcome.report.normalized_energy(&truth.report),
     );
     let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
-    let outcome = run(&ar, &mut adaptive, &mut ctx);
+    let outcome = RunConfig::new(&ar, &mut ctx).execute(&mut adaptive);
     println!(
         "adaptive:    steps {:?}, QEM {:.3e}, energy {:.4}",
         outcome.report.steps_per_level,

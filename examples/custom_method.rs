@@ -8,10 +8,8 @@
 //! cargo run -p approxit --example custom_method --release
 //! ```
 
-use approx_arith::{ArithContext, QcsContext};
-use approxit::{characterize, run, AdaptiveAngleStrategy, EnergyProfile, SingleMode};
+use approxit::prelude::*;
 use iter_solvers::rng::Pcg32;
-use iter_solvers::IterativeMethod;
 
 /// ℓ2-regularized logistic regression trained by full-batch gradient
 /// descent, with the gradient accumulation on the approximate datapath.
@@ -153,7 +151,7 @@ fn main() {
     let table = characterize(&model, &profile, 5);
     let mut ctx = QcsContext::with_profile(profile);
 
-    let truth = run(&model, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&model, &mut ctx).execute(&mut SingleMode::accurate());
     println!(
         "Truth: {} iterations, loss {:.5}, train accuracy {:.1}%",
         truth.report.iterations,
@@ -162,7 +160,7 @@ fn main() {
     );
 
     let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-    let scaled = run(&model, &mut strategy, &mut ctx);
+    let scaled = RunConfig::new(&model, &mut ctx).execute(&mut strategy);
     println!(
         "ApproxIt adaptive: {} iterations (steps {:?}), loss {:.5}, accuracy {:.1}%",
         scaled.report.iterations,

@@ -6,11 +6,7 @@
 //! cargo run -p approxit --example gmm_clustering --release
 //! ```
 
-use approx_arith::{AccuracyLevel, QcsContext};
-use approxit::{
-    characterize, run, AdaptiveAngleStrategy, EnergyProfile, IncrementalStrategy, ReconfigStrategy,
-    SingleMode,
-};
+use approxit::prelude::*;
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::metrics::hamming_distance;
 use iter_solvers::GaussianMixture;
@@ -28,7 +24,7 @@ fn main() {
     let table = characterize(&gmm, &profile, 5);
     let mut ctx = QcsContext::with_profile(profile);
 
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
     println!("single-mode sweep ({} points, 3 clusters):", data.len());
     println!(
@@ -36,7 +32,7 @@ fn main() {
         "mode", "iterations", "QEM", "energy"
     );
     for level in AccuracyLevel::ALL {
-        let outcome = run(&gmm, &mut SingleMode::new(level), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::new(level));
         let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
         println!(
             "{:>8} {:>10} {:>6} {:>8.4}",
@@ -53,7 +49,7 @@ fn main() {
         Box::new(AdaptiveAngleStrategy::from_characterization(&table, 1)),
     ];
     for mut strategy in strategies {
-        let outcome = run(&gmm, strategy.as_mut(), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(strategy.as_mut());
         let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
         println!(
             "{:>12}: steps {:?}, {} rollbacks, QEM {}, energy {:.4}",

@@ -7,8 +7,7 @@
 //! cargo run -p approxit --example poisson --release
 //! ```
 
-use approx_arith::{AccuracyLevel, QcsContext};
-use approxit::{characterize, run, AdaptiveAngleStrategy, EnergyProfile, SingleMode};
+use approxit::prelude::*;
 use iter_solvers::{PoissonJacobi, PoissonSource};
 
 /// Render the field as an ASCII heatmap.
@@ -35,7 +34,7 @@ fn main() {
     let table = characterize(&pde, &profile, 5);
     let mut ctx = QcsContext::with_profile(profile);
 
-    let truth = run(&pde, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&pde, &mut ctx).execute(&mut SingleMode::accurate());
     println!(
         "Truth: {} Jacobi sweeps on a {n}x{n} grid",
         truth.report.iterations
@@ -45,7 +44,8 @@ fn main() {
     // Level 1's truncation quantum exceeds the field scale entirely: the
     // field never leaves zero (the PDE analogue of the paper's broken
     // level-1 clustering).
-    let broken = run(&pde, &mut SingleMode::new(AccuracyLevel::Level1), &mut ctx);
+    let broken =
+        RunConfig::new(&pde, &mut ctx).execute(&mut SingleMode::new(AccuracyLevel::Level1));
     println!(
         "level1 single mode: froze after {} sweeps, field peak {:.3}:",
         broken.report.iterations,
@@ -55,7 +55,7 @@ fn main() {
 
     // ApproxIt recovers the field at reduced energy.
     let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-    let scaled = run(&pde, &mut strategy, &mut ctx);
+    let scaled = RunConfig::new(&pde, &mut ctx).execute(&mut strategy);
     let deviation = scaled
         .state
         .iter()

@@ -4,8 +4,7 @@
 //! cargo run -p approxit --example quickstart --release
 //! ```
 
-use approx_arith::QcsContext;
-use approxit::{characterize, run, EnergyProfile, IncrementalStrategy, SingleMode};
+use approxit::prelude::*;
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::metrics::hamming_distance;
 use iter_solvers::GaussianMixture;
@@ -34,9 +33,9 @@ fn main() {
     // 3. Online stage: run the exact baseline and the dynamically
     //    effort-scaled version of the same computation.
     let mut ctx = QcsContext::with_profile(profile);
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let mut strategy = IncrementalStrategy::from_characterization(&table);
-    let scaled = run(&gmm, &mut strategy, &mut ctx);
+    let scaled = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
 
     // 4. Same answer, less energy.
     let qem = hamming_distance(

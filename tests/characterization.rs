@@ -1,9 +1,8 @@
 //! The offline characterization stage: invariants of the quality-error
 //! tables across applications, and their interaction with the LP.
 
-use approx_arith::{AccuracyLevel, EnergyProfile};
 use approxit::lp::solve_effort_allocation;
-use approxit::{characterize, quality_error};
+use approxit::prelude::*;
 use iter_solvers::datasets::{ar_series, gaussian_blobs};
 use iter_solvers::{AutoRegression, GaussianMixture};
 

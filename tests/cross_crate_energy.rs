@@ -1,11 +1,8 @@
 //! Energy accounting consistency across the stack: gate-level
 //! measurement → per-op profile → context meters → run reports.
 
-use approx_arith::{
-    characterize_adder_energy, AccuracyLevel, Adder, ArithContext, EnergyProfile, QcsAdder,
-    QcsContext, RippleCarryAdder,
-};
-use approxit::{run, SingleMode};
+use approx_arith::{characterize_adder_energy, Adder, QcsAdder, RippleCarryAdder};
+use approxit::prelude::*;
 use gatesim::EnergyModel;
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::GaussianMixture;
@@ -64,7 +61,7 @@ fn run_report_energy_matches_context_accounting() {
     let gmm = GaussianMixture::from_dataset(&data, 1e-7, 200, 5);
     let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
     let mut ctx = QcsContext::with_profile(profile.clone());
-    let outcome = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let report = &outcome.report;
 
     // Energy per iteration sums to the total.

@@ -2,9 +2,8 @@
 //! reconfiguration → quality/energy verification, across both benchmark
 //! applications and the generic solvers.
 
-use approx_arith::{AccuracyLevel, EnergyProfile, QcsContext};
 use approx_linalg::Matrix;
-use approxit::{characterize, run, AdaptiveAngleStrategy, IncrementalStrategy, SingleMode};
+use approxit::prelude::*;
 use iter_solvers::datasets::{ar_series, gaussian_blobs};
 use iter_solvers::functions::Quadratic;
 use iter_solvers::metrics::{hamming_distance, l2_error};
@@ -27,13 +26,13 @@ fn gmm_pipeline_reaches_truth_quality() {
     let table = characterize(&gmm, &profile(), 4);
     let mut ctx = QcsContext::with_profile(profile());
 
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     assert!(truth.report.converged, "truth did not converge");
     let truth_labels = gmm.assignments(&truth.state);
 
     for update_period in [1usize, 5] {
         let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, update_period);
-        let outcome = run(&gmm, &mut adaptive, &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut adaptive);
         assert!(outcome.report.converged, "adaptive f={update_period}");
         assert_eq!(
             hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3),
@@ -43,7 +42,7 @@ fn gmm_pipeline_reaches_truth_quality() {
     }
 
     let mut incremental = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&gmm, &mut incremental, &mut ctx);
+    let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut incremental);
     assert!(outcome.report.converged);
     assert_eq!(
         hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3),
@@ -58,11 +57,11 @@ fn ar_pipeline_reaches_truth_quality() {
     let table = characterize(&ar, &profile(), 4);
     let mut ctx = QcsContext::with_profile(profile());
 
-    let truth = run(&ar, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&ar, &mut ctx).execute(&mut SingleMode::accurate());
     assert!(truth.report.converged, "truth did not converge");
 
     let mut incremental = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&ar, &mut incremental, &mut ctx);
+    let outcome = RunConfig::new(&ar, &mut ctx).execute(&mut incremental);
     assert!(outcome.report.converged, "incremental did not converge");
     let qem = l2_error(&outcome.state, &truth.state);
     // On the fixed-point datapath "equal quality" means within a few
@@ -70,7 +69,7 @@ fn ar_pipeline_reaches_truth_quality() {
     assert!(qem < 1e-3, "incremental AR qem {qem}");
 
     let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
-    let outcome = run(&ar, &mut adaptive, &mut ctx);
+    let outcome = RunConfig::new(&ar, &mut ctx).execute(&mut adaptive);
     assert!(outcome.report.converged, "adaptive did not converge");
     let qem = l2_error(&outcome.state, &truth.state);
     assert!(qem < 1e-3, "adaptive AR qem {qem}");
@@ -87,13 +86,13 @@ fn single_mode_staircase_holds_for_gmm() {
     );
     let gmm = GaussianMixture::from_dataset(&data, 1e-7, 400, 5);
     let mut ctx = QcsContext::with_profile(profile());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
 
     let mut qems = Vec::new();
     let mut energies_per_iter = Vec::new();
     for level in AccuracyLevel::APPROXIMATE {
-        let outcome = run(&gmm, &mut SingleMode::new(level), &mut ctx);
+        let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::new(level));
         qems.push(hamming_distance(
             &gmm.assignments(&outcome.state),
             &truth_labels,
@@ -121,7 +120,7 @@ fn generic_gradient_descent_plugs_into_the_framework() {
     let table = characterize(&gd, &profile(), 4);
     let mut ctx = QcsContext::with_profile(profile());
 
-    let truth = run(&gd, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gd, &mut ctx).execute(&mut SingleMode::accurate());
     assert!(truth.report.converged);
 
     // A tight gradient tolerance makes the convergence veto demand a
@@ -130,7 +129,7 @@ fn generic_gradient_descent_plugs_into_the_framework() {
     // the accepted level's noise floor).
     let mut strategy =
         IncrementalStrategy::from_characterization(&table).with_gradient_tolerance(1e-3);
-    let outcome = run(&gd, &mut strategy, &mut ctx);
+    let outcome = RunConfig::new(&gd, &mut ctx).execute(&mut strategy);
     assert!(outcome.report.converged);
     assert!(l2_error(&outcome.state, &want) < 5e-3);
     assert!(l2_error(&truth.state, &want) < 1e-3);
@@ -149,8 +148,8 @@ fn reports_are_reproducible() {
     let table = characterize(&gmm, &profile(), 3);
     let mut ctx = QcsContext::with_profile(profile());
     let mut s1 = IncrementalStrategy::from_characterization(&table);
-    let r1 = run(&gmm, &mut s1, &mut ctx);
+    let r1 = RunConfig::new(&gmm, &mut ctx).execute(&mut s1);
     let mut s2 = IncrementalStrategy::from_characterization(&table);
-    let r2 = run(&gmm, &mut s2, &mut ctx);
+    let r2 = RunConfig::new(&gmm, &mut ctx).execute(&mut s2);
     assert_eq!(r1.report, r2.report, "runs must be bit-reproducible");
 }

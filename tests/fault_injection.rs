@@ -1,11 +1,7 @@
 //! Failure injection: the framework's recovery machinery under
 //! transient bit flips the offline characterization never saw.
 
-use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, FaultInjector, QcsContext};
-use approxit::{
-    characterize, run, run_with_watchdog, AdaptiveAngleStrategy, IncrementalStrategy, SingleMode,
-    WatchdogConfig,
-};
+use approxit::prelude::*;
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::metrics::hamming_distance;
 use iter_solvers::GaussianMixture;
@@ -33,7 +29,7 @@ fn low_rate_soft_errors_do_not_break_the_guarantee() {
 
     // Clean truth reference.
     let mut clean_ctx = QcsContext::with_profile(profile());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut clean_ctx);
+    let truth = RunConfig::new(&gmm, &mut clean_ctx).execute(&mut SingleMode::accurate());
     assert!(truth.report.converged);
     let truth_labels = gmm.assignments(&truth.state);
 
@@ -45,7 +41,7 @@ fn low_rate_soft_errors_do_not_break_the_guarantee() {
         1234,
     );
     let mut strategy = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&gmm, &mut strategy, &mut faulty);
+    let outcome = RunConfig::new(&gmm, &mut faulty).execute(&mut strategy);
     assert!(faulty.faults_injected() > 0, "no faults were injected");
     assert!(outcome.report.converged, "faulty run did not converge");
     let qem = hamming_distance(&gmm.assignments(&outcome.state), &truth_labels, 3);
@@ -57,14 +53,14 @@ fn heavy_faults_trigger_recovery_machinery() {
     let (_, gmm) = workload();
     let table = characterize(&gmm, &profile(), 4);
     let mut clean_ctx = QcsContext::with_profile(profile());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut clean_ctx);
+    let truth = RunConfig::new(&gmm, &mut clean_ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
 
     // Aggressive upsets in meaningful bit positions (up to bit 20 of
     // Q15.16, i.e. value flips up to ±16).
     let mut faulty = FaultInjector::new(QcsContext::with_profile(profile()), 0.0005, 20, 99);
     let mut strategy = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&gmm, &mut strategy, &mut faulty);
+    let outcome = RunConfig::new(&gmm, &mut faulty).execute(&mut strategy);
     assert!(faulty.faults_injected() > 0);
     // The run must end in a truth-quality state or at worst have kept
     // iterating to the budget — but never silently accept a corrupted
@@ -85,12 +81,9 @@ fn identical_seeds_reproduce_identical_fault_and_level_schedules() {
     let run_once = |seed: u64| {
         let mut faulty = FaultInjector::new(QcsContext::with_profile(profile()), 0.002, 16, seed);
         let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-        let outcome = run_with_watchdog(
-            &gmm,
-            &mut strategy,
-            &mut faulty,
-            &WatchdogConfig::resilient(),
-        );
+        let outcome = RunConfig::new(&gmm, &mut faulty)
+            .with_watchdog(WatchdogConfig::resilient())
+            .execute(&mut strategy);
         (
             faulty.faults_injected(),
             outcome.report.level_schedule.clone(),
@@ -118,7 +111,7 @@ fn single_mode_truth_absorbs_subresolution_faults() {
         7,
     );
     faulty.set_level(AccuracyLevel::Accurate);
-    let outcome = run(&gmm, &mut SingleMode::accurate(), &mut faulty);
+    let outcome = RunConfig::new(&gmm, &mut faulty).execute(&mut SingleMode::accurate());
     assert!(outcome.report.converged || outcome.report.iterations == 500);
     assert!(faulty.faults_injected() > 0);
 }

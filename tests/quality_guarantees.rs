@@ -1,11 +1,8 @@
 //! The paper's central claim: ApproxIt guarantees final output quality
 //! while single-mode approximation and the PID baseline do not.
 
-use approx_arith::{AccuracyLevel, EnergyProfile, FaultInjector, QcsContext};
-use approxit::{
-    characterize, run, run_with_watchdog, AdaptiveAngleStrategy, IncrementalStrategy, PidStrategy,
-    ReconfigStrategy, SingleMode, WatchdogConfig,
-};
+use approxit::prelude::*;
+use approxit::PidStrategy;
 use iter_solvers::datasets::gaussian_blobs;
 use iter_solvers::metrics::hamming_distance;
 use iter_solvers::GaussianMixture;
@@ -32,7 +29,7 @@ fn reconfiguration_matches_truth_across_seeds() {
         let (_, gmm) = workload(seed);
         let table = characterize(&gmm, &profile(), 4);
         let mut ctx = QcsContext::with_profile(profile());
-        let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+        let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
         assert!(truth.report.converged, "seed {seed}: truth stuck");
         let truth_labels = gmm.assignments(&truth.state);
 
@@ -41,7 +38,7 @@ fn reconfiguration_matches_truth_across_seeds() {
             Box::new(AdaptiveAngleStrategy::from_characterization(&table, 1)),
         ];
         for mut strategy in strategies {
-            let outcome = run(&gmm, strategy.as_mut(), &mut ctx);
+            let outcome = RunConfig::new(&gmm, &mut ctx).execute(strategy.as_mut());
             assert!(
                 outcome.report.converged,
                 "seed {seed}: {} stuck",
@@ -66,18 +63,15 @@ fn adaptive_meets_truth_quality_under_soft_errors() {
     let (_, gmm) = workload(11);
     let table = characterize(&gmm, &profile(), 4);
     let mut ctx = QcsContext::with_profile(profile());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
 
     for rate in [1e-4, 1e-3] {
         let mut faulty = FaultInjector::new(QcsContext::with_profile(profile()), rate, 8, 321);
         let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-        let outcome = run_with_watchdog(
-            &gmm,
-            &mut strategy,
-            &mut faulty,
-            &WatchdogConfig::resilient(),
-        );
+        let outcome = RunConfig::new(&gmm, &mut faulty)
+            .with_watchdog(WatchdogConfig::resilient())
+            .execute(&mut strategy);
         assert!(
             faulty.faults_injected() > 0,
             "rate {rate}: no faults were injected"
@@ -94,9 +88,9 @@ fn level1_single_mode_breaks_quality() {
     // produces garbage (the paper's Figure 3(e)).
     let (_, gmm) = workload(11);
     let mut ctx = QcsContext::with_profile(profile());
-    let truth = run(&gmm, &mut SingleMode::accurate(), &mut ctx);
+    let truth = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
     let truth_labels = gmm.assignments(&truth.state);
-    let l1 = run(&gmm, &mut SingleMode::new(AccuracyLevel::Level1), &mut ctx);
+    let l1 = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::new(AccuracyLevel::Level1));
     let qem = hamming_distance(&gmm.assignments(&l1.state), &truth_labels, 3);
     assert!(qem > 0, "level1 unexpectedly matched Truth");
     // Level 1 freezes almost immediately (the truncation quantum exceeds
@@ -121,7 +115,7 @@ fn reconfiguration_never_ends_below_its_starting_accuracy() {
     let table = characterize(&gmm, &profile(), 4);
     let mut ctx = QcsContext::with_profile(profile());
     let mut strategy = IncrementalStrategy::from_characterization(&table);
-    let outcome = run(&gmm, &mut strategy, &mut ctx);
+    let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
     // Incremental may only raise accuracy.
     for w in outcome.report.level_schedule.windows(2) {
         assert!(w[0] <= w[1]);
@@ -142,7 +136,7 @@ fn pid_baseline_lacks_the_guarantee_mechanisms() {
     let (_, gmm) = workload(47);
     let mut ctx = QcsContext::with_profile(profile());
     let mut pid = PidStrategy::default();
-    let outcome = run(&gmm, &mut pid, &mut ctx);
+    let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut pid);
     assert_eq!(outcome.report.rollbacks, 0, "PID should never roll back");
 }
 
@@ -152,7 +146,7 @@ fn energy_accounting_cannot_be_negative_or_free() {
     let table = characterize(&gmm, &profile(), 3);
     let mut ctx = QcsContext::with_profile(profile());
     let mut strategy = AdaptiveAngleStrategy::from_characterization(&table, 1);
-    let outcome = run(&gmm, &mut strategy, &mut ctx);
+    let outcome = RunConfig::new(&gmm, &mut ctx).execute(&mut strategy);
     assert!(outcome.report.approx_energy > 0.0);
     assert!(outcome.report.total_energy >= outcome.report.approx_energy);
     assert!(outcome.report.energy_per_iteration.iter().all(|&e| e > 0.0));
