@@ -151,6 +151,7 @@ pub trait Adder: std::fmt::Debug + Send + Sync {
 /// # Panics
 /// Panics if `width` is 0 or greater than 64.
 #[must_use]
+#[inline]
 pub fn width_mask(width: u32) -> u64 {
     assert!((1..=64).contains(&width), "width must be in 1..=64");
     if width == 64 {

@@ -8,12 +8,34 @@
 //! convergence checks, transcendentals) stays in plain `f64` outside the
 //! context, mirroring the offline resilience partitioning of Chippa et
 //! al. that the paper adopts.
+//!
+//! # Slice kernels
+//!
+//! Besides the scalar operations, the trait exposes *slice kernels*
+//! ([`ArithContext::add_slice`], [`ArithContext::axpy_slice`],
+//! [`ArithContext::dot_slice`], …) — the granularity the solver hot
+//! loops actually work at. Every kernel has a default implementation
+//! that loops over the scalar ops, so third-party contexts keep working
+//! unchanged; the fixed-point [`QcsContext`] overrides them with tight
+//! branch-free loops over raw fixed-point words that implement each
+//! accuracy level's truncation semantics directly. The contract — pinned
+//! by tests in this module and by the `kernel_properties` suite — is
+//! that an override is **bit-identical** to the scalar-loop default in
+//! values, [`OpCounts`], and energy at every accuracy level.
+//!
+//! Energy metering is *count-based*: contexts tally integer per-level
+//! operation counters and compute energy lazily as
+//! `Σ counts × per-op cost`. Integer counters are associative, so a
+//! kernel charging `n` ops at once and a scalar loop charging `1` op
+//! `n` times produce the same meter reading to the last bit — which is
+//! what makes the batched and scalar paths indistinguishable to the
+//! controller's energy accounting.
 
-use crate::adder::AccuracyLevel;
+use crate::adder::{width_mask, AccuracyLevel};
 use crate::energy::EnergyProfile;
 use crate::fixed::QFormat;
 use crate::range::RangeConfig;
-use crate::recon::QcsAdder;
+use crate::recon::{LowPartPolicy, QcsAdder};
 
 /// Operation counters of a context.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,7 +60,9 @@ impl OpCounts {
 ///
 /// Implementations must make `add` commutative and `sub(a, b)`
 /// equivalent to `add(a, -b)` (hardware negation is exact — an inverter
-/// row plus carry-in).
+/// row plus carry-in). Implementations that override the slice kernels
+/// must keep them bit-identical — in values, [`OpCounts`], and energy —
+/// to the scalar-loop defaults.
 ///
 /// The trait is object-safe; applications typically take
 /// `&mut dyn ArithContext`.
@@ -94,17 +118,88 @@ pub trait ArithContext {
         None
     }
 
-    /// Left-to-right sum of a slice through [`ArithContext::add`].
-    fn sum(&mut self, xs: &[f64]) -> f64 {
-        xs.iter().fold(0.0, |acc, &x| self.add(acc, x))
+    /// Element-wise `out[i] = x[i] + y[i]` on the datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn add_slice(&mut self, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            *o = self.add(x, y);
+        }
     }
 
-    /// Dot product through [`ArithContext::mul`] and
-    /// [`ArithContext::add`].
+    /// Element-wise `out[i] = x[i] − y[i]` on the datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn sub_slice(&mut self, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            *o = self.sub(x, y);
+        }
+    }
+
+    /// Element-wise `out[i] = alpha · x[i]` on the datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn scale_slice(&mut self, alpha: f64, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.mul(alpha, x);
+        }
+    }
+
+    /// Element-wise `out[i] = alpha · x[i] + y[i]` on the datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn axpy_slice(&mut self, alpha: f64, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            let p = self.mul(alpha, x);
+            *o = self.add(p, y);
+        }
+    }
+
+    /// In-place accumulation `y[i] = y[i] + x[i]` on the datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn add_assign_slice(&mut self, ys: &mut [f64], xs: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        for (y, &x) in ys.iter_mut().zip(xs) {
+            *y = self.add(*y, x);
+        }
+    }
+
+    /// In-place accumulation `y[i] = y[i] + alpha · x[i]` on the
+    /// datapath.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn axpy_assign_slice(&mut self, ys: &mut [f64], alpha: f64, xs: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        for (y, &x) in ys.iter_mut().zip(xs) {
+            let p = self.mul(alpha, x);
+            *y = self.add(*y, p);
+        }
+    }
+
+    /// Dot product reduction `Σ x[i] · y[i]` on the datapath, folding
+    /// left to right from `0.0`.
+    ///
+    /// This is the *single* reduction path: [`ArithContext::dot`] (and
+    /// hence `linalg`'s free `dot`) delegates here, so op counts cannot
+    /// drift between the trait method and the free function.
     ///
     /// # Panics
     /// Panics if the slices have different lengths.
-    fn dot(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
+    fn dot_slice(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
         assert_eq!(xs.len(), ys.len(), "dot operands must have equal length");
         let mut acc = 0.0;
         for (&x, &y) in xs.iter().zip(ys) {
@@ -112,6 +207,102 @@ pub trait ArithContext {
             acc = self.add(acc, p);
         }
         acc
+    }
+
+    /// Left-to-right sum reduction of a slice from `0.0` on the
+    /// datapath. [`ArithContext::sum`] delegates here.
+    fn sum_slice(&mut self, xs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &x in xs {
+            acc = self.add(acc, x);
+        }
+        acc
+    }
+
+    /// Dense row-major matrix–vector product:
+    /// `out[r] = Σⱼ rows[r·cols + j] · x[j]`, each row reduced exactly
+    /// like [`ArithContext::dot_slice`] (left-to-right from `0.0`).
+    ///
+    /// This is the one fusion opportunity per-row `dot_slice` calls
+    /// cannot express: the operand `x` is shared by every row, so an
+    /// override can convert it to the datapath representation once and
+    /// amortize that cost over all `rows.len() / cols` reductions.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `rows.len() != cols · out.len()`.
+    fn matvec_slice(&mut self, rows: &[f64], cols: usize, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), cols, "vector length must equal column count");
+        assert_eq!(rows.len(), cols * out.len(), "matrix shape mismatch");
+        if cols == 0 {
+            out.fill(0.0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+            *o = self.dot_slice(row, x);
+        }
+    }
+
+    /// Left-to-right sum of a slice (delegates to
+    /// [`ArithContext::sum_slice`] — override that, not this).
+    fn sum(&mut self, xs: &[f64]) -> f64 {
+        self.sum_slice(xs)
+    }
+
+    /// Dot product (delegates to [`ArithContext::dot_slice`] — override
+    /// that, not this).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    fn dot(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
+        self.dot_slice(xs, ys)
+    }
+}
+
+/// The hoisted per-level add configuration of a [`QcsContext`]: the
+/// level dispatch (`QcsAdder::at`) resolved once at `set_level` time so
+/// the per-op and kernel paths run branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AddMode {
+    /// Approximated low bits of the current level (0 in accurate mode).
+    k: u32,
+    /// `true` for [`LowPartPolicy::Or`], `false` for truncation.
+    or_low: bool,
+    /// Mask selecting the datapath's `width` low bits.
+    mask: u64,
+    /// `width ≤ 54` ⇒ every raw value round-trips through `f64`
+    /// exactly, so fused kernels may keep intermediates in raw form.
+    exact_roundtrip: bool,
+}
+
+impl AddMode {
+    fn for_level(qcs: &QcsAdder, format: QFormat, level: AccuracyLevel) -> Self {
+        Self {
+            k: qcs.approx_bits(level),
+            or_low: qcs.policy() == LowPartPolicy::Or,
+            mask: width_mask(format.width()),
+            // |raw| < 2^(width−1) is exactly representable in f64 up to
+            // width 54, and the power-of-two scaling in from_raw/to_raw
+            // is itself exact.
+            exact_roundtrip: format.width() <= 54,
+        }
+    }
+
+    /// The QCS add on pre-masked `width`-bit patterns — functionally
+    /// identical to `QcsAdder::add` at the hoisted level (pinned by
+    /// tests), without re-dispatching the mode per operation.
+    #[inline]
+    fn add_bits(self, a: u64, b: u64) -> u64 {
+        let k = self.k;
+        if k == 0 {
+            return a.wrapping_add(b) & self.mask;
+        }
+        let high = (a >> k).wrapping_add(b >> k);
+        if self.or_low {
+            let low = (a | b) & width_mask(k);
+            ((high << k) | low) & self.mask
+        } else {
+            (high << k) & self.mask
+        }
     }
 }
 
@@ -129,6 +320,13 @@ pub trait ArithContext {
 /// bit-exactly — which is why the paper can use convergence tolerances
 /// (e.g. 10⁻¹³) far below the datapath resolution.
 ///
+/// The slice kernels are overridden with raw-word loops that convert
+/// once per slice, hoist the level dispatch, and charge the meters in
+/// one integer bump — bit-identical to the scalar path but several times
+/// faster (see `bench --bin solverperf`). When an operand trace is being
+/// recorded the kernels fall back to the per-op path so the trace stays
+/// exactly what the scalar semantics would record.
+///
 /// # Example
 ///
 /// ```
@@ -143,6 +341,10 @@ pub trait ArithContext {
 /// // Level 1 mangles the low 20 bits — the result is off but bounded.
 /// assert!((approx - 0.375).abs() < 32.0);
 /// assert!(ctx.approx_energy() > 0.0);
+///
+/// // Slice kernels: one call, n ops' worth of results and accounting.
+/// let mut out = [0.0; 3];
+/// ctx.add_slice(&[1.0, 2.0, 3.0], &[0.5, 0.5, 0.5], &mut out);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QcsContext {
@@ -150,9 +352,12 @@ pub struct QcsContext {
     format: QFormat,
     profile: EnergyProfile,
     level: AccuracyLevel,
-    counts: OpCounts,
-    approx_energy: f64,
-    other_energy: f64,
+    mode: AddMode,
+    /// Adds tallied per accuracy level (indexed by
+    /// [`AccuracyLevel::index`]); energy is derived lazily from these.
+    add_counts: [u64; 5],
+    muls: u64,
+    divs: u64,
     trace: Option<Trace>,
 }
 
@@ -175,14 +380,16 @@ impl QcsContext {
             format.width(),
             "adder width and fixed-point width must match"
         );
+        let level = AccuracyLevel::Accurate;
         Self {
             qcs,
             format,
             profile,
-            level: AccuracyLevel::Accurate,
-            counts: OpCounts::default(),
-            approx_energy: 0.0,
-            other_energy: 0.0,
+            level,
+            mode: AddMode::for_level(&qcs, format, level),
+            add_counts: [0; 5],
+            muls: 0,
+            divs: 0,
             trace: None,
         }
     }
@@ -243,32 +450,30 @@ impl QcsContext {
 }
 
 impl ArithContext for QcsContext {
+    #[inline]
     fn add(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.adds += 1;
-        self.approx_energy += self.profile.add_energy(self.level);
-        let ra = self.format.to_raw(a);
-        let rb = self.format.to_raw(b);
-        let (ba, bb) = (self.format.to_bits(ra), self.format.to_bits(rb));
+        self.add_counts[self.level.index()] += 1;
+        let ba = self.format.to_bits(self.format.to_raw(a));
+        let bb = self.format.to_bits(self.format.to_raw(b));
         if let Some(trace) = &mut self.trace {
             if trace.pairs.len() < trace.capacity {
                 trace.pairs.push((ba, bb));
             }
         }
-        let bits = self.qcs.add(ba, bb, self.level);
+        let bits = self.mode.add_bits(ba, bb);
         self.format.from_raw(self.format.from_bits(bits))
     }
 
+    #[inline]
     fn mul(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.muls += 1;
-        self.other_energy += self.profile.mul_energy();
+        self.muls += 1;
         let ra = self.format.to_raw(a);
         let rb = self.format.to_raw(b);
         self.format.from_raw(self.format.mul_raw(ra, rb))
     }
 
     fn div(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.divs += 1;
-        self.other_energy += self.profile.div_energy();
+        self.divs += 1;
         // The sequential shift-subtract divider is built from the same
         // QCS adder, so its quotient inherits the level's approximation:
         // with the truncation policy the low `approx_bits` quotient bits
@@ -277,10 +482,9 @@ impl ArithContext for QcsContext {
         let qa = self.format.quantize(a);
         let qb = self.format.quantize(b);
         let raw = self.format.to_raw(qa / qb);
-        let k = self.qcs.approx_bits(self.level);
-        let snapped = if k > 0 && self.qcs.policy() == crate::recon::LowPartPolicy::Zero {
+        let snapped = if self.mode.k > 0 && !self.mode.or_low {
             let bits = self.format.to_bits(raw);
-            self.format.from_bits(bits & !crate::adder::width_mask(k))
+            self.format.from_bits(bits & !width_mask(self.mode.k))
         } else {
             raw
         };
@@ -293,24 +497,35 @@ impl ArithContext for QcsContext {
 
     fn set_level(&mut self, level: AccuracyLevel) {
         self.level = level;
+        self.mode = AddMode::for_level(&self.qcs, self.format, level);
     }
 
     fn counts(&self) -> OpCounts {
-        self.counts
+        OpCounts {
+            adds: self.add_counts.iter().sum(),
+            muls: self.muls,
+            divs: self.divs,
+        }
     }
 
     fn approx_energy(&self) -> f64 {
-        self.approx_energy
+        let mut energy = 0.0;
+        for level in AccuracyLevel::ALL {
+            energy += self.add_counts[level.index()] as f64 * self.profile.add_energy(level);
+        }
+        energy
     }
 
     fn total_energy(&self) -> f64 {
-        self.approx_energy + self.other_energy
+        self.approx_energy()
+            + self.muls as f64 * self.profile.mul_energy()
+            + self.divs as f64 * self.profile.div_energy()
     }
 
     fn reset_counters(&mut self) {
-        self.counts = OpCounts::default();
-        self.approx_energy = 0.0;
-        self.other_energy = 0.0;
+        self.add_counts = [0; 5];
+        self.muls = 0;
+        self.divs = 0;
         if let Some(trace) = &mut self.trace {
             trace.pairs.clear();
         }
@@ -323,6 +538,340 @@ impl ArithContext for QcsContext {
     fn range_config(&self) -> Option<RangeConfig> {
         Some(RangeConfig::for_qcs(&self.qcs, self.level, self.format))
     }
+
+    fn add_slice(&mut self, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        if self.trace.is_some() {
+            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                *o = self.add(x, y);
+            }
+            return;
+        }
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            let ba = fmt.to_bits(cv.to_raw(x));
+            let bb = fmt.to_bits(cv.to_raw(y));
+            *o = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        }
+    }
+
+    fn sub_slice(&mut self, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        if self.trace.is_some() {
+            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                *o = self.sub(x, y);
+            }
+            return;
+        }
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            let ba = fmt.to_bits(cv.to_raw(x));
+            let bb = fmt.to_bits(cv.to_raw(-y));
+            *o = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        }
+    }
+
+    fn scale_slice(&mut self, alpha: f64, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        self.muls += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let ra = cv.to_raw(alpha);
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = cv.from_raw(fmt.mul_raw(ra, cv.to_raw(x)));
+        }
+    }
+
+    fn axpy_slice(&mut self, alpha: f64, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        assert_eq!(xs.len(), out.len(), "slice lengths must match");
+        if self.trace.is_some() {
+            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                let p = self.mul(alpha, x);
+                *o = self.add(p, y);
+            }
+            return;
+        }
+        self.muls += xs.len() as u64;
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        let exact = self.mode.exact_roundtrip;
+        let ra = cv.to_raw(alpha);
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            let mut p = fmt.mul_raw(ra, cv.to_raw(x));
+            if !exact {
+                p = cv.to_raw(cv.from_raw(p));
+            }
+            let bits = mode.add_bits(fmt.to_bits(p), fmt.to_bits(cv.to_raw(y)));
+            *o = cv.from_raw(fmt.from_bits(bits));
+        }
+    }
+
+    fn add_assign_slice(&mut self, ys: &mut [f64], xs: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        if self.trace.is_some() {
+            for (y, &x) in ys.iter_mut().zip(xs) {
+                *y = self.add(*y, x);
+            }
+            return;
+        }
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        for (y, &x) in ys.iter_mut().zip(xs) {
+            let ba = fmt.to_bits(cv.to_raw(*y));
+            let bb = fmt.to_bits(cv.to_raw(x));
+            *y = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        }
+    }
+
+    fn axpy_assign_slice(&mut self, ys: &mut [f64], alpha: f64, xs: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "slice lengths must match");
+        if self.trace.is_some() {
+            for (y, &x) in ys.iter_mut().zip(xs) {
+                let p = self.mul(alpha, x);
+                *y = self.add(*y, p);
+            }
+            return;
+        }
+        self.muls += xs.len() as u64;
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        let exact = self.mode.exact_roundtrip;
+        let ra = cv.to_raw(alpha);
+        for (y, &x) in ys.iter_mut().zip(xs) {
+            let mut p = fmt.mul_raw(ra, cv.to_raw(x));
+            if !exact {
+                p = cv.to_raw(cv.from_raw(p));
+            }
+            let bits = mode.add_bits(fmt.to_bits(cv.to_raw(*y)), fmt.to_bits(p));
+            *y = cv.from_raw(fmt.from_bits(bits));
+        }
+    }
+
+    fn dot_slice(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "dot operands must have equal length");
+        if self.trace.is_some() {
+            let mut acc = 0.0;
+            for (&x, &y) in xs.iter().zip(ys) {
+                let p = self.mul(x, y);
+                acc = self.add(acc, p);
+            }
+            return acc;
+        }
+        self.muls += xs.len() as u64;
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        if self.mode.exact_roundtrip {
+            // The bits→raw→f64→raw→bits round-trip between fused ops is
+            // the identity here, so the accumulator never has to leave
+            // the masked-bits domain.
+            let mut acc_bits: u64 = 0;
+            for (&x, &y) in xs.iter().zip(ys) {
+                let p = fmt.mul_raw(cv.to_raw(x), cv.to_raw(y));
+                acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
+            }
+            cv.from_raw(fmt.from_bits(acc_bits))
+        } else {
+            let mut acc: i64 = 0;
+            for (&x, &y) in xs.iter().zip(ys) {
+                let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(x), cv.to_raw(y))));
+                let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
+                acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+            }
+            cv.from_raw(acc)
+        }
+    }
+
+    fn matvec_slice(&mut self, rows: &[f64], cols: usize, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), cols, "vector length must equal column count");
+        assert_eq!(rows.len(), cols * out.len(), "matrix shape mismatch");
+        if cols == 0 {
+            out.fill(0.0);
+            return;
+        }
+        if self.trace.is_some() {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+                *o = self.dot_slice(row, x);
+            }
+            return;
+        }
+        let n = rows.len() as u64;
+        self.muls += n;
+        self.add_counts[self.level.index()] += n;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        // The shared vector is converted exactly once; every row's
+        // reduction then reuses the raw words.
+        let rx: Vec<i64> = x.iter().map(|&v| cv.to_raw(v)).collect();
+        if mode.exact_roundtrip {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+                let mut acc_bits: u64 = 0;
+                for (&a, &bx) in row.iter().zip(&rx) {
+                    let p = fmt.mul_raw(cv.to_raw(a), bx);
+                    acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
+                }
+                *o = cv.from_raw(fmt.from_bits(acc_bits));
+            }
+        } else {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+                let mut acc: i64 = 0;
+                for (&a, &bx) in row.iter().zip(&rx) {
+                    let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(a), bx)));
+                    let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
+                    acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+                }
+                *o = cv.from_raw(acc);
+            }
+        }
+    }
+
+    fn sum_slice(&mut self, xs: &[f64]) -> f64 {
+        if self.trace.is_some() {
+            let mut acc = 0.0;
+            for &x in xs {
+                acc = self.add(acc, x);
+            }
+            return acc;
+        }
+        self.add_counts[self.level.index()] += xs.len() as u64;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        if self.mode.exact_roundtrip {
+            let mut acc_bits: u64 = 0;
+            for &x in xs {
+                acc_bits = mode.add_bits(acc_bits, fmt.to_bits(cv.to_raw(x)));
+            }
+            cv.from_raw(fmt.from_bits(acc_bits))
+        } else {
+            let mut acc: i64 = 0;
+            for &x in xs {
+                let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(cv.to_raw(x)));
+                acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+            }
+            cv.from_raw(acc)
+        }
+    }
+}
+
+/// A wrapper that forces every slice kernel of `C` through the per-op
+/// scalar defaults, while delegating the scalar ops and meters.
+///
+/// This is the reference the batched kernels are pinned against: for any
+/// inner context, `ScalarPath<C>` computes the exact values, counts, and
+/// energy the pre-kernel per-op code path produced. The `solverperf`
+/// benchmark times it as the scalar baseline, and the kernel property
+/// tests compare overrides to it bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ArithContext, QcsContext, ScalarPath};
+///
+/// let mut fast = QcsContext::with_paper_defaults();
+/// let mut slow = ScalarPath::new(fast.clone());
+/// let x = [1.5, 2.5, 3.5];
+/// let y = [0.25, 0.5, 0.75];
+/// assert_eq!(fast.dot_slice(&x, &y), slow.dot_slice(&x, &y));
+/// assert_eq!(fast.counts(), slow.counts());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarPath<C> {
+    inner: C,
+}
+
+impl<C: ArithContext> ScalarPath<C> {
+    /// Wrap a context so slice kernels take the scalar-loop defaults.
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped context.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwrap the context.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ArithContext> ArithContext for ScalarPath<C> {
+    #[inline]
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.add(a, b)
+    }
+
+    #[inline]
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.mul(a, b)
+    }
+
+    #[inline]
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.div(a, b)
+    }
+
+    #[inline]
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.inner.sub(a, b)
+    }
+
+    fn level(&self) -> AccuracyLevel {
+        self.inner.level()
+    }
+
+    fn set_level(&mut self, level: AccuracyLevel) {
+        self.inner.set_level(level);
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.inner.counts()
+    }
+
+    fn approx_energy(&self) -> f64 {
+        self.inner.approx_energy()
+    }
+
+    fn total_energy(&self) -> f64 {
+        self.inner.total_energy()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+
+    fn datapath_format(&self) -> Option<QFormat> {
+        self.inner.datapath_format()
+    }
+
+    fn range_config(&self) -> Option<RangeConfig> {
+        self.inner.range_config()
+    }
+
+    // Slice kernels intentionally NOT overridden: they run the trait
+    // defaults, which loop over the delegated scalar ops.
 }
 
 /// An idealized infinite-precision (`f64`) context with accurate-mode
@@ -333,6 +882,10 @@ impl ArithContext for QcsContext {
 /// which is the fixed-point [`QcsContext`] in `Accurate` mode. It
 /// refuses level changes, so baseline runs cannot accidentally be
 /// degraded.
+///
+/// It keeps the default (scalar-loop) slice kernels: `f64` adds are a
+/// single instruction, so there is nothing for a batched override to
+/// save, and one code path means one set of semantics to trust.
 ///
 /// # Example
 ///
@@ -378,18 +931,21 @@ impl Default for ExactContext {
 }
 
 impl ArithContext for ExactContext {
+    #[inline]
     fn add(&mut self, a: f64, b: f64) -> f64 {
         self.counts.adds += 1;
         self.approx_energy += self.profile.add_energy(AccuracyLevel::Accurate);
         a + b
     }
 
+    #[inline]
     fn mul(&mut self, a: f64, b: f64) -> f64 {
         self.counts.muls += 1;
         self.other_energy += self.profile.mul_energy();
         a * b
     }
 
+    #[inline]
     fn div(&mut self, a: f64, b: f64) -> f64 {
         self.counts.divs += 1;
         self.other_energy += self.profile.div_energy();
@@ -495,6 +1051,28 @@ mod tests {
     }
 
     #[test]
+    fn hoisted_add_mode_matches_adder_dispatch() {
+        // The per-op fast path (AddMode) must agree with QcsAdder::add's
+        // per-call dispatch for every level and policy.
+        for policy in [LowPartPolicy::Zero, LowPartPolicy::Or] {
+            let qcs = QcsAdder::with_policy(32, [20, 15, 10, 5], policy);
+            let mut rng = crate::rng::Pcg32::seeded(41, 7);
+            for level in AccuracyLevel::ALL {
+                let mode = AddMode::for_level(&qcs, QFormat::Q15_16, level);
+                for _ in 0..200 {
+                    let a = rng.next_u64() & mode.mask;
+                    let b = rng.next_u64() & mode.mask;
+                    assert_eq!(
+                        mode.add_bits(a, b),
+                        qcs.add(a, b, level),
+                        "policy {policy:?} level {level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn approximate_error_is_bounded_by_level() {
         let mut ctx = test_ctx();
         let mut worst = [0f64; 4];
@@ -540,6 +1118,71 @@ mod tests {
     }
 
     #[test]
+    fn kernels_fall_back_to_per_op_path_while_tracing() {
+        let mut ctx = test_ctx();
+        ctx.record_trace(16);
+        ctx.set_level(AccuracyLevel::Level3);
+        let mut out = [0.0; 3];
+        ctx.add_slice(&[1.0, 2.0, 3.0], &[0.5, 0.5, 0.5], &mut out);
+        let _ = ctx.dot_slice(&[1.0, 2.0], &[3.0, 4.0]);
+        // 3 adds from add_slice + 2 from the dot reduction.
+        assert_eq!(ctx.trace().unwrap().len(), 5);
+        assert_eq!(ctx.counts().adds, 5);
+        assert_eq!(ctx.counts().muls, 2);
+    }
+
+    #[test]
+    fn batched_kernels_match_scalar_path_counts_and_energy() {
+        // A compact in-module pin of the bit-identity contract; the
+        // exhaustive sweep lives in tests/kernel_properties.rs.
+        let mut fast = test_ctx();
+        let mut slow = ScalarPath::new(test_ctx());
+        let x = [1.5, -2.25, 100.125, 0.0078125, -64.5];
+        let y = [0.5, 7.75, -3.125, 2.0, 0.25];
+        for level in AccuracyLevel::ALL {
+            fast.set_level(level);
+            slow.set_level(level);
+            let mut of = [0.0; 5];
+            let mut os = [0.0; 5];
+            fast.add_slice(&x, &y, &mut of);
+            slow.add_slice(&x, &y, &mut os);
+            assert_eq!(of, os, "add_slice at {level}");
+            fast.axpy_slice(1.5, &x, &y, &mut of);
+            slow.axpy_slice(1.5, &x, &y, &mut os);
+            assert_eq!(of, os, "axpy_slice at {level}");
+            let rows: Vec<f64> = x.iter().chain(&y).chain(&x).copied().collect();
+            let mut mf = [0.0; 3];
+            let mut ms = [0.0; 3];
+            fast.matvec_slice(&rows, 5, &y, &mut mf);
+            slow.matvec_slice(&rows, 5, &y, &mut ms);
+            assert_eq!(mf, ms, "matvec_slice at {level}");
+            assert_eq!(
+                fast.dot_slice(&x, &y).to_bits(),
+                slow.dot_slice(&x, &y).to_bits(),
+                "dot_slice at {level}"
+            );
+        }
+        assert_eq!(fast.counts(), slow.counts());
+        assert_eq!(
+            fast.approx_energy().to_bits(),
+            slow.approx_energy().to_bits()
+        );
+        assert_eq!(fast.total_energy().to_bits(), slow.total_energy().to_bits());
+    }
+
+    #[test]
+    fn empty_slices_are_no_ops() {
+        let mut ctx = test_ctx();
+        let mut out: [f64; 0] = [];
+        ctx.add_slice(&[], &[], &mut out);
+        ctx.axpy_slice(2.0, &[], &[], &mut out);
+        assert_eq!(ctx.dot_slice(&[], &[]), 0.0);
+        assert_eq!(ctx.sum_slice(&[]), 0.0);
+        assert_eq!(ctx.counts(), OpCounts::default());
+        assert_eq!(ctx.approx_energy(), 0.0);
+    }
+
+    #[test]
     fn exact_context_matches_f64_and_counts() {
         let mut ctx = ExactContext::with_profile(test_profile());
         let d = ctx.dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
@@ -570,9 +1213,36 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn kernel_length_mismatch_panics() {
+        let mut ctx = test_ctx();
+        let mut out = [0.0; 2];
+        ctx.add_slice(&[1.0], &[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    fn scalar_path_delegates_meters() {
+        let mut wrapped = ScalarPath::new(test_ctx());
+        wrapped.set_level(AccuracyLevel::Level2);
+        assert_eq!(wrapped.level(), AccuracyLevel::Level2);
+        let _ = wrapped.add(1.0, 2.0);
+        assert_eq!(wrapped.counts().adds, 1);
+        assert_eq!(wrapped.approx_energy(), 2.0);
+        assert!(wrapped.datapath_format().is_some());
+        assert!(wrapped.range_config().is_some());
+        wrapped.reset_counters();
+        assert_eq!(wrapped.inner().counts(), OpCounts::default());
+        let inner = wrapped.into_inner();
+        assert_eq!(inner.level(), AccuracyLevel::Level2);
+    }
+
+    #[test]
     fn contexts_are_object_safe() {
         let mut ctx = test_ctx();
         let dynamic: &mut dyn ArithContext = &mut ctx;
         assert_eq!(dynamic.add(1.0, 2.0), 3.0);
+        let mut out = [0.0; 2];
+        dynamic.add_slice(&[1.0, 2.0], &[3.0, 4.0], &mut out);
+        assert_eq!(out, [4.0, 6.0]);
     }
 }

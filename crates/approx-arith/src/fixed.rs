@@ -76,6 +76,7 @@ impl QFormat {
 
     /// The value of one least-significant bit.
     #[must_use]
+    #[inline]
     pub fn resolution(&self) -> f64 {
         f64::from(-(self.frac_bits as i32)).exp2()
     }
@@ -92,12 +93,32 @@ impl QFormat {
         self.from_raw(self.min_raw())
     }
 
+    #[inline]
     fn max_raw(&self) -> i64 {
         ((1u64 << (self.width - 1)) - 1) as i64
     }
 
+    #[inline]
     fn min_raw(&self) -> i64 {
-        -((1u64 << (self.width - 1)) as i64)
+        // −2^(width−1). Computed by shifting so the width-64 case lands
+        // exactly on i64::MIN instead of negating it (which overflows).
+        -1i64 << (self.width - 1)
+    }
+
+    /// Precompute the conversion constants (scale factors, saturation
+    /// bounds) for this format. [`QFormat::to_raw`] and
+    /// [`QFormat::from_raw`] delegate here per call; kernel inner loops
+    /// hoist one [`RawConverter`] and amortize the `exp2` evaluations
+    /// over the whole slice — the results are bit-identical either way.
+    #[must_use]
+    #[inline]
+    pub fn converter(&self) -> RawConverter {
+        RawConverter {
+            scale: (self.frac_bits as f64).exp2(),
+            inv_scale: self.resolution(),
+            max_raw: self.max_raw(),
+            min_raw: self.min_raw(),
+        }
     }
 
     /// Convert to raw fixed point with rounding-to-nearest and saturation.
@@ -106,29 +127,21 @@ impl QFormat {
     /// minimum, and `NaN` to zero (the datapath has no trap mechanism —
     /// this mirrors how a saturating hardware converter behaves).
     #[must_use]
+    #[inline]
     pub fn to_raw(&self, x: f64) -> i64 {
-        if x.is_nan() {
-            return 0;
-        }
-        let scaled = x * (self.frac_bits as f64).exp2();
-        if scaled >= self.max_raw() as f64 {
-            self.max_raw()
-        } else if scaled <= self.min_raw() as f64 {
-            self.min_raw()
-        } else {
-            // Round half away from zero, like a hardware rounder.
-            scaled.round() as i64
-        }
+        self.converter().to_raw(x)
     }
 
     /// Convert a raw fixed-point value back to `f64`.
     #[must_use]
+    #[inline]
     pub fn from_raw(&self, raw: i64) -> f64 {
-        raw as f64 * self.resolution()
+        self.converter().from_raw(raw)
     }
 
     /// Round-trip a value through the format (quantize).
     #[must_use]
+    #[inline]
     pub fn quantize(&self, x: f64) -> f64 {
         self.from_raw(self.to_raw(x))
     }
@@ -136,12 +149,14 @@ impl QFormat {
     /// The `width`-bit two's-complement pattern of a raw value, as the
     /// adder hardware sees it.
     #[must_use]
+    #[inline]
     pub fn to_bits(&self, raw: i64) -> u64 {
         (raw as u64) & width_mask(self.width)
     }
 
     /// Sign-extend a `width`-bit pattern back to a raw `i64`.
     #[must_use]
+    #[inline]
     pub fn from_bits(&self, bits: u64) -> i64 {
         let bits = bits & width_mask(self.width);
         let sign = 1u64 << (self.width - 1);
@@ -159,6 +174,7 @@ impl QFormat {
     /// approximates adders only — "Adder Impact" in its Table 2), so this
     /// is the reference datapath multiply.
     #[must_use]
+    #[inline]
     pub fn mul_raw(&self, a: i64, b: i64) -> i64 {
         let wide = i128::from(a) * i128::from(b);
         // Round half away from zero at the bits we shift out. The shift
@@ -171,6 +187,54 @@ impl QFormat {
             -((-wide + half) >> self.frac_bits)
         };
         shifted.clamp(i128::from(self.min_raw()), i128::from(self.max_raw())) as i64
+    }
+}
+
+/// Precomputed f64 ↔ raw conversion constants for one [`QFormat`].
+///
+/// Exists so slice kernels can hoist the scale factors (`2^frac` and
+/// `2^-frac`) out of their inner loops instead of re-deriving them per
+/// element; conversions through a converter are bit-identical to the
+/// [`QFormat`] methods, which delegate here.
+#[derive(Debug, Clone, Copy)]
+pub struct RawConverter {
+    scale: f64,
+    inv_scale: f64,
+    max_raw: i64,
+    min_raw: i64,
+}
+
+impl RawConverter {
+    /// [`QFormat::to_raw`] with the scale and bounds precomputed.
+    #[must_use]
+    #[inline]
+    pub fn to_raw(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let scaled = x * self.scale;
+        if scaled >= self.max_raw as f64 {
+            self.max_raw
+        } else if scaled <= self.min_raw as f64 {
+            self.min_raw
+        } else {
+            // Round half away from zero, like a hardware rounder.
+            // Branch-free equivalent of `scaled.round() as i64` (which
+            // would be a libm call on baseline x86-64): truncate, then
+            // bump by one when the discarded fraction reaches ±0.5. The
+            // fraction is exact — below 2⁵² the subtraction is lossless,
+            // and at or above 2⁵² every f64 is already an integer.
+            let t = scaled as i64;
+            let frac = scaled - t as f64;
+            t + i64::from(frac >= 0.5) - i64::from(frac <= -0.5)
+        }
+    }
+
+    /// [`QFormat::from_raw`] with the resolution precomputed.
+    #[must_use]
+    #[inline]
+    pub fn from_raw(&self, raw: i64) -> f64 {
+        raw as f64 * self.inv_scale
     }
 }
 
@@ -240,6 +304,32 @@ mod tests {
         assert_eq!(q.mul_raw(big, big), q.to_raw(q.max_value()));
         let neg = q.to_raw(-30000.0);
         assert_eq!(q.mul_raw(big, neg), q.to_raw(q.min_value()));
+    }
+
+    #[test]
+    fn converter_rounding_matches_f64_round() {
+        // The branch-free rounder must agree with `f64::round` (round
+        // half away from zero) everywhere, including exact halves and
+        // the nearest-below-half boundary value.
+        let q = QFormat::Q31_16;
+        let cv = q.converter();
+        let res = q.resolution();
+        for x in [
+            0.5 * res,
+            -0.5 * res,
+            1.5 * res,
+            -1.5 * res,
+            0.499_999_999_999_999_94 * res,
+            2.5,
+            -2.5,
+        ] {
+            assert_eq!(cv.to_raw(x), (x / res).round() as i64, "x = {x:e}");
+        }
+        let mut rng = crate::rng::Pcg32::seeded(11, 5);
+        for _ in 0..20_000 {
+            let x = rng.uniform(-3e4, 3e4);
+            assert_eq!(cv.to_raw(x), (x * 65536.0).round() as i64, "x = {x}");
+        }
     }
 
     #[test]

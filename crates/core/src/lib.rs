@@ -85,8 +85,6 @@ pub use modelcheck::{
 pub use pid::{PidConfig, PidStrategy};
 pub use quality::{quality_error, QUALITY_EPS};
 pub use report::{RangeProofSummary, RunReport};
-#[allow(deprecated)]
-pub use runner::{run, run_with_watchdog};
 pub use runner::{RunConfig, RunOutcome};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
 pub use watchdog::{RecoveryTelemetry, WatchdogConfig};

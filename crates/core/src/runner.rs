@@ -29,8 +29,8 @@ pub struct RunOutcome<S> {
     pub report: RunReport,
 }
 
-/// Builder configuring one controller run — the single entry point that
-/// replaces the old `run` / `run_with_watchdog` function pair.
+/// Builder configuring one controller run — the single entry point for
+/// driving a method under a reconfiguration strategy.
 ///
 /// # Example
 ///
@@ -131,29 +131,7 @@ impl<'a, M: IterativeMethod, C: ArithContext> RunConfig<'a, M, C> {
     }
 }
 
-/// Drive `method` to convergence under `strategy` on the datapath `ctx`.
-#[deprecated(note = "use RunConfig::new(method, ctx).execute(strategy)")]
-pub fn run<M: IterativeMethod, C: ArithContext>(
-    method: &M,
-    strategy: &mut dyn ReconfigStrategy,
-    ctx: &mut C,
-) -> RunOutcome<M::State> {
-    run_loop(method, strategy, ctx, &WatchdogConfig::default())
-}
-
-/// Run with an explicit [`WatchdogConfig`] (see [`crate::watchdog`]).
-#[deprecated(note = "use RunConfig::new(method, ctx).with_watchdog(watchdog).execute(strategy)")]
-pub fn run_with_watchdog<M: IterativeMethod, C: ArithContext>(
-    method: &M,
-    strategy: &mut dyn ReconfigStrategy,
-    ctx: &mut C,
-    watchdog: &WatchdogConfig,
-) -> RunOutcome<M::State> {
-    run_loop(method, strategy, ctx, watchdog)
-}
-
-/// The controller loop backing [`RunConfig::execute`] (and the deprecated
-/// wrappers).
+/// The controller loop backing [`RunConfig::execute`].
 fn run_loop<M: IterativeMethod, C: ArithContext>(
     method: &M,
     strategy: &mut dyn ReconfigStrategy,

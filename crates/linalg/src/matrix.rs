@@ -132,14 +132,19 @@ impl Matrix {
             .collect()
     }
 
-    /// Matrix–vector product on a context's datapath.
+    /// Matrix–vector product on a context's datapath (a single
+    /// [`ArithContext::matvec_slice`] call over the row-major storage,
+    /// so contexts with batched kernels convert the shared vector once
+    /// and run every row reduction at slice granularity).
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn matvec(&self, ctx: &mut dyn ArithContext, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal column count");
-        (0..self.rows).map(|i| ctx.dot(self.row(i), x)).collect()
+        let mut out = vec![0.0; self.rows];
+        ctx.matvec_slice(&self.data, self.cols, x, &mut out);
+        out
     }
 
     /// Exact matrix product `self · rhs`.

@@ -40,9 +40,7 @@ pub fn mean(ctx: &mut dyn ArithContext, points: &[Vec<f64>]) -> Vec<f64> {
     let mut acc = vec![0.0; dim];
     for p in points {
         assert_eq!(p.len(), dim, "all points must have the same dimension");
-        for (a, &x) in acc.iter_mut().zip(p) {
-            *a = ctx.add(*a, x);
-        }
+        ctx.add_assign_slice(&mut acc, p);
     }
     let n = points.len() as f64;
     acc.iter().map(|&a| ctx.div(a, n)).collect()
@@ -76,10 +74,7 @@ pub fn weighted_mean(
     for (p, &w) in points.iter().zip(weights) {
         assert_eq!(p.len(), dim, "all points must have the same dimension");
         total = ctx.add(total, w);
-        for (a, &x) in acc.iter_mut().zip(p) {
-            let wx = ctx.mul(w, x);
-            *a = ctx.add(*a, wx);
-        }
+        ctx.axpy_assign_slice(&mut acc, w, p);
     }
     if total <= 0.0 {
         return None;

@@ -1,4 +1,10 @@
 //! Vector kernels, both context-routed (approximate-capable) and exact.
+//!
+//! The context-routed functions are thin wrappers over the
+//! [`ArithContext`] slice kernels, so a context that overrides them
+//! (the fixed-point QCS context does) gets its batched fast path while
+//! per-op contexts fall back to the scalar-loop defaults — with
+//! bit-identical results and operation accounting either way.
 
 use approx_arith::ArithContext;
 
@@ -9,7 +15,9 @@ use approx_arith::ArithContext;
 #[must_use]
 pub fn add(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "vector lengths must match");
-    x.iter().zip(y).map(|(&a, &b)| ctx.add(a, b)).collect()
+    let mut out = vec![0.0; x.len()];
+    ctx.add_slice(x, y, &mut out);
+    out
 }
 
 /// Element-wise difference `x − y` on the context's datapath.
@@ -19,13 +27,17 @@ pub fn add(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn sub(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "vector lengths must match");
-    x.iter().zip(y).map(|(&a, &b)| ctx.sub(a, b)).collect()
+    let mut out = vec![0.0; x.len()];
+    ctx.sub_slice(x, y, &mut out);
+    out
 }
 
 /// Scale `alpha · x` on the context's datapath.
 #[must_use]
 pub fn scale(ctx: &mut dyn ArithContext, alpha: f64, x: &[f64]) -> Vec<f64> {
-    x.iter().map(|&a| ctx.mul(alpha, a)).collect()
+    let mut out = vec![0.0; x.len()];
+    ctx.scale_slice(alpha, x, &mut out);
+    out
 }
 
 /// `alpha · x + y` on the context's datapath.
@@ -35,23 +47,20 @@ pub fn scale(ctx: &mut dyn ArithContext, alpha: f64, x: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn axpy(ctx: &mut dyn ArithContext, alpha: f64, x: &[f64], y: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "vector lengths must match");
-    x.iter()
-        .zip(y)
-        .map(|(&a, &b)| {
-            let p = ctx.mul(alpha, a);
-            ctx.add(p, b)
-        })
-        .collect()
+    let mut out = vec![0.0; x.len()];
+    ctx.axpy_slice(alpha, x, y, &mut out);
+    out
 }
 
 /// Dot product on the context's datapath (delegates to
-/// [`ArithContext::dot`]).
+/// [`ArithContext::dot_slice`] — the same single reduction path the
+/// trait's `dot` uses, so counts cannot drift between the two).
 ///
 /// # Panics
 /// Panics if the vectors have different lengths.
 #[must_use]
 pub fn dot(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> f64 {
-    ctx.dot(x, y)
+    ctx.dot_slice(x, y)
 }
 
 /// Accumulate `y += x` in place on the context's datapath.
@@ -60,9 +69,7 @@ pub fn dot(ctx: &mut dyn ArithContext, x: &[f64], y: &[f64]) -> f64 {
 /// Panics if the vectors have different lengths.
 pub fn add_assign(ctx: &mut dyn ArithContext, y: &mut [f64], x: &[f64]) {
     assert_eq!(x.len(), y.len(), "vector lengths must match");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi = ctx.add(*yi, xi);
-    }
+    ctx.add_assign_slice(y, x);
 }
 
 /// Accumulate `y += alpha · x` in place on the context's datapath.
@@ -71,10 +78,7 @@ pub fn add_assign(ctx: &mut dyn ArithContext, y: &mut [f64], x: &[f64]) {
 /// Panics if the vectors have different lengths.
 pub fn axpy_assign(ctx: &mut dyn ArithContext, y: &mut [f64], alpha: f64, x: &[f64]) {
     assert_eq!(x.len(), y.len(), "vector lengths must match");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        let p = ctx.mul(alpha, xi);
-        *yi = ctx.add(*yi, p);
-    }
+    ctx.axpy_assign_slice(y, alpha, x);
 }
 
 /// Exact Euclidean norm ‖x‖₂ (error-sensitive: used by convergence

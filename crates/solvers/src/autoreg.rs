@@ -39,6 +39,9 @@ use crate::method::IterativeMethod;
 #[derive(Debug, Clone)]
 pub struct AutoRegression {
     x: Vec<Vec<f64>>,
+    /// Row-major copy of `x`, cached so the prediction pass can run as
+    /// one fused [`ArithContext::matvec_slice`] call per step.
+    x_flat: Vec<f64>,
     y: Vec<f64>,
     step_size: f64,
     tolerance: f64,
@@ -68,8 +71,10 @@ impl AutoRegression {
         assert!(step_size > 0.0, "step size must be positive");
         assert!(tolerance > 0.0, "tolerance must be positive");
         assert!(max_iterations > 0, "iteration budget must be positive");
+        let x_flat = x.iter().flatten().copied().collect();
         Self {
             x,
+            x_flat,
             y,
             step_size,
             tolerance,
@@ -160,9 +165,14 @@ impl IterativeMethod for AutoRegression {
 
     fn step(&self, state: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
         let p = self.order();
-        let mut acc = vec![0.0; p]; // Σ residual·x, accumulated approximately
-        for (row, &target) in self.x.iter().zip(&self.y) {
-            let pred = ctx.dot(row, state);
+        // Σ residual·x, accumulated approximately.
+        let mut acc = vec![0.0; p];
+        // All N predictions come from one fused matvec over the cached
+        // row-major design matrix (each row reduced exactly like `dot`);
+        // the residual and gradient accumulation then run per sample.
+        let mut preds = vec![0.0; self.num_samples()];
+        ctx.matvec_slice(&self.x_flat, p, state, &mut preds);
+        for ((row, &target), &pred) in self.x.iter().zip(&self.y).zip(&preds) {
             let residual = ctx.sub(target, pred);
             vector::axpy_assign(ctx, &mut acc, residual, row);
         }

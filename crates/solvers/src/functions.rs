@@ -90,10 +90,9 @@ impl Objective for Quadratic {
 
     fn gradient_ctx(&self, x: &[f64], ctx: &mut dyn ArithContext) -> Vec<f64> {
         let ax = self.a.matvec(ctx, x);
-        ax.iter()
-            .zip(&self.b)
-            .map(|(&axi, &bi)| ctx.sub(axi, bi))
-            .collect()
+        let mut g = vec![0.0; ax.len()];
+        ctx.sub_slice(&ax, &self.b, &mut g);
+        g
     }
 
     fn hessian(&self, _x: &[f64]) -> Option<Matrix> {

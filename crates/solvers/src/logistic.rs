@@ -131,10 +131,7 @@ impl IterativeMethod for LogisticIrls {
             let margin = ctx.dot(x, w);
             let prob = Self::sigmoid(y * margin); // exact transcendental
             let coeff = -y * (1.0 - prob) / n;
-            for (gi, &xi) in grad.iter_mut().zip(x) {
-                let contrib = ctx.mul(coeff, xi);
-                *gi = ctx.add(*gi, contrib);
-            }
+            vector::axpy_assign(ctx, &mut grad, coeff, x);
             let weight = prob * (1.0 - prob) / n;
             for i in 0..d {
                 for j in 0..d {
@@ -142,10 +139,7 @@ impl IterativeMethod for LogisticIrls {
                 }
             }
         }
-        for (gi, &wi) in grad.iter_mut().zip(w) {
-            let reg = ctx.mul(self.ridge, wi);
-            *gi = ctx.add(*gi, reg);
-        }
+        vector::axpy_assign(ctx, &mut grad, self.ridge, w);
         for i in 0..d {
             hess[(i, i)] += self.ridge;
         }

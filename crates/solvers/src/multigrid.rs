@@ -49,6 +49,27 @@ pub struct MultigridPoisson {
     max_iterations: usize,
 }
 
+/// Reusable length-`n` scratch rows for the row-wise stencil kernels:
+/// a zero boundary row, the west/east shifted copies, and the neighbour
+/// accumulator.
+struct StencilScratch {
+    zeros: Vec<f64>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+impl StencilScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            zeros: vec![0.0; n],
+            left: vec![0.0; n],
+            right: vec![0.0; n],
+            acc: vec![0.0; n],
+        }
+    }
+}
+
 impl MultigridPoisson {
     /// Create a V-cycle solver on an `n × n` interior grid.
     ///
@@ -87,56 +108,70 @@ impl MultigridPoisson {
         &self.fine
     }
 
-    /// One damped-Jacobi smoothing sweep of `A u = b` (scaled 5-point
-    /// stencil with grid constant folded into `b`), on the context.
-    fn smooth(u: &mut Vec<f64>, b: &[f64], n: usize, ctx: &mut dyn ArithContext) {
-        let at = |v: &[f64], i: isize, j: isize| -> f64 {
-            let n = n as isize;
-            if i < 0 || j < 0 || i >= n || j >= n {
-                0.0
-            } else {
-                v[(i * n + j) as usize]
-            }
+    /// Accumulate the four 5-point-stencil neighbours of every cell in
+    /// row `i` into `scratch.acc`, at slice granularity: `acc = u_N +
+    /// u_S + u_W + u_E` with homogeneous Dirichlet (zero) boundaries.
+    fn neighbor_sums(
+        u: &[f64],
+        n: usize,
+        i: usize,
+        scratch: &mut StencilScratch,
+        ctx: &mut dyn ArithContext,
+    ) {
+        let row = &u[i * n..(i + 1) * n];
+        let up = if i == 0 {
+            &scratch.zeros[..]
+        } else {
+            &u[(i - 1) * n..i * n]
         };
+        let down = if i + 1 == n {
+            &scratch.zeros[..]
+        } else {
+            &u[(i + 1) * n..(i + 2) * n]
+        };
+        scratch.left[0] = 0.0;
+        scratch.left[1..].copy_from_slice(&row[..n - 1]);
+        scratch.right[n - 1] = 0.0;
+        scratch.right[..n - 1].copy_from_slice(&row[1..]);
+        ctx.add_slice(up, down, &mut scratch.acc);
+        ctx.add_assign_slice(&mut scratch.acc, &scratch.left);
+        ctx.add_assign_slice(&mut scratch.acc, &scratch.right);
+    }
+
+    /// One damped-Jacobi smoothing sweep of `A u = b` (scaled 5-point
+    /// stencil with grid constant folded into `b`), row-by-row on the
+    /// context's slice kernels.
+    fn smooth(u: &mut Vec<f64>, b: &[f64], n: usize, ctx: &mut dyn ArithContext) {
         let omega = 0.8;
         let mut next = vec![0.0; n * n];
-        for i in 0..n as isize {
-            for j in 0..n as isize {
-                let idx = (i * n as isize + j) as usize;
-                let mut acc = ctx.add(at(u, i - 1, j), at(u, i + 1, j));
-                acc = ctx.add(acc, at(u, i, j - 1));
-                acc = ctx.add(acc, at(u, i, j + 1));
-                acc = ctx.add(acc, b[idx]);
-                let relaxed = ctx.div(acc, 4.0);
-                let kept = ctx.mul(1.0 - omega, u[idx]);
-                let push = ctx.mul(omega, relaxed);
-                next[idx] = ctx.add(kept, push);
+        let mut scratch = StencilScratch::new(n);
+        let mut relaxed = vec![0.0; n];
+        let mut kept = vec![0.0; n];
+        let mut push = vec![0.0; n];
+        for i in 0..n {
+            Self::neighbor_sums(u, n, i, &mut scratch, ctx);
+            ctx.add_assign_slice(&mut scratch.acc, &b[i * n..(i + 1) * n]);
+            for (r, &a) in relaxed.iter_mut().zip(&scratch.acc) {
+                *r = ctx.div(a, 4.0);
             }
+            ctx.scale_slice(1.0 - omega, &u[i * n..(i + 1) * n], &mut kept);
+            ctx.scale_slice(omega, &relaxed, &mut push);
+            ctx.add_slice(&kept, &push, &mut next[i * n..(i + 1) * n]);
         }
         *u = next;
     }
 
-    /// Residual `b − A u` on an `n × n` grid (context-routed).
+    /// Residual `b − A u` on an `n × n` grid (context-routed, row-wise).
     fn residual(u: &[f64], b: &[f64], n: usize, ctx: &mut dyn ArithContext) -> Vec<f64> {
-        let at = |v: &[f64], i: isize, j: isize| -> f64 {
-            let n = n as isize;
-            if i < 0 || j < 0 || i >= n || j >= n {
-                0.0
-            } else {
-                v[(i * n + j) as usize]
-            }
-        };
         let mut r = vec![0.0; n * n];
-        for i in 0..n as isize {
-            for j in 0..n as isize {
-                let idx = (i * n as isize + j) as usize;
-                let mut acc = ctx.add(at(u, i - 1, j), at(u, i + 1, j));
-                acc = ctx.add(acc, at(u, i, j - 1));
-                acc = ctx.add(acc, at(u, i, j + 1));
-                let four_u = ctx.mul(4.0, u[idx]);
-                let au = ctx.sub(four_u, acc);
-                r[idx] = ctx.sub(b[idx], au);
-            }
+        let mut scratch = StencilScratch::new(n);
+        let mut four_u = vec![0.0; n];
+        let mut au = vec![0.0; n];
+        for i in 0..n {
+            Self::neighbor_sums(u, n, i, &mut scratch, ctx);
+            ctx.scale_slice(4.0, &u[i * n..(i + 1) * n], &mut four_u);
+            ctx.sub_slice(&four_u, &scratch.acc, &mut au);
+            ctx.sub_slice(&b[i * n..(i + 1) * n], &au, &mut r[i * n..(i + 1) * n]);
         }
         r
     }
@@ -236,13 +271,12 @@ impl MultigridPoisson {
         // The coarse operator uses the same scaled stencil; restricting
         // the scaled residual absorbs the h² factor up to the constant
         // 4 that full weighting preserves for this operator.
-        let rc_scaled: Vec<f64> = rc.iter().map(|&v| ctx.mul(4.0, v)).collect();
+        let mut rc_scaled = vec![0.0; nc * nc];
+        ctx.scale_slice(4.0, &rc, &mut rc_scaled);
         let mut correction = vec![0.0; nc * nc];
         self.v_cycle(&mut correction, &rc_scaled, nc, ctx);
         let fine_correction = Self::prolongate(&correction, n, ctx);
-        for (ui, ci) in u.iter_mut().zip(&fine_correction) {
-            *ui = ctx.add(*ui, *ci);
-        }
+        ctx.add_assign_slice(u, &fine_correction);
         for _ in 0..self.smoothing_sweeps {
             Self::smooth(u, b, n, ctx);
         }
@@ -264,12 +298,8 @@ impl IterativeMethod for MultigridPoisson {
     fn step(&self, u: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
         let h = self.fine.spacing();
         // b = h²·f, context-routed once per cycle.
-        let b: Vec<f64> = self
-            .fine
-            .rhs_values()
-            .iter()
-            .map(|&f| ctx.mul(h * h, f))
-            .collect();
+        let mut b = vec![0.0; self.n * self.n];
+        ctx.scale_slice(h * h, self.fine.rhs_values(), &mut b);
         let mut next = u.clone();
         self.v_cycle(&mut next, &b, self.n, ctx);
         next

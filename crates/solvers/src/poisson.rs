@@ -201,6 +201,89 @@ impl PoissonJacobi {
         }
     }
 
+    /// One damped-Jacobi sweep, processed row-by-row through the
+    /// context's slice kernels. Every interior cell performs the same
+    /// per-element operation sequence as the per-cell formulation —
+    /// neighbour adds, source multiply-add, relaxation divide, damped
+    /// blend — so values, operation counts and energy are identical;
+    /// contexts with batched kernels run each stage at slice
+    /// granularity.
+    fn jacobi_step(&self, u: &[f64], ctx: &mut dyn ArithContext) -> Vec<f64> {
+        let n = self.n;
+        let mut next = vec![0.0; n * n];
+        let zeros = vec![0.0; n];
+        let mut left = vec![0.0; n];
+        let mut right = vec![0.0; n];
+        let mut acc = vec![0.0; n];
+        let mut h2f = vec![0.0; n];
+        let mut relaxed = vec![0.0; n];
+        let mut kept = vec![0.0; n];
+        let mut push = vec![0.0; n];
+        let h2 = self.h * self.h;
+        for i in 0..n {
+            let row = &u[i * n..(i + 1) * n];
+            let up = if i == 0 {
+                &zeros[..]
+            } else {
+                &u[(i - 1) * n..i * n]
+            };
+            let down = if i + 1 == n {
+                &zeros[..]
+            } else {
+                &u[(i + 1) * n..(i + 2) * n]
+            };
+            // West/east neighbours: the row shifted by one, with the
+            // homogeneous Dirichlet boundary padded in as zero.
+            left[0] = 0.0;
+            left[1..].copy_from_slice(&row[..n - 1]);
+            right[n - 1] = 0.0;
+            right[..n - 1].copy_from_slice(&row[1..]);
+            // Neighbour + source accumulation on the approximate
+            // datapath.
+            ctx.add_slice(up, down, &mut acc);
+            ctx.add_assign_slice(&mut acc, &left);
+            ctx.add_assign_slice(&mut acc, &right);
+            ctx.scale_slice(h2, &self.rhs[i * n..(i + 1) * n], &mut h2f);
+            ctx.add_assign_slice(&mut acc, &h2f);
+            for (r, &a) in relaxed.iter_mut().zip(&acc) {
+                *r = ctx.div(a, 4.0);
+            }
+            // Damped blend, also on the datapath.
+            ctx.scale_slice(1.0 - self.omega, row, &mut kept);
+            ctx.scale_slice(self.omega, &relaxed, &mut push);
+            ctx.add_slice(&kept, &push, &mut next[i * n..(i + 1) * n]);
+        }
+        next
+    }
+
+    /// One Gauss–Seidel/SOR sweep. Each cell reads already-updated
+    /// neighbours, so the sweep is inherently sequential and stays on
+    /// the per-operation path.
+    fn gauss_seidel_step(&self, u: &[f64], ctx: &mut dyn ArithContext) -> Vec<f64> {
+        let n = self.n as isize;
+        let mut next = u.to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as usize;
+                let up = self.at(&next, i - 1, j);
+                let down = self.at(&next, i + 1, j);
+                let left = self.at(&next, i, j - 1);
+                let right = self.at(&next, i, j + 1);
+                let center = next[idx];
+                let mut acc = ctx.add(up, down);
+                acc = ctx.add(acc, left);
+                acc = ctx.add(acc, right);
+                let h2f = ctx.mul(self.h * self.h, self.rhs[idx]);
+                acc = ctx.add(acc, h2f);
+                let relaxed = ctx.div(acc, 4.0);
+                let kept = ctx.mul(1.0 - self.omega, center);
+                let push = ctx.mul(self.omega, relaxed);
+                next[idx] = ctx.add(kept, push);
+            }
+        }
+        next
+    }
+
     /// Exact residual `b − Au` (scaled by h²: `h²f + u_N + u_S + u_E +
     /// u_W − 4u`), used for monitoring.
     #[must_use]
@@ -255,48 +338,10 @@ impl IterativeMethod for PoissonJacobi {
     }
 
     fn step(&self, u: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
-        let n = self.n as isize;
-        let mut next = match self.sweep {
-            SweepMode::Jacobi => vec![0.0; self.n * self.n],
-            // Gauss–Seidel reads already-updated neighbours in place.
-            SweepMode::GaussSeidel => u.clone(),
-        };
-        for i in 0..n {
-            for j in 0..n {
-                let idx = (i * n + j) as usize;
-                // Gauss–Seidel reads the in-place field (already-updated
-                // neighbours), Jacobi the previous iterate.
-                let (up, down, left, right, center) = match self.sweep {
-                    SweepMode::Jacobi => (
-                        self.at(u, i - 1, j),
-                        self.at(u, i + 1, j),
-                        self.at(u, i, j - 1),
-                        self.at(u, i, j + 1),
-                        u[idx],
-                    ),
-                    SweepMode::GaussSeidel => (
-                        self.at(&next, i - 1, j),
-                        self.at(&next, i + 1, j),
-                        self.at(&next, i, j - 1),
-                        self.at(&next, i, j + 1),
-                        next[idx],
-                    ),
-                };
-                // Neighbour + source accumulation on the approximate
-                // datapath.
-                let mut acc = ctx.add(up, down);
-                acc = ctx.add(acc, left);
-                acc = ctx.add(acc, right);
-                let h2f = ctx.mul(self.h * self.h, self.rhs[idx]);
-                acc = ctx.add(acc, h2f);
-                let relaxed = ctx.div(acc, 4.0);
-                // Damped/over-relaxed blend, also on the datapath.
-                let kept = ctx.mul(1.0 - self.omega, center);
-                let push = ctx.mul(self.omega, relaxed);
-                next[idx] = ctx.add(kept, push);
-            }
+        match self.sweep {
+            SweepMode::Jacobi => self.jacobi_step(u, ctx),
+            SweepMode::GaussSeidel => self.gauss_seidel_step(u, ctx),
         }
-        next
     }
 
     /// Discrete energy functional `½·uᵀAu − bᵀu` (with `A` the scaled
