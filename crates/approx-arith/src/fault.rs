@@ -131,6 +131,7 @@ pub struct FaultInjector<C> {
     model: FaultModel,
     targets: FaultTargets,
     spare_accurate: bool,
+    struck_levels: [bool; 5],
     format: QFormat,
     rng: Pcg32,
     faults: u64,
@@ -162,6 +163,7 @@ impl<C: ArithContext> FaultInjector<C> {
             model,
             targets: FaultTargets::ADDS,
             spare_accurate: false,
+            struck_levels: [true; 5],
             format,
             rng: Pcg32::seeded(seed, 7),
             faults: 0,
@@ -188,6 +190,31 @@ impl<C: ArithContext> FaultInjector<C> {
     #[must_use]
     pub fn sparing_accurate(mut self) -> Self {
         self.spare_accurate = true;
+        self
+    }
+
+    /// Inject faults only while the wrapped context runs at one of
+    /// `levels`; operations at every other level pass through clean
+    /// *without advancing the fault RNG* (like
+    /// [`sparing_accurate`](Self::sparing_accurate)).
+    ///
+    /// This models a defect or environmental upset localized to one
+    /// accuracy configuration of the reconfigurable fabric — e.g. a
+    /// marginal carry-chain segment only exercised by the level-2
+    /// bypass — and is what lets fault campaigns script scenarios where
+    /// quarantining a *single* approximate level (the service's circuit
+    /// breaker) restores healthy operation.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty — an injector that can never fire is
+    /// a configuration bug, not a model.
+    #[must_use]
+    pub fn striking_only(mut self, levels: &[AccuracyLevel]) -> Self {
+        assert!(!levels.is_empty(), "striking_only needs at least one level");
+        self.struck_levels = [false; 5];
+        for &level in levels {
+            self.struck_levels[level.index()] = true;
+        }
         self
     }
 
@@ -261,10 +288,13 @@ impl<C: ArithContext> FaultInjector<C> {
 }
 
 impl<C: ArithContext> FaultInjector<C> {
-    /// Whether faults are currently suppressed by [`sparing_accurate`]
-    /// (see [`FaultInjector::sparing_accurate`]).
+    /// Whether faults are currently suppressed — by
+    /// [`sparing_accurate`](FaultInjector::sparing_accurate) or because
+    /// the current level is outside
+    /// [`striking_only`](FaultInjector::striking_only).
     fn shielded(&self) -> bool {
-        self.spare_accurate && self.inner.level().is_accurate()
+        let level = self.inner.level();
+        (self.spare_accurate && level.is_accurate()) || !self.struck_levels[level.index()]
     }
 }
 
@@ -497,6 +527,55 @@ mod tests {
             },
             1,
         );
+    }
+
+    #[test]
+    fn striking_only_confines_faults_to_the_named_levels() {
+        let mut faulty =
+            FaultInjector::new(inner(), 1.0, 8, 13).striking_only(&[AccuracyLevel::Level2]);
+        let mut clean = inner();
+        for level in [
+            AccuracyLevel::Level1,
+            AccuracyLevel::Level3,
+            AccuracyLevel::Level4,
+            AccuracyLevel::Accurate,
+        ] {
+            faulty.set_level(level);
+            clean.set_level(level);
+            for i in 0..20 {
+                let x = f64::from(i) * 0.31;
+                assert_eq!(faulty.add(x, 1.0), clean.add(x, 1.0), "leak at {level}");
+            }
+        }
+        assert_eq!(faulty.faults_injected(), 0);
+        faulty.set_level(AccuracyLevel::Level2);
+        for _ in 0..20 {
+            faulty.add(1.0, 1.0);
+        }
+        assert_eq!(faulty.faults_injected(), 20);
+    }
+
+    #[test]
+    fn shielded_levels_do_not_advance_the_fault_rng() {
+        // The fault stream seen at the struck level must not depend on
+        // how many operations ran at shielded levels first.
+        let run = |detour_ops: usize| -> Vec<f64> {
+            let mut faulty =
+                FaultInjector::new(inner(), 0.5, 8, 21).striking_only(&[AccuracyLevel::Level1]);
+            faulty.set_level(AccuracyLevel::Level3);
+            for _ in 0..detour_ops {
+                faulty.add(1.0, 1.0);
+            }
+            faulty.set_level(AccuracyLevel::Level1);
+            (0..40).map(|i| faulty.add(f64::from(i), 0.5)).collect()
+        };
+        assert_eq!(run(0), run(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn striking_only_rejects_an_empty_level_set() {
+        let _ = FaultInjector::new(inner(), 1.0, 8, 1).striking_only(&[]);
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! baselines stall at `MAX_ITER`, the adaptive strategy converges to
 //! Truth quality with nonzero recovery telemetry.
 
+use std::process::ExitCode;
+
 use approx_arith::{AccuracyLevel, Adder, FaultInjector, FaultModel, QcsAdder, QcsContext};
 use approxit::{
     characterize, AdaptiveAngleStrategy, IncrementalStrategy, ReconfigStrategy, RunConfig,
     RunReport, SingleMode, WatchdogConfig,
 };
-use approxit_bench::cli::BenchOpts;
+use approxit_bench::cli::{BenchOpts, Checker};
 use approxit_bench::render::{fmt_value, render_table};
 use approxit_bench::specs::shared_profile;
 use gatesim::FaultCampaign;
@@ -51,8 +53,8 @@ fn level_label(level: AccuracyLevel) -> String {
 
 /// Structural campaign on the QCS adder netlist: stuck-at, transient,
 /// and timing-overscaling faults with error-magnitude statistics.
-fn structural_section() {
-    println!("Structural fault campaign (QCS adder netlist, level2 configuration)\n");
+fn structural_section(opts: &BenchOpts, c: &mut Checker) {
+    opts.say("Structural fault campaign (QCS adder netlist, level2 configuration)\n");
     let adder = QcsAdder::paper_default().at(AccuracyLevel::Level2);
     let (netlist, ports) = adder.netlist();
     let campaign = FaultCampaign::new(&netlist, &ports).vectors(256).seed(3);
@@ -79,18 +81,30 @@ fn structural_section() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Fault",
-                "Error rate",
-                "Mean |err|",
-                "Max |err|",
-                "Faults fired"
-            ],
-            &table,
-        )
+    opts.say(&render_table(
+        &[
+            "Fault",
+            "Error rate",
+            "Mean |err|",
+            "Max |err|",
+            "Faults fired",
+        ],
+        &table,
+    ));
+    c.check(
+        "structural: every fault family produced rows with sane statistics",
+        !rows.is_empty()
+            && rows.iter().all(|row| {
+                (0.0..=1.0).contains(&row.stats.error_rate())
+                    && row.stats.mean_abs_error.is_finite()
+                    && row.stats.max_abs_error.is_finite()
+            }),
+        &format!("{} fault rows", rows.len()),
+    );
+    c.check(
+        "structural: faults actually fired during the campaign",
+        rows.iter().any(|row| row.stats.faults_fired > 0),
+        "at least one injection site was exercised",
     );
 }
 
@@ -125,8 +139,17 @@ fn report_row(
 /// guards-only watchdog, reconfiguration strategies on the resilient
 /// one. `quality_ok` decides whether a QEM value counts as Truth
 /// quality.
-fn application_section<M, Q, G>(title: &str, method: &M, seed: u64, qem: Q, quality_ok: G)
-where
+#[allow(clippy::too_many_arguments)]
+fn application_section<M, Q, G>(
+    title: &str,
+    name: &str,
+    method: &M,
+    seed: u64,
+    qem: Q,
+    quality_ok: G,
+    opts: &BenchOpts,
+    c: &mut Checker,
+) where
     M: IterativeMethod + Sync,
     M::State: Sync,
     Q: Fn(&M::State, &M::State) -> f64,
@@ -136,6 +159,11 @@ where
     let truth = RunConfig::new(method, &mut clean)
         .with_watchdog(WatchdogConfig::default())
         .execute(&mut SingleMode::accurate());
+    c.check(
+        &format!("{name}: the accurate baseline converges on clean hardware"),
+        truth.report.converged,
+        &format!("{} iterations", truth.report.iterations),
+    );
     let table = characterize(method, shared_profile(), 5);
 
     let mut rows = Vec::new();
@@ -180,6 +208,17 @@ where
             let q = qem(&outcome.state, &truth.state);
             let label = outcome.report.strategy.clone();
             rows.push(report_row(rate, &label, &outcome.report, q, &truth.report));
+            if rate == 0.0 {
+                c.check(
+                    &format!("{name}: {label} reaches Truth quality on clean hardware"),
+                    outcome.report.converged && quality_ok(q),
+                    &format!(
+                        "{} iterations, QEM {}",
+                        outcome.report.iterations,
+                        fmt_value(q)
+                    ),
+                );
+            }
             let is_adaptive = index == 1;
             if is_adaptive
                 && rate > 0.0
@@ -201,33 +240,38 @@ where
         }
     }
 
-    println!("{title}\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "SEU rate",
-                "Configuration",
-                "Iterations",
-                "QEM",
-                "Energy",
-                "Rollbacks",
-                "Restores",
-                "Escalations",
-            ],
-            &rows,
-        )
+    opts.say(&format!("{title}\n"));
+    opts.say(&render_table(
+        &[
+            "SEU rate",
+            "Configuration",
+            "Iterations",
+            "QEM",
+            "Energy",
+            "Rollbacks",
+            "Restores",
+            "Escalations",
+        ],
+        &rows,
+    ));
+    c.check(
+        &format!(
+            "{name}: graceful degradation — some SEU rate fails approximate baselines \
+             while the adaptive strategy holds Truth quality"
+        ),
+        !findings.is_empty(),
+        &format!("{} separating rates", findings.len()),
     );
     if findings.is_empty() {
-        println!(
-            "graceful degradation: no rate separated the adaptive strategy from the baselines\n"
+        opts.say(
+            "graceful degradation: no rate separated the adaptive strategy from the baselines\n",
         );
     } else {
-        println!("graceful degradation:");
+        opts.say("graceful degradation:");
         for line in &findings {
-            println!("{line}");
+            opts.say(line);
         }
-        println!();
+        opts.say("");
     }
 }
 
@@ -235,11 +279,19 @@ where
 /// enough to trip the hard-failure guards, and show the watchdog's
 /// checkpoint restores and escalations pulling the run back to Truth
 /// quality.
-fn burst_recovery_section<M, Q>(method: &M, name: &str, seed: u64, qem: Q)
-where
+fn burst_recovery_section<M, Q, G>(
+    method: &M,
+    name: &str,
+    seed: u64,
+    qem: Q,
+    quality_ok: G,
+    opts: &BenchOpts,
+    c: &mut Checker,
+) where
     M: IterativeMethod + Sync,
     M::State: Sync,
     Q: Fn(&M::State, &M::State) -> f64,
+    G: Fn(f64) -> bool,
 {
     let mut clean = QcsContext::with_profile(shared_profile().clone());
     let truth = RunConfig::new(method, &mut clean)
@@ -269,7 +321,7 @@ where
         .with_watchdog(watchdog.clone())
         .execute(&mut strategy);
     let q = qem(&outcome.state, &truth.state);
-    println!(
+    opts.say(&format!(
         "{name}: burst faults (rate {burst_rate:.0e}, width {burst_width}), \
          adaptive + resilient watchdog:\n  \
          {} in {} iterations, QEM {} — rollbacks {}, {}",
@@ -282,6 +334,15 @@ where
         fmt_value(q),
         outcome.report.rollbacks,
         outcome.report.recovery,
+    ));
+    c.check(
+        &format!("{name}: adaptive + resilient watchdog rides out burst faults at Truth quality"),
+        outcome.report.converged && quality_ok(q),
+        &format!(
+            "{} iterations, QEM {}",
+            outcome.report.iterations,
+            fmt_value(q)
+        ),
     );
 
     // A single-mode approximate baseline has no reconfiguration
@@ -293,7 +354,7 @@ where
         .with_watchdog(watchdog.clone())
         .execute(&mut SingleMode::new(AccuracyLevel::Level2));
     let q = qem(&outcome.state, &truth.state);
-    println!(
+    opts.say(&format!(
         "{name}: same faults, single-mode level2 + resilient watchdog:\n  \
          {} in {} iterations, QEM {} — rollbacks {}, {}\n",
         if outcome.report.converged {
@@ -305,16 +366,17 @@ where
         fmt_value(q),
         outcome.report.rollbacks,
         outcome.report.recovery,
-    );
+    ));
 }
 
-fn main() {
+fn main() -> ExitCode {
     let opts = BenchOpts::parse();
     let seed = opts.seed_or(SEED);
-    println!("ApproxIt resilience campaign");
-    println!("============================\n");
+    opts.say("ApproxIt resilience campaign");
+    opts.say("============================\n");
+    let mut c = Checker::new(opts.quiet);
 
-    structural_section();
+    structural_section(&opts, &mut c);
 
     let data = gaussian_blobs(
         "gmm-resilience",
@@ -326,12 +388,15 @@ fn main() {
     let gmm = GaussianMixture::from_dataset(&data, 1e-8, 300, 5);
     application_section(
         "GMM quality vs. SEU rate (QEM = Hamming distance to Truth assignments)",
+        "gmm",
         &gmm,
         seed,
         |state, truth_state| {
             hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), 3) as f64
         },
         |q| q == 0.0,
+        &opts,
+        &mut c,
     );
 
     let series = ar_series(
@@ -344,17 +409,35 @@ fn main() {
     let ar = AutoRegression::from_series(&series, 0.2, 1e-10, 400);
     application_section(
         "AutoRegression quality vs. SEU rate (QEM = coefficient l2 error to Truth)",
+        "ar",
         &ar,
         seed,
         |state, truth_state| l2_error(state, truth_state),
         |q| q < 1e-3,
+        &opts,
+        &mut c,
     );
 
-    println!("Watchdog recovery under burst faults\n");
-    burst_recovery_section(&gmm, "GMM", seed, |state, truth_state| {
-        hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), 3) as f64
-    });
-    burst_recovery_section(&ar, "AutoRegression", seed, |state, truth_state| {
-        l2_error(state, truth_state)
-    });
+    opts.say("Watchdog recovery under burst faults\n");
+    burst_recovery_section(
+        &gmm,
+        "GMM",
+        seed,
+        |state, truth_state| {
+            hamming_distance(&gmm.assignments(state), &gmm.assignments(truth_state), 3) as f64
+        },
+        |q| q == 0.0,
+        &opts,
+        &mut c,
+    );
+    burst_recovery_section(
+        &ar,
+        "AutoRegression",
+        seed,
+        |state, truth_state| l2_error(state, truth_state),
+        |q| q < 1e-3,
+        &opts,
+        &mut c,
+    );
+    c.finish("resilience", &opts)
 }

@@ -29,7 +29,12 @@
 //! * a controller [`modelcheck`]er that statically proves the
 //!   reconfiguration policies livelock-free and monotone over their
 //!   full reachable state spaces, with replayable counterexamples for
-//!   anything it cannot prove.
+//!   anything it cannot prove;
+//! * a resilient multi-request [`service`] ([`SolverService`]) that fans
+//!   independent solves across [`gatesim::par::Executor`] under
+//!   per-request deadlines, retry-with-escalation, bounded-queue load
+//!   shedding, and per-level circuit breakers — deterministic for any
+//!   thread count.
 //!
 //! # Quickstart
 //!
@@ -72,6 +77,7 @@ mod watchdog;
 
 pub mod lp;
 pub mod modelcheck;
+pub mod service;
 
 pub use adaptive::AdaptiveAngleStrategy;
 pub use characterize::{
@@ -84,8 +90,12 @@ pub use modelcheck::{
 };
 pub use pid::{PidConfig, PidStrategy};
 pub use quality::{quality_error, QUALITY_EPS};
-pub use report::{RangeProofSummary, RunReport};
+pub use report::{Outcome, RangeProofSummary, RunReport};
 pub use runner::{RunConfig, RunOutcome};
+pub use service::{
+    BreakerConfig, BreakerTelemetry, Request, RequestResult, RequestTelemetry, ServiceConfig,
+    ServiceReport, SolverService, Submission,
+};
 pub use strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
 pub use watchdog::{RecoveryTelemetry, WatchdogConfig};
 
@@ -109,8 +119,9 @@ pub mod prelude {
     };
     pub use crate::incremental::{IncrementalConfig, IncrementalStrategy};
     pub use crate::quality::quality_error;
-    pub use crate::report::RunReport;
+    pub use crate::report::{Outcome, RunReport};
     pub use crate::runner::{RunConfig, RunOutcome};
+    pub use crate::service::{Request, ServiceConfig, ServiceReport, SolverService, Submission};
     pub use crate::strategy::{Decision, IterationObservation, ReconfigStrategy, SingleMode};
     pub use crate::watchdog::{RecoveryTelemetry, WatchdogConfig};
 

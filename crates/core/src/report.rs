@@ -43,6 +43,75 @@ impl std::fmt::Display for RangeProofSummary {
     }
 }
 
+/// Final classification of a run or service request — the single
+/// outcome vocabulary shared by single-run telemetry ([`RunReport`])
+/// and the solver service ([`crate::service`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Converged within budget with no robustness intervention: first
+    /// attempt, requested level, no watchdog recovery events.
+    Completed,
+    /// Converged and met its quality floor, but only after the
+    /// robustness envelope intervened — a retry, an escalated or
+    /// rerouted level, or watchdog recovery during the run.
+    Degraded,
+    /// Rejected at admission by the service's load-shedding policy;
+    /// never executed.
+    Shed,
+    /// Did not converge (deadline exhausted, divergence, or a quality
+    /// floor violation) within the bounded attempt budget.
+    Failed,
+}
+
+impl Outcome {
+    /// All outcome classes, in severity order.
+    pub const ALL: [Outcome; 4] = [
+        Outcome::Completed,
+        Outcome::Degraded,
+        Outcome::Shed,
+        Outcome::Failed,
+    ];
+
+    /// Whether the request produced a usable result (completed or
+    /// degraded — both meet their quality floor by construction).
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(self, Outcome::Completed | Outcome::Degraded)
+    }
+
+    /// Classify a single (non-service) run from its telemetry: converged
+    /// cleanly → `Completed`, converged with recovery interventions →
+    /// `Degraded`, otherwise `Failed`. `Shed` only arises at the
+    /// service's admission queue.
+    #[must_use]
+    pub fn classify_run(converged: bool, recovery: &RecoveryTelemetry) -> Self {
+        if !converged {
+            Outcome::Failed
+        } else if recovery.degrading() {
+            Outcome::Degraded
+        } else {
+            Outcome::Completed
+        }
+    }
+
+    /// Stable lower-case label used in Display and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Degraded => "degraded",
+            Outcome::Shed => "shed",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Everything recorded about one run of an iterative method under a
 /// reconfiguration strategy.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +146,14 @@ pub struct RunReport {
     /// Watchdog recovery events (guard trips, checkpoints, restores,
     /// escalations) — all zero for runs without active protection.
     pub recovery: RecoveryTelemetry,
+    /// Which attempt this report describes (1 for a plain single run;
+    /// the solver service stamps the retry count of the final attempt,
+    /// so service and single-run telemetry share one schema).
+    pub attempts: usize,
+    /// Final outcome classification (see [`Outcome`]). A plain runner
+    /// invocation classifies itself via [`Outcome::classify_run`]; the
+    /// service overrides it with the request-level verdict.
+    pub outcome: Outcome,
     /// Static range-analysis outcome for the workload's datapath, when
     /// one was computed (`None` for runs without a range model).
     pub range_proof: Option<RangeProofSummary>,
@@ -229,18 +306,22 @@ impl RunReport {
         };
         format!(
             "{{\"method\":\"{}\",\"strategy\":\"{}\",\"iterations\":{},\
-             \"converged\":{},\"steps_per_level\":[{},{},{},{},{}],\
+             \"converged\":{},\"attempts\":{},\"outcome\":\"{}\",\
+             \"steps_per_level\":[{},{},{},{},{}],\
              \"rollbacks\":{},\"approx_energy\":{},\"total_energy\":{},\
              \"final_objective\":{},\
              \"op_counts\":{{\"adds\":{},\"muls\":{},\"divs\":{}}},\
              \"recovery\":{{\"guard_trips\":{},\"divergence_trips\":{},\
-             \"checkpoints_taken\":{},\"restores\":{},\"escalations\":{}}},\
+             \"checkpoints_taken\":{},\"checkpoints_evicted\":{},\
+             \"restores\":{},\"escalations\":{}}},\
              \"range_proof\":{},\
              \"energy_per_iteration\":[{}],\"level_schedule\":[{}]}}",
             esc(&self.method),
             esc(&self.strategy),
             self.iterations,
             self.converged,
+            self.attempts,
+            self.outcome,
             self.steps_per_level[0],
             self.steps_per_level[1],
             self.steps_per_level[2],
@@ -256,6 +337,7 @@ impl RunReport {
             self.recovery.guard_trips,
             self.recovery.divergence_trips,
             self.recovery.checkpoints_taken,
+            self.recovery.checkpoints_evicted,
             self.recovery.restores,
             self.recovery.escalations,
             range_proof,
@@ -286,7 +368,7 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} / {}: {} iterations ({}), {} rollbacks",
+            "{} / {}: {} iterations ({}), {} rollbacks, {} after {} attempt{}",
             self.method,
             self.strategy,
             self.iterations,
@@ -296,6 +378,9 @@ impl std::fmt::Display for RunReport {
                 "MAX_ITER"
             },
             self.rollbacks,
+            self.outcome,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
         )?;
         write!(f, "  steps:")?;
         for level in AccuracyLevel::ALL {
@@ -336,6 +421,8 @@ mod tests {
             final_objective: 0.5,
             op_counts: OpCounts::default(),
             recovery: RecoveryTelemetry::default(),
+            attempts: 1,
+            outcome: Outcome::Completed,
             range_proof: None,
         }
     }
@@ -418,8 +505,11 @@ mod tests {
             "\"converged\":true",
             "\"steps_per_level\":[3,2,2,2,1]",
             "\"rollbacks\":1",
+            "\"attempts\":1",
+            "\"outcome\":\"completed\"",
             "\"recovery\":{\"guard_trips\":0,\"divergence_trips\":0,\
-             \"checkpoints_taken\":0,\"restores\":2,\"escalations\":1}",
+             \"checkpoints_taken\":0,\"checkpoints_evicted\":0,\
+             \"restores\":2,\"escalations\":1}",
             "\"level_schedule\":[\"level1\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -481,5 +571,43 @@ mod tests {
         assert!(!r.to_string().contains("recovery"));
         r.recovery.guard_trips = 3;
         assert!(r.to_string().contains("recovery: guards 3"));
+    }
+
+    #[test]
+    fn outcome_classification_from_run_telemetry() {
+        let clean = RecoveryTelemetry::default();
+        assert_eq!(Outcome::classify_run(true, &clean), Outcome::Completed);
+        assert_eq!(Outcome::classify_run(false, &clean), Outcome::Failed);
+        let checkpointing = RecoveryTelemetry {
+            checkpoints_taken: 5,
+            checkpoints_evicted: 1,
+            ..RecoveryTelemetry::default()
+        };
+        assert_eq!(
+            Outcome::classify_run(true, &checkpointing),
+            Outcome::Completed,
+            "routine checkpointing must not degrade a clean run"
+        );
+        let rescued = RecoveryTelemetry {
+            restores: 1,
+            ..checkpointing
+        };
+        assert_eq!(Outcome::classify_run(true, &rescued), Outcome::Degraded);
+        assert!(Outcome::Degraded.is_success());
+        assert!(!Outcome::Shed.is_success());
+    }
+
+    #[test]
+    fn display_and_json_carry_attempts_and_outcome() {
+        let mut r = sample();
+        r.attempts = 3;
+        r.outcome = Outcome::Degraded;
+        let text = r.to_string();
+        assert!(text.contains("degraded after 3 attempts"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"attempts\":3"));
+        assert!(json.contains("\"outcome\":\"degraded\""));
+        // The CSV schema stays frozen at 21 columns.
+        assert_eq!(r.to_csv_row().split(',').count(), 21);
     }
 }

@@ -87,6 +87,16 @@ impl<'a, M: IterativeMethod, C: ArithContext> RunConfig<'a, M, C> {
         self
     }
 
+    /// Stop after at most `iterations`, even if the method's own
+    /// `MAX_ITER` is larger — the per-request deadline of the solver
+    /// service. Adjusts the current watchdog configuration, so order it
+    /// after [`with_watchdog`](Self::with_watchdog).
+    #[must_use]
+    pub fn with_deadline(mut self, iterations: usize) -> Self {
+        self.watchdog.iteration_budget = Some(iterations);
+        self
+    }
+
     /// Drive the method to convergence (or `MAX_ITER`) under `strategy`.
     ///
     /// Control flow per iteration (paper Figure 1's online stage):
@@ -170,7 +180,13 @@ fn run_loop<M: IterativeMethod, C: ArithContext>(
         }
     };
 
-    while iterations < method.max_iterations() {
+    // The effective iteration budget: the method's own MAX_ITER, capped
+    // by the watchdog's deadline when one is set.
+    let budget = watchdog
+        .iteration_budget
+        .map_or(method.max_iterations(), |b| b.min(method.max_iterations()));
+
+    while iterations < budget {
         let level = ctx.level();
         let energy_before = ctx.approx_energy();
         let next = method.step(&state, ctx);
@@ -306,6 +322,7 @@ fn run_loop<M: IterativeMethod, C: ArithContext>(
             {
                 if checkpoints.len() >= watchdog.checkpoint_capacity {
                     checkpoints.pop_front();
+                    recovery.checkpoints_evicted += 1;
                 }
                 checkpoints.push_back(Checkpoint {
                     state: state.clone(),
@@ -332,6 +349,8 @@ fn run_loop<M: IterativeMethod, C: ArithContext>(
         level_schedule,
         final_objective: method.objective(&state),
         op_counts: ctx.counts(),
+        attempts: 1,
+        outcome: crate::report::Outcome::classify_run(converged, &recovery),
         recovery,
         range_proof: None,
     };
@@ -602,6 +621,54 @@ mod tests {
             .level_schedule
             .iter()
             .any(|l| l.is_accurate()));
+    }
+
+    #[test]
+    fn deadline_caps_iterations_and_classifies_failed() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let full = RunConfig::new(&gmm, &mut ctx).execute(&mut SingleMode::accurate());
+        assert!(full.report.iterations > 5, "workload too easy for the test");
+        let cut = RunConfig::new(&gmm, &mut ctx)
+            .with_deadline(5)
+            .execute(&mut SingleMode::accurate());
+        assert_eq!(cut.report.iterations, 5);
+        assert!(!cut.report.converged);
+        assert_eq!(cut.report.outcome, crate::report::Outcome::Failed);
+        // A deadline beyond MAX_ITER defers to the method.
+        let slack = RunConfig::new(&gmm, &mut ctx)
+            .with_deadline(10_000)
+            .execute(&mut SingleMode::accurate());
+        assert_eq!(slack.report.iterations, full.report.iterations);
+        assert_eq!(slack.report.outcome, crate::report::Outcome::Completed);
+        assert_eq!(slack.report.attempts, 1);
+    }
+
+    #[test]
+    fn checkpoint_ring_is_bounded_and_counts_evictions() {
+        let d = data();
+        let gmm = GaussianMixture::from_dataset(&d, 1e-7, 500, 7);
+        let mut ctx = QcsContext::with_profile(profile());
+        let config = WatchdogConfig {
+            checkpoint_interval: 1,
+            checkpoint_capacity: 2,
+            ..WatchdogConfig::resilient()
+        };
+        let outcome = RunConfig::new(&gmm, &mut ctx)
+            .with_watchdog(config)
+            .execute(&mut SingleMode::accurate());
+        let r = &outcome.report.recovery;
+        assert!(outcome.report.converged);
+        assert!(
+            r.checkpoints_taken > 2,
+            "need enough iterations to fill the ring"
+        );
+        // Every checkpoint beyond the capacity evicted the oldest: the
+        // live ring never held more than 2 entries.
+        assert_eq!(r.checkpoints_evicted, r.checkpoints_taken - 2);
+        // Eviction is routine bookkeeping, not degradation.
+        assert_eq!(outcome.report.outcome, crate::report::Outcome::Completed);
     }
 
     #[test]

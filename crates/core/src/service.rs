@@ -1,0 +1,1091 @@
+//! The resilient solver service: deterministic multi-request execution
+//! with deadlines, retry-with-escalation, load shedding, and per-level
+//! circuit breakers.
+//!
+//! The [`RunConfig`] controller protects *one* solve; a deployed system
+//! serves many independent solves under failure modes no single-run
+//! watchdog can absorb: a request whose deadline is blown, an instance
+//! that diverges at every approximate level, a faulty level poisoning
+//! every solve routed through it, or an arrival burst that would grow
+//! the queue without bound. [`SolverService`] wraps each admitted
+//! request in a *robustness envelope* with four layers:
+//!
+//! 1. **Deadlines** — every attempt runs under the watchdog's
+//!    [`iteration_budget`](WatchdogConfig::iteration_budget), resolved
+//!    from the request's own deadline, the service default, or the
+//!    method's [`deadline_hint`](IterativeMethod::deadline_hint).
+//! 2. **Retry with escalation** — a failed or timed-out attempt is
+//!    re-enqueued at a higher accuracy level (the escalation step
+//!    doubles per attempt: +1, +2, +4 … levels, capped at `Accurate`)
+//!    after an exponentially growing backoff in scheduling rounds, up
+//!    to a bounded attempt count.
+//! 3. **Load shedding** — the admission queue is bounded; a submission
+//!    beyond [`queue_capacity`](ServiceConfig::queue_capacity) is
+//!    rejected *with telemetry* ([`Outcome::Shed`]) rather than queued
+//!    indefinitely. Reject-newest keeps admission deterministic and
+//!    favors requests already waiting. Retries never re-enter
+//!    admission, so in-flight work cannot be shed.
+//! 4. **Per-level circuit breakers** — consecutive failures at an
+//!    approximate level trip a breaker that quarantines the level;
+//!    subsequent requests are routed around it (toward exact) until a
+//!    cooldown expires and a single *probe* request is let through. A
+//!    clean probe heals the level; a failed probe re-trips it. Breaker
+//!    state and the scheduling-round clock persist across
+//!    [`run`](SolverService::run) calls, so a level quarantined by one
+//!    drain's traffic stays quarantined for the next drain until a
+//!    probe clears it.
+//!
+//! # Determinism
+//!
+//! The service inherits the [`Executor`] determinism contract: requests
+//! are *indexed* work, every attempt derives its RNG stream from
+//! [`request_seed`]`(base, id, attempt)`, and all control-flow decisions
+//! (admission, routing, breaker updates, retry scheduling) happen
+//! serially in request-id order between parallel rounds. A campaign
+//! replayed with the same seed is bit-identical — outcomes, telemetry,
+//! final states — for **any** thread count; `with_threads(1)` is the
+//! executable reference.
+//!
+//! # Example
+//!
+//! ```
+//! use approxit::prelude::*;
+//! use approxit::service::{Request, ServiceConfig, SolverService};
+//! use gatesim::par::Executor;
+//! use approx_linalg::Matrix;
+//! use iter_solvers::ConjugateGradient;
+//!
+//! let mut service = SolverService::new(ServiceConfig::default());
+//! for scale in 1..=3 {
+//!     let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//!     let b = vec![1.0 * f64::from(scale), 2.0];
+//!     let cg = ConjugateGradient::new(a, b, 1e-8, 50);
+//!     service.submit(Request::new(cg).at_level(AccuracyLevel::Level3));
+//! }
+//! let profile = EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0);
+//! let report = service.run(&Executor::with_threads(2), |spec| {
+//!     let mut ctx = QcsContext::with_profile(profile.clone());
+//!     ctx.set_level(spec.level);
+//!     ctx
+//! });
+//! assert_eq!(report.requests.len(), 3);
+//! assert!(report.counts().all_succeeded());
+//! ```
+
+use std::collections::VecDeque;
+
+use approx_arith::{AccuracyLevel, ArithContext};
+use gatesim::par::{request_seed, Executor};
+use iter_solvers::IterativeMethod;
+
+use crate::report::{Outcome, RunReport};
+use crate::runner::RunConfig;
+use crate::strategy::{ReconfigStrategy, SingleMode};
+use crate::watchdog::WatchdogConfig;
+
+/// Circuit-breaker policy for the approximate levels (the accurate
+/// level is never quarantined — it is the routing target of last
+/// resort).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures at a level that trip its breaker
+    /// (0 disables the breakers entirely).
+    pub failure_threshold: usize,
+    /// Scheduling rounds a tripped level stays quarantined before one
+    /// probe request is allowed through.
+    pub cooldown_rounds: usize,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 3 consecutive failures, probe after 2 quiet rounds.
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+/// Configuration of the [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission-queue bound: a submission arriving while this many
+    /// requests are already waiting is shed (reject-newest).
+    pub queue_capacity: usize,
+    /// Maximum attempts per request (first run + retries).
+    pub max_attempts: usize,
+    /// Default per-attempt iteration deadline for requests that carry
+    /// none of their own (the method's
+    /// [`deadline_hint`](IterativeMethod::deadline_hint) still takes
+    /// precedence over `None` here).
+    pub default_deadline: Option<usize>,
+    /// Default quality floor: a converged attempt whose exact final
+    /// objective exceeds this bound counts as a failure (per-request
+    /// floors override it).
+    pub quality_floor: Option<f64>,
+    /// Watchdog template every attempt runs under (its
+    /// `iteration_budget` is overridden by the resolved deadline).
+    pub watchdog: WatchdogConfig,
+    /// Circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Base seed of the campaign; every attempt derives its stream via
+    /// [`request_seed`].
+    pub base_seed: u64,
+}
+
+impl Default for ServiceConfig {
+    /// A resilient default: 64-deep queue, 3 attempts, resilient
+    /// watchdog, default breakers.
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_attempts: 3,
+            default_deadline: None,
+            quality_floor: None,
+            watchdog: WatchdogConfig::resilient(),
+            breaker: BreakerConfig::default(),
+            base_seed: 0x5EED,
+        }
+    }
+}
+
+/// One solve submitted to the service.
+#[derive(Debug, Clone)]
+pub struct Request<M> {
+    method: M,
+    level: AccuracyLevel,
+    deadline: Option<usize>,
+    quality_floor: Option<f64>,
+}
+
+impl<M: IterativeMethod> Request<M> {
+    /// A request starting at the cheapest level (the escalation ladder
+    /// climbs from there on failure).
+    #[must_use]
+    pub fn new(method: M) -> Self {
+        Self {
+            method,
+            level: AccuracyLevel::Level1,
+            deadline: None,
+            quality_floor: None,
+        }
+    }
+
+    /// Start at an explicit accuracy level.
+    #[must_use]
+    pub fn at_level(mut self, level: AccuracyLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Per-attempt iteration deadline for this request.
+    #[must_use]
+    pub fn with_deadline(mut self, iterations: usize) -> Self {
+        self.deadline = Some(iterations);
+        self
+    }
+
+    /// Quality floor for this request: a converged attempt with a final
+    /// objective above `bound` counts as a failure and is retried.
+    #[must_use]
+    pub fn with_quality_floor(mut self, bound: f64) -> Self {
+        self.quality_floor = Some(bound);
+        self
+    }
+}
+
+/// Admission verdict for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// Queued for execution under the returned request id.
+    Accepted {
+        /// The id the service assigned to this request.
+        id: u64,
+    },
+    /// Rejected by the load shedder; the id still appears in the next
+    /// [`ServiceReport`] with [`Outcome::Shed`] — no submission is lost.
+    Shed {
+        /// The id the service assigned to this request.
+        id: u64,
+    },
+}
+
+impl Submission {
+    /// The request id assigned to this submission.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Submission::Accepted { id } | Submission::Shed { id } => id,
+        }
+    }
+
+    /// Whether the submission was admitted to the queue.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        matches!(self, Submission::Accepted { .. })
+    }
+}
+
+/// Everything an attempt's context/strategy factories may condition on.
+///
+/// Factories must be pure functions of this spec (plus campaign-level
+/// constants) — that is what keeps the service deterministic across
+/// thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptSpec {
+    /// Id of the request this attempt serves.
+    pub request_id: u64,
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// Effective accuracy level (after escalation and breaker routing).
+    pub level: AccuracyLevel,
+    /// Deterministic seed for this attempt
+    /// ([`request_seed`]`(base, id, attempt)`).
+    pub seed: u64,
+    /// Resolved per-attempt iteration deadline, if any.
+    pub deadline: Option<usize>,
+    /// Whether this attempt probes a quarantined level.
+    pub probe: bool,
+}
+
+/// Telemetry of one submission, shed or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTelemetry {
+    /// The id assigned at submission.
+    pub id: u64,
+    /// The level the request asked for.
+    pub requested_level: AccuracyLevel,
+    /// Final outcome classification.
+    pub outcome: Outcome,
+    /// Attempts executed (0 for shed requests).
+    pub attempts: usize,
+    /// Level of the final attempt (`None` for shed requests).
+    pub final_level: Option<AccuracyLevel>,
+    /// Attempts the breaker routed off their scheduled level.
+    pub reroutes: usize,
+    /// The final attempt's full run report (`None` for shed requests).
+    /// Its `attempts`/`outcome` fields are stamped with the
+    /// request-level verdict, so service and single-run telemetry share
+    /// one schema.
+    pub report: Option<RunReport>,
+}
+
+/// Telemetry plus the final state of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestResult<S> {
+    /// The request's telemetry.
+    pub telemetry: RequestTelemetry,
+    /// Final iterate of the last attempt (`None` for shed requests).
+    pub state: Option<S>,
+}
+
+/// Aggregate circuit-breaker telemetry, cumulative since the service
+/// was created (breaker state persists across drains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerTelemetry {
+    /// Breakers tripped (including probe failures re-tripping).
+    pub trips: usize,
+    /// Attempts routed around a quarantined level.
+    pub reroutes: usize,
+    /// Probe attempts dispatched into quarantined levels.
+    pub probes: usize,
+    /// Levels healed by a clean probe.
+    pub heals: usize,
+}
+
+impl std::fmt::Display for BreakerTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trips {}, reroutes {}, probes {}, heals {}",
+            self.trips, self.reroutes, self.probes, self.heals
+        )
+    }
+}
+
+/// Outcome histogram of a [`ServiceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    /// Requests that completed without intervention.
+    pub completed: usize,
+    /// Requests that succeeded after intervention.
+    pub degraded: usize,
+    /// Submissions rejected at admission.
+    pub shed: usize,
+    /// Requests that exhausted their attempt budget.
+    pub failed: usize,
+}
+
+impl OutcomeCounts {
+    /// Total submissions accounted for.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.completed + self.degraded + self.shed + self.failed
+    }
+
+    /// Whether every executed request succeeded (shed requests never
+    /// executed, so they do not count against this).
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+/// The result of draining the service queue: one entry per submission
+/// (in id order), plus breaker and scheduling telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport<S> {
+    /// Per-request results, sorted by request id.
+    pub requests: Vec<RequestResult<S>>,
+    /// Cumulative circuit-breaker activity (all drains so far).
+    pub breaker: BreakerTelemetry,
+    /// Scheduling rounds this drain took.
+    pub rounds: usize,
+}
+
+impl<S> ServiceReport<S> {
+    /// Outcome histogram.
+    #[must_use]
+    pub fn counts(&self) -> OutcomeCounts {
+        let mut c = OutcomeCounts::default();
+        for r in &self.requests {
+            match r.telemetry.outcome {
+                Outcome::Completed => c.completed += 1,
+                Outcome::Degraded => c.degraded += 1,
+                Outcome::Shed => c.shed += 1,
+                Outcome::Failed => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// The *no-request-lost* invariant: exactly `submitted` results,
+    /// one per id, each with a terminal outcome (shed entries carry no
+    /// report, executed entries carry one).
+    #[must_use]
+    pub fn accounts_for(&self, submitted: &[u64]) -> bool {
+        if self.requests.len() != submitted.len() {
+            return false;
+        }
+        self.requests.iter().zip(submitted).all(|(r, &id)| {
+            r.telemetry.id == id
+                && (r.telemetry.outcome == Outcome::Shed) == r.telemetry.report.is_none()
+        })
+    }
+
+    /// Total energy metered across all executed attempts' final runs.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.requests
+            .iter()
+            .filter_map(|r| r.telemetry.report.as_ref())
+            .map(|rep| rep.total_energy)
+            .sum()
+    }
+
+    /// The report as a self-contained JSON object (hand-emitted; the
+    /// workspace builds offline with no serialization dependency).
+    /// Per-request entries carry summary fields, not the full
+    /// per-iteration traces.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let counts = self.counts();
+        let entries = self
+            .requests
+            .iter()
+            .map(|r| {
+                let t = &r.telemetry;
+                let (converged, iterations, objective, energy, recovery) = match &t.report {
+                    Some(rep) => (
+                        rep.converged.to_string(),
+                        rep.iterations.to_string(),
+                        num(rep.final_objective),
+                        num(rep.total_energy),
+                        format!(
+                            "{{\"guard_trips\":{},\"divergence_trips\":{},\
+                             \"checkpoints_taken\":{},\"checkpoints_evicted\":{},\
+                             \"restores\":{},\"escalations\":{}}}",
+                            rep.recovery.guard_trips,
+                            rep.recovery.divergence_trips,
+                            rep.recovery.checkpoints_taken,
+                            rep.recovery.checkpoints_evicted,
+                            rep.recovery.restores,
+                            rep.recovery.escalations,
+                        ),
+                    ),
+                    None => (
+                        "null".to_owned(),
+                        "null".to_owned(),
+                        "null".to_owned(),
+                        "null".to_owned(),
+                        "null".to_owned(),
+                    ),
+                };
+                format!(
+                    "{{\"id\":{},\"outcome\":\"{}\",\"attempts\":{},\
+                     \"requested_level\":\"{}\",\"final_level\":{},\
+                     \"reroutes\":{},\"converged\":{converged},\
+                     \"iterations\":{iterations},\"final_objective\":{objective},\
+                     \"total_energy\":{energy},\"recovery\":{recovery}}}",
+                    t.id,
+                    t.outcome,
+                    t.attempts,
+                    t.requested_level,
+                    t.final_level
+                        .map_or("null".to_owned(), |l| format!("\"{l}\"")),
+                    t.reroutes,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"degraded\":{},\
+             \"shed\":{},\"failed\":{},\"rounds\":{},\
+             \"breaker\":{{\"trips\":{},\"reroutes\":{},\"probes\":{},\
+             \"heals\":{}}},\"total_energy\":{},\"requests\":[{}]}}",
+            counts.total(),
+            counts.completed,
+            counts.degraded,
+            counts.shed,
+            counts.failed,
+            self.rounds,
+            self.breaker.trips,
+            self.breaker.reroutes,
+            self.breaker.probes,
+            self.breaker.heals,
+            num(self.total_energy()),
+            entries,
+        )
+    }
+}
+
+/// Per-level breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: usize },
+    /// Quarantined since the given round; requests are routed around.
+    Open { since_round: usize },
+    /// A probe is in flight; everyone else is still routed around.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct CircuitBreakers {
+    config: BreakerConfig,
+    states: [BreakerState; 5],
+    telemetry: BreakerTelemetry,
+}
+
+impl CircuitBreakers {
+    fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            states: [BreakerState::Closed { failures: 0 }; 5],
+            telemetry: BreakerTelemetry::default(),
+        }
+    }
+
+    /// Resolve the level an attempt scheduled at `level` actually runs
+    /// at this `round`: the first non-quarantined level at or above it.
+    /// May dispatch a probe (returned flag) into a cooled-down level.
+    fn route(&mut self, level: AccuracyLevel, round: usize) -> (AccuracyLevel, bool) {
+        if self.config.failure_threshold == 0 {
+            return (level, false);
+        }
+        for index in level.index()..=AccuracyLevel::Accurate.index() {
+            let candidate =
+                AccuracyLevel::from_index(index).expect("walking the fixed level ladder");
+            if candidate.is_accurate() {
+                // The dependable mode: always available.
+                if index != level.index() {
+                    self.telemetry.reroutes += 1;
+                }
+                return (candidate, false);
+            }
+            match self.states[index] {
+                BreakerState::Closed { .. } => {
+                    if index != level.index() {
+                        self.telemetry.reroutes += 1;
+                    }
+                    return (candidate, false);
+                }
+                BreakerState::Open { since_round }
+                    if round >= since_round + self.config.cooldown_rounds =>
+                {
+                    self.states[index] = BreakerState::HalfOpen;
+                    self.telemetry.probes += 1;
+                    if index != level.index() {
+                        self.telemetry.reroutes += 1;
+                    }
+                    return (candidate, true);
+                }
+                // Still cooling down, or a probe already in flight:
+                // keep climbing.
+                BreakerState::Open { .. } | BreakerState::HalfOpen => {}
+            }
+        }
+        unreachable!("the accurate level terminates the ladder walk");
+    }
+
+    /// Feed one attempt's verdict back into the level's breaker.
+    fn record(&mut self, level: AccuracyLevel, round: usize, success: bool, probe: bool) {
+        if self.config.failure_threshold == 0 || level.is_accurate() {
+            return;
+        }
+        let index = level.index();
+        if success {
+            if probe || self.states[index] == BreakerState::HalfOpen {
+                self.telemetry.heals += 1;
+            }
+            self.states[index] = BreakerState::Closed { failures: 0 };
+        } else if probe || self.states[index] == BreakerState::HalfOpen {
+            // Failed probe: back to quarantine, cooldown restarts.
+            self.states[index] = BreakerState::Open { since_round: round };
+            self.telemetry.trips += 1;
+        } else if let BreakerState::Closed { failures } = self.states[index] {
+            let failures = failures + 1;
+            if failures >= self.config.failure_threshold {
+                self.states[index] = BreakerState::Open { since_round: round };
+                self.telemetry.trips += 1;
+            } else {
+                self.states[index] = BreakerState::Closed { failures };
+            }
+        }
+    }
+
+    fn is_quarantined(&self, level: AccuracyLevel) -> bool {
+        !matches!(self.states[level.index()], BreakerState::Closed { .. })
+    }
+}
+
+/// An admitted request waiting for (re-)execution.
+#[derive(Debug)]
+struct Entry<M> {
+    id: u64,
+    method: M,
+    requested_level: AccuracyLevel,
+    level: AccuracyLevel,
+    deadline: Option<usize>,
+    quality_floor: Option<f64>,
+    attempts_used: usize,
+    not_before_round: usize,
+    reroutes: usize,
+}
+
+/// The deterministic multi-request solver service (see the module docs).
+#[derive(Debug)]
+pub struct SolverService<M> {
+    config: ServiceConfig,
+    queue: VecDeque<Entry<M>>,
+    shed: Vec<RequestTelemetry>,
+    breakers: CircuitBreakers,
+    round: usize,
+    next_id: u64,
+}
+
+impl<M> SolverService<M>
+where
+    M: IterativeMethod + Sync,
+    M::State: Send,
+{
+    /// An empty service under `config`.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_attempts > 0, "at least one attempt is required");
+        let breakers = CircuitBreakers::new(config.breaker.clone());
+        Self {
+            config,
+            queue: VecDeque::new(),
+            shed: Vec::new(),
+            breakers,
+            round: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Whether `level` is currently quarantined by its circuit breaker.
+    #[must_use]
+    pub fn is_quarantined(&self, level: AccuracyLevel) -> bool {
+        self.breakers.is_quarantined(level)
+    }
+
+    /// Requests currently waiting in the admission queue.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit one request. Admission is bounded: a submission arriving
+    /// at a full queue is shed — it still receives an id and appears in
+    /// the next [`run`](Self::run)'s report with [`Outcome::Shed`].
+    pub fn submit(&mut self, request: Request<M>) -> Submission {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.queue.len() >= self.config.queue_capacity {
+            self.shed.push(RequestTelemetry {
+                id,
+                requested_level: request.level,
+                outcome: Outcome::Shed,
+                attempts: 0,
+                final_level: None,
+                reroutes: 0,
+                report: None,
+            });
+            return Submission::Shed { id };
+        }
+        let deadline = request
+            .deadline
+            .or(self.config.default_deadline)
+            .or_else(|| request.method.deadline_hint());
+        self.queue.push_back(Entry {
+            id,
+            requested_level: request.level,
+            level: request.level,
+            method: request.method,
+            deadline,
+            quality_floor: request.quality_floor.or(self.config.quality_floor),
+            attempts_used: 0,
+            not_before_round: 0,
+            reroutes: 0,
+        });
+        Submission::Accepted { id }
+    }
+
+    /// Drain the queue with the default per-attempt strategy
+    /// ([`SingleMode`] at the attempt's effective level; the watchdog
+    /// still escalates within a run).
+    pub fn run<C, CF>(&mut self, exec: &Executor, ctx_factory: CF) -> ServiceReport<M::State>
+    where
+        C: ArithContext,
+        CF: Fn(&AttemptSpec) -> C + Sync,
+    {
+        self.run_with(exec, ctx_factory, |spec| {
+            Box::new(SingleMode::new(spec.level)) as Box<dyn ReconfigStrategy>
+        })
+    }
+
+    /// Drain the queue: execute every admitted request (with retries)
+    /// to a terminal outcome and report on all of them plus any
+    /// submissions shed since the last drain.
+    ///
+    /// `ctx_factory` builds each attempt's arithmetic context and
+    /// `strategy_factory` its reconfiguration strategy; both must be
+    /// pure functions of the [`AttemptSpec`] (see its docs) for the
+    /// determinism contract to hold.
+    pub fn run_with<C, CF, SF>(
+        &mut self,
+        exec: &Executor,
+        ctx_factory: CF,
+        strategy_factory: SF,
+    ) -> ServiceReport<M::State>
+    where
+        C: ArithContext,
+        CF: Fn(&AttemptSpec) -> C + Sync,
+        SF: Fn(&AttemptSpec) -> Box<dyn ReconfigStrategy> + Sync,
+    {
+        let mut finished: Vec<RequestResult<M::State>> = self
+            .shed
+            .drain(..)
+            .map(|telemetry| RequestResult {
+                telemetry,
+                state: None,
+            })
+            .collect();
+        let watchdog_template = self.config.watchdog.clone();
+        let base_seed = self.config.base_seed;
+        let max_attempts = self.config.max_attempts;
+
+        let drain_start = self.round;
+        let mut round = self.round;
+        while !self.queue.is_empty() {
+            // Idle rounds (everyone backing off) are skipped
+            // deterministically.
+            let earliest = self
+                .queue
+                .iter()
+                .map(|e| e.not_before_round)
+                .min()
+                .expect("queue is non-empty");
+            round = round.max(earliest);
+
+            // Split ready vs. still backing off, preserving id order.
+            let mut ready: Vec<Entry<M>> = Vec::new();
+            let mut waiting: VecDeque<Entry<M>> = VecDeque::new();
+            for entry in self.queue.drain(..) {
+                if entry.not_before_round <= round {
+                    ready.push(entry);
+                } else {
+                    waiting.push_back(entry);
+                }
+            }
+            self.queue = waiting;
+
+            // Serial pre-pass in id order: breaker routing + specs.
+            let specs: Vec<AttemptSpec> = ready
+                .iter_mut()
+                .map(|entry| {
+                    let (level, probe) = self.breakers.route(entry.level, round);
+                    if level != entry.level {
+                        entry.reroutes += 1;
+                    }
+                    let attempt = entry.attempts_used + 1;
+                    AttemptSpec {
+                        request_id: entry.id,
+                        attempt,
+                        level,
+                        seed: request_seed(base_seed, entry.id, attempt as u64),
+                        deadline: entry.deadline,
+                        probe,
+                    }
+                })
+                .collect();
+
+            // Parallel attempts (indexed work; in-order results).
+            let outcomes = exec.run_indexed(ready.len(), |i| {
+                let spec = &specs[i];
+                let mut watchdog = watchdog_template.clone();
+                watchdog.iteration_budget = match (watchdog.iteration_budget, spec.deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (budget, deadline) => budget.or(deadline),
+                };
+                let mut ctx = ctx_factory(spec);
+                let mut strategy = strategy_factory(spec);
+                RunConfig::new(&ready[i].method, &mut ctx)
+                    .with_watchdog(watchdog)
+                    .execute(strategy.as_mut())
+            });
+
+            // Serial post-pass in id order: verdicts, breaker feedback,
+            // retry scheduling.
+            for ((mut entry, spec), mut outcome) in ready.into_iter().zip(&specs).zip(outcomes) {
+                entry.attempts_used = spec.attempt;
+                let floor_ok = entry.quality_floor.is_none_or(|floor| {
+                    outcome.report.final_objective.is_finite()
+                        && outcome.report.final_objective <= floor
+                });
+                let success = outcome.report.converged && floor_ok;
+                self.breakers.record(spec.level, round, success, spec.probe);
+
+                if success {
+                    let intervened = spec.attempt > 1
+                        || spec.level != entry.requested_level
+                        || outcome.report.recovery.degrading();
+                    let verdict = if intervened {
+                        Outcome::Degraded
+                    } else {
+                        Outcome::Completed
+                    };
+                    outcome.report.attempts = spec.attempt;
+                    outcome.report.outcome = verdict;
+                    finished.push(RequestResult {
+                        telemetry: RequestTelemetry {
+                            id: entry.id,
+                            requested_level: entry.requested_level,
+                            outcome: verdict,
+                            attempts: spec.attempt,
+                            final_level: Some(spec.level),
+                            reroutes: entry.reroutes,
+                            report: Some(outcome.report),
+                        },
+                        state: Some(outcome.state),
+                    });
+                } else if spec.attempt < max_attempts {
+                    // Retry with escalation: the level step and the
+                    // backoff both double per attempt.
+                    let step = 1usize << (spec.attempt - 1);
+                    let escalated =
+                        (spec.level.index() + step).min(AccuracyLevel::Accurate.index());
+                    entry.level = AccuracyLevel::from_index(escalated)
+                        .expect("escalation stays on the level ladder");
+                    entry.not_before_round = round + (1usize << (spec.attempt - 1));
+                    self.queue.push_back(entry);
+                } else {
+                    outcome.report.attempts = spec.attempt;
+                    outcome.report.outcome = Outcome::Failed;
+                    finished.push(RequestResult {
+                        telemetry: RequestTelemetry {
+                            id: entry.id,
+                            requested_level: entry.requested_level,
+                            outcome: Outcome::Failed,
+                            attempts: spec.attempt,
+                            final_level: Some(spec.level),
+                            reroutes: entry.reroutes,
+                            report: Some(outcome.report),
+                        },
+                        state: Some(outcome.state),
+                    });
+                }
+            }
+            round += 1;
+        }
+
+        self.round = round;
+        finished.sort_by_key(|r| r.telemetry.id);
+        ServiceReport {
+            requests: finished,
+            breaker: self.breakers.telemetry,
+            rounds: round - drain_start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{EnergyProfile, FaultInjector, QcsContext};
+    use approx_linalg::Matrix;
+    use iter_solvers::ConjugateGradient;
+
+    fn profile() -> EnergyProfile {
+        EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+    }
+
+    fn tridiag_tol(n: usize, scale: f64, tol: f64) -> ConjugateGradient {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 4.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| scale * (1.0 + i as f64 * 0.3)).collect();
+        ConjugateGradient::new(a, b, tol, 200)
+    }
+
+    fn tridiag(n: usize, scale: f64) -> ConjugateGradient {
+        tridiag_tol(n, scale, 1e-8)
+    }
+
+    fn clean_factory(spec: &AttemptSpec) -> QcsContext {
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(spec.level);
+        ctx
+    }
+
+    #[test]
+    fn clean_requests_complete_on_first_attempt() {
+        let mut service = SolverService::new(ServiceConfig::default());
+        let ids: Vec<u64> = (0..4)
+            .map(|i| {
+                service
+                    .submit(
+                        Request::new(tridiag(6, 1.0 + i as f64)).at_level(AccuracyLevel::Accurate),
+                    )
+                    .id()
+            })
+            .collect();
+        let report = service.run(&Executor::with_threads(2), clean_factory);
+        assert!(report.accounts_for(&ids));
+        let counts = report.counts();
+        assert_eq!(counts.completed, 4);
+        assert_eq!(counts.total(), 4);
+        for r in &report.requests {
+            assert_eq!(r.telemetry.attempts, 1);
+            let rep = r.telemetry.report.as_ref().unwrap();
+            assert_eq!(rep.outcome, Outcome::Completed);
+            assert_eq!(rep.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn shed_requests_get_telemetry_not_silence() {
+        let config = ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        };
+        let mut service = SolverService::new(config);
+        let subs: Vec<Submission> = (0..5)
+            .map(|_| {
+                service.submit(Request::new(tridiag(4, 1.0)).at_level(AccuracyLevel::Accurate))
+            })
+            .collect();
+        assert!(subs[0].accepted() && subs[1].accepted());
+        assert!(!subs[2].accepted() && !subs[3].accepted() && !subs[4].accepted());
+        let ids: Vec<u64> = subs.iter().map(Submission::id).collect();
+        let report = service.run(&Executor::with_threads(1), clean_factory);
+        assert!(report.accounts_for(&ids));
+        let counts = report.counts();
+        assert_eq!(counts.shed, 3);
+        assert_eq!(counts.completed, 2);
+        let shed = &report.requests[2];
+        assert_eq!(shed.telemetry.outcome, Outcome::Shed);
+        assert_eq!(shed.telemetry.attempts, 0);
+        assert!(shed.telemetry.report.is_none());
+        assert!(shed.state.is_none());
+    }
+
+    #[test]
+    fn deadline_failure_escalates_and_recovers() {
+        // Faults at the two cheapest levels make attempts there time
+        // out; escalation must carry the request to a clean level.
+        let config = ServiceConfig {
+            max_attempts: 4,
+            breaker: BreakerConfig {
+                failure_threshold: 0,
+                cooldown_rounds: 0,
+            },
+            ..ServiceConfig::default()
+        };
+        let mut service = SolverService::new(config);
+        let id = service
+            .submit(
+                Request::new(tridiag(8, 2.0))
+                    .at_level(AccuracyLevel::Level1)
+                    .with_deadline(40),
+            )
+            .id();
+        let report = service.run(&Executor::with_threads(2), |spec| {
+            let mut ctx = QcsContext::with_profile(profile());
+            ctx.set_level(spec.level);
+            FaultInjector::new(ctx, 0.9, 16, spec.seed)
+                .striking_only(&[AccuracyLevel::Level1, AccuracyLevel::Level2])
+        });
+        assert!(report.accounts_for(&[id]));
+        let r = &report.requests[0];
+        assert_eq!(r.telemetry.outcome, Outcome::Degraded);
+        assert!(r.telemetry.attempts > 1, "no retry happened");
+        assert!(
+            r.telemetry.final_level.unwrap() > AccuracyLevel::Level2,
+            "escalation never left the faulty levels"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_reroutes_probes_and_heals() {
+        // Drain 1 runs on a faulty level-1 fabric: the breaker trips
+        // and quarantine persists across drains. Drain 2 arrives after
+        // the environment clears: the first request probes level 1, the
+        // probe succeeds, and the level heals (the rest were rerouted
+        // while the probe was in flight).
+        let config = ServiceConfig {
+            max_attempts: 4,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_rounds: 1,
+            },
+            default_deadline: Some(40),
+            ..ServiceConfig::default()
+        };
+        let mut service = SolverService::new(config);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            ids.push(
+                service
+                    .submit(Request::new(tridiag_tol(6, 1.0 + f64::from(i) * 0.2, 1e-3)))
+                    .id(),
+            );
+        }
+        let burst = service.run(&Executor::with_threads(3), |spec| {
+            let mut ctx = QcsContext::with_profile(profile());
+            ctx.set_level(spec.level);
+            FaultInjector::new(ctx, 0.9, 16, spec.seed).striking_only(&[AccuracyLevel::Level1])
+        });
+        assert!(burst.accounts_for(&ids));
+        assert!(burst.breaker.trips >= 1, "breaker never tripped");
+        assert!(
+            service.is_quarantined(AccuracyLevel::Level1),
+            "quarantine must persist across drains"
+        );
+        assert!(burst.counts().all_succeeded());
+
+        let mut clean_ids = Vec::new();
+        for i in 0..3 {
+            clean_ids.push(
+                service
+                    .submit(Request::new(tridiag_tol(6, 2.0 + f64::from(i) * 0.2, 1e-3)))
+                    .id(),
+            );
+        }
+        let healed = service.run(&Executor::with_threads(3), clean_factory);
+        assert!(healed.accounts_for(&clean_ids));
+        assert!(healed.breaker.probes >= 1, "no probe was dispatched");
+        assert!(healed.breaker.heals >= 1, "the level never healed");
+        assert!(healed.breaker.reroutes >= 1, "no request was rerouted");
+        assert!(
+            !service.is_quarantined(AccuracyLevel::Level1),
+            "a clean probe must heal the level"
+        );
+        assert!(healed.counts().all_succeeded());
+    }
+
+    #[test]
+    fn quality_floor_violations_count_as_failures() {
+        // An impossible floor: every attempt converges but misses it,
+        // so the request exhausts its attempts and fails.
+        let mut service = SolverService::new(ServiceConfig {
+            max_attempts: 2,
+            ..ServiceConfig::default()
+        });
+        let id = service
+            .submit(
+                Request::new(tridiag(4, 1.0))
+                    .at_level(AccuracyLevel::Accurate)
+                    .with_quality_floor(-1e12),
+            )
+            .id();
+        let report = service.run(&Executor::with_threads(1), clean_factory);
+        assert!(report.accounts_for(&[id]));
+        assert_eq!(report.requests[0].telemetry.outcome, Outcome::Failed);
+        assert_eq!(report.requests[0].telemetry.attempts, 2);
+    }
+
+    #[test]
+    fn report_json_is_structurally_sound() {
+        let mut service = SolverService::new(ServiceConfig {
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        service.submit(Request::new(tridiag(4, 1.0)).at_level(AccuracyLevel::Accurate));
+        service.submit(Request::new(tridiag(4, 2.0)));
+        let report = service.run(&Executor::with_threads(1), clean_factory);
+        let json = report.to_json();
+        assert!(json.contains("\"submitted\":2"));
+        assert!(json.contains("\"shed\":1"));
+        assert!(json.contains("\"outcome\":\"completed\""));
+        assert!(json.contains("\"outcome\":\"shed\""));
+        assert!(json.contains("\"breaker\":{\"trips\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn drains_are_deterministic_across_thread_counts() {
+        let campaign = |threads: usize| {
+            let mut service = SolverService::new(ServiceConfig {
+                max_attempts: 3,
+                default_deadline: Some(60),
+                ..ServiceConfig::default()
+            });
+            let mut ids = Vec::new();
+            for i in 0..8 {
+                ids.push(
+                    service
+                        .submit(Request::new(tridiag(5 + i % 3, 1.0 + i as f64 * 0.5)))
+                        .id(),
+                );
+            }
+            let report = service.run(&Executor::with_threads(threads), |spec| {
+                let mut ctx = QcsContext::with_profile(profile());
+                ctx.set_level(spec.level);
+                FaultInjector::new(ctx, 0.02, 12, spec.seed).sparing_accurate()
+            });
+            assert!(report.accounts_for(&ids));
+            report
+        };
+        let serial = campaign(1);
+        for threads in [2, 4, 8] {
+            let parallel = campaign(threads);
+            assert_eq!(serial, parallel, "divergence at {threads} threads");
+        }
+    }
+}

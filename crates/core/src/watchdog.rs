@@ -40,11 +40,22 @@ pub struct WatchdogConfig {
     /// Take a checkpoint every this many *committed* iterations
     /// (0 disables checkpointing).
     pub checkpoint_interval: usize,
-    /// Number of checkpoints retained in the ring buffer.
+    /// Maximum number of checkpoints retained in the ring buffer: once
+    /// full, taking a new checkpoint evicts the oldest (surfaced as
+    /// [`RecoveryTelemetry::checkpoints_evicted`]), so a long run's
+    /// memory footprint stays bounded no matter how many checkpoints it
+    /// takes.
     pub checkpoint_capacity: usize,
     /// Force the level one step toward exact after this many
     /// consecutive rollbacks (`None` disables escalation).
     pub escalation_threshold: Option<usize>,
+    /// Per-run iteration deadline: the loop stops after this many
+    /// iterations even if the method's own `MAX_ITER` is larger
+    /// (`None` defers entirely to the method). A run cut off by the
+    /// deadline reports `converged == false` and classifies as
+    /// [`Failed`](crate::Outcome::Failed) — the solver service uses
+    /// this as its per-attempt deadline enforcement.
+    pub iteration_budget: Option<usize>,
 }
 
 impl Default for WatchdogConfig {
@@ -58,6 +69,7 @@ impl Default for WatchdogConfig {
             checkpoint_interval: 0,
             checkpoint_capacity: 4,
             escalation_threshold: None,
+            iteration_budget: None,
         }
     }
 }
@@ -76,7 +88,16 @@ impl WatchdogConfig {
             checkpoint_interval: 5,
             checkpoint_capacity: 4,
             escalation_threshold: Some(3),
+            iteration_budget: None,
         }
+    }
+
+    /// This configuration with a per-run iteration deadline (see
+    /// [`iteration_budget`](Self::iteration_budget)).
+    #[must_use]
+    pub fn with_deadline(mut self, iterations: usize) -> Self {
+        self.iteration_budget = Some(iterations);
+        self
     }
 
     /// Whether any protection beyond the plain strategy loop is active.
@@ -87,6 +108,7 @@ impl WatchdogConfig {
             || self.divergence_window.is_some()
             || self.checkpoint_interval > 0
             || self.escalation_threshold.is_some()
+            || self.iteration_budget.is_some()
     }
 }
 
@@ -100,6 +122,9 @@ pub struct RecoveryTelemetry {
     pub divergence_trips: usize,
     /// Checkpoints written into the ring buffer.
     pub checkpoints_taken: usize,
+    /// Checkpoints evicted from the full ring to make room for newer
+    /// ones ([`WatchdogConfig::checkpoint_capacity`] bounds the ring).
+    pub checkpoints_evicted: usize,
     /// Restores from a checkpoint after a hard failure.
     pub restores: usize,
     /// Forced level escalations toward exact.
@@ -116,16 +141,29 @@ impl RecoveryTelemetry {
             || self.restores > 0
             || self.escalations > 0
     }
+
+    /// Whether the run needed an actual intervention — a guard or
+    /// divergence trip, a restore, or a forced escalation. Routine
+    /// checkpointing (taken/evicted) does not count: a clean run that
+    /// only snapshots state is not degraded.
+    #[must_use]
+    pub fn degrading(&self) -> bool {
+        self.guard_trips > 0
+            || self.divergence_trips > 0
+            || self.restores > 0
+            || self.escalations > 0
+    }
 }
 
 impl std::fmt::Display for RecoveryTelemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "guards {}, divergences {}, checkpoints {}, restores {}, escalations {}",
+            "guards {}, divergences {}, checkpoints {} ({} evicted), restores {}, escalations {}",
             self.guard_trips,
             self.divergence_trips,
             self.checkpoints_taken,
+            self.checkpoints_evicted,
             self.restores,
             self.escalations
         )
@@ -144,7 +182,33 @@ mod tests {
         assert!(c.divergence_window.is_none());
         assert_eq!(c.checkpoint_interval, 0);
         assert!(c.escalation_threshold.is_none());
+        assert!(c.iteration_budget.is_none());
         assert!(c.is_active());
+    }
+
+    #[test]
+    fn with_deadline_sets_the_iteration_budget() {
+        let c = WatchdogConfig::default().with_deadline(25);
+        assert_eq!(c.iteration_budget, Some(25));
+        let inactive = WatchdogConfig {
+            guard_non_finite: false,
+            ..WatchdogConfig::default()
+        };
+        assert!(!inactive.is_active());
+        assert!(inactive.with_deadline(10).is_active());
+    }
+
+    #[test]
+    fn degrading_ignores_routine_checkpointing() {
+        let mut t = RecoveryTelemetry {
+            checkpoints_taken: 7,
+            checkpoints_evicted: 3,
+            ..RecoveryTelemetry::default()
+        };
+        assert!(t.any());
+        assert!(!t.degrading());
+        t.restores = 1;
+        assert!(t.degrading());
     }
 
     #[test]

@@ -154,6 +154,20 @@ impl Executor {
     }
 }
 
+/// Derive a statistically independent seed for `attempt` of `request`
+/// in a multi-request campaign seeded with `base` — the two-level
+/// analogue of [`chunk_seed`] used by the solver service.
+///
+/// Seeding per *(request, attempt)* pair, never per worker or per
+/// round, is what makes a retried request replay a fresh-but-fixed
+/// fault stream regardless of which thread runs it, which round it
+/// lands in, or how many other requests retried before it — the service
+/// determinism contract reduces to the executor's.
+#[must_use]
+pub fn request_seed(base: u64, request: u64, attempt: u64) -> u64 {
+    chunk_seed(chunk_seed(base, request), attempt)
+}
+
 /// Derive a statistically independent seed for chunk `index` of a sweep
 /// seeded with `base` (SplitMix64 finalizer over the pair).
 ///
@@ -213,6 +227,18 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(Executor::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn request_seeds_differ_across_requests_and_attempts() {
+        let a = request_seed(7, 0, 1);
+        let b = request_seed(7, 0, 2);
+        let c = request_seed(7, 1, 1);
+        let d = request_seed(8, 0, 1);
+        assert_ne!(a, b, "attempts must draw distinct streams");
+        assert_ne!(a, c, "requests must draw distinct streams");
+        assert_ne!(a, d, "base seeds must matter");
+        assert_eq!(a, request_seed(7, 0, 1), "and be reproducible");
     }
 
     #[test]

@@ -172,6 +172,14 @@ impl IterativeMethod for ConjugateGradient {
     fn max_iterations(&self) -> usize {
         self.max_iterations
     }
+
+    /// In exact arithmetic CG terminates in at most `n` steps; the
+    /// fixed-point datapath and level switches perturb the Krylov
+    /// recurrence, so a healthy run gets `4n` before a deadline-aware
+    /// caller should give up and escalate (never more than `MAX_ITER`).
+    fn deadline_hint(&self) -> Option<usize> {
+        Some((4 * self.order()).min(self.max_iterations))
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +216,22 @@ mod tests {
             }
         }
         (state, m.max_iterations())
+    }
+
+    #[test]
+    fn deadline_hint_is_4n_capped_by_max_iterations() {
+        let (a, b) = system(8);
+        let cg = ConjugateGradient::new(a.clone(), b.clone(), 1e-12, 100);
+        assert_eq!(cg.deadline_hint(), Some(32));
+        let tight = ConjugateGradient::new(a, b, 1e-12, 20);
+        assert_eq!(tight.deadline_hint(), Some(20));
+        // And the hint is genuinely achievable: an exact run converges
+        // within it.
+        let (a, b) = system(8);
+        let cg = ConjugateGradient::new(a, b, 1e-12, 100);
+        let mut ctx = ExactContext::with_profile(profile());
+        let (_, iters) = run(&cg, &mut ctx);
+        assert!(iters <= cg.deadline_hint().unwrap());
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub trait IterativeMethod {
 
     /// The iteration budget (the paper's `MAX_ITER`).
     fn max_iterations(&self) -> usize;
+
+    /// A method-specific *deadline hint*: the iteration count within
+    /// which a healthy run should converge, for deadline-aware callers
+    /// (the solver service uses it as the per-attempt iteration budget
+    /// when the request carries no explicit deadline). Unlike
+    /// [`max_iterations`](Self::max_iterations) — the hard safety cap —
+    /// this encodes the method's *expected* convergence horizon, e.g.
+    /// conjugate gradient's finite-termination bound. `None` (the
+    /// default) means the method offers no tighter bound than
+    /// `MAX_ITER`.
+    fn deadline_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! Integration properties of the resilient solver service, driven
+//! end-to-end through the public prelude.
+//!
+//! The central property: a service campaign is a *pure function* of
+//! `(configuration, submissions, base seed)` — the executor's thread
+//! count must not be observable in any output, down to the last bit of
+//! recovery telemetry and final iterates, even with fault injection,
+//! retries, escalation, and breaker routing in play.
+
+use approx_linalg::Matrix;
+use approxit::prelude::*;
+use approxit::service::{BreakerConfig, Request, ServiceConfig, ServiceReport, SolverService};
+use gatesim::par::Executor;
+use iter_solvers::rng::Pcg32;
+use iter_solvers::{CgState, ConjugateGradient};
+
+fn profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+/// A dense, well-conditioned SPD system `A = M·Mᵀ/n + I`.
+fn spd_system(n: usize, seed: u64) -> ConjugateGradient {
+    let mut rng = Pcg32::seeded(seed, 0);
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = rng.uniform(-1.0, 1.0);
+        }
+    }
+    let mut a = m.matmul_exact(&m.transpose());
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] /= n as f64;
+        }
+        a[(i, i)] += 1.0;
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+    ConjugateGradient::new(a, b, 1e-6, 200)
+}
+
+/// Run one faulty mixed campaign under `threads` workers: a fleet of
+/// requests at varied levels and deadlines, SEUs striking the
+/// approximate modes, retries and breaker routing active.
+fn faulty_campaign(threads: usize, base_seed: u64) -> (Vec<u64>, ServiceReport<CgState>) {
+    let mut service = SolverService::new(ServiceConfig {
+        max_attempts: 3,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_rounds: 1,
+        },
+        base_seed,
+        ..ServiceConfig::default()
+    });
+    let levels = [
+        AccuracyLevel::Level1,
+        AccuracyLevel::Level2,
+        AccuracyLevel::Level4,
+        AccuracyLevel::Accurate,
+    ];
+    let mut ids = Vec::new();
+    for i in 0..9 {
+        let mut request = Request::new(spd_system(6 + i % 4, base_seed ^ (i as u64)))
+            .at_level(levels[i % levels.len()]);
+        if i % 3 == 0 {
+            request = request.with_deadline(40);
+        }
+        ids.push(service.submit(request).id());
+    }
+    let report = service.run(&Executor::with_threads(threads), |spec| {
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(spec.level);
+        FaultInjector::new(ctx, 0.05, 12, spec.seed).sparing_accurate()
+    });
+    (ids, report)
+}
+
+#[test]
+fn faulty_campaigns_are_bit_identical_across_thread_counts() {
+    for base_seed in [3, 0x5EED, 0xDEAD_BEEF] {
+        let (serial_ids, serial) = faulty_campaign(1, base_seed);
+        for threads in [2, 4, 8] {
+            let (ids, parallel) = faulty_campaign(threads, base_seed);
+            assert_eq!(serial_ids, ids);
+            // Recovery telemetry, attempt counts, outcomes, levels:
+            // field-for-field identical.
+            for (a, b) in serial.requests.iter().zip(&parallel.requests) {
+                assert_eq!(
+                    a.telemetry, b.telemetry,
+                    "telemetry diverged at {threads} threads (seed {base_seed:#x})"
+                );
+                // Final iterates compared on raw bits — stricter than
+                // float equality and immune to NaN.
+                let bits = |s: &Option<CgState>| {
+                    s.as_ref().map(|s| {
+                        s.x.iter()
+                            .chain(&s.r)
+                            .chain(&s.p)
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                };
+                assert_eq!(
+                    bits(&a.state),
+                    bits(&b.state),
+                    "states diverged at {threads} threads (seed {base_seed:#x})"
+                );
+            }
+            assert_eq!(serial.breaker, parallel.breaker);
+            assert_eq!(serial.rounds, parallel.rounds);
+            assert_eq!(serial.to_json(), parallel.to_json());
+        }
+    }
+}
+
+#[test]
+fn recovery_telemetry_replays_bit_identically_for_a_fixed_seed() {
+    // The same campaign twice in the same process: every derived fault
+    // stream replays, so even the watchdog's internal event counts are
+    // reproducible.
+    let (_, first) = faulty_campaign(4, 99);
+    let (_, second) = faulty_campaign(4, 99);
+    let telemetry = |r: &ServiceReport<CgState>| -> Vec<Option<RecoveryTelemetry>> {
+        r.requests
+            .iter()
+            .map(|req| req.telemetry.report.as_ref().map(|rep| rep.recovery))
+            .collect()
+    };
+    assert_eq!(telemetry(&first), telemetry(&second));
+    // And a different seed genuinely changes the run.
+    let (_, other) = faulty_campaign(4, 100);
+    assert_ne!(first.to_json(), other.to_json());
+}
+
+#[test]
+fn no_submission_is_lost_even_under_extreme_shedding() {
+    let mut service = SolverService::new(ServiceConfig {
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let submissions: Vec<Submission> = (0..12)
+        .map(|i| {
+            service
+                .submit(Request::new(spd_system(5, 7 + i as u64)).at_level(AccuracyLevel::Accurate))
+        })
+        .collect();
+    let accepted = submissions.iter().filter(|s| s.accepted()).count();
+    assert_eq!(accepted, 2, "reject-newest must keep only the first two");
+    let ids: Vec<u64> = submissions.iter().map(Submission::id).collect();
+    let report = service.run(&Executor::with_threads(4), |spec| {
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(spec.level);
+        ctx
+    });
+    assert!(report.accounts_for(&ids));
+    let counts = report.counts();
+    assert_eq!(counts.shed, 10);
+    assert_eq!(counts.total(), 12);
+    for r in &report.requests {
+        match r.telemetry.outcome {
+            Outcome::Shed => assert!(r.telemetry.report.is_none() && r.state.is_none()),
+            _ => assert!(r.telemetry.report.is_some() && r.state.is_some()),
+        }
+    }
+}
+
+#[test]
+fn deadline_starved_requests_escalate_and_report_consistent_attempts() {
+    let mut service = SolverService::new(ServiceConfig {
+        max_attempts: 4,
+        breaker: BreakerConfig {
+            failure_threshold: 0,
+            cooldown_rounds: 0,
+        },
+        ..ServiceConfig::default()
+    });
+    let id = service
+        .submit(
+            Request::new(spd_system(10, 11))
+                .at_level(AccuracyLevel::Level1)
+                .with_deadline(35),
+        )
+        .id();
+    let report = service.run(&Executor::with_threads(2), |spec| {
+        let mut ctx = QcsContext::with_profile(profile());
+        ctx.set_level(spec.level);
+        FaultInjector::new(ctx, 0.9, 16, spec.seed)
+            .striking_only(&[AccuracyLevel::Level1, AccuracyLevel::Level2])
+    });
+    assert!(report.accounts_for(&[id]));
+    let r = &report.requests[0];
+    assert!(r.telemetry.outcome.is_success());
+    assert!(r.telemetry.attempts > 1, "deadline pressure must retry");
+    assert!(r.telemetry.final_level.unwrap() > AccuracyLevel::Level2);
+    // The stamped run report agrees with the service-level telemetry —
+    // one schema for single runs and service requests.
+    let rep = r.telemetry.report.as_ref().unwrap();
+    assert_eq!(rep.attempts, r.telemetry.attempts);
+    assert_eq!(rep.outcome, r.telemetry.outcome);
+    assert!(rep.iterations <= 35, "deadline must cap every attempt");
+}
