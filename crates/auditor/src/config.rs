@@ -1,0 +1,79 @@
+//! Audit policy configuration.
+//!
+//! [`AuditConfig::approxit`] is *the* project policy — the allowlists
+//! and budgets below are part of the determinism contract documented in
+//! `DESIGN.md` §13, not per-run knobs. Fixture tests construct ad-hoc
+//! configs; everything else (the `audit` bench binary, CI, the
+//! clean-tree self-test) goes through the defaults so there is exactly
+//! one source of truth.
+
+use std::path::PathBuf;
+
+/// Where the auditor looks and what it tolerates.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+    /// Crate directory names whose outputs feed solver results; these
+    /// get the strictest ordering rules (`hash-iter`, `par-reduce`).
+    pub result_affecting: Vec<String>,
+    /// Files allowed to spawn threads: the deterministic executor
+    /// itself.
+    pub parallel_home: Vec<String>,
+    /// Files allowed to read the wall clock (bench timing only).
+    pub wall_clock_allow: Vec<String>,
+    /// Files forming the service request path: no panics allowed.
+    pub panic_free: Vec<String>,
+    /// Files exempt from `par-reduce` (the executor's own internals).
+    pub reduce_exempt: Vec<String>,
+    /// Maximum `audit:allow` markers per rule, workspace-wide. Staying
+    /// under it forces suppressions to stay exceptional.
+    pub suppression_budget: usize,
+}
+
+impl AuditConfig {
+    /// The ApproxIt workspace policy.
+    #[must_use]
+    pub fn approxit(root: impl Into<PathBuf>) -> Self {
+        let own = |s: &[&str]| s.iter().map(|s| (*s).to_owned()).collect();
+        Self {
+            root: root.into(),
+            result_affecting: own(&["approx-arith", "linalg", "solvers", "core"]),
+            parallel_home: own(&["crates/gatesim/src/par.rs"]),
+            wall_clock_allow: own(&[
+                "crates/bench/src/harness.rs",
+                "crates/bench/src/bin/perf.rs",
+                "crates/bench/src/bin/solverperf.rs",
+            ]),
+            panic_free: own(&["crates/core/src/service.rs", "crates/core/src/runner.rs"]),
+            reduce_exempt: own(&["crates/gatesim/src/par.rs"]),
+            suppression_budget: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_self_consistent() {
+        let cfg = AuditConfig::approxit("/tmp/x");
+        assert!(cfg.result_affecting.iter().any(|c| c == "core"));
+        // gatesim is covered via the par-reduce scope, not hash-iter.
+        assert!(!cfg.result_affecting.iter().any(|c| c == "gatesim"));
+        assert!(cfg.parallel_home == cfg.reduce_exempt);
+        assert!(cfg.suppression_budget > 0);
+        for path in cfg
+            .parallel_home
+            .iter()
+            .chain(&cfg.wall_clock_allow)
+            .chain(&cfg.panic_free)
+        {
+            assert!(
+                path.starts_with("crates/"),
+                "allowlists are workspace-relative"
+            );
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! A hand-rolled Rust lexer, just deep enough for auditing.
+//!
+//! The rules in this crate must never fire on the word `unsafe` inside a
+//! doc comment or on `"Instant"` inside a string literal, so the audit
+//! cannot be a plain text grep: it needs real token boundaries. This
+//! lexer produces a flat token stream with line/column spans, keeping
+//! comments as tokens (the suppression syntax lives in them) while
+//! folding string/char/number literals into opaque atoms.
+//!
+//! It is *not* a full Rust front end — no token trees, no macro
+//! expansion — but it handles every construct that matters for lexical
+//! soundness: nested block comments, raw strings with arbitrary `#`
+//! fences, byte/raw-byte strings, char literals vs. lifetimes, and raw
+//! identifiers.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe` is an `Ident` here).
+    Ident,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A lifetime (`'a`) — kept distinct from [`TokenKind::Char`].
+    Lifetime,
+    /// `// …` comment, including doc comments; text excludes the newline.
+    LineComment,
+    /// `/* … */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text (for `Str`/`Char`/`Num` the literal body, for
+    /// comments the full comment text).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` when the token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` for a specific punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+
+    /// `true` for either comment kind.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    /// Peek one character past [`peek`](Self::peek) without consuming.
+    fn peek2(&mut self) -> Option<char> {
+        let _ = self.peek();
+        self.chars.clone().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peeked.take().or_else(|| self.chars.next())?;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+}
+
+/// Lex `src` into a flat token stream.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray quote) degrades to best-effort tokens rather than an error, so
+/// the audit still covers the rest of the file.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(ch) = cur.peek() {
+        let line = cur.line;
+        let col = cur.col;
+        if ch.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if ch == '/' {
+            match cur.peek2() {
+                Some('/') => {
+                    tokens.push(line_comment(&mut cur, line, col));
+                    continue;
+                }
+                Some('*') => {
+                    tokens.push(block_comment(&mut cur, line, col));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if ch == '\'' {
+            tokens.push(char_or_lifetime(&mut cur, line, col));
+            continue;
+        }
+        if ch == '"' {
+            tokens.push(string(&mut cur, line, col));
+            continue;
+        }
+        if ch.is_ascii_digit() {
+            tokens.push(number(&mut cur, line, col));
+            continue;
+        }
+        if ch.is_alphabetic() || ch == '_' {
+            tokens.push(ident_or_prefixed_literal(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct(ch),
+            text: ch.to_string(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+fn line_comment(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if ch == '\n' {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line,
+        col,
+    }
+}
+
+fn block_comment(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    while let Some(ch) = cur.bump() {
+        text.push(ch);
+        if ch == '/' && cur.peek() == Some('*') {
+            text.push('*');
+            cur.bump();
+            depth += 1;
+        } else if ch == '*' && cur.peek() == Some('/') {
+            text.push('/');
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line,
+        col,
+    }
+}
+
+/// After a leading `'`: either a lifetime (`'a`, `'static`) or a char
+/// literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+fn char_or_lifetime(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    cur.bump(); // the opening quote
+    let first = cur.peek();
+    let second = cur.peek2();
+    let is_lifetime =
+        matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+    if is_lifetime {
+        let mut text = String::from("'");
+        while let Some(c) = cur.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            text.push(c);
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if c == '\'' && !text.is_empty() {
+            break;
+        }
+        text.push(c);
+        // A char literal holds one (possibly escaped) character; stop at
+        // the closing quote found above, or bail on newline (malformed).
+        if c == '\n' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line,
+        col,
+    }
+}
+
+fn string(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '"' => break,
+            other => text.push(other),
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// `r"…"`, `r#"…"#` (any fence depth), after the `r`/`br` prefix and
+/// with `fence` hashes already counted and consumed.
+fn raw_string(cur: &mut Cursor<'_>, fence: usize, line: u32, col: u32) -> Token {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // A candidate close: need `fence` hashes.
+            let mut seen = 0usize;
+            while seen < fence && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == fence {
+                break 'scan;
+            }
+            text.push('"');
+            for _ in 0..seen {
+                text.push('#');
+            }
+            continue;
+        }
+        text.push(c);
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn number(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            // Stop a range expression `0..n` from being eaten as `0..`.
+            if c == '.' && cur.peek2() == Some('.') {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+fn ident_or_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Literal prefixes: r"…", b"…", br"…", r#"…"#, br#"…"#, b'…',
+    // and raw identifiers r#name.
+    match (text.as_str(), cur.peek()) {
+        ("r" | "br" | "b" | "rb", Some('"')) => return raw_string(cur, 0, line, col),
+        ("r" | "br" | "rb", Some('#')) => {
+            // Count the fence; `r#ident` (fence then letter, no quote)
+            // is a raw identifier instead.
+            let mut fence = 0usize;
+            while cur.peek() == Some('#') {
+                cur.bump();
+                fence += 1;
+            }
+            if cur.peek() == Some('"') {
+                return raw_string(cur, fence, line, col);
+            }
+            // Raw identifier: keep lexing the name, report it bare.
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            return Token {
+                kind: TokenKind::Ident,
+                text: name,
+                line,
+                col,
+            };
+        }
+        ("b", Some('\'')) => {
+            cur.bump(); // the quote
+            let mut body = String::new();
+            while let Some(c) = cur.bump() {
+                if c == '\\' {
+                    body.push(c);
+                    if let Some(esc) = cur.bump() {
+                        body.push(esc);
+                    }
+                    continue;
+                }
+                if c == '\'' {
+                    break;
+                }
+                body.push(c);
+            }
+            return Token {
+                kind: TokenKind::Char,
+                text: body,
+                line,
+                col,
+            };
+        }
+        _ => {}
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("let x = a.b;\nfn y() {}");
+        assert!(toks[0].is_ident("let"));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert!(toks[3].is_ident("a"));
+        assert!(toks[4].is_punct('.'));
+        let fn_tok = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!((fn_tok.line, fn_tok.col), (2, 1));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = lex("// unsafe here\n/* Instant::now()\n * still comment */ real");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("unsafe"));
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert!(toks[1].text.contains("Instant"));
+        assert!(toks[2].is_ident("real"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ after");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds("let s = \"unsafe \\\" thread::spawn\"; x");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("spawn")));
+        // No Ident token for the words inside the string.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "spawn"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds("r#\"has \"quotes\" and unsafe\"# done");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.contains("\"quotes\""));
+        assert_eq!(toks[1], (TokenKind::Ident, "done".into()));
+        let toks = kinds("br\"bytes\" b\"more\"");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("'a' 'x 'static b'\\n' '\\''");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[2].0, TokenKind::Lifetime);
+        assert_eq!(toks[3].0, TokenKind::Char);
+        assert_eq!(toks[4].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_bare() {
+        let toks = kinds("r#unsafe r#fn");
+        assert_eq!(toks[0], (TokenKind::Ident, "unsafe".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0..n 1.5 0xFF 1_000u64");
+        assert_eq!(toks[0], (TokenKind::Num, "0".into()));
+        assert_eq!(toks[1].0, TokenKind::Punct('.'));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "0xFF"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "1_000u64"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        let _ = lex("\"never closed");
+        let _ = lex("/* never closed");
+        let _ = lex("r#\"never closed");
+    }
+}

@@ -1,0 +1,202 @@
+//! Hermeticity audit of `Cargo.toml` manifests.
+//!
+//! The workspace is deliberately dependency-free: every dependency must
+//! resolve inside the repository (`path = "…"` or `workspace = true`,
+//! where the workspace table itself only holds path entries). A version
+//! or `git` dependency means the build reaches the network, build
+//! reproducibility now depends on a registry snapshot, and `cargo miri`
+//! / CI offline mode break — so the auditor fails the tree instead.
+//!
+//! The parser is a hand-rolled line-oriented TOML subset reader: section
+//! headers, `key = value` pairs, and inline tables. That covers the
+//! manifest style this workspace actually uses; exotic TOML (multi-line
+//! inline tables, arrays of tables for dependencies) would need the
+//! parser extended, which rule fixtures would catch.
+
+use crate::report::{Severity, Violation};
+
+/// Audit one manifest source. `rel_path` is used for reporting only.
+#[must_use]
+pub fn audit_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut section = String::new();
+    // For `[dependencies.foo]`-style subsections: the dep name plus
+    // whether a hermetic key (`path`/`workspace`) was seen.
+    let mut pending: Option<(String, u32, bool)> = None;
+
+    let flush = |pending: &mut Option<(String, u32, bool)>, out: &mut Vec<Violation>| {
+        if let Some((name, line, hermetic)) = pending.take() {
+            if !hermetic {
+                out.push(dep_violation(
+                    rel_path,
+                    line,
+                    &name,
+                    "no `path` or `workspace` key",
+                ));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_toml_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut pending, &mut violations);
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_owned();
+            if let Some(dep) = dep_subsection(&section) {
+                pending = Some((dep.to_owned(), line_no, false));
+            }
+            continue;
+        }
+        if let Some((_, _, hermetic)) = pending.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || key == "workspace" {
+                *hermetic = true;
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if !entry_is_hermetic(value) {
+            let why = if value.starts_with('"') {
+                "bare version string pulls from the registry"
+            } else if value.contains("git") {
+                "git dependency reaches the network"
+            } else {
+                "no `path` or `workspace` key"
+            };
+            violations.push(dep_violation(rel_path, line_no, name, why));
+        }
+    }
+    flush(&mut pending, &mut violations);
+    violations
+}
+
+fn dep_violation(rel_path: &str, line: u32, name: &str, why: &str) -> Violation {
+    Violation {
+        rule: "hermetic-deps",
+        severity: Severity::Error,
+        file: rel_path.to_owned(),
+        line,
+        col: 1,
+        message: format!(
+            "dependency `{name}` is not workspace-local ({why}); the workspace is hermetic — \
+             vendor the code or route it through a `path` dependency"
+        ),
+    }
+}
+
+/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.….dependencies]`.
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// The dep name of a `[….dependencies.NAME]` subsection, if this is one.
+fn dep_subsection(section: &str) -> Option<&str> {
+    let (head, name) = section.rsplit_once('.')?;
+    if is_dependency_section(head) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// An inline dependency value is hermetic iff it stays inside the repo.
+fn entry_is_hermetic(value: &str) -> bool {
+    if value.starts_with('"') {
+        return false; // bare version string
+    }
+    if value.starts_with('{') {
+        let body = value.trim_matches(|c| c == '{' || c == '}');
+        let mut saw_local = false;
+        for part in body.split(',') {
+            let key = part.split('=').next().unwrap_or("").trim();
+            if key == "git" {
+                return false;
+            }
+            if key == "path" || key == "workspace" {
+                saw_local = true;
+            }
+        }
+        return saw_local;
+    }
+    false
+}
+
+/// Strip a `#` comment, respecting `#` inside quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let src = "[dependencies]\ngatesim = { workspace = true }\nlocal = { path = \"../x\" }\n";
+        assert!(audit_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn version_and_git_deps_fail_with_spans() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrayon = { version = \"1.8\" }\n\
+                   [dev-dependencies]\nproptest = { git = \"https://x\" }\n";
+        let v = audit_manifest("crates/x/Cargo.toml", src);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("serde"));
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 5);
+        assert!(v.iter().all(|v| v.rule == "hermetic-deps"));
+    }
+
+    #[test]
+    fn dotted_subsections_are_checked() {
+        let ok = "[dependencies.gatesim]\nworkspace = true\n";
+        assert!(audit_manifest("Cargo.toml", ok).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let v = audit_manifest("Cargo.toml", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[profile.release]\ndebug = true\n";
+        assert!(audit_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_parser() {
+        let src = "[dependencies] # deps\n# serde = \"1.0\"\ngatesim = { workspace = true } # ok\n";
+        assert!(audit_manifest("Cargo.toml", src).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Audit results: violations, suppressions, and the machine-readable
+//! report.
+//!
+//! The JSON schema (`approxit-audit/1`) is what CI uploads as an
+//! artifact, so it is rendered deterministically: files in sorted path
+//! order, violations in (file, line, col, rule) order, rules in roster
+//! order. The renderer is hand-rolled (the auditor is dependency-free),
+//! mirroring the escaping rules of `bench::cli`.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is. `Error` gates CI; `Warning` is reported (and
+/// counted in the JSON artifact) but does not fail the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but non-gating.
+    Warning,
+    /// Gates the audit: the tree is not clean while one is unsuppressed.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Warning => "warning",
+            Self::Error => "error",
+        }
+    }
+}
+
+/// One rule finding at a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (kebab-case, e.g. `hash-iter`).
+    pub rule: &'static str,
+    /// Severity the rule carries.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// `file:line:col` span string.
+    #[must_use]
+    pub fn span(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} — {}",
+            self.severity.name(),
+            self.rule,
+            self.span(),
+            self.message
+        )
+    }
+}
+
+/// A parsed `// audit:allow(rule, reason)` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule id it suppresses.
+    pub rule: String,
+    /// Mandatory justification (empty reasons are themselves flagged).
+    pub reason: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the marker.
+    pub line: u32,
+    /// Whether any violation actually matched this marker.
+    pub used: bool,
+}
+
+/// The assembled result of an audit run.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Number of files scanned (Rust sources + manifests).
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Findings silenced by an `audit:allow`, same order.
+    pub suppressed: Vec<Violation>,
+    /// Every suppression marker found, with usage accounting.
+    pub suppressions: Vec<Suppression>,
+    /// Per-rule roster: (rule id, severity, unsuppressed, suppressed).
+    pub rule_counts: Vec<(&'static str, Severity, usize, usize)>,
+}
+
+impl AuditReport {
+    /// Unsuppressed errors — the number that must be zero for a clean
+    /// tree.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Unsuppressed warnings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the tree passes the gate (no unsuppressed errors).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Render the `approxit-audit/1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"approxit-audit/1\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"errors\": {},", self.error_count());
+        let _ = writeln!(out, "  \"warnings\": {},", self.warning_count());
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+
+        out.push_str("  \"rules\": [\n");
+        for (i, (rule, severity, open, suppressed)) in self.rule_counts.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"id\": {}, \"severity\": {}, \"violations\": {open}, \"suppressed\": {suppressed}}}",
+                json_str(rule),
+                json_str(severity.name()),
+            );
+            out.push_str(if i + 1 < self.rule_counts.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+
+        render_violations(&mut out, "violations", &self.violations);
+        out.push_str(",\n");
+        render_violations(&mut out, "suppressed_violations", &self.suppressed);
+        out.push_str(",\n");
+
+        out.push_str("  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"used\": {}, \"reason\": {}}}",
+                json_str(&s.rule),
+                json_str(&s.file),
+                s.line,
+                s.used,
+                json_str(&s.reason),
+            );
+            out.push_str(if i + 1 < self.suppressions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn render_violations(out: &mut String, key: &str, list: &[Violation]) {
+    let _ = writeln!(out, "  \"{key}\": [");
+    for (i, v) in list.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_str(v.rule),
+            json_str(v.severity.name()),
+            json_str(&v.file),
+            v.line,
+            v.col,
+            json_str(&v.message),
+        );
+        out.push_str(if i + 1 < list.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+}
+
+/// Escape a string as a JSON string literal.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            severity: Severity::Error,
+            file: file.to_owned(),
+            line,
+            col: 5,
+            message: "planted \"finding\"".to_owned(),
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let mut report = AuditReport {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        assert!(report.is_clean());
+        report.violations.push(violation("no-unsafe", "a.rs", 3));
+        report.violations.push(Violation {
+            severity: Severity::Warning,
+            ..violation("allow-budget", "a.rs", 9)
+        });
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let report = AuditReport {
+            files_scanned: 1,
+            violations: vec![violation("hash-iter", "crates/x/src/a.rs", 7)],
+            suppressions: vec![Suppression {
+                rule: "wall-clock".into(),
+                reason: "bench \"timing\"".into(),
+                file: "b.rs".into(),
+                line: 2,
+                used: true,
+            }],
+            rule_counts: vec![("hash-iter", Severity::Error, 1, 0)],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"approxit-audit/1\""));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\\\"finding\\\""));
+        assert!(json.contains("\\\"timing\\\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn display_span_format() {
+        let v = violation("panic-path", "crates/core/src/service.rs", 505);
+        assert_eq!(v.span(), "crates/core/src/service.rs:505:5");
+        let text = v.to_string();
+        assert!(text.starts_with("error[panic-path] "));
+    }
+}

@@ -1,0 +1,207 @@
+//! Lightweight item/scope analysis on top of the token stream.
+//!
+//! The audit rules distinguish *product* code from *test* code: an
+//! `unwrap()` inside `#[cfg(test)] mod tests { … }` is fine, the same
+//! call on the service request path is not. This module finds the line
+//! spans of test-only code by walking the token stream for
+//! `#[cfg(test)]` / `#[test]` attributes and brace-matching the item
+//! that follows. No AST is built — just attribute recognition plus a
+//! depth counter, which is exactly as much parsing as the rules need.
+
+use crate::lexer::{Token, TokenKind};
+
+/// An inclusive 1-based line range of test-only code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSpan {
+    /// First line of the span.
+    pub start: u32,
+    /// Last line of the span.
+    pub end: u32,
+}
+
+impl LineSpan {
+    /// Whether `line` falls inside the span.
+    #[must_use]
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// Find the line spans of items guarded by `#[cfg(test)]` or `#[test]`.
+///
+/// Handles the attribute being followed by further attributes or doc
+/// comments before the item keyword, and items that end with `;`
+/// (declaration-only, e.g. `#[cfg(test)] mod tests;`) by spanning just
+/// that line.
+#[must_use]
+pub fn test_spans(tokens: &[Token]) -> Vec<LineSpan> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut spans: Vec<LineSpan> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some(after_attr) = match_test_attribute(&code, i) {
+            if let Some(span) = item_span(&code, after_attr) {
+                // Collapse nested test items (a #[test] fn inside a
+                // #[cfg(test)] mod) into the enclosing span.
+                if !spans.iter().any(|s| s.contains(span.start)) {
+                    spans.push(span);
+                }
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether any span in `spans` covers `line`.
+#[must_use]
+pub fn in_test_code(spans: &[LineSpan], line: u32) -> bool {
+    spans.iter().any(|s| s.contains(line))
+}
+
+/// If `code[i..]` starts a `#[cfg(test)]` or `#[test]` attribute,
+/// return the index just past its closing `]`.
+fn match_test_attribute(code: &[&Token], i: usize) -> Option<usize> {
+    if !(code.get(i)?.is_punct('#') && code.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    // Collect the attribute's tokens up to the matching `]`.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < code.len() {
+        let tok = code[j];
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if tok.kind == TokenKind::Ident {
+            idents.push(&tok.text);
+        }
+        j += 1;
+    }
+    // Exactly `#[test]` or `#[cfg(test)]`: anything fancier (e.g.
+    // `#[cfg(not(test))]`, `#[cfg(any(test, …))]`) also compiles into
+    // non-test builds, so the conservative call is to keep auditing it.
+    let is_test = idents.as_slice() == ["test"] || idents.as_slice() == ["cfg", "test"];
+    if is_test {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// The line span of the item starting at `code[start]`: skips any
+/// further attributes, then brace-matches the first `{ … }` block.
+fn item_span(code: &[&Token], mut start: usize) -> Option<LineSpan> {
+    // Skip stacked attributes (e.g. #[cfg(test)] #[allow(…)] mod t {…}).
+    while start + 1 < code.len() && code[start].is_punct('#') && code[start + 1].is_punct('[') {
+        let mut depth = 0usize;
+        let mut j = start + 1;
+        while j < code.len() {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        start = j + 1;
+    }
+    let first_line = code.get(start)?.line;
+    // Find the opening brace of the item body; a `;` first means a
+    // declaration-only item.
+    let mut j = start;
+    while j < code.len() {
+        if code[j].is_punct(';') {
+            return Some(LineSpan {
+                start: first_line,
+                end: code[j].line,
+            });
+        }
+        if code[j].is_punct('{') {
+            break;
+        }
+        j += 1;
+    }
+    if j >= code.len() {
+        return None;
+    }
+    let mut depth = 0usize;
+    while j < code.len() {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(LineSpan {
+                    start: first_line,
+                    end: code[j].line,
+                });
+            }
+        }
+        j += 1;
+    }
+    // Unbalanced braces (malformed input): treat the rest of the file
+    // as part of the item so test code is never misclassified as prod.
+    Some(LineSpan {
+        start: first_line,
+        end: code.last()?.line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_spanned() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (3, 5));
+        assert!(!in_test_code(&spans, 1));
+        assert!(in_test_code(&spans, 4));
+        assert!(!in_test_code(&spans, 6));
+    }
+
+    #[test]
+    fn test_fn_and_stacked_attributes() {
+        let src = "#[test]\n#[allow(clippy::all)]\nfn check() {\n    boom();\n}\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (3, 5));
+    }
+
+    #[test]
+    fn nested_test_items_collapse() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn a() {}\n}\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_ignored() {
+        let src = "#[cfg(feature = \"x\")]\nmod extra { fn f() {} }\n";
+        assert!(test_spans(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn declaration_only_items() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() {}\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (2, 2));
+        assert!(!in_test_code(&spans, 3));
+    }
+}

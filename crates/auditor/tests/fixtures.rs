@@ -1,0 +1,229 @@
+//! Planted-violation fixtures: one file per rule (plus hygiene cases),
+//! each asserted caught with the right rule id and file:line span —
+//! mirroring the model checker's mutant-catching style. The fixture
+//! sources live under `tests/fixtures/` where the workspace walker
+//! deliberately does not look.
+
+use auditor::rules::FileFindings;
+use auditor::{assemble, audit_rust_source, AuditConfig, AuditReport};
+
+fn config() -> AuditConfig {
+    AuditConfig::approxit(".")
+}
+
+/// Audit one in-memory Rust source as-if it lived at `virtual_path`.
+fn audit_at(virtual_path: &str, src: &str) -> AuditReport {
+    audit_with(virtual_path, src, &config())
+}
+
+fn audit_with(virtual_path: &str, src: &str, cfg: &AuditConfig) -> AuditReport {
+    assemble(audit_rust_source(virtual_path, src, cfg), 1, cfg)
+}
+
+/// (rule, line) pairs of the unsuppressed findings, in report order.
+fn spans(report: &AuditReport) -> Vec<(&str, u32)> {
+    report.violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn hash_iter_fixture_is_caught() {
+    let report = audit_at(
+        "crates/core/src/planted.rs",
+        include_str!("fixtures/hash_iter.rs"),
+    );
+    assert_eq!(spans(&report), [("hash-iter", 7), ("hash-iter", 17)]);
+    assert_eq!(report.violations[0].file, "crates/core/src/planted.rs");
+}
+
+#[test]
+fn raw_parallel_fixture_is_caught() {
+    let report = audit_at(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/raw_parallel.rs"),
+    );
+    assert_eq!(spans(&report), [("raw-parallel", 5), ("raw-parallel", 11)]);
+}
+
+#[test]
+fn wall_clock_fixture_is_caught() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let report = audit_at("crates/linalg/src/planted.rs", src);
+    assert_eq!(spans(&report), [("wall-clock", 3), ("wall-clock", 6)]);
+    // The same source is legal in an allowlisted bench timing file.
+    let allowed = audit_at("crates/bench/src/harness.rs", src);
+    assert!(allowed.violations.is_empty());
+}
+
+#[test]
+fn no_unsafe_fixture_is_caught_but_not_its_comments() {
+    let report = audit_at(
+        "crates/gatesim/src/planted.rs",
+        include_str!("fixtures/no_unsafe.rs"),
+    );
+    // Exactly one finding: the real block, not the doc comment or the
+    // string literal that also say "unsafe".
+    assert_eq!(spans(&report), [("no-unsafe", 8)]);
+    assert_eq!(report.violations[0].col, 5);
+}
+
+#[test]
+fn panic_path_fixture_is_caught_outside_tests_only() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let report = audit_at("crates/core/src/service.rs", src);
+    assert_eq!(
+        spans(&report),
+        [("panic-path", 6), ("panic-path", 11), ("panic-path", 17)]
+    );
+    // Off the request path the same source is legal (no other rule
+    // matches it either).
+    assert!(audit_at("crates/core/src/strategy.rs", src)
+        .violations
+        .is_empty());
+}
+
+#[test]
+fn hermetic_deps_fixture_is_caught() {
+    let report = assemble(
+        FileFindings {
+            violations: auditor::manifest::audit_manifest(
+                "crates/planted/Cargo.toml",
+                include_str!("fixtures/hermetic.toml"),
+            ),
+            suppressions: Vec::new(),
+        },
+        1,
+        &config(),
+    );
+    assert_eq!(
+        spans(&report),
+        [
+            ("hermetic-deps", 8),
+            ("hermetic-deps", 9),
+            ("hermetic-deps", 11)
+        ]
+    );
+    assert!(report.violations[0].message.contains("serde"));
+    assert!(report.violations[2].message.contains("proptest"));
+}
+
+#[test]
+fn par_reduce_fixture_is_caught() {
+    let report = audit_at(
+        "crates/approx-arith/src/planted.rs",
+        include_str!("fixtures/par_reduce.rs"),
+    );
+    assert_eq!(
+        spans(&report),
+        [("par-reduce", 4), ("par-reduce", 7), ("par-reduce", 10)]
+    );
+}
+
+#[test]
+fn allow_budget_fixture_overflows_and_hygiene_fires() {
+    let mut cfg = config();
+    cfg.suppression_budget = 2;
+    let report = audit_with(
+        "crates/gatesim/src/planted.rs",
+        include_str!("fixtures/allow_budget.rs"),
+        &cfg,
+    );
+    // Open: the reason-less marker leaves its finding open, plus three
+    // hygiene findings (over budget, missing reason, stale marker).
+    assert_eq!(
+        spans(&report),
+        [
+            ("allow-budget", 8),
+            ("allow-budget", 9), // col 1 sorts before the unsafe block
+            ("no-unsafe", 9),
+            ("allow-budget", 10)
+        ]
+    );
+    assert_eq!(
+        report.suppressed.len(),
+        3,
+        "markers inside budget still suppress"
+    );
+    assert_eq!(report.error_count(), 3);
+    assert_eq!(report.warning_count(), 1);
+    assert!(!report.is_clean());
+    // With the project budget (8) only the hygiene findings remain.
+    let report = audit_at(
+        "crates/gatesim/src/planted.rs",
+        include_str!("fixtures/allow_budget.rs"),
+    );
+    assert_eq!(
+        spans(&report),
+        [("allow-budget", 9), ("no-unsafe", 9), ("allow-budget", 10)]
+    );
+}
+
+#[test]
+fn justified_suppressions_inside_budget_pass() {
+    let report = audit_at(
+        "crates/linalg/src/planted.rs",
+        include_str!("fixtures/suppressed.rs"),
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 2);
+    assert!(report.suppressions.iter().all(|s| s.used));
+    assert!(report.is_clean());
+    // Suppressed findings keep their spans in the report.
+    assert_eq!(report.suppressed[0].line, 3);
+    assert_eq!(report.suppressed[1].line, 7);
+}
+
+#[test]
+fn clean_fixture_raises_nothing() {
+    let report = audit_at(
+        "crates/core/src/planted.rs",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.suppressed.is_empty());
+    assert!(report.is_clean());
+}
+
+#[test]
+fn json_report_carries_fixture_spans() {
+    let report = audit_at(
+        "crates/core/src/service.rs",
+        include_str!("fixtures/panic_path.rs"),
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"approxit-audit/1\""));
+    assert!(json.contains("\"rule\": \"panic-path\""));
+    assert!(json.contains("\"line\": 6"));
+    assert!(json.contains("\"clean\": false"));
+}
+
+/// The burn-in contract: the real workspace must audit clean, so CI
+/// starts (and stays) at a zero-violation baseline. Every allowance in
+/// the tree must be used and justified.
+#[test]
+fn real_workspace_audits_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let cfg = AuditConfig::approxit(&root);
+    let report = auditor::run_audit(&cfg).expect("workspace walk succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "clean-tree audit found:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.is_clean());
+    assert!(
+        report.files_scanned >= 60,
+        "walk collapsed: {} files",
+        report.files_scanned
+    );
+    assert!(report
+        .suppressions
+        .iter()
+        .all(|s| s.used && !s.reason.is_empty()));
+}

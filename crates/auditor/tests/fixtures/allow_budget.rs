@@ -1,0 +1,11 @@
+//! Planted violation: suppression hygiene. Real findings on every
+//! line, but the markers overflow the per-rule budget (the fixture test
+//! sets it to 2), one marker has no reason, and one is stale.
+//! Audited as-if at `crates/gatesim/src/planted.rs`.
+
+pub fn a() { unsafe {} } // audit:allow(no-unsafe, fixture one)
+pub fn b() { unsafe {} } // audit:allow(no-unsafe, fixture two)
+pub fn c() { unsafe {} } // audit:allow(no-unsafe, fixture three — over budget)
+pub fn d() { unsafe {} } // audit:allow(no-unsafe)
+// audit:allow(no-unsafe, stale marker with nothing under it)
+pub fn e() {}

@@ -1,0 +1,30 @@
+//! A clean file full of near-misses: every construct here LOOKS like a
+//! violation to a text grep but must pass the token-level audit.
+//! Audited as-if at `crates/core/src/planted.rs`.
+use std::collections::HashMap;
+
+/// Mentions unsafe, thread::spawn, and Instant::now() in a doc comment.
+pub fn lookups_are_fine(m: &HashMap<u64, f64>, key: u64) -> f64 {
+    // Point lookups and inserts don't depend on iteration order.
+    let label = "unsafe Instant thread::spawn rayon"; // words in a string
+    let raw = r#"SystemTime::now() in a raw "quoted" string"#;
+    m.get(&key).copied().unwrap_or(raw.len() as f64 + label.len() as f64)
+}
+
+/// `unwrap_or`/`expect_err`-style names are not `unwrap`/`expect`.
+pub fn total(v: &[f64]) -> f64 {
+    let mut keyed: HashMap<u64, f64> = HashMap::new();
+    keyed.insert(1, v.iter().sum()); // Vec iteration is ordered: fine
+    keyed.get(&1).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_iteration_in_tests_is_allowed() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (k, v) in &m {
+            drop((k, v));
+        }
+    }
+}

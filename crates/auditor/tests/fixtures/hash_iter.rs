@@ -1,0 +1,18 @@
+//! Planted violation: HashMap/HashSet iteration in a result-affecting
+//! crate. Audited as-if at `crates/core/src/planted.rs`.
+use std::collections::{HashMap, HashSet};
+
+pub fn merge_scores(scores: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in scores {
+        // line 7 above: `for … in scores` — order nondeterministic
+        total += v;
+    }
+    total
+}
+
+pub fn drain_pending() -> Vec<u64> {
+    let mut pending: HashSet<u64> = HashSet::new();
+    pending.insert(7);
+    pending.iter().copied().collect() // `.iter()` on a hash set
+}

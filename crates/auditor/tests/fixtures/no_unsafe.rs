@@ -1,0 +1,9 @@
+//! Planted violation: an unsafe block. The comment mentioning unsafe
+//! code right here must NOT be flagged — only the real block below is.
+//! Audited as-if at `crates/gatesim/src/planted.rs`.
+
+pub fn reinterpret(x: f64) -> u64 {
+    // "unsafe" in a string must also stay invisible to the audit:
+    let _label = "unsafe reinterpretation";
+    unsafe { std::mem::transmute::<f64, u64>(x) } // line 8
+}

@@ -1,0 +1,26 @@
+//! Planted violation: panics on the service request path. Audited
+//! as-if at `crates/core/src/service.rs`. The test-module unwrap at the
+//! bottom must NOT be flagged.
+
+pub fn admit(slot: Option<usize>) -> usize {
+    slot.unwrap() // line 6: aborts the drain on a shed request
+}
+
+pub fn route(level: usize) -> usize {
+    if level > 4 {
+        panic!("level off the ladder"); // line 11
+    }
+    level
+}
+
+pub fn checkpoint(buf: &[u8]) -> u8 {
+    *buf.first().expect("ring is never empty") // line 17
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,13 @@
+//! Planted violation: shared-state accumulation bypassing the
+//! Executor's in-order reduction. Audited as-if at
+//! `crates/approx-arith/src/planted.rs`.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn racy_energy_total(samples: &[f64]) -> f64 {
+    let bits = AtomicU64::new(0); // line 7: Atomic accumulator
+    for s in samples {
+        let add = s.to_bits();
+        bits.fetch_add(add, Ordering::Relaxed); // line 10: RMW reduce
+    }
+    f64::from_bits(bits.load(Ordering::Relaxed))
+}

@@ -1,0 +1,17 @@
+//! Planted violation: ad-hoc threads outside gatesim::par::Executor.
+//! Audited as-if at `crates/solvers/src/planted.rs`.
+
+pub fn fan_out(work: Vec<u64>) -> Vec<u64> {
+    let handle = std::thread::spawn(move || work.iter().sum::<u64>()); // line 5
+    vec![handle.join().unwrap_or(0)]
+}
+
+pub fn scoped(data: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    std::thread::scope(|s| {
+        // line 11: thread::scope outside the executor
+        s.spawn(|| ());
+    });
+    acc += data.len() as f64;
+    acc
+}

@@ -1,0 +1,9 @@
+//! A justified suppression: the finding is real but allowed, with a
+//! reason, inside budget. Audited as-if at `crates/linalg/src/planted.rs`.
+use std::time::Instant; // audit:allow(wall-clock, fixture: import for timing printout)
+
+pub fn timed_label() -> String {
+    // audit:allow(wall-clock, fixture: log line only, value never reenters the solve)
+    let t0 = Instant::now();
+    format!("{:?}", t0.elapsed())
+}

@@ -1,0 +1,108 @@
+//! Workspace determinism & hermeticity audit.
+//!
+//! Runs the static-analysis pass from `crates/auditor` over every
+//! workspace source file and `Cargo.toml`, and converts the result into
+//! the shared [`Checker`] verdict format: one check per rule (zero
+//! unsuppressed findings), plus suppression-hygiene and coverage
+//! checks. CI runs this in the lint job; a clean tree is the merge
+//! gate.
+//!
+//! Unlike the other binaries, `--json PATH` writes the full
+//! `approxit-audit/1` report (every violation and suppression with
+//! file:line spans) rather than the check summary — that document is
+//! the CI artifact.
+//!
+//! ```text
+//! cargo run --release -p bench --bin audit            # human output
+//! cargo run --release -p bench --bin audit -- --json AUDIT_report.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use approxit_bench::cli::{BenchOpts, Checker};
+use auditor::{run_audit, AuditConfig, RULES};
+
+fn main() -> ExitCode {
+    let mut opts = BenchOpts::parse();
+    let json = opts.json.take(); // reserved for the audit report itself
+
+    let root = workspace_root();
+    opts.say(&format!("auditing workspace at {}", root.display()));
+    let config = AuditConfig::approxit(&root);
+    let report = match run_audit(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("audit: walking {} failed: {error}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Findings always print, sorted; suppressed ones only without -q.
+    for violation in &report.violations {
+        println!("  {violation}");
+    }
+    if !opts.quiet {
+        for violation in &report.suppressed {
+            println!("  allowed    {violation}");
+        }
+    }
+
+    let mut checker = Checker::new(opts.quiet);
+    checker.note(&format!(
+        "scanned {} files: {} unsuppressed ({} errors, {} warnings), {} suppressed",
+        report.files_scanned,
+        report.violations.len(),
+        report.error_count(),
+        report.warning_count(),
+        report.suppressed.len(),
+    ));
+    for (rule, _, open, suppressed) in &report.rule_counts {
+        let detail = match (open, suppressed) {
+            (0, 0) => "clean".to_owned(),
+            (0, s) => format!("clean ({s} suppressed)"),
+            (n, _) => format!("{n} unsuppressed finding(s)"),
+        };
+        checker.check(&format!("rule {rule}"), *open == 0, &detail);
+    }
+    checker.check(
+        "rule roster covers the contract",
+        report.rule_counts.len() == RULES.len(),
+        &format!("{} rules", RULES.len()),
+    );
+    checker.check(
+        "suppressions are budgeted and justified",
+        report
+            .suppressions
+            .iter()
+            .all(|s| s.used && !s.reason.is_empty()),
+        &format!("{} markers", report.suppressions.len()),
+    );
+    // A collapsing walk (wrong root, renamed dirs) must fail loudly
+    // rather than report a vacuously clean tree.
+    checker.check(
+        "workspace coverage",
+        report.files_scanned >= 60,
+        &format!("{} files", report.files_scanned),
+    );
+
+    if let Some(path) = &json {
+        if let Err(error) = std::fs::write(path, report.to_json()) {
+            eprintln!("audit: could not write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        checker.note(&format!("wrote {}", path.display()));
+    }
+    checker.finish("audit", &opts)
+}
+
+/// The workspace root: two levels above this crate's manifest dir, with
+/// the current directory as fallback for a relocated binary.
+fn workspace_root() -> PathBuf {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    compiled
+        .parent()
+        .and_then(std::path::Path::parent)
+        .filter(|root| root.join("Cargo.toml").is_file())
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+}

@@ -174,7 +174,9 @@ fn run_loop<M: IterativeMethod, C: ArithContext>(
 
     let clamp_to_floor = |level: AccuracyLevel, floor: usize| -> AccuracyLevel {
         if level.index() < floor {
-            AccuracyLevel::from_index(floor).expect("floor is a valid level index")
+            // The floor only ever ratchets along the ladder; fail safe
+            // to the dependable mode rather than aborting a request.
+            AccuracyLevel::from_index(floor).unwrap_or(AccuracyLevel::Accurate)
         } else {
             level
         }

@@ -500,16 +500,12 @@ impl CircuitBreakers {
         if self.config.failure_threshold == 0 {
             return (level, false);
         }
-        for index in level.index()..=AccuracyLevel::Accurate.index() {
-            let candidate =
-                AccuracyLevel::from_index(index).expect("walking the fixed level ladder");
-            if candidate.is_accurate() {
-                // The dependable mode: always available.
-                if index != level.index() {
-                    self.telemetry.reroutes += 1;
-                }
-                return (candidate, false);
-            }
+        // Walk the approximate rungs at or above `level`; falling off
+        // the ladder lands on `Accurate` structurally, so this routine
+        // is panic-free by construction (request-path requirement).
+        let start = level.index().min(AccuracyLevel::APPROXIMATE.len());
+        for &candidate in &AccuracyLevel::APPROXIMATE[start..] {
+            let index = candidate.index();
             match self.states[index] {
                 BreakerState::Closed { .. } => {
                     if index != level.index() {
@@ -532,7 +528,11 @@ impl CircuitBreakers {
                 BreakerState::Open { .. } | BreakerState::HalfOpen => {}
             }
         }
-        unreachable!("the accurate level terminates the ladder walk");
+        // The dependable mode: always available.
+        if !level.is_accurate() {
+            self.telemetry.reroutes += 1;
+        }
+        (AccuracyLevel::Accurate, false)
     }
 
     /// Feed one attempt's verdict back into the level's breaker.
@@ -709,12 +709,9 @@ where
         while !self.queue.is_empty() {
             // Idle rounds (everyone backing off) are skipped
             // deterministically.
-            let earliest = self
-                .queue
-                .iter()
-                .map(|e| e.not_before_round)
-                .min()
-                .expect("queue is non-empty");
+            let Some(earliest) = self.queue.iter().map(|e| e.not_before_round).min() else {
+                break;
+            };
             round = round.max(earliest);
 
             // Split ready vs. still backing off, preserving id order.
@@ -804,8 +801,10 @@ where
                     let step = 1usize << (spec.attempt - 1);
                     let escalated =
                         (spec.level.index() + step).min(AccuracyLevel::Accurate.index());
-                    entry.level = AccuracyLevel::from_index(escalated)
-                        .expect("escalation stays on the level ladder");
+                    // `escalated` is clamped to the ladder above; the
+                    // fail-safe lands on the dependable mode anyway.
+                    entry.level =
+                        AccuracyLevel::from_index(escalated).unwrap_or(AccuracyLevel::Accurate);
                     entry.not_before_round = round + (1usize << (spec.attempt - 1));
                     self.queue.push_back(entry);
                 } else {

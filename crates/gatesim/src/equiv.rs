@@ -35,6 +35,7 @@ use crate::netlist::Netlist;
 use crate::packed::{exhaustive_input_words, PackedSimulator, LANES};
 use crate::par::Executor;
 use crate::sim::Simulator;
+// audit:allow(par-reduce, import feeds the pruning hint in exhaustive_mismatch; the result reduction is the Executor's in-order fold)
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Outcome of an equivalence check.
@@ -439,6 +440,7 @@ fn exhaustive_mismatch(left: &Netlist, right: &Netlist, exec: &Executor) -> Opti
     // Best (lowest) mismatch so far, shared so chunks that cannot beat
     // it are skipped; the reduction below stays a pure minimum, so this
     // is a pruning hint, never a determinism hazard.
+    // audit:allow(par-reduce, pruning hint only: the returned value is the in-order min fold over chunk results, the atomic can only skip work)
     let best = AtomicU64::new(u64::MAX);
     let hits = exec.map_chunks(total, SWEEP_CHUNK, |start, end| -> Option<u64> {
         if start > best.load(Ordering::Relaxed) {
@@ -462,6 +464,7 @@ fn exhaustive_mismatch(left: &Netlist, right: &Netlist, exec: &Executor) -> Opti
             }
             if diff != 0 {
                 let pattern = base + u64::from(diff.trailing_zeros());
+                // audit:allow(par-reduce, tightens the pruning hint; chunk results are still reduced in index order below)
                 best.fetch_min(pattern, Ordering::Relaxed);
                 return Some(pattern);
             }

@@ -62,17 +62,51 @@ impl Default for Executor {
     }
 }
 
+/// Parse a [`THREADS_ENV`] override: `Ok(None)` when unset, the worker
+/// count when set to a positive integer, and a descriptive error for
+/// anything else. A silent fallback here would let a typo (`GATESIM_THREADS=axll`)
+/// or a zero quietly change the parallel schedule under a benchmark, so
+/// invalid values are rejected rather than ignored.
+///
+/// # Errors
+///
+/// Empty strings, non-numeric values, and `0` are all rejected.
+pub fn parse_threads_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(format!(
+            "{THREADS_ENV} is set but empty; unset it or use a positive integer"
+        ));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV}=0 is invalid: at least one worker is required"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{THREADS_ENV}={trimmed:?} is not a positive integer worker count"
+        )),
+    }
+}
+
 impl Executor {
     /// An executor sized to the machine: [`std::thread::available_parallelism`],
     /// overridable via the [`THREADS_ENV`] environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when [`THREADS_ENV`] is set to
+    /// something other than a positive integer — a misconfigured
+    /// environment must fail loudly, not silently change the schedule.
     #[must_use]
     pub fn new() -> Self {
         let default = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(default);
+        let env = std::env::var(THREADS_ENV).ok();
+        let threads = match parse_threads_env(env.as_deref()) {
+            Ok(choice) => choice.unwrap_or(default),
+            Err(message) => panic!("{message}"),
+        };
         Self { threads }
     }
 
@@ -250,5 +284,29 @@ mod tests {
         assert_ne!(a, c);
         // And are reproducible.
         assert_eq!(a, chunk_seed(42, 0));
+    }
+
+    #[test]
+    fn threads_env_accepts_positive_integers() {
+        assert_eq!(parse_threads_env(None), Ok(None));
+        assert_eq!(parse_threads_env(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_threads_env(Some("16")), Ok(Some(16)));
+        assert_eq!(
+            parse_threads_env(Some(" 8 ")),
+            Ok(Some(8)),
+            "whitespace is tolerated"
+        );
+    }
+
+    #[test]
+    fn threads_env_rejects_zero_empty_and_garbage() {
+        for bad in ["0", "", "  ", "four", "-2", "1.5", "0x10"] {
+            let err = parse_threads_env(Some(bad))
+                .expect_err("invalid override must not silently fall back");
+            assert!(err.contains(THREADS_ENV), "error names the variable: {err}");
+        }
+        assert!(parse_threads_env(Some("0"))
+            .unwrap_err()
+            .contains("at least one worker"));
     }
 }
