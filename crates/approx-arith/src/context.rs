@@ -985,6 +985,24 @@ impl ArithContext for ExactContext {
     }
 }
 
+/// Explicitly endorse a fabric-derived value for exact-only consumption
+/// (the EnerJ-style `endorse` cast).
+///
+/// ApproxIt's control plane — quality metrics, convergence predicates,
+/// controller decisions — must depend only on exact values; the static
+/// taint audit (`auditor::taint`) enforces that boundary. Where the
+/// *design* deliberately reads approximate state (the runner measuring
+/// an iterate to decide its fate, a solver detecting a degenerate
+/// search direction), the read is wrapped in `endorse` to make the
+/// crossing explicit, reviewable, and greppable. The function itself is
+/// the identity: endorsement is a statement of intent, not a
+/// computation.
+#[inline]
+#[must_use]
+pub fn endorse<T>(value: T) -> T {
+    value
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

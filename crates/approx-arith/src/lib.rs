@@ -53,7 +53,7 @@ pub mod rng;
 
 pub use aca::WindowedCarryAdder;
 pub use adder::{width_mask, AccuracyLevel, Adder};
-pub use context::{ArithContext, ExactContext, OpCounts, QcsContext, ScalarPath};
+pub use context::{endorse, ArithContext, ExactContext, OpCounts, QcsContext, ScalarPath};
 pub use energy::{characterize_adder_energy, characterize_adder_energy_on_trace, EnergyProfile};
 pub use error_metrics::{
     bit_error_rates, characterize_exhaustive, characterize_monte_carlo, characterize_trace,

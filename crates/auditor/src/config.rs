@@ -29,6 +29,18 @@ pub struct AuditConfig {
     /// Maximum `audit:allow` markers per rule, workspace-wide. Staying
     /// under it forces suppressions to stay exceptional.
     pub suppression_budget: usize,
+    /// Crate directory names the taint dataflow pass analyzes (sources
+    /// and value flow are tracked across all of them).
+    pub taint_crates: Vec<String>,
+    /// Crates where *positional* sinks fire: any branch condition,
+    /// loop bound, or index expression must be exact.
+    pub taint_control: Vec<String>,
+    /// Files whose functions are exact-only decision modules: passing
+    /// an approximate value to any of them is a `taint-sink`.
+    pub taint_decision_files: Vec<String>,
+    /// Function names that launder taint by contract (`endorse`, raw
+    /// reconstruction): their results are exact.
+    pub taint_sanitizers: Vec<String>,
 }
 
 impl AuditConfig {
@@ -48,6 +60,21 @@ impl AuditConfig {
             panic_free: own(&["crates/core/src/service.rs", "crates/core/src/runner.rs"]),
             reduce_exempt: own(&["crates/gatesim/src/par.rs"]),
             suppression_budget: 8,
+            taint_crates: own(&["approx-arith", "linalg", "solvers", "core", "gatesim"]),
+            taint_control: own(&["core", "solvers"]),
+            // `watchdog.rs` is deliberately absent: the watchdog reads
+            // approximate state by design (it decides whether the
+            // fabric has wedged, not what the answer is).
+            taint_decision_files: own(&[
+                "crates/core/src/adaptive.rs",
+                "crates/core/src/strategy.rs",
+                "crates/core/src/incremental.rs",
+                "crates/core/src/pid.rs",
+                "crates/core/src/modelcheck.rs",
+                "crates/core/src/quality.rs",
+                "crates/core/src/service.rs",
+            ]),
+            taint_sanitizers: own(&["endorse", "from_raw"]),
         }
     }
 }
@@ -64,6 +91,15 @@ mod tests {
         assert!(!cfg.result_affecting.iter().any(|c| c == "gatesim"));
         assert!(cfg.parallel_home == cfg.reduce_exempt);
         assert!(cfg.suppression_budget > 0);
+        // Positional taint sinks only fire inside analyzed crates.
+        for c in &cfg.taint_control {
+            assert!(cfg.taint_crates.contains(c), "{c} analyzed");
+        }
+        for f in &cfg.taint_decision_files {
+            assert!(f.starts_with("crates/core/src/"), "{f} is a core module");
+            assert!(f != "crates/core/src/watchdog.rs");
+        }
+        assert!(cfg.taint_sanitizers.iter().any(|s| s == "endorse"));
         for path in cfg
             .parallel_home
             .iter()

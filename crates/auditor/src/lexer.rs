@@ -119,6 +119,12 @@ impl<'a> Cursor<'a> {
 pub fn lex(src: &str) -> Vec<Token> {
     let mut cur = Cursor::new(src);
     let mut tokens = Vec::new();
+    // A leading shebang (`#!/usr/bin/env …`) is legal in a Rust source
+    // file and is not an inner attribute (`#![…]`). Swallow it as a
+    // line comment so it cannot masquerade as punctuation.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        tokens.push(line_comment(&mut cur, 1, 1));
+    }
     while let Some(ch) = cur.peek() {
         let line = cur.line;
         let col = cur.col;
@@ -174,6 +180,11 @@ fn line_comment(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
         }
         text.push(ch);
         cur.bump();
+    }
+    // CRLF sources leave a trailing `\r` on the comment text; strip it
+    // so suppression-marker parsing sees the same bytes either way.
+    if text.ends_with('\r') {
+        text.pop();
     }
     Token {
         kind: TokenKind::LineComment,
@@ -469,6 +480,54 @@ mod tests {
         assert_eq!(toks[1], (TokenKind::Ident, "done".into()));
         let toks = kinds("br\"bytes\" b\"more\"");
         assert!(toks.iter().all(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn crlf_sources_keep_line_numbers_and_clean_comments() {
+        let toks = lex("let a = 1;\r\n// audit:allow(no-panic, crlf)\r\nfn b() {}\r\n");
+        let fn_tok = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(fn_tok.line, 3);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(comment.line, 2);
+        // The trailing `\r` must not leak into the marker text.
+        assert!(comment.text.ends_with("crlf)"));
+        assert!(!comment.text.contains('\r'));
+    }
+
+    #[test]
+    fn leading_shebang_is_swallowed_as_comment() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert!(toks[0].text.contains("env"));
+        let fn_tok = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(fn_tok.line, 2);
+        // No stray punctuation from the shebang line.
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+        // An inner attribute is NOT a shebang and must still lex as `#` `!` `[`.
+        let attr = lex("#![allow(dead_code)]\nfn main() {}\n");
+        assert!(attr[0].is_punct('#'));
+        assert!(attr[1].is_punct('!'));
+        assert!(attr[2].is_punct('['));
+    }
+
+    #[test]
+    fn nested_block_comment_containing_raw_string_delimiters() {
+        // The `r#"` inside the comment is plain text; both `*/` are
+        // needed to close the two open comments.
+        let toks = lex("/* outer /* r#\" inner */ tail */ after");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("r#\""));
+        assert!(toks[0].text.contains("tail"));
+        assert!(toks[1].is_ident("after"));
+        assert_eq!(toks.len(), 2);
+        // Dually: comment delimiters inside a raw string stay string text.
+        let toks = lex("r#\"/* not a comment */\"# done");
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert!(toks[1].is_ident("done"));
     }
 
     #[test]

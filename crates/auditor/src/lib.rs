@@ -15,6 +15,13 @@
 //! spirit as gatesim's netlist linter. See [`rules::RULES`] for the
 //! roster; `DESIGN.md` §13 documents the contract each rule encodes.
 //!
+//! On top of the syntactic rules sits a semantic pass: the
+//! approximation-taint dataflow analysis ([`symbols`] → [`callgraph`] →
+//! [`taint`] with [`summaries`] iterated to fixpoint), which proves the
+//! exact/approximate boundary the quality guarantee assumes. Its
+//! `taint-*` findings carry full source→sink traces; `DESIGN.md` §14
+//! documents the lattice and the source/sanitizer/sink tables.
+//!
 //! # Suppressions
 //!
 //! A finding can be silenced inline:
@@ -43,15 +50,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod scope;
+pub mod summaries;
+pub mod symbols;
+pub mod taint;
 
 pub use config::AuditConfig;
-pub use report::{AuditReport, Severity, Suppression, Violation};
+pub use report::{AuditReport, Severity, Suppression, TraceHop, Violation};
 pub use rules::{audit_rust_source, FileFindings, RuleInfo, RULES};
 
 use std::fs;
@@ -68,25 +79,48 @@ use std::path::{Path, PathBuf};
 /// # Errors
 /// Propagates I/O errors from the directory walk or file reads.
 pub fn run_audit(config: &AuditConfig) -> io::Result<AuditReport> {
-    let mut findings = rules::FileFindings::default();
-    let mut files_scanned = 0usize;
+    let sources = collect_sources(config)?;
+    Ok(audit_sources(&sources, config))
+}
 
+/// Read every audited workspace file into `(rel_path, source)` pairs, in
+/// sorted path order. The same list feeds [`audit_sources`] and the
+/// call-graph export, so the two always see an identical workspace.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn collect_sources(config: &AuditConfig) -> io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
     for path in workspace_files(&config.root)? {
         let rel = rel_path(&config.root, &path);
         let src = fs::read_to_string(&path)?;
-        files_scanned += 1;
+        sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Audit a set of in-memory `(rel_path, source)` pairs: per-file rules,
+/// manifests, the workspace-wide taint dataflow pass, then suppression
+/// and budget settlement. This is `run_audit` minus the I/O — fixture
+/// tests feed it planted multi-file workspaces directly.
+#[must_use]
+pub fn audit_sources(sources: &[(String, String)], config: &AuditConfig) -> AuditReport {
+    let mut findings = rules::FileFindings::default();
+    for (rel, src) in sources {
         if rel.ends_with("Cargo.toml") {
             findings
                 .violations
-                .extend(manifest::audit_manifest(&rel, &src));
+                .extend(manifest::audit_manifest(rel, src));
         } else {
-            let file = rules::audit_rust_source(&rel, &src, config);
+            let file = rules::audit_rust_source(rel, src, config);
             findings.violations.extend(file.violations);
             findings.suppressions.extend(file.suppressions);
         }
     }
-
-    Ok(assemble(findings, files_scanned, config))
+    findings
+        .violations
+        .extend(taint::audit_taint(sources, config));
+    assemble(findings, sources.len(), config)
 }
 
 /// Apply suppressions and the per-rule budget to raw findings, producing
@@ -137,6 +171,7 @@ pub fn assemble(
                 line: s.line,
                 col: 1,
                 message: format!("audit:allow names unknown rule `{}`", s.rule),
+                trace: Vec::new(),
             });
         } else if s.reason.is_empty() {
             open.push(Violation {
@@ -149,6 +184,7 @@ pub fn assemble(
                     "audit:allow({}) has no reason; suppressions must be justified",
                     s.rule
                 ),
+                trace: Vec::new(),
             });
         } else if !s.used {
             open.push(Violation {
@@ -162,6 +198,7 @@ pub fn assemble(
                      stale markers hide future regressions — delete it",
                     s.rule
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -190,6 +227,7 @@ pub fn assemble(
                     markers.len(),
                     config.suppression_budget
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -302,6 +340,7 @@ mod tests {
             line,
             col: 1,
             message: "planted".to_owned(),
+            trace: Vec::new(),
         }
     }
 

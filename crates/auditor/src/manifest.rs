@@ -95,6 +95,7 @@ fn dep_violation(rel_path: &str, line: u32, name: &str, why: &str) -> Violation 
             "dependency `{name}` is not workspace-local ({why}); the workspace is hermetic — \
              vendor the code or route it through a `path` dependency"
         ),
+        trace: Vec::new(),
     }
 }
 

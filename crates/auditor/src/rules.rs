@@ -60,6 +60,26 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no shared-state accumulation primitives bypassing the Executor's in-order reduction",
     },
     RuleInfo {
+        id: "taint-sink",
+        severity: Severity::Error,
+        summary: "no approximate value may reach an exact-only sink (quality_error's reference operand, decision-module arguments)",
+    },
+    RuleInfo {
+        id: "taint-branch",
+        severity: Severity::Error,
+        summary: "no approximate value may decide a branch condition or match scrutinee in core/solvers",
+    },
+    RuleInfo {
+        id: "taint-loop-bound",
+        severity: Severity::Error,
+        summary: "no approximate value may bound a for-loop in core/solvers (iteration counts must be exact)",
+    },
+    RuleInfo {
+        id: "taint-index",
+        severity: Severity::Error,
+        summary: "no approximate value may index a slice or array in core/solvers (memory addressing must be exact)",
+    },
+    RuleInfo {
         id: "allow-budget",
         severity: Severity::Error,
         summary: "audit:allow markers need a reason, must match a finding, and are budgeted per rule",
@@ -137,6 +157,7 @@ fn violation(rule: &'static str, rel_path: &str, tok: &Token, message: String) -
         line: tok.line,
         col: tok.col,
         message,
+        trace: Vec::new(),
     }
 }
 
@@ -381,6 +402,7 @@ fn no_unsafe_rule(rel_path: &str, code: &[&Token], out: &mut Vec<Violation>) {
             message: "crate root is missing `#![forbid(unsafe_code)]`; every crate the audit \
                       proves clean must also be locked down by rustc"
                 .to_owned(),
+            trace: Vec::new(),
         });
     }
 }

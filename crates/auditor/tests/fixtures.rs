@@ -5,7 +5,7 @@
 //! deliberately does not look.
 
 use auditor::rules::FileFindings;
-use auditor::{assemble, audit_rust_source, AuditConfig, AuditReport};
+use auditor::{assemble, audit_rust_source, audit_sources, AuditConfig, AuditReport};
 
 fn config() -> AuditConfig {
     AuditConfig::approxit(".")
@@ -20,9 +20,29 @@ fn audit_with(virtual_path: &str, src: &str, cfg: &AuditConfig) -> AuditReport {
     assemble(audit_rust_source(virtual_path, src, cfg), 1, cfg)
 }
 
+/// Audit a planted multi-file workspace through the full pipeline
+/// (per-file rules + taint dataflow + suppression settlement).
+fn audit_files(files: &[(&str, &str)]) -> AuditReport {
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+        .collect();
+    audit_sources(&files, &config())
+}
+
 /// (rule, line) pairs of the unsuppressed findings, in report order.
 fn spans(report: &AuditReport) -> Vec<(&str, u32)> {
     report.violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+/// The `(line, col)` of the first hop (the source) and last hop (the
+/// sink) of a finding's trace.
+fn endpoints(report: &AuditReport, i: usize) -> ((u32, u32), (u32, u32)) {
+    let t = &report.violations[i].trace;
+    assert!(t.len() >= 2, "trace has source and sink: {t:?}");
+    let first = t.first().unwrap();
+    let last = t.last().unwrap();
+    ((first.line, first.col), (last.line, last.col))
 }
 
 #[test]
@@ -190,10 +210,126 @@ fn json_report_carries_fixture_spans() {
         include_str!("fixtures/panic_path.rs"),
     );
     let json = report.to_json();
-    assert!(json.contains("\"schema\": \"approxit-audit/1\""));
+    assert!(json.contains("\"schema\": \"approxit-audit/2\""));
     assert!(json.contains("\"rule\": \"panic-path\""));
     assert!(json.contains("\"line\": 6"));
     assert!(json.contains("\"clean\": false"));
+    assert!(auditor::report::check_schema(&json).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Taint dataflow fixtures
+// ---------------------------------------------------------------------
+
+#[test]
+fn taint_direct_flow_is_caught_with_both_sinks() {
+    let report = audit_files(&[(
+        "crates/core/src/planted.rs",
+        include_str!("fixtures/taint_direct.rs"),
+    )]);
+    assert_eq!(spans(&report), [("taint-sink", 8), ("taint-branch", 9)]);
+    // quality_error's accurate operand: source is the `.mul` on line 7.
+    let (src, sink) = endpoints(&report, 0);
+    assert_eq!(src.0, 7, "source hop at the fabric op");
+    assert_eq!(sink, (8, 15), "sink hop at the quality_error call");
+    let (src, sink) = endpoints(&report, 1);
+    assert_eq!(src.0, 7);
+    assert_eq!(sink.0, 9, "branch sink on the `if`");
+}
+
+#[test]
+fn taint_interprocedural_laundering_is_caught() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_interproc.rs"),
+    )]);
+    assert_eq!(spans(&report), [("taint-branch", 12)]);
+    let v = &report.violations[0];
+    // The trace must walk the whole interprocedural path: the caller's
+    // approximate context, the fabric op inside the helper, the call
+    // site, and finally the branch sink.
+    let notes: Vec<&str> = v.trace.iter().map(|h| h.note.as_str()).collect();
+    assert!(
+        notes.iter().any(|n| n.contains("QcsContext::new")),
+        "{notes:?}"
+    );
+    assert!(notes.iter().any(|n| n.contains(".dot")), "{notes:?}");
+    assert!(
+        notes
+            .iter()
+            .any(|n| n.contains("fabric ops inside `fabric_dot`")),
+        "{notes:?}"
+    );
+    assert!(notes.last().unwrap().contains("branch"), "{notes:?}");
+    // The fabric op hop points into the helper (line 6), the sink into
+    // the caller (line 12).
+    assert!(v.trace.iter().any(|h| h.line == 6));
+    assert_eq!(v.line, 12);
+}
+
+#[test]
+fn taint_sanitized_flows_do_not_report() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_sanitized.rs"),
+    )]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn taint_branch_fixture_is_caught() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_branch.rs"),
+    )]);
+    assert_eq!(spans(&report), [("taint-branch", 6)]);
+    let (src, sink) = endpoints(&report, 0);
+    assert_eq!(src, (5, 19), "source at the `.dot` fabric op");
+    assert_eq!(sink, (6, 5), "sink at the `if`");
+}
+
+#[test]
+fn taint_loop_bound_fixture_is_caught() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_loop_bound.rs"),
+    )]);
+    assert_eq!(spans(&report), [("taint-loop-bound", 7)]);
+    let (src, sink) = endpoints(&report, 0);
+    assert_eq!(src.0, 5, "source at the `.mul`");
+    assert_eq!(sink.0, 7, "sink at the `for`");
+}
+
+#[test]
+fn taint_suppressed_fixture_lands_in_suppressed() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_suppressed.rs"),
+    )]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "taint-branch");
+    assert_eq!(report.suppressed[0].line, 8);
+    assert!(report.suppressions.iter().all(|s| s.used));
+    assert!(report.is_clean());
+}
+
+/// The acceptance-criteria mutant: rewire `quality_error` to consume a
+/// `QcsContext` result as its *accurate* operand — the pass must catch
+/// exactly that operand, and stay silent when the operands are the
+/// right way around.
+#[test]
+fn quality_error_consuming_qcs_result_mutant_is_caught() {
+    let mutant = "pub fn check(ctx: &mut QcsContext, x: f64) -> f64 {\n    let approximate = ctx.mul(x, x);\n    quality_error(approximate, x * x)\n}\n";
+    let report = audit_files(&[("crates/core/src/planted.rs", mutant)]);
+    assert_eq!(spans(&report), [("taint-sink", 3)]);
+    assert!(report.violations[0].message.contains("quality_error"));
+
+    // Correct orientation: exact reference first, fabric value second.
+    let sound = "pub fn check(ctx: &mut QcsContext, x: f64) -> f64 {\n    let approximate = ctx.mul(x, x);\n    quality_error(x * x, approximate)\n}\n";
+    let report = audit_files(&[("crates/core/src/planted.rs", sound)]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
 
 /// The burn-in contract: the real workspace must audit clean, so CI
@@ -226,4 +362,22 @@ fn real_workspace_audits_clean() {
         .suppressions
         .iter()
         .all(|s| s.used && !s.reason.is_empty()));
+    // Taint extension of the burn-in contract: zero unsuppressed
+    // taint-* findings, and every taint-rule allow marker in the tree
+    // is live (non-stale) — at least one exists (cg.rs's
+    // degenerate-direction restart), so this is not vacuous.
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| !v.rule.starts_with("taint-")));
+    let taint_allows: Vec<_> = report
+        .suppressions
+        .iter()
+        .filter(|s| s.rule.starts_with("taint-"))
+        .collect();
+    assert!(
+        !taint_allows.is_empty(),
+        "expected the sanctioned cg.rs fabric-state read to carry a taint allow"
+    );
+    assert!(taint_allows.iter().all(|s| s.used), "{taint_allows:?}");
 }

@@ -1,0 +1,10 @@
+//! Planted: an approximately-computed residual norm decides a branch —
+//! convergence predicates must be exact.
+
+pub fn guard(ctx: &mut dyn ArithContext, r: &[f64]) -> f64 {
+    let nrm = ctx.dot(r, r);
+    if nrm > 1e-10 {
+        return 1.0;
+    }
+    0.0
+}

@@ -1,0 +1,13 @@
+//! Planted: a fabric result flows straight into `quality_error`'s
+//! accurate operand and decides a branch — the most direct
+//! source→sink shape the taint pass must catch.
+
+pub fn leak(a: f64, b: f64) -> f64 {
+    let mut ctx = QcsContext::new(AccuracyLevel::Level2);
+    let approx = ctx.mul(a, b);
+    let err = quality_error(approx, b);
+    if approx > 1.0 {
+        return err;
+    }
+    err
+}

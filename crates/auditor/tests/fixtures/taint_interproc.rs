@@ -1,0 +1,16 @@
+//! Planted: the fabric op lives in a helper function — only the
+//! interprocedural summary (ctx_flow resolved at the call site against
+//! the caller's approximate context) catches the laundered flow.
+
+fn fabric_dot(ctx: &mut dyn ArithContext, xs: &[f64], ys: &[f64]) -> f64 {
+    ctx.dot(xs, ys)
+}
+
+pub fn launder(xs: &[f64], ys: &[f64]) -> f64 {
+    let mut ctx = QcsContext::new(AccuracyLevel::Level1);
+    let d = fabric_dot(&mut ctx, xs, ys);
+    if d < 0.0 {
+        return 0.0;
+    }
+    d
+}

@@ -1,0 +1,11 @@
+//! Planted: a fabric-derived count bounds a `for` loop — the trip
+//! count would vary with the approximation level.
+
+pub fn resize(ctx: &mut dyn ArithContext, a: f64) -> f64 {
+    let k = ctx.mul(a, 8.0);
+    let mut total = 0.0;
+    for _i in 0..k as usize {
+        total += 1.0;
+    }
+    total
+}

@@ -1,0 +1,20 @@
+//! Planted NON-violation: both documented exact routes — the
+//! `ScalarPath` wrapper and an explicit `endorse` — launder the flow,
+//! so the taint pass must stay silent on this file.
+
+pub fn scalar_exact(inner: QcsContext, a: f64, b: f64) -> f64 {
+    let mut path = ScalarPath::new(inner);
+    let p = path.mul(a, b);
+    if p > 0.0 {
+        return p;
+    }
+    0.0
+}
+
+pub fn measured(ctx: &mut dyn ArithContext, a: f64) -> f64 {
+    let m = endorse(ctx.mul(a, a));
+    if m > 1.0 {
+        return 1.0;
+    }
+    m
+}

@@ -1,0 +1,12 @@
+//! Planted: a deliberate fabric-state read, sanctioned by an
+//! `audit:allow(taint-branch, …)` marker — the finding must land in
+//! `suppressed`, not `violations`, and the marker must count as used.
+
+pub fn sanctioned(ctx: &mut dyn ArithContext, a: f64) -> f64 {
+    let p = ctx.mul(a, a);
+    // audit:allow(taint-branch, planted deliberate fabric-state read)
+    if p > 0.0 {
+        return 1.0;
+    }
+    0.0
+}

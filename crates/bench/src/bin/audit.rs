@@ -8,39 +8,76 @@
 //! gate.
 //!
 //! Unlike the other binaries, `--json PATH` writes the full
-//! `approxit-audit/1` report (every violation and suppression with
-//! file:line spans) rather than the check summary — that document is
-//! the CI artifact.
+//! `approxit-audit/2` report (every violation and suppression with
+//! file:line spans and source→sink traces) rather than the check
+//! summary — that document is the CI artifact.
+//!
+//! Two further outputs support the taint pass:
+//!
+//! - `--baseline PATH` diffs the current findings against a committed
+//!   `approxit-audit/2` report: the run fails only on findings **new**
+//!   relative to the baseline, so a burn-down of historical findings
+//!   can land incrementally without blocking unrelated PRs.
+//! - `--dot PATH` writes the workspace call graph (the interprocedural
+//!   skeleton the taint fixpoint runs on) in Graphviz format.
 //!
 //! ```text
 //! cargo run --release -p bench --bin audit            # human output
 //! cargo run --release -p bench --bin audit -- --json AUDIT_report.json
+//! cargo run --release -p bench --bin audit -- --baseline AUDIT_baseline.json
+//! cargo run --release -p bench --bin audit -- --dot CALLGRAPH.dot
 //! ```
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use approxit_bench::cli::{BenchOpts, Checker};
-use auditor::{run_audit, AuditConfig, RULES};
+use auditor::report::{check_schema, parse_violation_keys};
+use auditor::{audit_sources, collect_sources, taint, AuditConfig, Violation, RULES};
 
 fn main() -> ExitCode {
     let mut opts = BenchOpts::parse();
     let json = opts.json.take(); // reserved for the audit report itself
+    let baseline_path = opts.flag_value("--baseline").map(PathBuf::from);
+    let dot_path = opts.flag_value("--dot").map(PathBuf::from);
 
     let root = workspace_root();
     opts.say(&format!("auditing workspace at {}", root.display()));
     let config = AuditConfig::approxit(&root);
-    let report = match run_audit(&config) {
-        Ok(report) => report,
+    let sources = match collect_sources(&config) {
+        Ok(sources) => sources,
         Err(error) => {
             eprintln!("audit: walking {} failed: {error}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    let report = audit_sources(&sources, &config);
 
-    // Findings always print, sorted; suppressed ones only without -q.
+    // With a baseline, only findings absent from it gate the run.
+    let known = match &baseline_path {
+        Some(path) => match load_baseline_keys(path) {
+            Ok(keys) => Some(keys),
+            Err(error) => {
+                eprintln!("audit: baseline {}: {error}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let is_new = |v: &Violation| {
+        known
+            .as_ref()
+            .is_none_or(|k| !k.contains(&(v.rule.to_owned(), v.file.clone(), v.line)))
+    };
+
+    // Findings always print, sorted; known/suppressed ones only without -q.
     for violation in &report.violations {
-        println!("  {violation}");
+        if is_new(violation) {
+            println!("  {violation}");
+        } else if !opts.quiet {
+            println!("  baseline   {violation}");
+        }
     }
     if !opts.quiet {
         for violation in &report.suppressed {
@@ -57,13 +94,29 @@ fn main() -> ExitCode {
         report.warning_count(),
         report.suppressed.len(),
     ));
+    if let Some(keys) = &known {
+        checker.note(&format!(
+            "baseline {} carries {} known finding(s)",
+            baseline_path
+                .as_ref()
+                .map_or_else(String::new, |p| p.display().to_string()),
+            keys.len(),
+        ));
+    }
     for (rule, _, open, suppressed) in &report.rule_counts {
-        let detail = match (open, suppressed) {
-            (0, 0) => "clean".to_owned(),
-            (0, s) => format!("clean ({s} suppressed)"),
-            (n, _) => format!("{n} unsuppressed finding(s)"),
+        let new = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == *rule && is_new(v))
+            .count();
+        let detail = match (new, *open, *suppressed) {
+            (0, 0, 0) => "clean".to_owned(),
+            (0, 0, s) => format!("clean ({s} suppressed)"),
+            (0, o, _) => format!("clean ({o} known in baseline)"),
+            (n, o, _) if n < o => format!("{n} new finding(s), {} known", o - n),
+            (n, _, _) => format!("{n} unsuppressed finding(s)"),
         };
-        checker.check(&format!("rule {rule}"), *open == 0, &detail);
+        checker.check(&format!("rule {rule}"), new == 0, &detail);
     }
     checker.check(
         "rule roster covers the contract",
@@ -93,7 +146,23 @@ fn main() -> ExitCode {
         }
         checker.note(&format!("wrote {}", path.display()));
     }
+    if let Some(path) = &dot_path {
+        let workspace = taint::build_workspace(&sources, &config);
+        if let Err(error) = std::fs::write(path, workspace.to_dot()) {
+            eprintln!("audit: could not write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        checker.note(&format!("wrote call graph to {}", path.display()));
+    }
     checker.finish("audit", &opts)
+}
+
+/// Read and validate a committed baseline report, returning its
+/// unsuppressed violation keys as a `(rule, file, line)` set.
+fn load_baseline_keys(path: &std::path::Path) -> Result<HashSet<(String, String, u32)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|error| format!("could not read: {error}"))?;
+    check_schema(&text)?;
+    Ok(parse_violation_keys(&text)?.into_iter().collect())
 }
 
 /// The workspace root: two levels above this crate's manifest dir, with

@@ -1,5 +1,7 @@
 //! The iteration-level *quality error* metric (paper Definition 1).
 
+pub use approx_arith::endorse;
+
 /// Threshold below which the reference value is treated as numerically
 /// zero and [`quality_error`] falls back to the absolute difference.
 ///

@@ -191,7 +191,10 @@ fn run_loop<M: IterativeMethod, C: ArithContext>(
     while iterations < budget {
         let level = ctx.level();
         let energy_before = ctx.approx_energy();
-        let next = method.step(&state, ctx);
+        // The controller *measures* the approximate iterate to decide
+        // its fate — this is the one sanctioned exact/approx crossing
+        // in the runner, made explicit for the taint audit.
+        let next = crate::quality::endorse(method.step(&state, ctx));
         iterations += 1;
         steps_per_level[level.index()] += 1;
         energy_per_iteration.push(ctx.approx_energy() - energy_before);

@@ -128,6 +128,7 @@ impl IterativeMethod for ConjugateGradient {
         let ap = self.a.matvec(ctx, &state.p);
         let rr = ctx.dot(&state.r, &state.r);
         let pap = ctx.dot(&state.p, &ap);
+        // audit:allow(taint-branch, degenerate-direction restart deliberately reads fabric state; CG must detect pᵀAp collapse under heavy approximation)
         if pap.abs() < 1e-300 || rr.abs() < 1e-300 {
             // Degenerate direction (possible under heavy approximation):
             // restart from the steepest descent at the current point.
