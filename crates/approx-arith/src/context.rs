@@ -242,6 +242,50 @@ pub trait ArithContext {
         }
     }
 
+    /// Sparse (CSR) matrix–vector product:
+    /// `out[r] = Σ_k values[k] · x[col_idx[k]]` over the stored entries
+    /// `k ∈ row_ptr[r] .. row_ptr[r+1]`, each row reduced exactly like
+    /// [`ArithContext::dot_slice`] (left-to-right from `0.0`, in stored
+    /// order).
+    ///
+    /// Only the value products and the row reductions run on the
+    /// datapath. The index and row-pointer arithmetic is *exact* host
+    /// arithmetic by contract — approximating an address would corrupt
+    /// structure, not degrade quality, which is exactly the class of
+    /// error the paper's resilience partitioning excludes (and the
+    /// workspace auditor's `taint-index` rule polices).
+    ///
+    /// Like [`ArithContext::matvec_slice`], the operand `x` is shared by
+    /// every row, so an override can convert it to the datapath
+    /// representation once and amortize that cost over all stored
+    /// entries.
+    ///
+    /// # Panics
+    /// Panics if the CSR shape is inconsistent: `values` and `col_idx`
+    /// must have equal length, `row_ptr` must start at 0, end at
+    /// `values.len()` and have `out.len() + 1` entries. Non-monotone row
+    /// pointers or column indices `≥ x.len()` panic on the out-of-bounds
+    /// access itself.
+    fn spmv_slice(
+        &mut self,
+        values: &[f64],
+        col_idx: &[usize],
+        row_ptr: &[usize],
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        check_csr_shape(values, col_idx, row_ptr, out.len());
+        for (r, o) in out.iter_mut().enumerate() {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
+                let p = self.mul(a, x[j]);
+                acc = self.add(acc, p);
+            }
+            *o = acc;
+        }
+    }
+
     /// Left-to-right sum of a slice (delegates to
     /// [`ArithContext::sum_slice`] — override that, not this).
     fn sum(&mut self, xs: &[f64]) -> f64 {
@@ -256,6 +300,29 @@ pub trait ArithContext {
     fn dot(&mut self, xs: &[f64], ys: &[f64]) -> f64 {
         self.dot_slice(xs, ys)
     }
+}
+
+/// Shared shape validation for [`ArithContext::spmv_slice`]: `row_ptr`
+/// must bracket the stored entries and `out` must have one slot per
+/// row. Column bounds and row-pointer monotonicity are enforced by the
+/// slice indexing inside the kernels themselves.
+fn check_csr_shape(values: &[f64], col_idx: &[usize], row_ptr: &[usize], out_len: usize) {
+    assert_eq!(
+        values.len(),
+        col_idx.len(),
+        "values and col_idx lengths must match"
+    );
+    assert_eq!(
+        row_ptr.len(),
+        out_len + 1,
+        "row_ptr must have one entry per row plus a terminator"
+    );
+    assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+    assert_eq!(
+        *row_ptr.last().expect("row_ptr is non-empty"),
+        values.len(),
+        "row_ptr must end at the stored-entry count"
+    );
 }
 
 /// The hoisted per-level add configuration of a [`QcsContext`]: the
@@ -734,6 +801,62 @@ impl ArithContext for QcsContext {
                 let mut acc: i64 = 0;
                 for (&a, &bx) in row.iter().zip(&rx) {
                     let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(a), bx)));
+                    let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
+                    acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+                }
+                *o = cv.from_raw(acc);
+            }
+        }
+    }
+
+    fn spmv_slice(
+        &mut self,
+        values: &[f64],
+        col_idx: &[usize],
+        row_ptr: &[usize],
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        check_csr_shape(values, col_idx, row_ptr, out.len());
+        if self.trace.is_some() {
+            for (r, o) in out.iter_mut().enumerate() {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                let mut acc = 0.0;
+                for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
+                    let p = self.mul(a, x[j]);
+                    acc = self.add(acc, p);
+                }
+                *o = acc;
+            }
+            return;
+        }
+        let nnz = values.len() as u64;
+        self.muls += nnz;
+        self.add_counts[self.level.index()] += nnz;
+        let fmt = self.format;
+        let cv = fmt.converter();
+        let mode = self.mode;
+        // The shared vector is converted exactly once; every stored
+        // entry's product then reuses the raw words. (Gathering x[j] is
+        // exact index arithmetic — only the product and the reduction
+        // touch the fabric.)
+        let rx: Vec<i64> = x.iter().map(|&v| cv.to_raw(v)).collect();
+        if mode.exact_roundtrip {
+            for (r, o) in out.iter_mut().enumerate() {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                let mut acc_bits: u64 = 0;
+                for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
+                    let p = fmt.mul_raw(cv.to_raw(a), rx[j]);
+                    acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
+                }
+                *o = cv.from_raw(fmt.from_bits(acc_bits));
+            }
+        } else {
+            for (r, o) in out.iter_mut().enumerate() {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                let mut acc: i64 = 0;
+                for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
+                    let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(a), rx[j])));
                     let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
                     acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
                 }

@@ -239,6 +239,37 @@ fn matvec_slice_matches_scalar_default() {
 }
 
 #[test]
+fn spmv_slice_matches_scalar_default() {
+    check_kernel("spmv_slice", |ctx, rng, n, span| {
+        // n rows × 9 columns with roughly half the entries stored
+        // (including occasional explicit zeros); span shrinks with the
+        // worst-case reduction length.
+        let cols = 9;
+        let span = span / (cols as f64).sqrt();
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = vec![0usize];
+        for _ in 0..n {
+            for j in 0..cols {
+                if rng.next_u32() % 2 == 0 {
+                    values.push(if rng.next_u32() % 16 == 0 {
+                        0.0
+                    } else {
+                        rng.uniform(-span, span)
+                    });
+                    col_idx.push(j);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        let x = random_slice(rng, cols, span);
+        let mut out = vec![0.0; n];
+        ctx.spmv_slice(&values, &col_idx, &row_ptr, &x, &mut out);
+        out
+    });
+}
+
+#[test]
 fn sum_slice_matches_scalar_default() {
     check_kernel("sum_slice", |ctx, rng, n, span| {
         let span = span / (n.max(1) as f64);

@@ -56,6 +56,7 @@ impl AuditConfig {
                 "crates/bench/src/harness.rs",
                 "crates/bench/src/bin/perf.rs",
                 "crates/bench/src/bin/solverperf.rs",
+                "crates/bench/src/bin/sparseperf.rs",
             ]),
             panic_free: own(&["crates/core/src/service.rs", "crates/core/src/runner.rs"]),
             reduce_exempt: own(&["crates/gatesim/src/par.rs"]),

@@ -302,6 +302,24 @@ fn taint_loop_bound_fixture_is_caught() {
 }
 
 #[test]
+fn taint_spmv_out_slice_steering_index_arithmetic_is_caught() {
+    let report = audit_files(&[(
+        "crates/solvers/src/planted.rs",
+        include_str!("fixtures/taint_spmv.rs"),
+    )]);
+    // Both the inner `rp[row]` and the outer `vals[…]` index on line 12
+    // are steered by the fabric out-slice.
+    assert_eq!(spans(&report), [("taint-index", 12), ("taint-index", 12)]);
+    // The trace roots at the spmv_slice out-parameter write (line 10).
+    let v = &report.violations[0];
+    assert!(
+        v.trace.iter().any(|h| h.line == 10),
+        "source hop at the spmv_slice call: {:?}",
+        v.trace
+    );
+}
+
+#[test]
 fn taint_suppressed_fixture_lands_in_suppressed() {
     let report = audit_files(&[(
         "crates/solvers/src/planted.rs",

@@ -1,0 +1,13 @@
+//! Planted: the `spmv_slice` out-slice is a fabric value, and a read
+//! of it steers CSR index arithmetic — the exact shape a sparse kernel
+//! bug takes (an approximate accumulator deciding which row window to
+//! walk). The taint pass must treat `spmv_slice` as a source and flag
+//! the index expression.
+
+pub fn leak(vals: &[f64], cols: &[usize], rp: &[usize], x: &[f64]) -> f64 {
+    let mut ctx = QcsContext::new(AccuracyLevel::Level2);
+    let mut y = vec![0.0; x.len()];
+    ctx.spmv_slice(vals, cols, rp, x, &mut y);
+    let row = y[0] as usize;
+    vals[rp[row]]
+}

@@ -126,5 +126,6 @@ pub mod prelude {
     pub use crate::watchdog::{RecoveryTelemetry, WatchdogConfig};
 
     pub use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, FaultInjector, QcsContext};
-    pub use iter_solvers::IterativeMethod;
+    pub use approx_linalg::{CsrMatrix, LinearOperator, Matrix};
+    pub use iter_solvers::{IterativeMethod, PersonalizedPageRank};
 }

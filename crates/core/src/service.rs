@@ -961,11 +961,15 @@ mod tests {
 
     #[test]
     fn breaker_trips_reroutes_probes_and_heals() {
-        // Drain 1 runs on a faulty level-1 fabric: the breaker trips
+        // Drain 1 runs on a faulty level-2 fabric: the breaker trips
         // and quarantine persists across drains. Drain 2 arrives after
-        // the environment clears: the first request probes level 1, the
+        // the environment clears: the first request probes level 2, the
         // probe succeeds, and the level heals (the rest were rerouted
-        // while the probe was in flight).
+        // while the probe was in flight). Level 2 rather than 1 because
+        // the probe must *honestly* re-solve its request on the healed
+        // fabric: CG's residual replacement keeps the recurrence pinned
+        // to b − Ax, and level 1's quantum is too coarse for this
+        // problem's tolerance even fault-free.
         let config = ServiceConfig {
             max_attempts: 4,
             breaker: BreakerConfig {
@@ -980,19 +984,22 @@ mod tests {
         for i in 0..3 {
             ids.push(
                 service
-                    .submit(Request::new(tridiag_tol(6, 1.0 + f64::from(i) * 0.2, 1e-3)))
+                    .submit(
+                        Request::new(tridiag_tol(6, 1.0 + f64::from(i) * 0.2, 1e-3))
+                            .at_level(AccuracyLevel::Level2),
+                    )
                     .id(),
             );
         }
         let burst = service.run(&Executor::with_threads(3), |spec| {
             let mut ctx = QcsContext::with_profile(profile());
             ctx.set_level(spec.level);
-            FaultInjector::new(ctx, 0.9, 16, spec.seed).striking_only(&[AccuracyLevel::Level1])
+            FaultInjector::new(ctx, 0.9, 16, spec.seed).striking_only(&[AccuracyLevel::Level2])
         });
         assert!(burst.accounts_for(&ids));
         assert!(burst.breaker.trips >= 1, "breaker never tripped");
         assert!(
-            service.is_quarantined(AccuracyLevel::Level1),
+            service.is_quarantined(AccuracyLevel::Level2),
             "quarantine must persist across drains"
         );
         assert!(burst.counts().all_succeeded());
@@ -1001,7 +1008,10 @@ mod tests {
         for i in 0..3 {
             clean_ids.push(
                 service
-                    .submit(Request::new(tridiag_tol(6, 2.0 + f64::from(i) * 0.2, 1e-3)))
+                    .submit(
+                        Request::new(tridiag_tol(6, 2.0 + f64::from(i) * 0.2, 1e-3))
+                            .at_level(AccuracyLevel::Level2),
+                    )
                     .id(),
             );
         }
@@ -1011,7 +1021,7 @@ mod tests {
         assert!(healed.breaker.heals >= 1, "the level never healed");
         assert!(healed.breaker.reroutes >= 1, "no request was rerouted");
         assert!(
-            !service.is_quarantined(AccuracyLevel::Level1),
+            !service.is_quarantined(AccuracyLevel::Level2),
             "a clean probe must heal the level"
         );
         assert!(healed.counts().all_succeeded());

@@ -1,4 +1,9 @@
-//! Small dense linear algebra for the ApproxIt reproduction.
+//! Dense and sparse linear algebra for the ApproxIt reproduction.
+//!
+//! Matrices come in two storage formats — the dense row-major
+//! [`Matrix`] and the compressed-sparse-row [`CsrMatrix`] — unified
+//! behind the [`LinearOperator`] trait, which is the surface the
+//! iterative solvers are written against.
 //!
 //! Two kinds of routines coexist, mirroring the paper's split between
 //! error-resilient and error-sensitive computation:
@@ -30,6 +35,8 @@
 
 mod error;
 mod matrix;
+mod operator;
+mod sparse;
 
 pub mod decomp;
 pub mod stats;
@@ -37,3 +44,5 @@ pub mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use operator::LinearOperator;
+pub use sparse::CsrMatrix;

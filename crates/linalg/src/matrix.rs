@@ -2,6 +2,8 @@
 
 use approx_arith::ArithContext;
 
+use crate::operator::LinearOperator;
+
 /// A dense row-major `f64` matrix.
 ///
 /// # Example
@@ -120,31 +122,26 @@ impl Matrix {
         t
     }
 
-    /// Exact matrix–vector product.
+    /// Exact matrix–vector product (thin delegation to
+    /// [`LinearOperator::matvec_exact`] — the trait is the one matvec
+    /// code path).
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn matvec_exact(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "vector length must equal column count");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        LinearOperator::matvec_exact(self, x)
     }
 
-    /// Matrix–vector product on a context's datapath (a single
-    /// [`ArithContext::matvec_slice`] call over the row-major storage,
-    /// so contexts with batched kernels convert the shared vector once
-    /// and run every row reduction at slice granularity).
+    /// Matrix–vector product on a context's datapath (thin delegation
+    /// to [`LinearOperator::matvec`], which routes through a single
+    /// [`ArithContext::matvec_slice`] call over the row-major storage).
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn matvec(&self, ctx: &mut dyn ArithContext, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "vector length must equal column count");
-        let mut out = vec![0.0; self.rows];
-        ctx.matvec_slice(&self.data, self.cols, x, &mut out);
-        out
+        LinearOperator::matvec(self, ctx, x)
     }
 
     /// Exact matrix product `self · rhs`.
@@ -183,6 +180,60 @@ impl Matrix {
             }
         }
         true
+    }
+}
+
+impl LinearOperator for Matrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A single [`ArithContext::matvec_slice`] call over the row-major
+    /// storage, so contexts with batched kernels convert the shared
+    /// vector once and run every row reduction at slice granularity.
+    fn apply(&self, ctx: &mut dyn ArithContext, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        assert_eq!(out.len(), self.rows, "output length must equal row count");
+        ctx.matvec_slice(&self.data, self.cols, x, out);
+    }
+
+    fn apply_exact(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        assert_eq!(out.len(), self.rows, "output length must equal row count");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        let n = LinearOperator::order(self);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    fn max_abs_entry(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    fn off_diagonal_abs_row_sums(&self) -> Vec<f64> {
+        let n = LinearOperator::order(self);
+        (0..n)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn is_symmetric(&self, tol: f64) -> bool {
+        Matrix::is_symmetric(self, tol)
     }
 }
 

@@ -8,7 +8,7 @@
 //! stress test for the reconfiguration schemes rather than an easy win.
 
 use approx_arith::ArithContext;
-use approx_linalg::{vector, Matrix};
+use approx_linalg::{vector, LinearOperator, Matrix};
 
 use crate::method::IterativeMethod;
 
@@ -24,7 +24,9 @@ pub struct CgState {
     pub p: Vec<f64>,
 }
 
-/// Conjugate gradient on a dense SPD system, as an [`IterativeMethod`].
+/// Conjugate gradient on an SPD system behind any [`LinearOperator`]
+/// (dense [`Matrix`] by default, [`approx_linalg::CsrMatrix`] for
+/// graph- and PDE-scale systems), as an [`IterativeMethod`].
 ///
 /// The matrix–vector product and the three axpy updates run on the
 /// arithmetic context; the step-size scalars α and β are computed from
@@ -53,21 +55,21 @@ pub struct CgState {
 /// assert!((state.x[1] - 7.0 / 11.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ConjugateGradient {
-    a: Matrix,
+pub struct ConjugateGradient<A = Matrix> {
+    a: A,
     b: Vec<f64>,
     tolerance: f64,
     max_iterations: usize,
 }
 
-impl ConjugateGradient {
-    /// Create a solver for `A x = b`.
+impl<A: LinearOperator> ConjugateGradient<A> {
+    /// Create a solver for `A x = b` over any [`LinearOperator`].
     ///
     /// # Panics
     /// Panics if `A` is not square and symmetric of order `b.len()`, the
     /// tolerance is not positive, or `max_iterations` is 0.
     #[must_use]
-    pub fn new(a: Matrix, b: Vec<f64>, tolerance: f64, max_iterations: usize) -> Self {
+    pub fn new(a: A, b: Vec<f64>, tolerance: f64, max_iterations: usize) -> Self {
         assert_eq!(a.rows(), b.len(), "A and b dimensions must agree");
         assert!(a.is_symmetric(1e-9), "A must be symmetric");
         assert!(tolerance > 0.0, "tolerance must be positive");
@@ -86,9 +88,10 @@ impl ConjugateGradient {
         self.b.len()
     }
 
-    /// The system matrix `A` (range analysis reads its entry bounds).
+    /// The system operator `A` (range and contraction analyses read its
+    /// structural probes).
     #[must_use]
-    pub fn matrix(&self) -> &Matrix {
+    pub fn operator(&self) -> &A {
         &self.a
     }
 
@@ -110,7 +113,7 @@ impl ConjugateGradient {
     }
 }
 
-impl IterativeMethod for ConjugateGradient {
+impl<A: LinearOperator> IterativeMethod for ConjugateGradient<A> {
     type State = CgState;
 
     fn name(&self) -> &str {
@@ -125,6 +128,28 @@ impl IterativeMethod for ConjugateGradient {
     }
 
     fn step(&self, state: &CgState, ctx: &mut dyn ArithContext) -> CgState {
+        // Residual replacement (van der Vorst): approximate steps can
+        // decouple the r-recurrence from b − Ax while still *lowering*
+        // the objective, after which every later iteration solves the
+        // wrong system — invisibly to any objective-based monitor. The
+        // exact monitor rebuilds the recurrence (r and the search
+        // direction) whenever the stored residual drifts from the true
+        // one by more than 1%; in exact and accurate runs the drift
+        // stays at rounding level and the guard never fires.
+        let true_r = self.exact_residual(&state.x);
+        let drift = vector::dist2_exact(&state.r, &true_r);
+        let refreshed;
+        // audit:allow(taint-branch, residual-replacement guard deliberately compares fabric state against the exact monitor; recurrence drift is invisible to the objective)
+        let state = if drift > 0.01 * vector::norm2_exact(&true_r) {
+            refreshed = CgState {
+                x: state.x.clone(),
+                p: true_r.clone(),
+                r: true_r,
+            };
+            &refreshed
+        } else {
+            state
+        };
         let ap = self.a.matvec(ctx, &state.p);
         let rr = ctx.dot(&state.r, &state.r);
         let pap = ctx.dot(&state.p, &ap);
@@ -303,6 +328,30 @@ mod tests {
         let _ = a;
         let _ = b;
         let _ = want;
+    }
+
+    #[test]
+    fn sparse_and_dense_operators_give_bit_identical_iterates() {
+        use approx_linalg::CsrMatrix;
+        let (a, b) = system(12);
+        let s = CsrMatrix::from_dense(&a);
+        let cgd = ConjugateGradient::new(a, b.clone(), 1e-10, 40);
+        let cgs = ConjugateGradient::new(s, b, 1e-10, 40);
+        for level in [AccuracyLevel::Level2, AccuracyLevel::Accurate] {
+            let mut cd = QcsContext::with_profile(profile());
+            let mut cs = QcsContext::with_profile(profile());
+            cd.set_level(level);
+            cs.set_level(level);
+            let mut sd = cgd.initial_state();
+            let mut ss = cgs.initial_state();
+            for _ in 0..10 {
+                sd = cgd.step(&sd, &mut cd);
+                ss = cgs.step(&ss, &mut cs);
+                for (x, y) in sd.x.iter().zip(&ss.x) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "iterates diverged at {level:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use approx_arith::errorprop::{propagate_error, ErrorRecurrence};
 use approx_arith::range::RangeConfig;
-use approx_linalg::Matrix;
+use approx_linalg::{LinearOperator, Matrix};
 
 use crate::autoreg::AutoRegression;
 use crate::cg::ConjugateGradient;
@@ -82,22 +82,15 @@ impl std::fmt::Display for ContractionReport {
     }
 }
 
-/// Gershgorin disc bounds on the spectrum of a symmetric matrix:
+/// Gershgorin disc bounds on the spectrum of a symmetric operator:
 /// every eigenvalue lies in `[lo, hi]` where each row contributes the
-/// disc `center a_ii`, `radius Σ_{j≠i} |a_ij|`.
-fn gershgorin(m: &Matrix) -> (f64, f64) {
-    let n = m.rows();
+/// disc `center a_ii`, `radius Σ_{j≠i} |a_ij|` — both read through the
+/// [`LinearOperator`] structural probes, so the certificate works
+/// unchanged for dense and sparse systems.
+fn gershgorin<A: LinearOperator>(m: &A) -> (f64, f64) {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for i in 0..n {
-        let row = m.row(i);
-        let diag = row[i];
-        let off: f64 = row
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, v)| v.abs())
-            .sum();
+    for (diag, off) in m.diagonal().iter().zip(m.off_diagonal_abs_row_sums()) {
         lo = lo.min(diag - off);
         hi = hi.max(diag + off);
     }
@@ -110,8 +103,8 @@ fn gershgorin(m: &Matrix) -> (f64, f64) {
 /// `λmin > 0`, the factor is reported as `1.0` (no static certificate —
 /// CG may still converge, but this analysis cannot prove it).
 #[must_use]
-pub fn cg_contraction(cg: &ConjugateGradient) -> ContractionReport {
-    let (lmin, lmax) = gershgorin(cg.matrix());
+pub fn cg_contraction<A: LinearOperator>(cg: &ConjugateGradient<A>) -> ContractionReport {
+    let (lmin, lmax) = gershgorin(cg.operator());
     let name = format!("conjugate-gradient(n={})", cg.order());
     if lmin <= 0.0 {
         return ContractionReport {

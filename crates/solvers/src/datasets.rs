@@ -7,6 +7,7 @@
 //! quality behaviour the paper reports (see DESIGN.md §2).
 
 use approx_arith::rng::Pcg32;
+use approx_linalg::CsrMatrix;
 
 /// A labelled clustering dataset (for GMM and k-means).
 #[derive(Debug, Clone, PartialEq)]
@@ -259,6 +260,33 @@ pub fn nasdaq_like() -> SeriesDataset {
 #[must_use]
 pub fn sp500_like() -> SeriesDataset {
     ar_series("sp500", 16090, &index_coeffs(-0.04), 1.0, 0x4A13)
+}
+
+/// A seeded small-world digraph for the PageRank workload: a directed
+/// ring (`u → u+1 mod n`, so every node has out-degree ≥ 1 and the
+/// graph is strongly connected) plus `chords` random long-range edges
+/// per node. Returned as a [`CsrMatrix`] adjacency *structure* — row
+/// `u` lists the out-neighbours of `u`; stored values are all 1.
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> CsrMatrix {
+    assert!(n >= 2, "a ring needs at least two nodes (got {n})");
+    let mut rng = Pcg32::seeded(seed, 0x9a6e);
+    let mut triplets = Vec::with_capacity(n * (1 + chords));
+    for u in 0..n {
+        triplets.push((u, (u + 1) % n, 1.0));
+        for _ in 0..chords {
+            let v = rng.below(n as u64) as usize;
+            if v != u {
+                // Duplicate chords fold together in from_triplets; the
+                // structure (which columns exist) is all that matters.
+                triplets.push((u, v, 1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
 }
 
 #[cfg(test)]

@@ -27,11 +27,14 @@ mod autoreg;
 mod cg;
 mod gmm;
 mod gradient_descent;
+mod jacobi;
 mod kmeans;
 mod logistic;
 mod method;
 mod multigrid;
 mod newton;
+mod opmultigrid;
+mod pagerank;
 mod poisson;
 
 pub mod contraction;
@@ -47,11 +50,14 @@ pub use contraction::{
 };
 pub use gmm::{GaussianMixture, GmmState};
 pub use gradient_descent::GradientDescent;
+pub use jacobi::Jacobi;
 pub use kmeans::{KMeans, KMeansState};
 pub use logistic::LogisticIrls;
 pub use method::IterativeMethod;
 pub use multigrid::MultigridPoisson;
 pub use newton::NewtonMethod;
+pub use opmultigrid::{MgLevel, OperatorMultigrid};
+pub use pagerank::{PersonalizedPageRank, PprState};
 pub use poisson::{PoissonJacobi, PoissonSource, SweepMode};
 pub use ranges::{
     ar_range_model, cg_range_model, gmm_range_model, ArRangeSpec, CgRangeSpec, GmmRangeSpec,

@@ -16,6 +16,7 @@
 //!   exactly what the proof is conditioned on.
 
 use approx_arith::range::{ExprId, RangeConfig, RangeGraph, RangeReport};
+use approx_linalg::LinearOperator;
 
 use crate::autoreg::AutoRegression;
 use crate::cg::ConjugateGradient;
@@ -103,9 +104,12 @@ impl Default for CgRangeSpec {
 /// range analysis — the runtime guard in [`ConjugateGradient::step`]
 /// restarts on degenerate directions instead.
 #[must_use]
-pub fn cg_range_model(cg: &ConjugateGradient, spec: &CgRangeSpec) -> RangeModel {
+pub fn cg_range_model<A: LinearOperator>(
+    cg: &ConjugateGradient<A>,
+    spec: &CgRangeSpec,
+) -> RangeModel {
     let n = cg.order();
-    let a_max = max_abs(cg.matrix().as_slice().iter().copied());
+    let a_max = cg.operator().max_abs_entry();
     let b_max = max_abs(cg.rhs().iter().copied());
     let s = spec.state_bound.max(b_max); // initial r = p = b
     let g_bound = spec.scalar_bound;
@@ -118,8 +122,11 @@ pub fn cg_range_model(cg: &ConjugateGradient, spec: &CgRangeSpec) -> RangeModel 
     let alpha = g.input("alpha", -g_bound, g_bound);
     let beta = g.input("beta", -g_bound, g_bound);
 
-    // ap = A·p, one entry: an n-term dot product.
-    let ap = g.dot(a_entry, p, n);
+    // ap = A·p, one entry: a dot product over the operator's longest
+    // row reduction (n for dense, max stored entries per row for
+    // sparse — a 5-point stencil accumulates 5 terms, not n).
+    let row_terms = cg.operator().max_row_terms();
+    let ap = g.dot(a_entry, p, row_terms);
     g.named(ap, "ap[i] = (A p)[i]");
 
     // rr = r·r and pap = p·ap.

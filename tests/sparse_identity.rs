@@ -1,0 +1,180 @@
+//! Representation-independence guarantees for the sparse stack: a
+//! `CsrMatrix` is the *same operator* as its dense image at every
+//! accuracy level (bit-identical values, compared through
+//! `f64::to_bits`), and the sparse workloads run end to end under the
+//! ApproxIt controller at debug-feasible sizes.
+
+use approx_arith::{AccuracyLevel, LowPartPolicy, QFormat, QcsAdder};
+use approxit::prelude::*;
+use iter_solvers::datasets::ring_with_chords;
+use iter_solvers::rng::Pcg32;
+use iter_solvers::ConjugateGradient;
+
+fn profile() -> EnergyProfile {
+    EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
+}
+
+const LEVELS: [AccuracyLevel; 5] = [
+    AccuracyLevel::Level1,
+    AccuracyLevel::Level2,
+    AccuracyLevel::Level3,
+    AccuracyLevel::Level4,
+    AccuracyLevel::Accurate,
+];
+
+/// The format sweep: narrow, paper-default, and wide fixed point. The
+/// wide format's approx-bit schedule is scaled to its 32 fraction bits.
+fn formats() -> Vec<(QFormat, [u32; 4])> {
+    vec![
+        (QFormat::Q15_16, [20, 15, 10, 5]),
+        (QFormat::Q31_16, [20, 15, 10, 5]),
+        (QFormat::Q31_32, [36, 24, 12, 6]),
+    ]
+}
+
+fn ctx_for(format: QFormat, approx_bits: [u32; 4], level: AccuracyLevel) -> QcsContext {
+    let adder = QcsAdder::with_policy(format.width(), approx_bits, LowPartPolicy::Zero);
+    let mut ctx = QcsContext::new(adder, format, profile());
+    ctx.set_level(level);
+    ctx
+}
+
+/// A random sparse matrix with a few entries per row, including
+/// explicitly stored zeros (legal in CSR, and a case where a naive
+/// "skip zeros" shortcut would change operation counts).
+fn random_sparse(rows: usize, cols: usize, per_row: usize, rng: &mut Pcg32) -> Matrix {
+    let mut dense = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for _ in 0..per_row {
+            let j = rng.uniform(0.0, cols as f64) as usize % cols;
+            let v = if rng.uniform(0.0, 1.0) < 0.1 {
+                0.0
+            } else {
+                rng.uniform(-2.0, 2.0)
+            };
+            dense[(i, j)] = v;
+        }
+    }
+    dense
+}
+
+#[test]
+fn csr_matvec_is_bit_identical_to_dense_across_formats_and_levels() {
+    let mut rng = Pcg32::seeded(0x5fa11, 1);
+    for case in 0..4 {
+        let rows = 5 + 3 * case;
+        let cols = 4 + 2 * case;
+        let dense = random_sparse(rows, cols, 3, &mut rng);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert!(csr.check_invariants());
+        let x: Vec<f64> = (0..cols).map(|_| rng.uniform(-1.5, 1.5)).collect();
+        for (format, approx_bits) in formats() {
+            for level in LEVELS {
+                let mut dctx = ctx_for(format, approx_bits, level);
+                let mut sctx = ctx_for(format, approx_bits, level);
+                let yd = dense.matvec(&mut dctx, &x);
+                let ys = csr.matvec(&mut sctx, &x);
+                for (i, (a, b)) in yd.iter().zip(&ys).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "case {case} {format} {level:?} row {i}: dense {a:e} vs csr {b:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn csr_round_trip_preserves_the_operator() {
+    let mut rng = Pcg32::seeded(0xcafe, 7);
+    let dense = random_sparse(9, 9, 4, &mut rng);
+    let csr = CsrMatrix::from_dense(&dense);
+    let back = csr.to_dense();
+    let x: Vec<f64> = (0..9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let a = dense.matvec_exact(&x);
+    let b = back.matvec_exact(&x);
+    for (u, v) in a.iter().zip(&b) {
+        assert_eq!(u.to_bits(), v.to_bits());
+    }
+}
+
+#[test]
+fn duplicate_triplets_fold_and_sort() {
+    let csr = CsrMatrix::from_triplets(
+        3,
+        3,
+        &[
+            (0, 2, 1.0),
+            (0, 0, 2.0),
+            (0, 2, 0.5),
+            (1, 1, -1.0),
+            (2, 0, 3.0),
+        ],
+    );
+    assert!(csr.check_invariants());
+    assert_eq!(csr.get(0, 2), 1.5);
+    assert_eq!(csr.get(0, 0), 2.0);
+    assert_eq!(csr.nnz(), 4);
+}
+
+/// Sparse CG under the full pipeline at a debug-feasible grid size:
+/// characterize, run adaptively, and land within the quality budget of
+/// the accurate-only reference.
+#[test]
+fn sparse_cg_under_the_controller_matches_truth_quality() {
+    let nx = 10;
+    let n = nx * nx;
+    let a = CsrMatrix::poisson5(nx, nx);
+    let mut rng = Pcg32::seeded(31, 2);
+    let truth_x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b = a.matvec_exact(&truth_x);
+    let cg = ConjugateGradient::new(a, b, 1e-9, 200);
+
+    let table = characterize(&cg, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+    let truth = RunConfig::new(&cg, &mut ctx).execute(&mut SingleMode::accurate());
+    let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
+    let run = RunConfig::new(&cg, &mut ctx).execute(&mut adaptive);
+
+    let norm = |v: &[f64]| v.iter().map(|e| e * e).sum::<f64>().sqrt();
+    let scale = norm(&truth_x);
+    let rel = |x: &[f64]| {
+        let d: Vec<f64> = x.iter().zip(&truth_x).map(|(a, b)| a - b).collect();
+        norm(&d) / scale
+    };
+    let rel_truth = rel(&truth.state.x);
+    let rel_run = rel(&run.state.x);
+    // The accurate reference itself sits at the Q15.16 quantization
+    // floor (~1e-2 on this system); the adaptive run must stay within
+    // a small factor of that floor.
+    assert!(rel_truth < 2e-2, "accurate reference off: {rel_truth:e}");
+    assert!(
+        rel_run < 5.0 * rel_truth,
+        "adaptive run degraded: {rel_run:e} vs truth {rel_truth:e}"
+    );
+}
+
+/// PageRank local push drains its residual queue under the controller,
+/// and the exact-invariant residual mass confirms real convergence
+/// (not the phantom kind where truncation destroys stored mass).
+#[test]
+fn pagerank_push_under_the_controller_really_converges() {
+    let n = 120;
+    let graph = ring_with_chords(n, 2, 0xBEEF);
+    let ppr = PersonalizedPageRank::new(graph, 5, 0.2, 5e-4, 300);
+    let table = characterize(&ppr, &profile(), 4);
+    let mut ctx = QcsContext::with_profile(profile());
+    let mut adaptive = AdaptiveAngleStrategy::from_characterization(&table, 1);
+    let run = RunConfig::new(&ppr, &mut ctx).execute(&mut adaptive);
+    assert!(run.report.converged, "queue did not drain");
+    let mass = ppr.residual_mass(&run.state);
+    // Every node's residual is below its eps·deg threshold, so the
+    // total exact mass is bounded by eps·(total out-degree) = eps·nnz.
+    let bound = 5e-4 * 3.0 * n as f64;
+    assert!(
+        mass <= bound,
+        "exact residual mass {mass:e} above {bound:e}"
+    );
+}
