@@ -33,7 +33,7 @@
 
 use crate::adder::{width_mask, AccuracyLevel};
 use crate::energy::EnergyProfile;
-use crate::fixed::QFormat;
+use crate::fixed::{QFormat, RawConverter};
 use crate::range::RangeConfig;
 use crate::recon::{LowPartPolicy, QcsAdder};
 
@@ -336,6 +336,8 @@ struct AddMode {
     or_low: bool,
     /// Mask selecting the datapath's `width` low bits.
     mask: u64,
+    /// Datapath width in bits, for sign extension and SWAR lane layout.
+    w: u32,
     /// `width ≤ 54` ⇒ every raw value round-trips through `f64`
     /// exactly, so fused kernels may keep intermediates in raw form.
     exact_roundtrip: bool,
@@ -347,6 +349,7 @@ impl AddMode {
             k: qcs.approx_bits(level),
             or_low: qcs.policy() == LowPartPolicy::Or,
             mask: width_mask(format.width()),
+            w: format.width(),
             // |raw| < 2^(width−1) is exactly representable in f64 up to
             // width 54, and the power-of-two scaling in from_raw/to_raw
             // is itself exact.
@@ -369,6 +372,412 @@ impl AddMode {
             ((high << k) | low) & self.mask
         } else {
             (high << k) & self.mask
+        }
+    }
+
+    /// Branch-free sign extension of a masked `width`-bit pattern —
+    /// equal to [`QFormat::from_bits`] on pre-masked input, without the
+    /// sign test.
+    #[inline]
+    fn sext(self, bits: u64) -> i64 {
+        ((bits << (64 - self.w)) as i64) >> (64 - self.w)
+    }
+
+    /// One QCS add on raw (sign-extended) words: mask, add, re-extend.
+    #[inline]
+    fn add_raws(self, a: i64, b: i64) -> i64 {
+        self.sext(self.add_bits(a as u64 & self.mask, b as u64 & self.mask))
+    }
+
+    /// In-place element-wise QCS add over raw words:
+    /// `acc[i] = add(acc[i], ys[i])`.
+    ///
+    /// When two datapath words fit in a `u64` (`2·width ≤ 64`, e.g. the
+    /// paper-default Q15.16), pairs of elements are packed into one word
+    /// and added with carry-isolating SWAR masks, `packed.rs`-style —
+    /// bit-identical to the scalar loop (pinned by tests).
+    fn add_raw_slices(self, acc: &mut [i64], ys: &[i64]) {
+        debug_assert_eq!(acc.len(), ys.len());
+        let w = self.w;
+        if 2 * w > 64 {
+            for (a, &b) in acc.iter_mut().zip(ys) {
+                *a = self.add_raws(*a, b);
+            }
+            return;
+        }
+        let m = self.mask;
+        let k = self.k;
+        let pairs = acc.len() / 2;
+        if k == 0 {
+            // Clearing the lane MSBs before the add confines every carry
+            // chain to its own lane (each lane sum is then < 2^width);
+            // the XOR restores the carry-less MSB sum afterwards.
+            let h = (1u64 << (w - 1)) | (1u64 << (2 * w - 1));
+            for i in 0..pairs {
+                let a = (acc[2 * i] as u64 & m) | ((acc[2 * i + 1] as u64 & m) << w);
+                let b = (ys[2 * i] as u64 & m) | ((ys[2 * i + 1] as u64 & m) << w);
+                let s = ((a & !h).wrapping_add(b & !h)) ^ ((a ^ b) & h);
+                acc[2 * i] = self.sext(s & m);
+                acc[2 * i + 1] = self.sext((s >> w) & m);
+            }
+        } else {
+            // Approximate levels: `a >> k` smears the upper lane's low
+            // bits into the lower lane, so the per-lane high parts are
+            // re-masked to (width − k) bits before adding. A sum of two
+            // (width − k)-bit lanes needs width − k + 1 ≤ width bits, so
+            // the plain add cannot carry across the lane boundary.
+            let hm = (1u64 << (w - k)) - 1;
+            let sm = hm | (hm << w);
+            let lm = (1u64 << k) - 1;
+            let km = lm | (lm << w);
+            for i in 0..pairs {
+                let a = (acc[2 * i] as u64 & m) | ((acc[2 * i + 1] as u64 & m) << w);
+                let b = (ys[2 * i] as u64 & m) | ((ys[2 * i + 1] as u64 & m) << w);
+                let hs = ((a >> k) & sm).wrapping_add((b >> k) & sm);
+                let mut s = (hs & sm) << k;
+                if self.or_low {
+                    s |= (a | b) & km;
+                }
+                acc[2 * i] = self.sext(s & m);
+                acc[2 * i + 1] = self.sext((s >> w) & m);
+            }
+        }
+        if acc.len() % 2 == 1 {
+            let i = acc.len() - 1;
+            acc[i] = self.add_raws(acc[i], ys[i]);
+        }
+    }
+}
+
+/// The hoisted multiply configuration of a [`QcsContext`] kernel: the
+/// datapath multiply with the format constants resolved once, plus a
+/// narrow fast path that `QFormat::mul_raw` itself cannot take (the
+/// scalar per-op baseline must keep its own timing characteristics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MulMode {
+    format: QFormat,
+    frac_bits: u32,
+    half: i64,
+    max_raw: i64,
+    min_raw: i64,
+    /// `width ≤ 32` ⇒ |raw| ≤ 2³¹, so products and the rounding bias fit
+    /// in an `i64` and the kernels can skip the i128 datapath.
+    narrow: bool,
+}
+
+impl MulMode {
+    fn for_format(format: QFormat) -> Self {
+        let w = format.width();
+        Self {
+            format,
+            frac_bits: format.frac_bits(),
+            half: 1i64 << (format.frac_bits().max(1) - 1),
+            max_raw: ((1u64 << (w - 1)) - 1) as i64,
+            min_raw: -1i64 << (w - 1),
+            narrow: w <= 32,
+        }
+    }
+
+    /// `QFormat::mul_raw`, bit-identical (pinned by tests), with the
+    /// multiplication kept in `i64` when the width permits.
+    #[inline]
+    fn mul_raw(self, a: i64, b: i64) -> i64 {
+        if self.narrow {
+            let wide = a * b;
+            let shifted = if wide >= 0 {
+                (wide + self.half) >> self.frac_bits
+            } else {
+                -((-wide + self.half) >> self.frac_bits)
+            };
+            shifted.clamp(self.min_raw, self.max_raw)
+        } else {
+            self.format.mul_raw(a, b)
+        }
+    }
+}
+
+/// Stack-block length for the fused kernels' batched conversions: long
+/// enough to amortize loop overhead and let `to_raw_slice` vectorize,
+/// small enough that the `i64`/`f64` staging arrays stay in L1 and on
+/// the stack (no allocation inside parallel workers).
+const BLOCK: usize = 256;
+
+/// Fabric-op threshold below which kernels stay serial even when an
+/// executor is attached: spawning scoped workers costs tens of
+/// microseconds, which only pays for itself on big-`n` work.
+const PAR_MIN_OPS: usize = 4096;
+
+/// Elements per parallel chunk. Fixed — never derived from the thread
+/// count — so the work attached to a chunk index is the same for every
+/// executor width (parx determinism rule 1).
+const PAR_CHUNK: usize = 4096;
+
+/// `out[i] = x[i] + y[i]` over one span, block-batched.
+fn add_span(cv: RawConverter, mode: AddMode, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    let mut ra = [0i64; BLOCK];
+    let mut rb = [0i64; BLOCK];
+    for ((xc, yc), oc) in xs
+        .chunks(BLOCK)
+        .zip(ys.chunks(BLOCK))
+        .zip(out.chunks_mut(BLOCK))
+    {
+        let n = xc.len();
+        cv.to_raw_slice(xc, &mut ra[..n]);
+        cv.to_raw_slice(yc, &mut rb[..n]);
+        mode.add_raw_slices(&mut ra[..n], &rb[..n]);
+        cv.from_raw_slice(&ra[..n], oc);
+    }
+}
+
+/// `out[i] = x[i] − y[i]` over one span: exact negation, then the add.
+fn sub_span(cv: RawConverter, mode: AddMode, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    let mut ra = [0i64; BLOCK];
+    let mut rb = [0i64; BLOCK];
+    let mut ny = [0f64; BLOCK];
+    for ((xc, yc), oc) in xs
+        .chunks(BLOCK)
+        .zip(ys.chunks(BLOCK))
+        .zip(out.chunks_mut(BLOCK))
+    {
+        let n = xc.len();
+        for (nv, &y) in ny[..n].iter_mut().zip(yc) {
+            *nv = -y;
+        }
+        cv.to_raw_slice(xc, &mut ra[..n]);
+        cv.to_raw_slice(&ny[..n], &mut rb[..n]);
+        mode.add_raw_slices(&mut ra[..n], &rb[..n]);
+        cv.from_raw_slice(&ra[..n], oc);
+    }
+}
+
+/// `y[i] = y[i] + x[i]` over one span, block-batched.
+fn add_assign_span(cv: RawConverter, mode: AddMode, ys: &mut [f64], xs: &[f64]) {
+    let mut ra = [0i64; BLOCK];
+    let mut rb = [0i64; BLOCK];
+    for (yc, xc) in ys.chunks_mut(BLOCK).zip(xs.chunks(BLOCK)) {
+        let n = yc.len();
+        cv.to_raw_slice(yc, &mut ra[..n]);
+        cv.to_raw_slice(xc, &mut rb[..n]);
+        mode.add_raw_slices(&mut ra[..n], &rb[..n]);
+        cv.from_raw_slice(&ra[..n], yc);
+    }
+}
+
+/// `out[i] = alpha · x[i]` over one span (alpha pre-converted).
+fn scale_span(cv: RawConverter, mul: MulMode, ra_alpha: i64, xs: &[f64], out: &mut [f64]) {
+    let mut rx = [0i64; BLOCK];
+    for (xc, oc) in xs.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+        let n = xc.len();
+        cv.to_raw_slice(xc, &mut rx[..n]);
+        for r in &mut rx[..n] {
+            *r = mul.mul_raw(ra_alpha, *r);
+        }
+        cv.from_raw_slice(&rx[..n], oc);
+    }
+}
+
+/// `out[i] = alpha · x[i] + y[i]` over one span, block-batched.
+fn axpy_span(
+    cv: RawConverter,
+    mode: AddMode,
+    mul: MulMode,
+    ra_alpha: i64,
+    xs: &[f64],
+    ys: &[f64],
+    out: &mut [f64],
+) {
+    let mut rp = [0i64; BLOCK];
+    let mut ry = [0i64; BLOCK];
+    let exact = mode.exact_roundtrip;
+    for ((xc, yc), oc) in xs
+        .chunks(BLOCK)
+        .zip(ys.chunks(BLOCK))
+        .zip(out.chunks_mut(BLOCK))
+    {
+        let n = xc.len();
+        cv.to_raw_slice(xc, &mut rp[..n]);
+        cv.to_raw_slice(yc, &mut ry[..n]);
+        for p in &mut rp[..n] {
+            let mut v = mul.mul_raw(ra_alpha, *p);
+            if !exact {
+                v = cv.to_raw(cv.from_raw(v));
+            }
+            *p = v;
+        }
+        mode.add_raw_slices(&mut rp[..n], &ry[..n]);
+        cv.from_raw_slice(&rp[..n], oc);
+    }
+}
+
+/// `y[i] = y[i] + alpha · x[i]` over one span, block-batched. The add's
+/// operand order (`y` first) matches the scalar path exactly.
+fn axpy_assign_span(
+    cv: RawConverter,
+    mode: AddMode,
+    mul: MulMode,
+    ra_alpha: i64,
+    ys: &mut [f64],
+    xs: &[f64],
+) {
+    let mut ra = [0i64; BLOCK];
+    let mut rb = [0i64; BLOCK];
+    let exact = mode.exact_roundtrip;
+    for (yc, xc) in ys.chunks_mut(BLOCK).zip(xs.chunks(BLOCK)) {
+        let n = yc.len();
+        cv.to_raw_slice(yc, &mut ra[..n]);
+        cv.to_raw_slice(xc, &mut rb[..n]);
+        for p in &mut rb[..n] {
+            let mut v = mul.mul_raw(ra_alpha, *p);
+            if !exact {
+                v = cv.to_raw(cv.from_raw(v));
+            }
+            *p = v;
+        }
+        mode.add_raw_slices(&mut ra[..n], &rb[..n]);
+        cv.from_raw_slice(&ra[..n], yc);
+    }
+}
+
+/// Partial dot reduction over one span on an exactly-round-tripping
+/// width, folded left-to-right from `init` in the masked-bits domain.
+///
+/// Chunked reductions merge these partials with `add_bits`, which is
+/// associative and commutative with identity 0 for *both* low-part
+/// policies (the high parts add modulo 2^(width−k); the OR'd low parts
+/// are an associative lattice join), so any chunking reproduces the
+/// serial fold bit for bit. The wide (width > 54) path round-trips the
+/// accumulator through `f64` after every step, which is *not*
+/// associative — wide reductions therefore never take this path and
+/// stay serial.
+fn dot_span_bits(
+    cv: RawConverter,
+    mode: AddMode,
+    mul: MulMode,
+    xs: &[f64],
+    ys: &[f64],
+    init: u64,
+) -> u64 {
+    let mut ra = [0i64; BLOCK];
+    let mut rb = [0i64; BLOCK];
+    let mut acc = init;
+    for (xc, yc) in xs.chunks(BLOCK).zip(ys.chunks(BLOCK)) {
+        let n = xc.len();
+        cv.to_raw_slice(xc, &mut ra[..n]);
+        cv.to_raw_slice(yc, &mut rb[..n]);
+        for (&a, &b) in ra[..n].iter().zip(&rb[..n]) {
+            let p = mul.mul_raw(a, b);
+            acc = mode.add_bits(acc, p as u64 & mode.mask);
+        }
+    }
+    acc
+}
+
+/// Partial sum reduction over one span in the masked-bits domain; same
+/// associativity contract as [`dot_span_bits`].
+fn sum_span_bits(cv: RawConverter, mode: AddMode, xs: &[f64], init: u64) -> u64 {
+    let mut rx = [0i64; BLOCK];
+    let mut acc = init;
+    for xc in xs.chunks(BLOCK) {
+        let n = xc.len();
+        cv.to_raw_slice(xc, &mut rx[..n]);
+        for &r in &rx[..n] {
+            acc = mode.add_bits(acc, r as u64 & mode.mask);
+        }
+    }
+    acc
+}
+
+/// Dense rows `out[r] = Σⱼ rows[r·cols + j] · rx[j]` over one row span
+/// (`rows` holds exactly `out.len()` rows). Row-partitioned parallelism
+/// is safe at *any* width: each row's left-to-right reduction runs
+/// intact inside one task.
+fn matvec_rows(
+    cv: RawConverter,
+    mode: AddMode,
+    mul: MulMode,
+    rows: &[f64],
+    cols: usize,
+    rx: &[i64],
+    out: &mut [f64],
+) {
+    let mut rr = [0i64; BLOCK];
+    if mode.exact_roundtrip {
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+            let mut acc = 0u64;
+            for (rc, xc) in row.chunks(BLOCK).zip(rx.chunks(BLOCK)) {
+                let n = rc.len();
+                cv.to_raw_slice(rc, &mut rr[..n]);
+                for (&a, &bx) in rr[..n].iter().zip(xc) {
+                    let p = mul.mul_raw(a, bx);
+                    acc = mode.add_bits(acc, p as u64 & mode.mask);
+                }
+            }
+            *o = cv.from_raw(mode.sext(acc));
+        }
+    } else {
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
+            let mut acc: i64 = 0;
+            for (rc, xc) in row.chunks(BLOCK).zip(rx.chunks(BLOCK)) {
+                let n = rc.len();
+                cv.to_raw_slice(rc, &mut rr[..n]);
+                for (&a, &bx) in rr[..n].iter().zip(xc) {
+                    let p = cv.to_raw(cv.from_raw(mul.mul_raw(a, bx)));
+                    let bits = mode.add_bits(acc as u64 & mode.mask, p as u64 & mode.mask);
+                    acc = cv.to_raw(cv.from_raw(mode.sext(bits)));
+                }
+            }
+            *o = cv.from_raw(acc);
+        }
+    }
+}
+
+/// CSR rows `row_offset .. row_offset + out.len()` of the sparse
+/// product (same row-partitioned contract as [`matvec_rows`]).
+#[allow(clippy::too_many_arguments)]
+fn spmv_rows(
+    cv: RawConverter,
+    mode: AddMode,
+    mul: MulMode,
+    values: &[f64],
+    col_idx: &[usize],
+    row_ptr: &[usize],
+    rx: &[i64],
+    row_offset: usize,
+    out: &mut [f64],
+) {
+    let mut rv = [0i64; BLOCK];
+    for (i, o) in out.iter_mut().enumerate() {
+        let r = row_offset + i;
+        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+        if mode.exact_roundtrip {
+            let mut acc = 0u64;
+            for (vc, jc) in values[lo..hi]
+                .chunks(BLOCK)
+                .zip(col_idx[lo..hi].chunks(BLOCK))
+            {
+                let n = vc.len();
+                cv.to_raw_slice(vc, &mut rv[..n]);
+                for (&a, &j) in rv[..n].iter().zip(jc) {
+                    let p = mul.mul_raw(a, rx[j]);
+                    acc = mode.add_bits(acc, p as u64 & mode.mask);
+                }
+            }
+            *o = cv.from_raw(mode.sext(acc));
+        } else {
+            let mut acc: i64 = 0;
+            for (vc, jc) in values[lo..hi]
+                .chunks(BLOCK)
+                .zip(col_idx[lo..hi].chunks(BLOCK))
+            {
+                let n = vc.len();
+                cv.to_raw_slice(vc, &mut rv[..n]);
+                for (&a, &j) in rv[..n].iter().zip(jc) {
+                    let p = cv.to_raw(cv.from_raw(mul.mul_raw(a, rx[j])));
+                    let bits = mode.add_bits(acc as u64 & mode.mask, p as u64 & mode.mask);
+                    acc = cv.to_raw(cv.from_raw(mode.sext(bits)));
+                }
+            }
+            *o = cv.from_raw(acc);
         }
     }
 }
@@ -420,6 +829,10 @@ pub struct QcsContext {
     profile: EnergyProfile,
     level: AccuracyLevel,
     mode: AddMode,
+    mul_mode: MulMode,
+    /// Deterministic executor for big-`n` kernels; `None` keeps every
+    /// kernel serial (the default).
+    par: Option<parx::Executor>,
     /// Adds tallied per accuracy level (indexed by
     /// [`AccuracyLevel::index`]); energy is derived lazily from these.
     add_counts: [u64; 5],
@@ -454,6 +867,8 @@ impl QcsContext {
             profile,
             level,
             mode: AddMode::for_level(&qcs, format, level),
+            mul_mode: MulMode::for_format(format),
+            par: None,
             add_counts: [0; 5],
             muls: 0,
             divs: 0,
@@ -497,6 +912,39 @@ impl QcsContext {
     #[must_use]
     pub fn profile(&self) -> &EnergyProfile {
         &self.profile
+    }
+
+    /// Attach a deterministic executor: big-`n` kernels split their
+    /// work across its workers. Element-wise ops and the row-partitioned
+    /// matvec/spmv parallelize at any width; the dot/sum reductions
+    /// chunk only on exactly-round-tripping widths (≤ 54 bits), where
+    /// the QCS add's associativity makes chunked partials reproduce the
+    /// serial fold bit for bit. Values, [`OpCounts`], and energy are
+    /// bit-identical for every thread count — `with_threads(1)` is the
+    /// reference the parallel-identity tests compare against.
+    #[must_use]
+    pub fn with_executor(mut self, exec: parx::Executor) -> Self {
+        self.par = Some(exec);
+        self
+    }
+
+    /// Replace (or remove, with `None`) the attached executor.
+    pub fn set_executor(&mut self, exec: Option<parx::Executor>) {
+        self.par = exec;
+    }
+
+    /// The attached executor, if any.
+    #[must_use]
+    pub fn executor(&self) -> Option<parx::Executor> {
+        self.par
+    }
+
+    /// The executor to use for a kernel performing `fabric_ops`
+    /// operations, when parallel execution would actually pay.
+    #[inline]
+    fn par_exec(&self, fabric_ops: usize) -> Option<parx::Executor> {
+        self.par
+            .filter(|e| e.threads() > 1 && fabric_ops >= PAR_MIN_OPS)
     }
 
     /// Start recording the operand bit patterns of approximate adds into
@@ -616,13 +1064,15 @@ impl ArithContext for QcsContext {
             return;
         }
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
-            let ba = fmt.to_bits(cv.to_raw(x));
-            let bb = fmt.to_bits(cv.to_raw(y));
-            *o = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(out, PAR_CHUNK, |ci, oc| {
+                let s = ci * PAR_CHUNK;
+                add_span(cv, mode, &xs[s..s + oc.len()], &ys[s..s + oc.len()], oc);
+            });
+        } else {
+            add_span(cv, mode, xs, ys, out);
         }
     }
 
@@ -636,24 +1086,31 @@ impl ArithContext for QcsContext {
             return;
         }
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
-            let ba = fmt.to_bits(cv.to_raw(x));
-            let bb = fmt.to_bits(cv.to_raw(-y));
-            *o = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(out, PAR_CHUNK, |ci, oc| {
+                let s = ci * PAR_CHUNK;
+                sub_span(cv, mode, &xs[s..s + oc.len()], &ys[s..s + oc.len()], oc);
+            });
+        } else {
+            sub_span(cv, mode, xs, ys, out);
         }
     }
 
     fn scale_slice(&mut self, alpha: f64, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "slice lengths must match");
         self.muls += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
+        let mul = self.mul_mode;
         let ra = cv.to_raw(alpha);
-        for (o, &x) in out.iter_mut().zip(xs) {
-            *o = cv.from_raw(fmt.mul_raw(ra, cv.to_raw(x)));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(out, PAR_CHUNK, |ci, oc| {
+                let s = ci * PAR_CHUNK;
+                scale_span(cv, mul, ra, &xs[s..s + oc.len()], oc);
+            });
+        } else {
+            scale_span(cv, mul, ra, xs, out);
         }
     }
 
@@ -669,18 +1126,25 @@ impl ArithContext for QcsContext {
         }
         self.muls += xs.len() as u64;
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        let exact = self.mode.exact_roundtrip;
+        let mul = self.mul_mode;
         let ra = cv.to_raw(alpha);
-        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
-            let mut p = fmt.mul_raw(ra, cv.to_raw(x));
-            if !exact {
-                p = cv.to_raw(cv.from_raw(p));
-            }
-            let bits = mode.add_bits(fmt.to_bits(p), fmt.to_bits(cv.to_raw(y)));
-            *o = cv.from_raw(fmt.from_bits(bits));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(out, PAR_CHUNK, |ci, oc| {
+                let s = ci * PAR_CHUNK;
+                axpy_span(
+                    cv,
+                    mode,
+                    mul,
+                    ra,
+                    &xs[s..s + oc.len()],
+                    &ys[s..s + oc.len()],
+                    oc,
+                );
+            });
+        } else {
+            axpy_span(cv, mode, mul, ra, xs, ys, out);
         }
     }
 
@@ -693,13 +1157,15 @@ impl ArithContext for QcsContext {
             return;
         }
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        for (y, &x) in ys.iter_mut().zip(xs) {
-            let ba = fmt.to_bits(cv.to_raw(*y));
-            let bb = fmt.to_bits(cv.to_raw(x));
-            *y = cv.from_raw(fmt.from_bits(mode.add_bits(ba, bb)));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(ys, PAR_CHUNK, |ci, yc| {
+                let s = ci * PAR_CHUNK;
+                add_assign_span(cv, mode, yc, &xs[s..s + yc.len()]);
+            });
+        } else {
+            add_assign_span(cv, mode, ys, xs);
         }
     }
 
@@ -714,18 +1180,17 @@ impl ArithContext for QcsContext {
         }
         self.muls += xs.len() as u64;
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        let exact = self.mode.exact_roundtrip;
+        let mul = self.mul_mode;
         let ra = cv.to_raw(alpha);
-        for (y, &x) in ys.iter_mut().zip(xs) {
-            let mut p = fmt.mul_raw(ra, cv.to_raw(x));
-            if !exact {
-                p = cv.to_raw(cv.from_raw(p));
-            }
-            let bits = mode.add_bits(fmt.to_bits(cv.to_raw(*y)), fmt.to_bits(p));
-            *y = cv.from_raw(fmt.from_bits(bits));
+        if let Some(exec) = self.par_exec(xs.len()) {
+            exec.for_each_chunk(ys, PAR_CHUNK, |ci, yc| {
+                let s = ci * PAR_CHUNK;
+                axpy_assign_span(cv, mode, mul, ra, yc, &xs[s..s + yc.len()]);
+            });
+        } else {
+            axpy_assign_span(cv, mode, mul, ra, ys, xs);
         }
     }
 
@@ -741,25 +1206,42 @@ impl ArithContext for QcsContext {
         }
         self.muls += xs.len() as u64;
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        if self.mode.exact_roundtrip {
+        let mul = self.mul_mode;
+        if mode.exact_roundtrip {
             // The bits→raw→f64→raw→bits round-trip between fused ops is
             // the identity here, so the accumulator never has to leave
-            // the masked-bits domain.
-            let mut acc_bits: u64 = 0;
-            for (&x, &y) in xs.iter().zip(ys) {
-                let p = fmt.mul_raw(cv.to_raw(x), cv.to_raw(y));
-                acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
-            }
-            cv.from_raw(fmt.from_bits(acc_bits))
+            // the masked-bits domain — and the bits-domain add is
+            // associative (see `dot_span_bits`), so the reduction may be
+            // chunked across workers and merged in chunk order.
+            let acc_bits = if let Some(exec) = self.par_exec(xs.len()) {
+                let partials = exec.map_chunks(xs.len() as u64, PAR_CHUNK as u64, |s, e| {
+                    let (s, e) = (s as usize, e as usize);
+                    dot_span_bits(cv, mode, mul, &xs[s..e], &ys[s..e], 0)
+                });
+                partials
+                    .into_iter()
+                    .fold(0u64, |acc, p| mode.add_bits(acc, p))
+            } else {
+                dot_span_bits(cv, mode, mul, xs, ys, 0)
+            };
+            cv.from_raw(mode.sext(acc_bits))
         } else {
+            // Wide path: the per-step f64 round-trip is not associative,
+            // so the fold stays serial (block-batched conversions only).
+            let mut ra = [0i64; BLOCK];
+            let mut rb = [0i64; BLOCK];
             let mut acc: i64 = 0;
-            for (&x, &y) in xs.iter().zip(ys) {
-                let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(x), cv.to_raw(y))));
-                let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
-                acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+            for (xc, yc) in xs.chunks(BLOCK).zip(ys.chunks(BLOCK)) {
+                let n = xc.len();
+                cv.to_raw_slice(xc, &mut ra[..n]);
+                cv.to_raw_slice(yc, &mut rb[..n]);
+                for (&a, &b) in ra[..n].iter().zip(&rb[..n]) {
+                    let p = cv.to_raw(cv.from_raw(mul.mul_raw(a, b)));
+                    let bits = mode.add_bits(acc as u64 & mode.mask, p as u64 & mode.mask);
+                    acc = cv.to_raw(cv.from_raw(mode.sext(bits)));
+                }
             }
             cv.from_raw(acc)
         }
@@ -781,31 +1263,25 @@ impl ArithContext for QcsContext {
         let n = rows.len() as u64;
         self.muls += n;
         self.add_counts[self.level.index()] += n;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
+        let mul = self.mul_mode;
         // The shared vector is converted exactly once; every row's
         // reduction then reuses the raw words.
-        let rx: Vec<i64> = x.iter().map(|&v| cv.to_raw(v)).collect();
-        if mode.exact_roundtrip {
-            for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
-                let mut acc_bits: u64 = 0;
-                for (&a, &bx) in row.iter().zip(&rx) {
-                    let p = fmt.mul_raw(cv.to_raw(a), bx);
-                    acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
-                }
-                *o = cv.from_raw(fmt.from_bits(acc_bits));
-            }
+        let mut rx = vec![0i64; x.len()];
+        cv.to_raw_slice(x, &mut rx);
+        if let Some(exec) = self.par_exec(rows.len()) {
+            // Row-partitioned: each chunk of output rows is one task, so
+            // every row's reduction runs intact inside a single worker —
+            // safe at any width. Rows per chunk depend only on the shape.
+            let rpc = (PAR_CHUNK / cols).max(1);
+            exec.for_each_chunk(out, rpc, |ci, oc| {
+                let r0 = ci * rpc;
+                let span = &rows[r0 * cols..(r0 + oc.len()) * cols];
+                matvec_rows(cv, mode, mul, span, cols, &rx, oc);
+            });
         } else {
-            for (o, row) in out.iter_mut().zip(rows.chunks_exact(cols)) {
-                let mut acc: i64 = 0;
-                for (&a, &bx) in row.iter().zip(&rx) {
-                    let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(a), bx)));
-                    let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
-                    acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
-                }
-                *o = cv.from_raw(acc);
-            }
+            matvec_rows(cv, mode, mul, rows, cols, &rx, out);
         }
     }
 
@@ -833,35 +1309,27 @@ impl ArithContext for QcsContext {
         let nnz = values.len() as u64;
         self.muls += nnz;
         self.add_counts[self.level.index()] += nnz;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
+        let mul = self.mul_mode;
         // The shared vector is converted exactly once; every stored
         // entry's product then reuses the raw words. (Gathering x[j] is
         // exact index arithmetic — only the product and the reduction
         // touch the fabric.)
-        let rx: Vec<i64> = x.iter().map(|&v| cv.to_raw(v)).collect();
-        if mode.exact_roundtrip {
-            for (r, o) in out.iter_mut().enumerate() {
-                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
-                let mut acc_bits: u64 = 0;
-                for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
-                    let p = fmt.mul_raw(cv.to_raw(a), rx[j]);
-                    acc_bits = mode.add_bits(acc_bits, fmt.to_bits(p));
-                }
-                *o = cv.from_raw(fmt.from_bits(acc_bits));
-            }
+        let mut rx = vec![0i64; x.len()];
+        cv.to_raw_slice(x, &mut rx);
+        if let Some(exec) = self.par_exec(values.len()) {
+            // Row-partitioned like matvec: rows per chunk derive from
+            // the mean stored entries per row — a function of the matrix
+            // only, so the chunking (and hence every row's task) is the
+            // same for every thread count.
+            let mean_nnz = (values.len() / out.len().max(1)).max(1);
+            let rpc = (PAR_CHUNK / mean_nnz).max(1);
+            exec.for_each_chunk(out, rpc, |ci, oc| {
+                spmv_rows(cv, mode, mul, values, col_idx, row_ptr, &rx, ci * rpc, oc);
+            });
         } else {
-            for (r, o) in out.iter_mut().enumerate() {
-                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
-                let mut acc: i64 = 0;
-                for (&a, &j) in values[lo..hi].iter().zip(&col_idx[lo..hi]) {
-                    let p = cv.to_raw(cv.from_raw(fmt.mul_raw(cv.to_raw(a), rx[j])));
-                    let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(p));
-                    acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
-                }
-                *o = cv.from_raw(acc);
-            }
+            spmv_rows(cv, mode, mul, values, col_idx, row_ptr, &rx, 0, out);
         }
     }
 
@@ -874,20 +1342,31 @@ impl ArithContext for QcsContext {
             return acc;
         }
         self.add_counts[self.level.index()] += xs.len() as u64;
-        let fmt = self.format;
-        let cv = fmt.converter();
+        let cv = self.format.converter();
         let mode = self.mode;
-        if self.mode.exact_roundtrip {
-            let mut acc_bits: u64 = 0;
-            for &x in xs {
-                acc_bits = mode.add_bits(acc_bits, fmt.to_bits(cv.to_raw(x)));
-            }
-            cv.from_raw(fmt.from_bits(acc_bits))
+        if mode.exact_roundtrip {
+            // Same chunked-reduction contract as `dot_slice`.
+            let acc_bits = if let Some(exec) = self.par_exec(xs.len()) {
+                let partials = exec.map_chunks(xs.len() as u64, PAR_CHUNK as u64, |s, e| {
+                    sum_span_bits(cv, mode, &xs[s as usize..e as usize], 0)
+                });
+                partials
+                    .into_iter()
+                    .fold(0u64, |acc, p| mode.add_bits(acc, p))
+            } else {
+                sum_span_bits(cv, mode, xs, 0)
+            };
+            cv.from_raw(mode.sext(acc_bits))
         } else {
+            let mut rx = [0i64; BLOCK];
             let mut acc: i64 = 0;
-            for &x in xs {
-                let bits = mode.add_bits(fmt.to_bits(acc), fmt.to_bits(cv.to_raw(x)));
-                acc = cv.to_raw(cv.from_raw(fmt.from_bits(bits)));
+            for xc in xs.chunks(BLOCK) {
+                let n = xc.len();
+                cv.to_raw_slice(xc, &mut rx[..n]);
+                for &r in &rx[..n] {
+                    let bits = mode.add_bits(acc as u64 & mode.mask, r as u64 & mode.mask);
+                    acc = cv.to_raw(cv.from_raw(mode.sext(bits)));
+                }
             }
             cv.from_raw(acc)
         }
@@ -1211,6 +1690,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mul_mode_matches_format_mul_raw() {
+        // The narrow (i64-only) kernel multiply must agree with the
+        // i128 datapath multiply everywhere, including the saturation
+        // boundaries and the frac_bits = 0 rounding quirk.
+        for fmt in [
+            QFormat::Q15_16,
+            QFormat::new(32, 0),
+            QFormat::new(20, 7),
+            QFormat::new(8, 3),
+            QFormat::Q31_16,
+            QFormat::Q31_32,
+        ] {
+            let mul = MulMode::for_format(fmt);
+            let cv = fmt.converter();
+            let max = cv.to_raw(f64::INFINITY);
+            let min = cv.to_raw(f64::NEG_INFINITY);
+            for (a, b) in [(max, max), (max, min), (min, min), (0, max), (1, -1)] {
+                assert_eq!(mul.mul_raw(a, b), fmt.mul_raw(a, b), "{fmt} ({a}, {b})");
+            }
+            let mut rng = crate::rng::Pcg32::seeded(97, fmt.width() as u64);
+            for _ in 0..5_000 {
+                let a = cv.to_raw(rng.uniform(fmt.min_value(), fmt.max_value()));
+                let b = cv.to_raw(rng.uniform(fmt.min_value(), fmt.max_value()));
+                assert_eq!(mul.mul_raw(a, b), fmt.mul_raw(a, b), "{fmt} ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_packed_add_matches_scalar_adds() {
+        // The two-lane SWAR path must agree with the element-wise QCS
+        // add for every level and policy, including the odd-length tail.
+        for policy in [LowPartPolicy::Zero, LowPartPolicy::Or] {
+            for fmt in [QFormat::Q15_16, QFormat::new(24, 8), QFormat::new(8, 3)] {
+                let w = fmt.width();
+                let qcs = QcsAdder::with_policy(
+                    w,
+                    [(w * 5 / 8).min(w), w / 2, w / 4, (w / 8).max(1)],
+                    policy,
+                );
+                let mut rng = crate::rng::Pcg32::seeded(23, u64::from(w));
+                for level in AccuracyLevel::ALL {
+                    let mode = AddMode::for_level(&qcs, fmt, level);
+                    for len in [1usize, 2, 7, 64] {
+                        let xs: Vec<i64> = (0..len)
+                            .map(|_| mode.sext(rng.next_u64() & mode.mask))
+                            .collect();
+                        let ys: Vec<i64> = (0..len)
+                            .map(|_| mode.sext(rng.next_u64() & mode.mask))
+                            .collect();
+                        let mut got = xs.clone();
+                        mode.add_raw_slices(&mut got, &ys);
+                        for i in 0..len {
+                            let want = mode.add_raws(xs[i], ys[i]);
+                            assert_eq!(got[i], want, "{fmt} {policy:?} {level} len={len} i={i}");
+                            // And both agree with the adder's own dispatch.
+                            let ref_bits =
+                                qcs.add(xs[i] as u64 & mode.mask, ys[i] as u64 & mode.mask, level);
+                            assert_eq!(got[i], mode.sext(ref_bits));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executor_attached_kernels_stay_bit_identical() {
+        // In-module smoke pin; the cross-format sweep lives in
+        // tests/parallel_identity.rs. n is above PAR_MIN_OPS so the
+        // parallel path actually engages.
+        let n = PAR_MIN_OPS + 513;
+        let mut rng = crate::rng::Pcg32::seeded(5, 1);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let mut serial = test_ctx();
+        let mut par = test_ctx().with_executor(parx::Executor::with_threads(3));
+        serial.set_level(AccuracyLevel::Level2);
+        par.set_level(AccuracyLevel::Level2);
+        let mut o1 = vec![0.0; n];
+        let mut o2 = vec![0.0; n];
+        serial.add_slice(&xs, &ys, &mut o1);
+        par.add_slice(&xs, &ys, &mut o2);
+        assert_eq!(o1, o2);
+        serial.axpy_slice(1.5, &xs, &ys, &mut o1);
+        par.axpy_slice(1.5, &xs, &ys, &mut o2);
+        assert_eq!(o1, o2);
+        assert_eq!(
+            serial.dot_slice(&xs, &ys).to_bits(),
+            par.dot_slice(&xs, &ys).to_bits()
+        );
+        assert_eq!(
+            serial.sum_slice(&xs).to_bits(),
+            par.sum_slice(&xs).to_bits()
+        );
+        assert_eq!(serial.counts(), par.counts());
+        assert_eq!(
+            serial.total_energy().to_bits(),
+            par.total_energy().to_bits()
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! (pinned by this module's tests), just measured much faster.
 
 use gatesim::packed::trace_toggles;
-use gatesim::par::Executor;
 use gatesim::EnergyModel;
+use parx::Executor;
 
 use crate::adder::{AccuracyLevel, Adder};
 use crate::multiplier::ArrayMultiplier;

@@ -236,6 +236,53 @@ impl RawConverter {
     pub fn from_raw(&self, raw: i64) -> f64 {
         raw as f64 * self.inv_scale
     }
+
+    /// Convert a whole slice to raw fixed point, bit-identical to
+    /// calling [`RawConverter::to_raw`] per element.
+    ///
+    /// The loop body is select-based rather than early-returning so the
+    /// compiler can vectorize it: truncate-and-round runs
+    /// unconditionally (Rust float→int casts saturate, so out-of-range
+    /// intermediates are defined) and the saturation cases overwrite the
+    /// result. The NaN case needs no select of its own — `NaN as i64`
+    /// is 0 and every comparison on NaN is false, so a NaN input falls
+    /// through to 0 exactly like the scalar early return.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `out` have different lengths.
+    pub fn to_raw_slice(&self, xs: &[f64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "to_raw_slice length mismatch");
+        let max_f = self.max_raw as f64;
+        let min_f = self.min_raw as f64;
+        for (o, &x) in out.iter_mut().zip(xs) {
+            let scaled = x * self.scale;
+            let t = scaled as i64;
+            let frac = scaled - t as f64;
+            // Wrapping: the bump can only wrap when the cast saturated,
+            // and those lanes are overwritten by the selects below.
+            let rounded = t
+                .wrapping_add(i64::from(frac >= 0.5))
+                .wrapping_sub(i64::from(frac <= -0.5));
+            let r = if scaled >= max_f {
+                self.max_raw
+            } else {
+                rounded
+            };
+            *o = if scaled <= min_f { self.min_raw } else { r };
+        }
+    }
+
+    /// Convert a whole raw slice back to `f64`, bit-identical to calling
+    /// [`RawConverter::from_raw`] per element.
+    ///
+    /// # Panics
+    /// Panics if `raws` and `out` have different lengths.
+    pub fn from_raw_slice(&self, raws: &[i64], out: &mut [f64]) {
+        assert_eq!(raws.len(), out.len(), "from_raw_slice length mismatch");
+        for (o, &raw) in out.iter_mut().zip(raws) {
+            *o = raw as f64 * self.inv_scale;
+        }
+    }
 }
 
 impl std::fmt::Display for QFormat {
@@ -329,6 +376,42 @@ mod tests {
         for _ in 0..20_000 {
             let x = rng.uniform(-3e4, 3e4);
             assert_eq!(cv.to_raw(x), (x * 65536.0).round() as i64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn slice_conversions_are_bit_identical_to_scalar() {
+        for q in [QFormat::Q15_16, QFormat::Q31_16, QFormat::Q31_32] {
+            let cv = q.converter();
+            let mut xs = vec![
+                0.0,
+                -0.0,
+                0.5 * q.resolution(),
+                -0.5 * q.resolution(),
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                1e300,
+                -1e300,
+                q.max_value(),
+                q.min_value(),
+                q.max_value() + 1.0,
+                q.min_value() - 1.0,
+            ];
+            let mut rng = crate::rng::Pcg32::seeded(3, 9);
+            for _ in 0..10_000 {
+                xs.push(rng.uniform(-4e4, 4e4));
+            }
+            let mut raws = vec![0i64; xs.len()];
+            cv.to_raw_slice(&xs, &mut raws);
+            for (&x, &r) in xs.iter().zip(&raws) {
+                assert_eq!(r, cv.to_raw(x), "to_raw_slice vs to_raw at x={x:e} ({q})");
+            }
+            let mut back = vec![0.0; raws.len()];
+            cv.from_raw_slice(&raws, &mut back);
+            for (&r, &b) in raws.iter().zip(&back) {
+                assert_eq!(b.to_bits(), cv.from_raw(r).to_bits(), "raw={r} ({q})");
+            }
         }
     }
 

@@ -18,7 +18,7 @@ pub struct AuditConfig {
     /// get the strictest ordering rules (`hash-iter`, `par-reduce`).
     pub result_affecting: Vec<String>,
     /// Files allowed to spawn threads: the deterministic executor
-    /// itself.
+    /// itself (the `parx` substrate crate).
     pub parallel_home: Vec<String>,
     /// Files allowed to read the wall clock (bench timing only).
     pub wall_clock_allow: Vec<String>,
@@ -51,7 +51,7 @@ impl AuditConfig {
         Self {
             root: root.into(),
             result_affecting: own(&["approx-arith", "linalg", "solvers", "core"]),
-            parallel_home: own(&["crates/gatesim/src/par.rs"]),
+            parallel_home: own(&["crates/parx/src/lib.rs"]),
             wall_clock_allow: own(&[
                 "crates/bench/src/harness.rs",
                 "crates/bench/src/bin/perf.rs",
@@ -59,7 +59,7 @@ impl AuditConfig {
                 "crates/bench/src/bin/sparseperf.rs",
             ]),
             panic_free: own(&["crates/core/src/service.rs", "crates/core/src/runner.rs"]),
-            reduce_exempt: own(&["crates/gatesim/src/par.rs"]),
+            reduce_exempt: own(&["crates/parx/src/lib.rs"]),
             suppression_budget: 8,
             taint_crates: own(&["approx-arith", "linalg", "solvers", "core", "gatesim"]),
             taint_control: own(&["core", "solvers"]),

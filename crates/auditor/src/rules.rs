@@ -32,7 +32,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "raw-parallel",
         severity: Severity::Error,
-        summary: "no thread::spawn/scope or third-party runtimes outside gatesim::par::Executor",
+        summary: "no thread::spawn/scope or third-party runtimes outside parx::Executor",
     },
     RuleInfo {
         id: "wall-clock",
@@ -131,7 +131,8 @@ pub fn audit_rust_source(rel_path: &str, src: &str, config: &AuditConfig) -> Fil
     if config.panic_free.iter().any(|p| p == rel_path) {
         panic_path_rule(rel_path, &code, &spans, out);
     }
-    let reduce_scope = result_affecting || crate_name == Some("gatesim");
+    let reduce_scope =
+        result_affecting || crate_name == Some("gatesim") || crate_name == Some("parx");
     if reduce_scope && !config.reduce_exempt.iter().any(|p| p == rel_path) {
         par_reduce_rule(rel_path, &code, &spans, out);
     }
@@ -310,7 +311,7 @@ fn raw_parallel_rule(rel_path: &str, code: &[&Token], out: &mut Vec<Violation>) 
                 tok,
                 format!(
                     "`{}` bypasses the deterministic executor; all parallelism must go \
-                     through gatesim::par::Executor (indexed work, in-order reduction)",
+                     through parx::Executor (indexed work, in-order reduction)",
                     tok.text
                 ),
             ));
@@ -328,7 +329,7 @@ fn raw_parallel_rule(rel_path: &str, code: &[&Token], out: &mut Vec<Violation>) 
                 rel_path,
                 code[i + 3],
                 format!(
-                    "`thread::{}` spawns outside gatesim::par::Executor; ad-hoc threads break \
+                    "`thread::{}` spawns outside parx::Executor; ad-hoc threads break \
                      the indexed-work/in-order-reduction determinism contract",
                     code[i + 3].text
                 ),
@@ -367,7 +368,7 @@ fn wall_clock_rule(rel_path: &str, code: &[&Token], out: &mut Vec<Violation>) {
                 tok,
                 format!(
                     "`{}` draws unseeded randomness; every RNG must derive from an explicit \
-                     seed (see gatesim::par::chunk_seed) so runs replay bit-identically",
+                     seed (see parx::chunk_seed) so runs replay bit-identically",
                     tok.text
                 ),
             ));
@@ -497,7 +498,7 @@ fn par_reduce_rule(rel_path: &str, code: &[&Token], spans: &[LineSpan], out: &mu
                 tok,
                 format!(
                     "`{}` enables scheduling-order accumulation; parallel reductions must \
-                     return indexed results through gatesim::par::Executor, which folds them \
+                     return indexed results through parx::Executor, which folds them \
                      in index order",
                     tok.text
                 ),
@@ -613,7 +614,7 @@ mod tests {
         let v = audit("crates/solvers/src/x.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!((v[0].rule, v[0].line), ("raw-parallel", 1));
-        assert!(audit("crates/gatesim/src/par.rs", src)
+        assert!(audit("crates/parx/src/lib.rs", src)
             .iter()
             .all(|v| v.rule != "raw-parallel"));
     }
@@ -672,8 +673,13 @@ mod tests {
         let src = "fn f(c: &std::sync::atomic::AtomicU64) { c.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n";
         let v = audit("crates/gatesim/src/sim2.rs", src);
         assert!(v.iter().any(|v| v.rule == "par-reduce"));
-        // par.rs is the one sanctioned home.
-        assert!(audit("crates/gatesim/src/par.rs", src).is_empty());
+        // The parx substrate is in scope too, but its own internals are
+        // the one sanctioned home.
+        let v = audit("crates/parx/src/helper.rs", src);
+        assert!(v.iter().any(|v| v.rule == "par-reduce"));
+        assert!(audit("crates/parx/src/lib.rs", src)
+            .iter()
+            .all(|v| v.rule != "par-reduce"));
     }
 
     #[test]

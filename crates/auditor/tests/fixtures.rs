@@ -57,11 +57,16 @@ fn hash_iter_fixture_is_caught() {
 
 #[test]
 fn raw_parallel_fixture_is_caught() {
-    let report = audit_at(
-        "crates/solvers/src/planted.rs",
-        include_str!("fixtures/raw_parallel.rs"),
-    );
-    assert_eq!(spans(&report), [("raw-parallel", 5), ("raw-parallel", 11)]);
+    let src = include_str!("fixtures/raw_parallel.rs");
+    let report = audit_at("crates/solvers/src/planted.rs", src);
+    assert_eq!(spans(&report), [("raw-parallel", 7), ("raw-parallel", 13)]);
+    // The sanction covers exactly `parx/src/lib.rs`: a sibling file in
+    // the substrate crate still may not spawn on its own.
+    let sibling = audit_at("crates/parx/src/worker.rs", src);
+    assert_eq!(spans(&sibling), [("raw-parallel", 7), ("raw-parallel", 13)]);
+    assert!(sibling.violations[0].message.contains("parx::Executor"));
+    let home = audit_at("crates/parx/src/lib.rs", src);
+    assert!(home.violations.iter().all(|v| v.rule != "raw-parallel"));
 }
 
 #[test]

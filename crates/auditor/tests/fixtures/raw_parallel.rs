@@ -1,15 +1,17 @@
-//! Planted violation: ad-hoc threads outside gatesim::par::Executor.
-//! Audited as-if at `crates/solvers/src/planted.rs`.
+//! Planted violation: ad-hoc threads outside the sanctioned `parx`
+//! substrate. Audited as-if at `crates/solvers/src/planted.rs`, and
+//! again as-if inside `crates/parx/src/worker.rs` — only
+//! `crates/parx/src/lib.rs` itself may spawn.
 
 pub fn fan_out(work: Vec<u64>) -> Vec<u64> {
-    let handle = std::thread::spawn(move || work.iter().sum::<u64>()); // line 5
+    let handle = std::thread::spawn(move || work.iter().sum::<u64>()); // line 7
     vec![handle.join().unwrap_or(0)]
 }
 
 pub fn scoped(data: &[f64]) -> f64 {
     let mut acc = 0.0;
     std::thread::scope(|s| {
-        // line 11: thread::scope outside the executor
+        // line 13: thread::scope outside the executor
         s.spawn(|| ());
     });
     acc += data.len() as f64;

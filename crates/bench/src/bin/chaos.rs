@@ -43,9 +43,9 @@ use approxit::service::{
 use approxit::Outcome;
 use approxit_bench::cli::{BenchOpts, Checker};
 use approxit_bench::specs::shared_profile;
-use gatesim::par::Executor;
 use iter_solvers::rng::Pcg32;
 use iter_solvers::{CgState, ConjugateGradient};
+use parx::Executor;
 
 use approx_linalg::Matrix;
 

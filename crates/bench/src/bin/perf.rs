@@ -20,8 +20,8 @@ use approxit_bench::cli::{BenchOpts, Checker};
 use gatesim::builders::{self, declare_ab, full_adder, half_adder};
 use gatesim::equiv::{error_bound, exhaustive_error_bound_with, ErrorBound};
 use gatesim::packed::{exhaustive_input_words, PackedSimulator, LANES};
-use gatesim::par::Executor;
 use gatesim::{EnergyModel, Netlist, Simulator};
+use parx::Executor;
 
 /// Soft wall-clock budget for the quick run (log-only).
 const QUICK_BUDGET: Duration = Duration::from_secs(120);

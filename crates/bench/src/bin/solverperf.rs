@@ -27,6 +27,7 @@ use approxit_bench::cli::{BenchOpts, Checker};
 use iter_solvers::datasets::{ar_series, gaussian_blobs};
 use iter_solvers::rng::Pcg32;
 use iter_solvers::{AutoRegression, ConjugateGradient, GaussianMixture, IterativeMethod};
+use parx::Executor;
 
 fn profile() -> EnergyProfile {
     EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
@@ -106,7 +107,10 @@ fn bench_workload<M: IterativeMethod>(
     let mut ops = 0;
     let mut checked = false;
     for _ in 0..reps {
-        let mut batched_ctx = QcsContext::with_profile(profile());
+        // The batched context runs with the ambient executor attached
+        // (`APPROXIT_THREADS` sets its worker count), so the timing —
+        // and the cross-check below — covers the parallel dispatch.
+        let mut batched_ctx = QcsContext::with_profile(profile()).with_executor(Executor::new());
         batched_ctx.set_level(level);
         let mut scalar_ctx = ScalarPath::new({
             let mut inner = QcsContext::with_profile(profile());
@@ -117,6 +121,24 @@ fn bench_workload<M: IterativeMethod>(
         let scalar = drive(method, &mut scalar_ctx, iters);
         if !checked {
             checked = true;
+            // Determinism contract: the parallel dispatch at an awkward
+            // thread count must reproduce the serial batched bits.
+            let mut par_ctx =
+                QcsContext::with_profile(profile()).with_executor(Executor::with_threads(7));
+            par_ctx.set_level(level);
+            let parallel = drive(method, &mut par_ctx, iters);
+            c.check(
+                &format!("{label}: 7-thread solve is bit-identical to the serial one"),
+                parallel.params.len() == batched.params.len()
+                    && parallel
+                        .params
+                        .iter()
+                        .zip(&batched.params)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                    && parallel.counts == batched.counts
+                    && parallel.energy.to_bits() == batched.energy.to_bits(),
+                "values, op counts and energy across thread counts",
+            );
             let values_ok = batched.params.len() == scalar.params.len()
                 && batched
                     .params

@@ -35,6 +35,7 @@ use approxit_bench::cli::{BenchOpts, Checker};
 use iter_solvers::datasets::ring_with_chords;
 use iter_solvers::rng::Pcg32;
 use iter_solvers::{ConjugateGradient, Jacobi, PersonalizedPageRank};
+use parx::Executor;
 
 fn profile() -> EnergyProfile {
     EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
@@ -245,6 +246,103 @@ fn check_kernel_contract(c: &mut Checker, grid: usize, iters: usize, reps: usize
     )
 }
 
+/// Time one micro-phase: the best of `reps` timed closure runs.
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Informational per-phase breakdown of the CSR-vs-dense gap: where the
+/// batched datapath spends its time — the matvec kernels themselves
+/// (CSR and dense images of the same operator), the f64↔raw slice
+/// conversions, and the dot reductions — so a CSR-vs-dense wall-clock
+/// delta can be attributed to a phase rather than guessed at.
+fn phase_breakdown(grid: usize, iters: usize, reps: usize) -> String {
+    let sparse = CsrMatrix::poisson5(grid, grid);
+    let dense = sparse.to_dense();
+    let n = grid * grid;
+    let mut rng = Pcg32::seeded(99, 5);
+    let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let y: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut out = vec![0.0; n];
+
+    let mut ctx = q15_ctx(AccuracyLevel::Level2);
+    let spmv = best_of(reps, || {
+        for _ in 0..iters {
+            sparse.apply(&mut ctx, &x, &mut out);
+        }
+    });
+    let matvec = best_of(reps, || {
+        for _ in 0..iters {
+            dense.apply(&mut ctx, &x, &mut out);
+        }
+    });
+    let cv = ctx.format().converter();
+    let mut raws = vec![0i64; n];
+    let mut back = vec![0.0; n];
+    let conversion = best_of(reps, || {
+        for _ in 0..iters {
+            cv.to_raw_slice(&x, &mut raws);
+            cv.from_raw_slice(&raws, &mut back);
+        }
+    });
+    let reduction = best_of(reps, || {
+        for _ in 0..iters {
+            let _ = ctx.dot_slice(&x, &y);
+        }
+    });
+    format!(
+        "phases {grid}x{grid} x{iters}: csr-matvec {:.1}ms, dense-matvec {:.1}ms, \
+         conversion {:.1}ms, dot-reduction {:.1}ms",
+        spmv.as_secs_f64() * 1e3,
+        matvec.as_secs_f64() * 1e3,
+        conversion.as_secs_f64() * 1e3,
+        reduction.as_secs_f64() * 1e3,
+    )
+}
+
+/// Thread-scaling on the acceptance workload: plain CG stepping on the
+/// 100k-unknown Poisson system with the executor at 1 vs 4 workers.
+/// The bit-identity of the two trajectories is a hard failure; the
+/// wall-clock ratio is informational (it can only show a speedup on
+/// multi-core hardware — single-core CI runs both serially).
+fn check_thread_scaling(c: &mut Checker, nx: usize, iters: usize) -> String {
+    let n = nx * nx;
+    let a = CsrMatrix::poisson5(nx, nx);
+    let mut rng = Pcg32::seeded(7, 3);
+    let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let cg = ConjugateGradient::new(a, b, 1e-10, iters.max(2));
+
+    let mut serial_ctx = q31_ctx(AccuracyLevel::Accurate).with_executor(Executor::with_threads(1));
+    let serial = drive(&cg, &mut serial_ctx, iters);
+    let mut par_ctx = q31_ctx(AccuracyLevel::Accurate).with_executor(Executor::with_threads(4));
+    let parallel = drive(&cg, &mut par_ctx, iters);
+
+    c.check(
+        &format!("4-thread CG on the {n}-unknown system is bit-identical to 1-thread"),
+        parallel
+            .params
+            .iter()
+            .zip(&serial.params)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && parallel.counts == serial.counts
+            && parallel.energy.to_bits() == serial.energy.to_bits(),
+        &format!("values, op counts and energy over {iters} iterations"),
+    );
+    format!(
+        "cg n={n} x{iters}: 1 thread {:.2}s, 4 threads {:.2}s ({:.2}x, informational — \
+         needs multi-core hardware to exceed 1.0)",
+        serial.elapsed.as_secs_f64(),
+        parallel.elapsed.as_secs_f64(),
+        serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9),
+    )
+}
+
 /// The acceptance workload: sparse CG on a 100k-unknown Poisson system
 /// under the ApproxIt controller, quality measured against a
 /// manufactured solution.
@@ -342,13 +440,17 @@ fn main() -> ExitCode {
 
     check_representation_independence(&mut c, seed);
     let jac_line = check_kernel_contract(&mut c, jac_grid, jac_iters, reps);
+    let phase_line = phase_breakdown(jac_grid, jac_iters, reps);
+    let scale_line = check_thread_scaling(&mut c, cg_nx, if smoke { 12 } else { 40 });
     let cg_line = check_graph_scale_cg(&mut c, cg_nx, char_iters, seed);
     let ppr_line = check_pagerank(&mut c, ppr_nodes, seed + 1);
 
     println!("\n  timings (informational):");
-    for line in [&jac_line, &cg_line, &ppr_line] {
+    for line in [&jac_line, &phase_line, &scale_line, &cg_line, &ppr_line] {
         println!("    {line}");
     }
-    c.note(&format!("{jac_line}; {cg_line}; {ppr_line}"));
+    c.note(&format!(
+        "{jac_line}; {phase_line}; {scale_line}; {cg_line}; {ppr_line}"
+    ));
     c.finish("sparseperf", &opts)
 }

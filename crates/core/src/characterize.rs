@@ -9,8 +9,8 @@
 //! adaptive strategy's error budget `E = f(x¹) − f(x⁰)`.
 
 use approx_arith::{AccuracyLevel, ArithContext, EnergyProfile, QcsContext};
-use gatesim::par::Executor;
 use iter_solvers::IterativeMethod;
+use parx::Executor;
 
 use crate::quality::quality_error;
 

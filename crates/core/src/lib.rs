@@ -31,7 +31,7 @@
 //!   full reachable state spaces, with replayable counterexamples for
 //!   anything it cannot prove;
 //! * a resilient multi-request [`service`] ([`SolverService`]) that fans
-//!   independent solves across [`gatesim::par::Executor`] under
+//!   independent solves across [`parx::Executor`] under
 //!   per-request deadlines, retry-with-escalation, bounded-queue load
 //!   shedding, and per-level circuit breakers — deterministic for any
 //!   thread count.

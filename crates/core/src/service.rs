@@ -51,7 +51,7 @@
 //! ```
 //! use approxit::prelude::*;
 //! use approxit::service::{Request, ServiceConfig, SolverService};
-//! use gatesim::par::Executor;
+//! use parx::Executor;
 //! use approx_linalg::Matrix;
 //! use iter_solvers::ConjugateGradient;
 //!
@@ -75,8 +75,8 @@
 use std::collections::VecDeque;
 
 use approx_arith::{AccuracyLevel, ArithContext};
-use gatesim::par::{request_seed, Executor};
 use iter_solvers::IterativeMethod;
+use parx::{request_seed, Executor};
 
 use crate::report::{Outcome, RunReport};
 use crate::runner::RunConfig;

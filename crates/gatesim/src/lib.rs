@@ -18,8 +18,8 @@
 //! * [`PackedSimulator`] — the bit-parallel backend: 64 input patterns
 //!   per `u64` word per gate, output- and toggle-identical to
 //!   [`Simulator`], used by every exhaustive sweep in the workspace.
-//! * [`par`] — dependency-free scoped-thread executor with deterministic
-//!   chunking and reduction; all parallel sweeps (equivalence checks,
+//! * [`par`] — deterministic scoped-thread executor, re-exported from the
+//!   shared `parx` crate; all parallel sweeps (equivalence checks,
 //!   fault campaigns, energy traces) are bit-identical to serial runs.
 //! * [`EnergyModel`] — maps toggle counts to (relative) dynamic energy and
 //!   adds a leakage term, using per-gate capacitances proportional to
@@ -74,7 +74,6 @@ pub mod fault;
 pub mod lint;
 pub mod optimize;
 pub mod packed;
-pub mod par;
 pub mod stats;
 pub mod timing;
 
@@ -87,5 +86,10 @@ pub use lint::{LintConfig, LintDiagnostic, LintPass, LintReport, Severity};
 pub use netlist::{Netlist, Node, NodeId};
 pub use packed::PackedSimulator;
 pub use par::Executor;
+/// Deterministic parallel execution, re-exported from the shared
+/// [`parx`] crate (the executor graduated out of gatesim once the
+/// online solver paths started using it too). `gatesim::par::...`
+/// paths keep working; new code should depend on `parx` directly.
+pub use parx as par;
 pub use sim::Simulator;
 pub use stats::ActivityReport;

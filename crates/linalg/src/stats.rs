@@ -69,13 +69,23 @@ pub fn weighted_mean(
     );
     assert_eq!(points.len(), weights.len(), "one weight per point required");
     let dim = points[0].len();
-    let mut acc = vec![0.0; dim];
-    let mut total = 0.0;
-    for (p, &w) in points.iter().zip(weights) {
+    let n = points.len();
+    // One fused sum for the total weight, then the per-dimension
+    // accumulations `acc[d] = Σₙ wₙ·xₙ[d]` as a single matvec over the
+    // transposed point set. Each chain folds left-to-right in point
+    // order exactly like the historical interleaved per-point axpy loop
+    // (`mul` is commutative on every datapath), so values, op counts
+    // and energy are bit-identical to that formulation.
+    let total = ctx.sum_slice(weights);
+    let mut pt = vec![0.0; dim * n];
+    for (idx, p) in points.iter().enumerate() {
         assert_eq!(p.len(), dim, "all points must have the same dimension");
-        total = ctx.add(total, w);
-        ctx.axpy_assign_slice(&mut acc, w, p);
+        for (d, &v) in p.iter().enumerate() {
+            pt[d * n + idx] = v;
+        }
     }
+    let mut acc = vec![0.0; dim];
+    ctx.matvec_slice(&pt, n, weights, &mut acc);
     if total <= 0.0 {
         return None;
     }

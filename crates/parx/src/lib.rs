@@ -1,12 +1,16 @@
-//! Dependency-free parallel execution on scoped threads.
+//! Dependency-free deterministic parallel execution on scoped threads.
 //!
 //! Every heavy sweep in this workspace — exhaustive equivalence checks,
 //! fault campaigns, adder energy characterization, offline
-//! characterization across accuracy levels — is an embarrassingly
-//! parallel map over an index space followed by an order-dependent
-//! reduction. This module provides exactly that shape on
+//! characterization across accuracy levels, and the online solver hot
+//! paths (row-partitioned matvec/spmv, chunked reductions) — is an
+//! embarrassingly parallel map over an index space followed by an
+//! order-dependent reduction. This crate provides exactly that shape on
 //! [`std::thread::scope`], keeping the workspace hermetic (no rayon, no
-//! crossbeam) while still saturating every core.
+//! crossbeam) while still saturating every core. It is the *only*
+//! sanctioned home for thread spawns and synchronization primitives;
+//! the workspace auditor's `raw-parallel` and `par-reduce` rules flag
+//! parallelism anywhere else.
 //!
 //! # Determinism rules
 //!
@@ -26,10 +30,16 @@
 //!    fold them left-to-right, so floating-point accumulation order is
 //!    fixed no matter how the tasks were scheduled.
 //!
+//! [`Executor::for_each_chunk`] extends the contract to in-place
+//! mutation: the input slice is split into disjoint contiguous chunks,
+//! each chunk is owned by exactly one task, and a task's output depends
+//! only on its chunk index and input — so the final slice contents are
+//! the same for any thread count by construction.
+//!
 //! # Example
 //!
 //! ```
-//! use gatesim::par::Executor;
+//! use parx::Executor;
 //!
 //! let exec = Executor::new();
 //! let squares = exec.run_indexed(8, |i| i * i);
@@ -38,19 +48,93 @@
 //! assert_eq!(Executor::with_threads(1).run_indexed(8, |i| i * i), squares);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the default worker count (useful for
 /// CI determinism experiments and for pinning benchmarks).
-pub const THREADS_ENV: &str = "GATESIM_THREADS";
+pub const THREADS_ENV: &str = "APPROXIT_THREADS";
+
+/// Deprecated spelling of [`THREADS_ENV`] from when the executor lived
+/// inside `gatesim`. Still honored (with a one-time warning on stderr)
+/// so existing CI configurations keep working; [`THREADS_ENV`] wins
+/// when both are set.
+pub const LEGACY_THREADS_ENV: &str = "GATESIM_THREADS";
+
+/// Parse one thread-count override variable, naming `var` in errors:
+/// `Ok(None)` when unset, the worker count when set to a positive
+/// integer, and a descriptive error for anything else. A silent
+/// fallback here would let a typo (`APPROXIT_THREADS=axll`) or a zero
+/// quietly change the parallel schedule under a benchmark, so invalid
+/// values are rejected rather than ignored.
+///
+/// # Errors
+///
+/// Empty strings, non-numeric values, and `0` are all rejected.
+pub fn parse_threads_var(var: &str, value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(format!(
+            "{var} is set but empty; unset it or use a positive integer"
+        ));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{var}=0 is invalid: at least one worker is required"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{var}={trimmed:?} is not a positive integer worker count"
+        )),
+    }
+}
+
+/// Parse a [`THREADS_ENV`] override (the primary variable). Kept as the
+/// hardened single-variable entry point; see [`resolve_threads_env`]
+/// for the two-variable precedence used by [`Executor::new`].
+///
+/// # Errors
+///
+/// Empty strings, non-numeric values, and `0` are all rejected.
+pub fn parse_threads_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    parse_threads_var(THREADS_ENV, value)
+}
+
+/// Resolve the worker-count override from both environment variables.
+///
+/// Precedence: [`THREADS_ENV`] wins whenever it is set — including when
+/// it is set to an *invalid* value (a broken primary override must fail
+/// loudly, not fall back to the legacy variable). [`LEGACY_THREADS_ENV`]
+/// is consulted only when the primary is unset; using it still works
+/// but is reported via the second tuple element so callers can warn.
+///
+/// Returns `(worker_count_override, used_legacy_variable)`.
+///
+/// # Errors
+///
+/// Whichever variable ends up consulted is validated with the same
+/// hardened rules as [`parse_threads_env`]; errors name that variable.
+pub fn resolve_threads_env(
+    primary: Option<&str>,
+    legacy: Option<&str>,
+) -> Result<(Option<usize>, bool), String> {
+    if primary.is_some() {
+        return Ok((parse_threads_var(THREADS_ENV, primary)?, false));
+    }
+    let choice = parse_threads_var(LEGACY_THREADS_ENV, legacy)?;
+    Ok((choice, choice.is_some()))
+}
 
 /// A fixed-width thread pool policy for scoped parallel sweeps.
 ///
 /// `Executor` is a value, not a pool: threads are spawned per call with
 /// [`std::thread::scope`] and joined before the call returns, so borrows
-/// of the caller's data (netlists, operand traces) flow into workers
-/// without `Arc` or cloning.
+/// of the caller's data (netlists, operand traces, matrices) flow into
+/// workers without `Arc` or cloning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     threads: usize,
@@ -62,49 +146,28 @@ impl Default for Executor {
     }
 }
 
-/// Parse a [`THREADS_ENV`] override: `Ok(None)` when unset, the worker
-/// count when set to a positive integer, and a descriptive error for
-/// anything else. A silent fallback here would let a typo (`GATESIM_THREADS=axll`)
-/// or a zero quietly change the parallel schedule under a benchmark, so
-/// invalid values are rejected rather than ignored.
-///
-/// # Errors
-///
-/// Empty strings, non-numeric values, and `0` are all rejected.
-pub fn parse_threads_env(value: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = value else { return Ok(None) };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err(format!(
-            "{THREADS_ENV} is set but empty; unset it or use a positive integer"
-        ));
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(format!(
-            "{THREADS_ENV}=0 is invalid: at least one worker is required"
-        )),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(format!(
-            "{THREADS_ENV}={trimmed:?} is not a positive integer worker count"
-        )),
-    }
-}
-
 impl Executor {
     /// An executor sized to the machine: [`std::thread::available_parallelism`],
-    /// overridable via the [`THREADS_ENV`] environment variable.
+    /// overridable via the [`THREADS_ENV`] environment variable (or the
+    /// deprecated [`LEGACY_THREADS_ENV`], which warns once on stderr).
     ///
     /// # Panics
     ///
-    /// Panics with a descriptive message when [`THREADS_ENV`] is set to
-    /// something other than a positive integer — a misconfigured
+    /// Panics with a descriptive message when the consulted variable is
+    /// set to something other than a positive integer — a misconfigured
     /// environment must fail loudly, not silently change the schedule.
     #[must_use]
     pub fn new() -> Self {
         let default = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let env = std::env::var(THREADS_ENV).ok();
-        let threads = match parse_threads_env(env.as_deref()) {
-            Ok(choice) => choice.unwrap_or(default),
+        let primary = std::env::var(THREADS_ENV).ok();
+        let legacy = std::env::var(LEGACY_THREADS_ENV).ok();
+        let threads = match resolve_threads_env(primary.as_deref(), legacy.as_deref()) {
+            Ok((choice, used_legacy)) => {
+                if used_legacy {
+                    warn_legacy_env_once();
+                }
+                choice.unwrap_or(default)
+            }
             Err(message) => panic!("{message}"),
         };
         Self { threads }
@@ -186,6 +249,65 @@ impl Executor {
             work(start, end)
         })
     }
+
+    /// Split `data` into disjoint contiguous chunks of `chunk_size` (the
+    /// last chunk may be shorter) and run `work(chunk_index, chunk)` on
+    /// each, in parallel across a static partition of the chunk list.
+    ///
+    /// Chunk `i` covers `data[i * chunk_size ..]`, so `work` can recover
+    /// its global offset as `chunk_index * chunk_size`. Because every
+    /// element belongs to exactly one chunk and a chunk's output depends
+    /// only on its index and input, the final slice contents are
+    /// identical for any thread count — no reduction step is involved.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is 0.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_size: usize, work: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_size).enumerate().collect();
+        let tasks = chunks.len();
+        if self.threads <= 1 || tasks <= 1 {
+            for (i, chunk) in chunks {
+                work(i, chunk);
+            }
+            return;
+        }
+        // Static contiguous partition: worker w takes an equal share of
+        // the chunk list. No counter is needed — ownership of each
+        // `&mut` chunk moves into exactly one worker.
+        let workers = self.threads.min(tasks);
+        let mut remaining = chunks;
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let take = remaining.len().div_ceil(workers - w);
+            let rest = remaining.split_off(take);
+            groups.push(std::mem::replace(&mut remaining, rest));
+        }
+        let work = &work;
+        std::thread::scope(|scope| {
+            for group in groups {
+                scope.spawn(move || {
+                    for (i, chunk) in group {
+                        work(i, chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+fn warn_legacy_env_once() {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    WARN.call_once(|| {
+        eprintln!(
+            "warning: {LEGACY_THREADS_ENV} is deprecated; use {THREADS_ENV} instead \
+             (the old name is still honored, but {THREADS_ENV} wins when both are set)"
+        );
+    });
 }
 
 /// Derive a statistically independent seed for `attempt` of `request`
@@ -207,7 +329,7 @@ pub fn request_seed(base: u64, request: u64, attempt: u64) -> u64 {
 ///
 /// Campaigns that draw randomness inside parallel tasks must seed each
 /// task from its *index*, never from a shared sequential stream — see
-/// the module docs' determinism rules.
+/// the crate docs' determinism rules.
 #[must_use]
 pub fn chunk_seed(base: u64, index: u64) -> u64 {
     let mut z = base
@@ -256,6 +378,35 @@ mod tests {
         let exec = Executor::with_threads(2);
         assert!(exec.map_chunks(0, 64, |s, e| (s, e)).is_empty());
         assert_eq!(exec.map_chunks(10, 64, |s, e| (s, e)), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn for_each_chunk_touches_every_element_exactly_once() {
+        for threads in [1, 2, 3, 7] {
+            let exec = Executor::with_threads(threads);
+            let mut data = vec![0u64; 1003];
+            exec.for_each_chunk(&mut data, 64, |ci, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v += (ci * 64 + j) as u64 + 1;
+                }
+            });
+            let expected: Vec<u64> = (1..=1003).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_handles_empty_and_short_slices() {
+        let exec = Executor::with_threads(4);
+        let mut empty: Vec<u32> = Vec::new();
+        exec.for_each_chunk(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        let mut short = vec![1u32; 3];
+        exec.for_each_chunk(&mut short, 8, |ci, chunk| {
+            assert_eq!(ci, 0);
+            assert_eq!(chunk.len(), 3);
+            chunk.fill(9);
+        });
+        assert_eq!(short, vec![9, 9, 9]);
     }
 
     #[test]
@@ -308,5 +459,37 @@ mod tests {
         assert!(parse_threads_env(Some("0"))
             .unwrap_err()
             .contains("at least one worker"));
+    }
+
+    #[test]
+    fn resolve_prefers_primary_over_legacy() {
+        // Primary alone.
+        assert_eq!(resolve_threads_env(Some("4"), None), Ok((Some(4), false)));
+        // Legacy alone: honored, but flagged for the deprecation warning.
+        assert_eq!(resolve_threads_env(None, Some("3")), Ok((Some(3), true)));
+        // Both set: primary wins and the legacy value is ignored entirely.
+        assert_eq!(
+            resolve_threads_env(Some("4"), Some("9")),
+            Ok((Some(4), false))
+        );
+        // Neither set.
+        assert_eq!(resolve_threads_env(None, None), Ok((None, false)));
+    }
+
+    #[test]
+    fn resolve_fails_loudly_on_the_variable_it_consulted() {
+        // An invalid primary must error even when a valid legacy value is
+        // available — falling back would mask the typo.
+        let err = resolve_threads_env(Some("zero"), Some("2")).unwrap_err();
+        assert!(err.contains(THREADS_ENV), "{err}");
+        // An invalid legacy (with no primary) errors under its own name.
+        let err = resolve_threads_env(None, Some("0")).unwrap_err();
+        assert!(err.contains(LEGACY_THREADS_ENV), "{err}");
+        // A valid primary shadows a *broken* legacy value: the legacy
+        // variable is never consulted, so its garbage cannot bite.
+        assert_eq!(
+            resolve_threads_env(Some("2"), Some("junk")),
+            Ok((Some(2), false))
+        );
     }
 }

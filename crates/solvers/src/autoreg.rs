@@ -42,6 +42,10 @@ pub struct AutoRegression {
     /// Row-major copy of `x`, cached so the prediction pass can run as
     /// one fused [`ArithContext::matvec_slice`] call per step.
     x_flat: Vec<f64>,
+    /// Row-major copy of `xᵀ` (`p × N`), cached so the gradient
+    /// accumulation `Σₙ rₙ·xₙ = Xᵀr` can also run as one fused
+    /// [`ArithContext::matvec_slice`] call per step.
+    xt_flat: Vec<f64>,
     y: Vec<f64>,
     step_size: f64,
     tolerance: f64,
@@ -71,10 +75,17 @@ impl AutoRegression {
         assert!(step_size > 0.0, "step size must be positive");
         assert!(tolerance > 0.0, "tolerance must be positive");
         assert!(max_iterations > 0, "iteration budget must be positive");
-        let x_flat = x.iter().flatten().copied().collect();
+        let x_flat: Vec<f64> = x.iter().flatten().copied().collect();
+        let mut xt_flat = vec![0.0; x_flat.len()];
+        for (n, row) in x.iter().enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                xt_flat[i * x.len() + n] = v;
+            }
+        }
         Self {
             x,
             x_flat,
+            xt_flat,
             y,
             step_size,
             tolerance,
@@ -165,18 +176,23 @@ impl IterativeMethod for AutoRegression {
 
     fn step(&self, state: &Vec<f64>, ctx: &mut dyn ArithContext) -> Vec<f64> {
         let p = self.order();
-        // Σ residual·x, accumulated approximately.
-        let mut acc = vec![0.0; p];
+        let n = self.num_samples();
         // All N predictions come from one fused matvec over the cached
-        // row-major design matrix (each row reduced exactly like `dot`);
-        // the residual and gradient accumulation then run per sample.
-        let mut preds = vec![0.0; self.num_samples()];
+        // row-major design matrix (each row reduced exactly like `dot`).
+        let mut preds = vec![0.0; n];
         ctx.matvec_slice(&self.x_flat, p, state, &mut preds);
-        for ((row, &target), &pred) in self.x.iter().zip(&self.y).zip(&preds) {
-            let residual = ctx.sub(target, pred);
-            vector::axpy_assign(ctx, &mut acc, residual, row);
-        }
-        let scale = self.step_size / self.num_samples() as f64;
+        // Residuals yₙ − ŷₙ in one element-wise kernel.
+        let mut residuals = vec![0.0; n];
+        ctx.sub_slice(&self.y, &preds, &mut residuals);
+        // Gradient accumulation Σₙ rₙ·xₙ = Xᵀr as one fused matvec over
+        // the cached transpose. Each acc[i] sees the same left-to-right
+        // add chain as the historical per-sample axpy loop (loop
+        // interchange over independent accumulator chains; `mul` is
+        // commutative on every datapath), so values, op counts and
+        // energy are bit-identical to that formulation.
+        let mut acc = vec![0.0; p];
+        ctx.matvec_slice(&self.xt_flat, n, &residuals, &mut acc);
+        let scale = self.step_size / n as f64;
         vector::axpy(ctx, scale, &acc, state)
     }
 

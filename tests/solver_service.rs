@@ -10,9 +10,9 @@
 use approx_linalg::Matrix;
 use approxit::prelude::*;
 use approxit::service::{BreakerConfig, Request, ServiceConfig, ServiceReport, SolverService};
-use gatesim::par::Executor;
 use iter_solvers::rng::Pcg32;
 use iter_solvers::{CgState, ConjugateGradient};
+use parx::Executor;
 
 fn profile() -> EnergyProfile {
     EnergyProfile::from_constants([1.0, 2.0, 3.0, 4.0, 5.0], 50.0, 100.0)
